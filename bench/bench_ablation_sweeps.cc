@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablations over COMPAQT's design choices (DESIGN.md §5): not a paper
+ * figure, but the trade-off sweeps behind the paper's choices.
+ *
+ *  1. Threshold sweep: compression ratio vs MSE for int-DCT-W —
+ *     the curve Algorithm 1 walks.
+ *  2. Window-size sweep (4/8/16/32): ratio, worst-case window words,
+ *     qubit gain, fmax, LUTs — why WS=16 is the sweet spot.
+ *  3. Uniform vs variable width storage: the capacity cost of the
+ *     FPGA-friendly uniform layout (Section V-A vs V-D ASIC mode).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/decompressor.hh"
+#include "dsp/metrics.hh"
+#include "uarch/resources.hh"
+#include "uarch/scaling.hh"
+#include "uarch/timing.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto x3 = lib.waveform({waveform::GateType::X, 3, -1});
+
+    // ----------------------------------------------- threshold sweep
+    Table t1("Ablation 1: threshold vs ratio/MSE (X(q3), WS=16)");
+    t1.header({"threshold", "R", "MSE", "worst window words"});
+    core::Decompressor dec;
+    for (double thr : {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2}) {
+        core::CompressorConfig cfg{core::Codec::IntDctW, 16, thr};
+        const core::Compressor comp(cfg);
+        const auto cw = comp.compress(x3);
+        const auto rt = dec.decompress(cw);
+        t1.row({Table::sci(thr, 0), Table::num(cw.ratio(), 2),
+                Table::sci(std::max(dsp::mse(x3.i, rt.i),
+                                    dsp::mse(x3.q, rt.q))),
+                std::to_string(cw.worstCaseWindowWords())});
+    }
+    t1.print(std::cout);
+    std::cout << '\n';
+
+    // --------------------------------------------- window-size sweep
+    Table t2("Ablation 2: window size trade-offs (library-wide)");
+    t2.header({"WS", "library R", "worst words", "qubit gain", "fmax",
+               "engine LUTs"});
+    const uarch::RfsocPlatform rf;
+    for (std::size_t ws : {4u, 8u, 16u, 32u}) {
+        const auto clib =
+            bench::buildCompressed(lib, core::Codec::IntDctW, ws);
+        const auto worst = clib.worstCaseWindowWords();
+        const auto timing =
+            uarch::engineTiming(uarch::EngineKind::IntDctW, ws);
+        const auto res =
+            uarch::engineResources(uarch::EngineKind::IntDctW, ws);
+        t2.row({std::to_string(ws), Table::num(clib.ratio(), 2),
+                std::to_string(worst),
+                Table::num(uarch::qubitGain(rf, ws, worst), 2),
+                Table::num(timing.normalized, 2),
+                std::to_string(res.luts)});
+    }
+    t2.print(std::cout);
+    std::cout << "(WS=16 maximizes qubit gain before the WS=32 "
+                 "resource/fmax cliff — the paper's choice)\n\n";
+
+    // ------------------------------------- uniform vs variable width
+    const auto clib =
+        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+    std::size_t variable = 0, windows = 0;
+    for (const auto &[id, e] : clib.entries())
+        for (const auto *ch : {&e.cw.i, &e.cw.q}) {
+            variable += ch->totalWords();
+            windows += ch->windows.size();
+        }
+    const std::size_t uniform = windows * clib.worstCaseWindowWords();
+    Table t3("Ablation 3: storage layout (guadalupe library, WS=16)");
+    t3.header({"layout", "words", "overhead"});
+    t3.row({"variable width (ASIC)", std::to_string(variable), "1.00x"});
+    t3.row({"uniform width (FPGA)", std::to_string(uniform),
+            Table::num(static_cast<double>(uniform) /
+                           static_cast<double>(variable),
+                       2) +
+                "x"});
+    t3.print(std::cout);
+    std::cout << "(the uniform layout trades ~1.5x capacity for "
+                 "fixed-width banked fetches — Section V-A's "
+                 "simplicity-vs-compressibility trade)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4: pi-pulse (X gate) diversity across machines — every qubit
+ * on Toronto (27), Brooklyn (65), and Washington (127) carries a
+ * distinct calibrated DRAG envelope. The figure plots the shapes; we
+ * print the per-machine spread of the calibration parameters and a
+ * coarse amplitude histogram, which is the information the plot
+ * conveys (device-specific waveforms -> per-qubit storage).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    std::cout << "Figure 4: pi-pulse shapes across IBM machines\n"
+              << "(paper: every qubit has a unique tuned DRAG pulse)\n\n";
+
+    for (const char *name : {"toronto", "brooklyn", "washington"}) {
+        const auto dev = waveform::DeviceModel::ibm(name);
+        std::vector<double> amps, sigmas, betas;
+        for (int q = 0; q < static_cast<int>(dev.numQubits()); ++q) {
+            const auto &cal = dev.qubit(q);
+            amps.push_back(cal.xAmp);
+            sigmas.push_back(cal.sigmaFrac * dev.oneQubitSamples());
+            betas.push_back(cal.dragBeta);
+        }
+        const Summary sa = summarize(amps);
+        const Summary ss = summarize(sigmas);
+        const Summary sb = summarize(betas);
+
+        Table t(std::string("ibm_") + name + " (" +
+                std::to_string(dev.numQubits()) + " qubits)");
+        t.header({"parameter", "min", "mean", "max", "stddev"});
+        t.row({"X amplitude", Table::num(sa.min), Table::num(sa.mean),
+               Table::num(sa.max), Table::num(sa.stddev)});
+        t.row({"sigma (samples)", Table::num(ss.min, 1),
+               Table::num(ss.mean, 1), Table::num(ss.max, 1),
+               Table::num(ss.stddev, 1)});
+        t.row({"DRAG beta", Table::num(sb.min, 2),
+               Table::num(sb.mean, 2), Table::num(sb.max, 2),
+               Table::num(sb.stddev, 2)});
+        t.print(std::cout);
+
+        // Coarse amplitude histogram: the "spread" visible in Fig 4.
+        Histogram h;
+        for (double a : amps)
+            h.add(static_cast<long>(a * 100.0)); // 0.01 bins
+        std::cout << "  amplitude histogram (0.01 bins): ";
+        for (const auto &[bin, count] : h.bins())
+            std::cout << "0." << bin << ":" << count << " ";
+        std::cout << "\n\n";
+    }
+    std::cout << "All qubits carry distinct envelopes; waveform memory "
+                 "must store one pulse per qubit per gate.\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 7: compressibility of the qft-4 pulse set on IBM Guadalupe.
+ *  (a) per-waveform ratio R for SX(q2/q3/q5/q8) and Meas(q0) under
+ *      Delta / DCT-N / DCT-W / int-DCT-W (WS=16);
+ *  (b) overall R for the qft-4 set at WS=8/16 — paper: Delta 1.9,
+ *      DCT-N 126.2, DCT-W 4.0/7.8, int-DCT-W 4.0/8.0;
+ *  (c) average MSE per variant and window size (1e-7..5e-6).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/decompressor.hh"
+#include "dsp/metrics.hh"
+
+using namespace compaqt;
+using core::Codec;
+
+namespace
+{
+
+struct SetResult
+{
+    double ratio = 0.0;
+    double avgMse = 0.0;
+};
+
+SetResult
+compressSet(const waveform::PulseLibrary &lib,
+            const std::vector<waveform::GateId> &ids, Codec codec,
+            std::size_t ws)
+{
+    core::FidelityAwareConfig cfg;
+    cfg.base.codec = codec;
+    cfg.base.windowSize = ws;
+    dsp::CompressionStats stats;
+    double mse = 0.0;
+    for (const auto &id : ids) {
+        const auto r = core::compressFidelityAware(lib.waveform(id),
+                                                   cfg);
+        stats += r.compressed.stats();
+        mse += r.mse;
+    }
+    return {stats.ratio(), mse / static_cast<double>(ids.size())};
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+
+    // ----------------------------------------------------------- (a)
+    const std::vector<waveform::GateId> five = {
+        {waveform::GateType::SX, 2, -1},
+        {waveform::GateType::SX, 3, -1},
+        {waveform::GateType::SX, 5, -1},
+        {waveform::GateType::SX, 8, -1},
+        {waveform::GateType::Measure, 0, -1},
+    };
+    Table a("Fig 7a: per-waveform compression ratio R (WS=16)");
+    a.header({"codec", "SX(q2)", "SX(q3)", "SX(q5)", "SX(q8)",
+              "Meas(q0)"});
+    for (Codec codec : {Codec::Delta, Codec::DctN, Codec::DctW,
+                        Codec::IntDctW}) {
+        std::vector<std::string> row = {core::codecName(codec)};
+        for (const auto &id : five) {
+            core::FidelityAwareConfig cfg;
+            cfg.base.codec = codec;
+            cfg.base.windowSize = 16;
+            const auto r =
+                core::compressFidelityAware(lib.waveform(id), cfg);
+            row.push_back(Table::num(r.compressed.ratio(), 2));
+        }
+        a.row(std::move(row));
+    }
+    a.print(std::cout);
+    std::cout << '\n';
+
+    // ------------------------------------------------------- (b)+(c)
+    const auto ids = bench::qft4GateSet(dev);
+    std::cout << "qft-4 pulse set: " << ids.size()
+              << " waveforms on guadalupe\n\n";
+
+    Table b("Fig 7b: overall compression ratio for qft-4");
+    b.header({"codec", "WS=8", "WS=16", "paper WS=8", "paper WS=16"});
+    Table c("Fig 7c: average MSE for qft-4");
+    c.header({"codec", "WS=8", "WS=16"});
+
+    const auto delta = compressSet(lib, ids, Codec::Delta, 16);
+    b.row({"Delta", Table::num(delta.ratio, 2),
+           Table::num(delta.ratio, 2), "1.9", "1.9"});
+
+    const auto dctn = compressSet(lib, ids, Codec::DctN, 16);
+    b.row({"DCT-N", Table::num(dctn.ratio, 1),
+           Table::num(dctn.ratio, 1), "126.2", "126.2"});
+    c.row({"DCT-N", Table::sci(dctn.avgMse), Table::sci(dctn.avgMse)});
+
+    for (Codec codec : {Codec::DctW, Codec::IntDctW}) {
+        const auto r8 = compressSet(lib, ids, codec, 8);
+        const auto r16 = compressSet(lib, ids, codec, 16);
+        const bool is_int = codec == Codec::IntDctW;
+        b.row({core::codecName(codec), Table::num(r8.ratio, 2),
+               Table::num(r16.ratio, 2), is_int ? "4.0" : "4.0",
+               is_int ? "8.0" : "7.8"});
+        c.row({core::codecName(codec), Table::sci(r8.avgMse),
+               Table::sci(r16.avgMse)});
+    }
+    b.print(std::cout);
+    std::cout << '\n';
+    c.print(std::cout);
+    std::cout << "\n(paper MSE band: 1e-7 .. 5e-6; int-DCT-W highest "
+                 "due to integer approximation)\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 9: two-qubit randomized benchmarking on (simulated)
+ * Guadalupe with baseline vs int-DCT-W-compressed pulses.
+ * Paper: baseline fidelity 0.978 / EPC 1.650e-2; compressed
+ * 0.975 / EPC 1.842e-2 (difference within run-to-run variability).
+ *
+ * The compression-induced error enters as extra error per Clifford
+ * computed from the pulse-level gate errors of the decompressed
+ * library (1.5 CX + ~3 1Q gates per 2Q Clifford).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/decompressor.hh"
+#include "fidelity/pulse_sim.hh"
+#include "fidelity/rb.hh"
+
+using namespace compaqt;
+
+namespace
+{
+
+/** Mean compression-induced error per 2Q Clifford on a device. */
+double
+compressionErrorPerClifford(const waveform::PulseLibrary &lib,
+                            const core::CompressedLibrary &clib)
+{
+    core::Decompressor dec;
+    double cx = 0.0, oneq = 0.0;
+    int ncx = 0, n1 = 0;
+    for (const auto &[id, e] : clib.entries()) {
+        const auto rt = dec.decompress(e.cw);
+        const auto &orig = lib.waveform(id);
+        if (id.type == waveform::GateType::CX) {
+            cx += fidelity::crGateError(orig, rt);
+            ++ncx;
+        } else if (id.type == waveform::GateType::X) {
+            oneq += fidelity::pulseGateError(orig, rt, M_PI);
+            ++n1;
+        } else if (id.type == waveform::GateType::SX) {
+            oneq += fidelity::pulseGateError(orig, rt, M_PI / 2);
+            ++n1;
+        }
+    }
+    // Average 2Q Clifford: ~1.5 CX + ~3 1Q pulses.
+    return 1.5 * (cx / ncx) + 3.0 * (oneq / n1);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib =
+        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+
+    const double hw_epc = 1.65e-2; // guadalupe-era 2Q Clifford error
+    const double comp_extra = compressionErrorPerClifford(lib, clib);
+    std::cout << "compression-induced error per 2Q Clifford: "
+              << Table::sci(comp_extra) << "\n\n";
+
+    fidelity::RbConfig base_cfg;
+    base_cfg.errorPerClifford = hw_epc;
+    base_cfg.sequencesPerLength = 300;
+    base_cfg.seed = 90;
+    const auto base = fidelity::runRb2(base_cfg);
+
+    fidelity::RbConfig comp_cfg = base_cfg;
+    comp_cfg.errorPerClifford = hw_epc + comp_extra;
+    comp_cfg.seed = 91; // independent experiment, as on hardware
+    const auto comp = fidelity::runRb2(comp_cfg);
+
+    Table t("Fig 9: RB sequence fidelity vs Clifford length");
+    t.header({"length", "baseline survival", "int-DCT-W survival"});
+    for (std::size_t i = 0; i < base.lengths.size(); ++i) {
+        t.row({Table::num(base.lengths[i], 0),
+               Table::num(base.survival[i], 4),
+               Table::num(comp.survival[i], 4)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+
+    Table s("Fig 9: fitted fidelity and EPC");
+    s.header({"design", "fidelity", "EPC", "paper fidelity",
+              "paper EPC"});
+    s.row({"Uncompressed", Table::num(base.alpha, 3),
+           Table::sci(base.epc), "0.978", "1.650e-02"});
+    s.row({"int-DCT-W (WS=16)", Table::num(comp.alpha, 3),
+           Table::sci(comp.epc), "0.975", "1.842e-02"});
+    s.print(std::cout);
+    std::cout << "\n(the paper's baseline/compressed gap is within "
+                 "experimental variability; compression adds only "
+              << Table::sci(comp_extra) << " per Clifford)\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 11: histogram of memory words per compressed window
+ * (including the RLE codeword) over the 132 stored waveforms of IBM
+ * Guadalupe (80 gate entries x I/Q channels counted per window), for
+ * int-DCT-W at WS=8 and WS=16. Paper: the worst case is 3 words,
+ * which fixes the uniform compressed-memory width.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    std::cout << "guadalupe library: " << lib.size()
+              << " gate waveforms (" << 2 * lib.size()
+              << " stored channels)\n\n";
+
+    for (std::size_t ws : {8u, 16u}) {
+        const auto clib =
+            bench::buildCompressed(lib, core::Codec::IntDctW, ws);
+        Histogram h;
+        for (const auto &[id, e] : clib.entries())
+            for (const auto *ch : {&e.cw.i, &e.cw.q})
+                for (const auto &w : ch->windows)
+                    h.add(static_cast<long>(w.words()));
+
+        Table t("Fig 11: words per window, WS=" + std::to_string(ws));
+        t.header({"# samples (incl. codeword)", "windows", "%"});
+        for (const auto &[words, count] : h.bins()) {
+            t.row({std::to_string(words), std::to_string(count),
+                   Table::num(100.0 * static_cast<double>(count) /
+                                  static_cast<double>(h.total()),
+                              2)});
+        }
+        t.print(std::cout);
+        std::cout << "worst case: " << h.maxValue()
+                  << " words (paper: 3) -> uniform memory width "
+                  << clib.worstCaseWindowWords() << "\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 14: per-qubit compression ratios of the basis gates (SX, X,
+ * CX) for all 16 qubits of IBM Guadalupe with int-DCT-W at WS=16.
+ * CX ratios are averaged over the CNOTs a qubit participates in as
+ * control. Paper: every qubit averages above 5x.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib =
+        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+
+    Table t("Fig 14: compression ratio per qubit (int-DCT-W, WS=16)");
+    t.header({"qubit", "SX", "X", "CX (avg)", "mean"});
+    std::vector<double> means;
+    for (int q = 0; q < 16; ++q) {
+        const double sx =
+            clib.entry({waveform::GateType::SX, q, -1}).ratio();
+        const double x =
+            clib.entry({waveform::GateType::X, q, -1}).ratio();
+        double cx = 0.0;
+        int ncx = 0;
+        for (int nb : dev.neighbors(q)) {
+            cx += clib.entry({waveform::GateType::CX, q, nb}).ratio();
+            ++ncx;
+        }
+        cx /= ncx;
+        const double mean = (sx + x + cx) / 3.0;
+        means.push_back(mean);
+        t.row({std::to_string(q), Table::num(sx, 2), Table::num(x, 2),
+               Table::num(cx, 2), Table::num(mean, 2)});
+    }
+    t.print(std::cout);
+    const Summary s = summarize(means);
+    std::cout << "\nper-qubit mean ratio: min " << Table::num(s.min, 2)
+              << ", avg " << Table::num(s.mean, 2) << ", max "
+              << Table::num(s.max, 2)
+              << " (paper: >5x average per qubit)\n";
+    return 0;
+}

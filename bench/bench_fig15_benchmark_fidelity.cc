@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 15: normalized benchmark fidelity on (simulated) Guadalupe:
+ * F(COMPAQT) / F(baseline) for the nine Table VI circuits, with
+ * int-DCT-W at WS=8 and WS=16, 80k shots each.
+ *
+ * Paper: WS=16 shows no degradation (normalized ~1.0, sometimes >1
+ * from variability); WS=8 loses fidelity on some benchmarks due to
+ * window-boundary distortion. Baseline absolute fidelities are
+ * annotated for reference (ours differ — our noise model is
+ * calibrated to error *rates*, not to each circuit's absolute TVD).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "circuits/benchmarks.hh"
+#include "circuits/transpiler.hh"
+#include "common/table.hh"
+#include "fidelity/noise.hh"
+#include "fidelity/tvd.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib8 =
+        bench::buildCompressed(lib, core::Codec::IntDctW, 8);
+    const auto clib16 =
+        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+    // WS=8 at a loose MSE budget: the aggressive operating point
+    // whose window-boundary distortion the paper's Fig 15 shows.
+    const auto clib8a =
+        bench::buildCompressed(lib, core::Codec::IntDctW, 8, 2e-3);
+
+    const auto nm = fidelity::NoiseModel::ibm("guadalupe");
+    const auto gs_base = fidelity::GateSet::fromLibrary(dev, lib);
+    const auto gs8 =
+        fidelity::GateSet::fromCompressed(dev, lib, clib8);
+    const auto gs8a =
+        fidelity::GateSet::fromCompressed(dev, lib, clib8a);
+    const auto gs16 =
+        fidelity::GateSet::fromCompressed(dev, lib, clib16);
+
+    const circuits::CouplingMap map(dev.numQubits(), dev.coupling());
+    constexpr std::size_t kShots = 80000;
+
+    Table t("Fig 15: fidelity normalized to the uncompressed baseline");
+    t.header({"benchmark", "baseline F", "WS=8", "WS=8 coarse",
+              "WS=16", "paper base F"});
+
+    std::uint64_t seed = 1500;
+    for (const auto &spec : circuits::fidelityBenchmarks()) {
+        // Compact to the wires actually touched after routing; the
+        // gate sets are re-keyed through the same mapping.
+        std::vector<int> old_of_new;
+        const auto routed = circuits::compactToUsedQubits(
+            circuits::transpile(spec.circuit, map), &old_of_new);
+        const auto ideal = fidelity::runIdeal(routed);
+        // More trajectories for small state spaces (they're cheap
+        // and the normalized ratio benefits from low variance).
+        const int trajectories =
+            routed.numQubits() <= 6 ? 1500
+            : routed.numQubits() <= 10 ? 400
+                                       : 120;
+
+        auto fidelity_of = [&](const fidelity::GateSet &gs_full) {
+            const auto gs = gs_full.remap(old_of_new);
+            Rng rng(seed++);
+            const auto run = fidelity::runNoisy(routed, gs, nm,
+                                                trajectories, rng);
+            Rng shot_rng(seed++);
+            const auto sampled =
+                fidelity::sampleShots(run.distribution, kShots,
+                                      shot_rng);
+            return fidelity::fidelityTvd(ideal.distribution, sampled);
+        };
+
+        const double fb = fidelity_of(gs_base);
+        const double f8 = fidelity_of(gs8);
+        const double f8a = fidelity_of(gs8a);
+        const double f16 = fidelity_of(gs16);
+        t.row({spec.name, Table::num(fb, 3), Table::num(f8 / fb, 3),
+               Table::num(f8a / fb, 3), Table::num(f16 / fb, 3),
+               Table::num(spec.paperBaselineFidelity, 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(paper: WS=16 within noise of 1.0 everywhere; "
+                 "WS=8 drops on several benchmarks. With per-pulse "
+                 "Algorithm-1 thresholds WS=8 is also safe; the "
+                 "coarse column shows the boundary-distortion loss "
+                 "at an aggressive threshold.)\n";
+    return 0;
+}

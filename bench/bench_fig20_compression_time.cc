@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 20: software cost of compile-time compression — average time
+ * to compress one gate waveform with fidelity-aware int-DCT-W on
+ * Bogota / Guadalupe / Hanoi at WS=8/16, measured with
+ * google-benchmark.
+ *
+ * The paper's Python module takes ~0.1-0.2 s per waveform; the C++
+ * implementation is orders of magnitude faster, and either is
+ * negligible against multi-hour calibration cycles (the paper's
+ * point).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/fidelity_aware.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+using namespace compaqt;
+
+namespace
+{
+
+const waveform::PulseLibrary &
+libraryFor(const std::string &name)
+{
+    static std::map<std::string, waveform::PulseLibrary> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, waveform::PulseLibrary::build(
+                                    waveform::DeviceModel::ibm(name)))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+compressLibrary(benchmark::State &state, const std::string &machine,
+                std::size_t ws)
+{
+    const auto &lib = libraryFor(machine);
+    core::FidelityAwareConfig cfg;
+    cfg.base.codec = core::Codec::IntDctW;
+    cfg.base.windowSize = ws;
+
+    std::size_t waveforms = 0;
+    for (auto _ : state) {
+        for (const auto &[id, wf] : lib.entries()) {
+            auto r = core::compressFidelityAware(wf, cfg);
+            benchmark::DoNotOptimize(r.compressed.i.windows.data());
+            ++waveforms;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(waveforms));
+    state.counters["us_per_waveform"] =
+        benchmark::Counter(static_cast<double>(waveforms),
+                           benchmark::Counter::kIsRate |
+                               benchmark::Counter::kInvert,
+                           benchmark::Counter::kIs1000) ;
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(compressLibrary, bogota_ws8, "bogota", 8);
+BENCHMARK_CAPTURE(compressLibrary, bogota_ws16, "bogota", 16);
+BENCHMARK_CAPTURE(compressLibrary, guadalupe_ws8, "guadalupe", 8);
+BENCHMARK_CAPTURE(compressLibrary, guadalupe_ws16, "guadalupe", 16);
+BENCHMARK_CAPTURE(compressLibrary, hanoi_ws8, "hanoi", 8);
+BENCHMARK_CAPTURE(compressLibrary, hanoi_ws16, "hanoi", 16);
+
+BENCHMARK_MAIN();

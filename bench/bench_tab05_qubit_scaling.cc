@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table V: qubits supported by an FPGA controller, normalized to the
+ * uncompressed baseline. Paper: 1 / 2.66 / 5.33 for uncompressed /
+ * WS=8 / WS=16 (ratio-16 platform, worst-case 3 words per window).
+ * Also prints the Section V-C absolute example (QICK: 36 -> 95 -> 191
+ * qubits) and the non-multiple clock-ratio case.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "uarch/scaling.hh"
+
+using namespace compaqt;
+using namespace compaqt::uarch;
+
+int
+main()
+{
+    const RfsocPlatform rf; // ratio 16, 1260 BRAMs, 2 ch/qubit
+
+    Table t("Table V: qubits supported (normalized), 16x clock ratio");
+    t.header({"design", "banks/channel", "qubits", "normalized",
+              "paper"});
+    const auto base = qubitsSupported(rf, false, 16, 3);
+    t.row({"Uncompressed",
+           std::to_string(banksPerChannel(rf, false, 16, 3)),
+           std::to_string(base), "1.00", "1"});
+    for (std::size_t ws : {8u, 16u}) {
+        const auto q = qubitsSupported(rf, true, ws, 3);
+        t.row({"int-DCT-W WS=" + std::to_string(ws),
+               std::to_string(banksPerChannel(rf, true, ws, 3)),
+               std::to_string(q),
+               Table::num(static_cast<double>(q) /
+                              static_cast<double>(base),
+                          2),
+               ws == 8 ? "2.66" : "5.33"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSection V-C worked example (QICK, DAC:fabric = "
+                 "16x):\n"
+              << "  uncompressed ~" << base
+              << " qubits; WS=8 -> " << qubitsSupported(rf, true, 8, 3)
+              << " (paper ~95); WS=16 -> "
+              << qubitsSupported(rf, true, 16, 3) << " (paper ~191)\n";
+
+    RfsocPlatform rf6 = rf;
+    rf6.clockRatio = 6;
+    std::cout << "  non-multiple ratio 6x with WS=8: gain "
+              << Table::num(qubitGain(rf6, 8, 3), 2)
+              << "x (paper: ~2x, slightly under 8/3)\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table VII: minimum / maximum / average per-gate compression ratio
+ * with int-DCT-W (WS=16) across five IBM machines. Paper: min 5.33
+ * (the SX pulses), max ~8.0-8.1, avg ~6.3-6.5 on every machine.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    Table t("Table VII: compression ratios, int-DCT-W WS=16");
+    t.header({"machine", "min", "max", "avg",
+              "paper (min/max/avg)"});
+    struct Row
+    {
+        const char *name;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {"toronto", "5.33/8.11/6.49"},
+        {"montreal", "5.33/8.02/6.45"},
+        {"mumbai", "5.33/8.05/6.47"},
+        {"guadalupe", "5.33/8.02/6.48"},
+        {"lima", "5.33/7.92/6.33"},
+    };
+    for (const Row &r : rows) {
+        const auto dev = waveform::DeviceModel::ibm(r.name);
+        const auto lib = waveform::PulseLibrary::build(dev);
+        const auto clib =
+            bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+        const auto ratios = clib.ratios();
+        const Summary s = summarize(ratios);
+        t.row({r.name, Table::num(s.min, 2), Table::num(s.max, 2),
+               Table::num(s.mean, 2), r.paper});
+    }
+    t.print(std::cout);
+    std::cout << "\nEvery machine compresses every gate pulse by >4x "
+                 "despite per-qubit pulse diversity.\n";
+    return 0;
+}

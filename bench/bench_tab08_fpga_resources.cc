@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table VIII: FPGA resource usage of the baseline (QICK single-qubit
+ * control block) and one int-DCT-W IDCT engine per window size, on
+ * the Xilinx zc7u7ev. Paper rows (LUT/FF):
+ *   baseline 3386/6448; WS=8 601/266; WS=16 1954/671; WS=32 9063/1197.
+ * The WS=32 cliff (>4% of the SoC per engine) is what rules it out.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "uarch/resources.hh"
+
+using namespace compaqt;
+using namespace compaqt::uarch;
+
+int
+main()
+{
+    Table t("Table VIII: FPGA resources (zc7u7ev)");
+    t.header({"design", "LUTs", "LUT %", "FFs", "FF %",
+              "paper (LUT/FF)"});
+    const auto base = baselineResources();
+    t.row({"Baseline (QICK)", std::to_string(base.luts),
+           Table::num(lutPercent(base), 2), std::to_string(base.ffs),
+           Table::num(ffPercent(base), 2), "3386/6448"});
+
+    struct Row
+    {
+        std::size_t ws;
+        const char *paper;
+    };
+    const Row rows[] = {
+        {8, "601/266"},
+        {16, "1954/671"},
+        {32, "9063/1197"},
+    };
+    for (const Row &r : rows) {
+        const auto e = engineResources(EngineKind::IntDctW, r.ws);
+        t.row({"int-DCT-W (WS=" + std::to_string(r.ws) + ")",
+               std::to_string(e.luts), Table::num(lutPercent(e), 2),
+               std::to_string(e.ffs), Table::num(ffPercent(e), 2),
+               r.paper});
+    }
+    t.print(std::cout);
+    std::cout << "\nEngines trade scarce BRAM for abundant LUT/FF; "
+                 "WS=32 is the resource cliff that makes it "
+                 "sub-optimal (Section VII-C).\n";
+    return 0;
+}

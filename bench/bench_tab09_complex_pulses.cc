@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table IX: compressibility of complex transmon gate pulses and
+ * emerging fluxonium pulses with int-DCT-W at WS=16.
+ * Paper: iToffoli 8.32, Toffoli 5.31, CCZ 5.59, fluxonium 7.2.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/fidelity_aware.hh"
+#include "waveform/complex_gates.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    const double paper[] = {8.32, 5.31, 5.59, 7.2};
+
+    Table t("Table IX: complex gate pulse compression (WS=16)");
+    t.header({"device", "gate", "description", "samples", "R",
+              "paper R"});
+    int i = 0;
+    for (const auto &cp : waveform::complexPulseSet()) {
+        core::FidelityAwareConfig cfg;
+        cfg.base.codec = core::Codec::IntDctW;
+        cfg.base.windowSize = 16;
+        const auto r = core::compressFidelityAware(cp.wf, cfg);
+        t.row({cp.device, cp.gate, cp.description,
+               std::to_string(cp.wf.size()),
+               Table::num(r.compressed.ratio(), 2),
+               Table::num(paper[i++], 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\nEven optimal-control multi-qubit pulses compress "
+                 ">5x; smooth pulses approach the 8x ceiling.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries: compiled-library caching and
+ * the standard qft-4-on-guadalupe gate-pulse set used by Figs 7/11.
+ */
+
+#ifndef COMPAQT_BENCH_BENCH_UTIL_HH
+#define COMPAQT_BENCH_BENCH_UTIL_HH
+
+#include <vector>
+
+#include "core/compressed_library.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+namespace compaqt::bench
+{
+
+/** Build a device's compressed library at the paper operating point. */
+inline core::CompressedLibrary
+buildCompressed(const waveform::PulseLibrary &lib, core::Codec codec,
+                std::size_t ws, double target_mse = 1e-5)
+{
+    core::FidelityAwareConfig cfg;
+    cfg.base.codec = codec;
+    cfg.base.windowSize = ws;
+    cfg.targetMse = target_mse;
+    return core::CompressedLibrary::build(lib, cfg);
+}
+
+/**
+ * The waveforms qft-4 exercises on guadalupe qubits 0-3: X/SX/Meas
+ * per qubit plus the CX pulses of the coupled pairs among {0,1,2,3}
+ * (plus (1,4) used by routing).
+ */
+inline std::vector<waveform::GateId>
+qft4GateSet(const waveform::DeviceModel &dev)
+{
+    using waveform::GateId;
+    using waveform::GateType;
+    std::vector<GateId> ids;
+    for (int q = 0; q < 4; ++q) {
+        ids.push_back({GateType::X, q, -1});
+        ids.push_back({GateType::SX, q, -1});
+        ids.push_back({GateType::Measure, q, -1});
+    }
+    for (const auto &[a, b] : dev.coupling()) {
+        if (a <= 4 && b <= 4) {
+            ids.push_back({GateType::CX, a, b});
+            ids.push_back({GateType::CX, b, a});
+        }
+    }
+    return ids;
+}
+
+} // namespace compaqt::bench
+
+#endif // COMPAQT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Calibration-cycle flow: what the COMPAQT compiler module does at
+ * the end of every calibration (Fig 6). Builds the full pulse library
+ * of a 16-qubit machine, runs fidelity-aware compression over every
+ * gate, serializes the compressed library (the artifact shipped to
+ * the controller), reloads it, and prints a per-gate-family report.
+ *
+ * Build & run:  ./build/examples/calibration_flow
+ */
+
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "core/compressed_library.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+using namespace compaqt;
+
+int
+main()
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    std::cout << "calibrated " << dev.name() << ": " << lib.size()
+              << " gate waveforms, "
+              << Table::num(lib.totalBytes() / 1024.0, 1)
+              << " KB uncompressed\n";
+
+    core::FidelityAwareConfig cfg;
+    cfg.base.codec = core::Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    cfg.targetMse = 1e-5;
+    const auto clib = core::CompressedLibrary::build(lib, cfg);
+
+    // Per-family report.
+    std::map<waveform::GateType, std::vector<double>> family;
+    for (const auto &[id, e] : clib.entries())
+        family[id.type].push_back(e.ratio());
+
+    Table t("compressed library report");
+    t.header({"family", "pulses", "min R", "avg R", "max R"});
+    for (const auto &[type, ratios] : family) {
+        const Summary s = summarize(ratios);
+        t.row({waveform::gateTypeName(type),
+               std::to_string(ratios.size()), Table::num(s.min, 2),
+               Table::num(s.mean, 2), Table::num(s.max, 2)});
+    }
+    t.print(std::cout);
+
+    const auto stats = clib.totalStats();
+    std::cout << "\noverall: " << stats.originalSamples
+              << " samples -> " << stats.compressedWords
+              << " memory words (R = " << Table::num(clib.ratio(), 2)
+              << "), worst-case window "
+              << clib.worstCaseWindowWords() << " words\n";
+
+    // Ship it: serialize and reload, as the host would before loading
+    // the controller's waveform memory.
+    std::stringstream blob;
+    clib.save(blob);
+    const auto reloaded = core::CompressedLibrary::load(blob);
+    std::cout << "serialized blob: " << blob.str().size()
+              << " bytes; reload check: "
+              << (reloaded.size() == clib.size() ? "ok" : "MISMATCH")
+              << "\n";
+    return reloaded.size() == clib.size() ? 0 : 1;
+}

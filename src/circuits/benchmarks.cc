@@ -1,0 +1,151 @@
+#include "circuits/benchmarks.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace compaqt::circuits
+{
+
+Circuit
+swapBenchmark()
+{
+    Circuit c(2, "swap");
+    c.x(0);
+    c.swap(0, 1);
+    c.measureAll();
+    return c;
+}
+
+Circuit
+toffoliBenchmark()
+{
+    Circuit c(3, "toffoli");
+    c.x(0);
+    c.x(1);
+    c.ccx(0, 1, 2);
+    c.measureAll();
+    return c;
+}
+
+Circuit
+qft(std::size_t n)
+{
+    Circuit c(n, "qft-" + std::to_string(n));
+    for (std::size_t i = 0; i < n; ++i) {
+        c.h(static_cast<int>(i));
+        for (std::size_t j = i + 1; j < n; ++j) {
+            c.cp(static_cast<int>(j), static_cast<int>(i),
+                 M_PI / std::ldexp(1.0, static_cast<int>(j - i)));
+        }
+    }
+    for (std::size_t i = 0; i < n / 2; ++i)
+        c.swap(static_cast<int>(i), static_cast<int>(n - 1 - i));
+    c.measureAll();
+    return c;
+}
+
+Circuit
+adder4()
+{
+    // One-bit full adder: qubits (0: cin, 1: a, 2: b, 3: cout).
+    // After the circuit, qubit 2 holds the sum and 3 the carry.
+    Circuit c(4, "adder-4");
+    c.x(0); // cin = 1
+    c.x(1); // a = 1
+    c.ccx(1, 2, 3);
+    c.cx(1, 2);
+    c.ccx(0, 2, 3);
+    c.cx(0, 2);
+    c.measureAll();
+    return c;
+}
+
+Circuit
+bernsteinVazirani(const std::string &secret)
+{
+    const std::size_t n = secret.size();
+    Circuit c(n + 1, "bv-" + std::to_string(n));
+    const int anc = static_cast<int>(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c.h(static_cast<int>(i));
+    c.x(anc);
+    c.h(anc);
+    for (std::size_t i = 0; i < n; ++i)
+        if (secret[i] == '1')
+            c.cx(static_cast<int>(i), anc);
+    for (std::size_t i = 0; i < n; ++i)
+        c.h(static_cast<int>(i));
+    c.barrier();
+    for (std::size_t i = 0; i < n; ++i)
+        c.measure(static_cast<int>(i));
+    return c;
+}
+
+Circuit
+qaoa(std::size_t n, const std::vector<std::pair<int, int>> &edges,
+     int layers)
+{
+    Circuit c(n, "qaoa-" + std::to_string(n));
+    for (std::size_t q = 0; q < n; ++q)
+        c.h(static_cast<int>(q));
+    for (int layer = 0; layer < layers; ++layer) {
+        const double gamma = 0.4 + 0.3 * layer;
+        const double beta = 0.8 - 0.2 * layer;
+        for (const auto &[a, b] : edges) {
+            c.cx(a, b);
+            c.rz(b, 2.0 * gamma);
+            c.cx(a, b);
+        }
+        for (std::size_t q = 0; q < n; ++q)
+            c.rx(static_cast<int>(q), 2.0 * beta);
+    }
+    c.measureAll();
+    return c;
+}
+
+std::vector<std::pair<int, int>>
+randomGraph(std::size_t n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < static_cast<int>(n); ++a)
+        for (int b = a + 1; b < static_cast<int>(n); ++b)
+            if (rng.chance(density))
+                edges.emplace_back(a, b);
+    // Guarantee connectivity with a ring backbone.
+    for (int a = 0; a < static_cast<int>(n); ++a) {
+        const int b = (a + 1) % static_cast<int>(n);
+        const auto lo = std::min(a, b), hi = std::max(a, b);
+        bool found = false;
+        for (const auto &[x, y] : edges)
+            found |= (x == lo && y == hi);
+        if (!found)
+            edges.emplace_back(lo, hi);
+    }
+    return edges;
+}
+
+std::vector<BenchmarkSpec>
+fidelityBenchmarks()
+{
+    std::vector<BenchmarkSpec> out;
+    out.push_back({"swap", swapBenchmark(), 3, 0.954});
+    out.push_back({"toffoli", toffoliBenchmark(), 12, 0.678});
+    out.push_back({"qft-4", qft(4), 27, 0.321});
+    out.push_back({"adder-4", adder4(), 33, 0.379});
+    out.push_back(
+        {"bv-5", bernsteinVazirani("10100"), 2, 0.866});
+    out.push_back(
+        {"qaoa-6", qaoa(6, randomGraph(6, 1.0, 6), 2), 142, 0.009});
+    out.push_back(
+        {"qaoa-8a", qaoa(8, randomGraph(8, 0.35, 81), 1), 76, 0.779});
+    out.push_back(
+        {"qaoa-8b", qaoa(8, randomGraph(8, 0.55, 82), 1), 113, 0.799});
+    out.push_back(
+        {"qaoa-10", qaoa(10, randomGraph(10, 0.30, 10), 1), 138, 0.639});
+    return out;
+}
+
+} // namespace compaqt::circuits

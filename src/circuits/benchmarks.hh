@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generators for the Table VI benchmark circuits. All builders return
+ * logical circuits; transpile() onto a device coupling map to get the
+ * physical CX counts the paper reports.
+ */
+
+#ifndef COMPAQT_CIRCUITS_BENCHMARKS_HH
+#define COMPAQT_CIRCUITS_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/circuit.hh"
+
+namespace compaqt::circuits
+{
+
+/** swap: prepare |10>, swap, measure (Table VI: 2 qubits, 3 CX). */
+Circuit swapBenchmark();
+
+/** toffoli: |110> -> CCX -> measure (3 qubits). */
+Circuit toffoliBenchmark();
+
+/** n-qubit Quantum Fourier Transform with final bit-reversal swaps. */
+Circuit qft(std::size_t n);
+
+/** One-bit full adder on 4 qubits (cin, a, b, cout), QASMBench-style. */
+Circuit adder4();
+
+/**
+ * Bernstein-Vazirani: data qubits + one ancilla; CX per set secret
+ * bit. bv-5 in the paper uses 6 qubits and a 2-bit secret.
+ */
+Circuit bernsteinVazirani(const std::string &secret);
+
+/**
+ * QAOA max-cut ansatz: per layer, ZZ(gamma) on every graph edge then
+ * RX(beta) mixers.
+ */
+Circuit qaoa(std::size_t n, const std::vector<std::pair<int, int>> &edges,
+             int layers);
+
+/** Deterministic pseudo-random graph for the qaoa-* benchmarks. */
+std::vector<std::pair<int, int>>
+randomGraph(std::size_t n, double density, std::uint64_t seed);
+
+/** Named benchmark row of Table VI. */
+struct BenchmarkSpec
+{
+    std::string name;
+    Circuit circuit;
+    /** CX count the paper reports post-transpilation. */
+    std::size_t paperCx = 0;
+    /** Baseline (uncompressed) fidelity annotated in Fig 15. */
+    double paperBaselineFidelity = 0.0;
+};
+
+/** The nine fidelity benchmarks of Table VI / Fig 15. */
+std::vector<BenchmarkSpec> fidelityBenchmarks();
+
+} // namespace compaqt::circuits
+
+#endif // COMPAQT_CIRCUITS_BENCHMARKS_HH

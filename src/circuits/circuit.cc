@@ -1,0 +1,135 @@
+#include "circuits/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace compaqt::circuits
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::X:
+        return "x";
+      case Op::SX:
+        return "sx";
+      case Op::RZ:
+        return "rz";
+      case Op::CX:
+        return "cx";
+      case Op::Measure:
+        return "measure";
+      case Op::H:
+        return "h";
+      case Op::Y:
+        return "y";
+      case Op::Z:
+        return "z";
+      case Op::S:
+        return "s";
+      case Op::Sdg:
+        return "sdg";
+      case Op::T:
+        return "t";
+      case Op::Tdg:
+        return "tdg";
+      case Op::Rx:
+        return "rx";
+      case Op::Ry:
+        return "ry";
+      case Op::Swap:
+        return "swap";
+      case Op::CZ:
+        return "cz";
+      case Op::CP:
+        return "cp";
+      case Op::CCX:
+        return "ccx";
+      case Op::Barrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+int
+opArity(Op op)
+{
+    switch (op) {
+      case Op::CX:
+      case Op::Swap:
+      case Op::CZ:
+      case Op::CP:
+        return 2;
+      case Op::CCX:
+        return 3;
+      case Op::Barrier:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+bool
+opInBasis(Op op)
+{
+    switch (op) {
+      case Op::X:
+      case Op::SX:
+      case Op::RZ:
+      case Op::CX:
+      case Op::Measure:
+      case Op::Barrier:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Circuit::Circuit(std::size_t n_qubits, std::string name)
+    : nQubits_(n_qubits), name_(std::move(name))
+{
+    COMPAQT_REQUIRE(n_qubits > 0, "circuit needs at least one qubit");
+}
+
+void
+Circuit::add(Op op, std::vector<int> qubits, double param)
+{
+    const int arity = opArity(op);
+    if (arity > 0) {
+        COMPAQT_REQUIRE(static_cast<int>(qubits.size()) == arity,
+                        "wrong operand count for gate");
+    }
+    for (int q : qubits) {
+        COMPAQT_REQUIRE(q >= 0 && q < static_cast<int>(nQubits_),
+                        "gate operand out of range");
+    }
+    if (arity > 1) {
+        // Distinct operands required for multi-qubit gates.
+        auto sorted = qubits;
+        std::sort(sorted.begin(), sorted.end());
+        COMPAQT_REQUIRE(std::adjacent_find(sorted.begin(),
+                                           sorted.end()) == sorted.end(),
+                        "duplicate operand on multi-qubit gate");
+    }
+    gates_.push_back({op, std::move(qubits), param});
+}
+
+void
+Circuit::measureAll()
+{
+    barrier();
+    for (int q = 0; q < static_cast<int>(nQubits_); ++q)
+        measure(q);
+}
+
+std::size_t
+Circuit::count(Op op) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [&](const Gate &g) { return g.op == op; }));
+}
+
+} // namespace compaqt::circuits

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal quantum-circuit intermediate representation: enough to
+ * express the Table VI benchmarks and surface-code syndrome cycles,
+ * transpile them to the IBM basis {RZ, SX, X, CX}, and schedule them
+ * onto a controller.
+ */
+
+#ifndef COMPAQT_CIRCUITS_CIRCUIT_HH
+#define COMPAQT_CIRCUITS_CIRCUIT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace compaqt::circuits
+{
+
+/** Gate/operation opcodes. RZ is virtual (software) on IBM systems. */
+enum class Op
+{
+    // Physical basis
+    X,
+    SX,
+    RZ,
+    CX,
+    Measure,
+    // Non-basis ops lowered by the transpiler
+    H,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Rx,
+    Ry,
+    Swap,
+    CZ,
+    CP,  ///< controlled phase, param = angle
+    CCX, ///< Toffoli
+    Barrier,
+};
+
+/** Printable opcode name. */
+const char *opName(Op op);
+
+/** Number of qubit operands an opcode takes (Barrier: variadic). */
+int opArity(Op op);
+
+/** True for the physical IBM basis ops (plus Barrier/Measure). */
+bool opInBasis(Op op);
+
+/** One circuit operation. */
+struct Gate
+{
+    Op op = Op::X;
+    std::vector<int> qubits;
+    /** Rotation angle for RZ/Rx/Ry/CP. */
+    double param = 0.0;
+};
+
+/**
+ * An ordered list of gates over n qubits.
+ */
+class Circuit
+{
+  public:
+    explicit Circuit(std::size_t n_qubits, std::string name = "");
+
+    std::size_t numQubits() const { return nQubits_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+
+    /** Append a gate; validates qubit operands. */
+    void add(Op op, std::vector<int> qubits, double param = 0.0);
+
+    // Convenience builders.
+    void x(int q) { add(Op::X, {q}); }
+    void sx(int q) { add(Op::SX, {q}); }
+    void rz(int q, double a) { add(Op::RZ, {q}, a); }
+    void h(int q) { add(Op::H, {q}); }
+    void y(int q) { add(Op::Y, {q}); }
+    void z(int q) { add(Op::Z, {q}); }
+    void s(int q) { add(Op::S, {q}); }
+    void sdg(int q) { add(Op::Sdg, {q}); }
+    void t(int q) { add(Op::T, {q}); }
+    void tdg(int q) { add(Op::Tdg, {q}); }
+    void rx(int q, double a) { add(Op::Rx, {q}, a); }
+    void ry(int q, double a) { add(Op::Ry, {q}, a); }
+    void cx(int c, int t) { add(Op::CX, {c, t}); }
+    void cz(int a, int b) { add(Op::CZ, {a, b}); }
+    void cp(int a, int b, double ang) { add(Op::CP, {a, b}, ang); }
+    void swap(int a, int b) { add(Op::Swap, {a, b}); }
+    void ccx(int a, int b, int c) { add(Op::CCX, {a, b, c}); }
+    void measure(int q) { add(Op::Measure, {q}); }
+    void measureAll();
+    void barrier() { add(Op::Barrier, {}); }
+
+    /** Number of gates with the given opcode. */
+    std::size_t count(Op op) const;
+
+    /** Number of CX gates (the paper's complexity metric). */
+    std::size_t countCx() const { return count(Op::CX); }
+
+  private:
+    std::size_t nQubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace compaqt::circuits
+
+#endif // COMPAQT_CIRCUITS_CIRCUIT_HH

@@ -1,0 +1,124 @@
+#include "circuits/scheduler.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace compaqt::circuits
+{
+
+double
+Durations::forOp(Op op) const
+{
+    switch (op) {
+      case Op::Measure:
+        return tMeasure;
+      case Op::RZ:
+      case Op::Z:
+      case Op::S:
+      case Op::Sdg:
+      case Op::T:
+      case Op::Tdg:
+      case Op::Barrier:
+        // Virtual Z-family rotations (software frame updates).
+        return 0.0;
+      case Op::Swap:
+        return 3.0 * t2q; // three CX pulses back to back
+      case Op::CCX:
+        return 6.0 * t2q; // standard six-CX decomposition
+      default:
+        // Any other physical gate: one pulse of its arity's length.
+        return opArity(op) == 1 ? t1q : t2q;
+    }
+}
+
+Schedule
+schedule(const Circuit &c, const Durations &dur)
+{
+    Schedule s;
+    std::vector<double> ready(c.numQubits(), 0.0);
+
+    for (const Gate &g : c.gates()) {
+        if (g.op == Op::Barrier) {
+            const double t =
+                *std::max_element(ready.begin(), ready.end());
+            std::fill(ready.begin(), ready.end(), t);
+            continue;
+        }
+        const double d = dur.forOp(g.op);
+        if (d == 0.0)
+            continue; // virtual gate
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, ready[static_cast<std::size_t>(q)]);
+        for (int q : g.qubits)
+            ready[static_cast<std::size_t>(q)] = start + d;
+        s.events.push_back({g, start, d, g.qubits});
+        s.makespan = std::max(s.makespan, start + d);
+    }
+    return s;
+}
+
+namespace
+{
+
+/**
+ * Sweep event boundaries accumulating active channel/gate counts.
+ * Returns (peak channels, peak gates, busy channel-time integral).
+ */
+struct SweepResult
+{
+    int peakChannels = 0;
+    int peakGates = 0;
+    double channelTime = 0.0;
+};
+
+SweepResult
+sweep(const Schedule &s)
+{
+    // Delta counts at start/end boundaries.
+    std::map<double, std::pair<int, int>> deltas; // t -> (dchan, dgate)
+    SweepResult r;
+    for (const auto &e : s.events) {
+        const int ch = static_cast<int>(e.channels.size());
+        deltas[e.start].first += ch;
+        deltas[e.start].second += 1;
+        deltas[e.start + e.duration].first -= ch;
+        deltas[e.start + e.duration].second -= 1;
+        r.channelTime += ch * e.duration;
+    }
+    int chan = 0, gates = 0;
+    for (const auto &[t, d] : deltas) {
+        chan += d.first;
+        gates += d.second;
+        r.peakChannels = std::max(r.peakChannels, chan);
+        r.peakGates = std::max(r.peakGates, gates);
+    }
+    return r;
+}
+
+} // namespace
+
+ConcurrencyProfile
+concurrency(const Schedule &s)
+{
+    ConcurrencyProfile p;
+    if (s.events.empty())
+        return p;
+    const SweepResult r = sweep(s);
+    p.peakChannels = r.peakChannels;
+    p.peakGates = r.peakGates;
+    p.avgChannels = s.makespan > 0.0 ? r.channelTime / s.makespan : 0.0;
+    return p;
+}
+
+BandwidthProfile
+bandwidth(const Schedule &s, double bytes_per_channel_per_sec)
+{
+    const ConcurrencyProfile p = concurrency(s);
+    return {p.peakChannels * bytes_per_channel_per_sec,
+            p.avgChannels * bytes_per_channel_per_sec};
+}
+
+} // namespace compaqt::circuits

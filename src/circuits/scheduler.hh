@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ASAP pulse scheduling and the concurrency/bandwidth accounting
+ * behind Figs 5(c) and 17(a): how many drive channels a circuit keeps
+ * busy at once determines the waveform-memory bandwidth the
+ * controller must sustain.
+ */
+
+#ifndef COMPAQT_CIRCUITS_SCHEDULER_HH
+#define COMPAQT_CIRCUITS_SCHEDULER_HH
+
+#include <vector>
+
+#include "circuits/circuit.hh"
+
+namespace compaqt::circuits
+{
+
+/** Gate durations in seconds (Table I latencies). */
+struct Durations
+{
+    double t1q = 30e-9;
+    double t2q = 300e-9;
+    double tMeasure = 300e-9;
+
+    double forOp(Op op) const;
+};
+
+/** One scheduled pulse event. */
+struct ScheduledEvent
+{
+    Gate gate;
+    double start = 0.0;
+    double duration = 0.0;
+    /** Drive channels (qubits) the event occupies. */
+    std::vector<int> channels;
+};
+
+/** A fully scheduled circuit. */
+struct Schedule
+{
+    std::vector<ScheduledEvent> events;
+    double makespan = 0.0;
+};
+
+/**
+ * ASAP schedule: every gate starts as soon as all its operand qubits
+ * are free. RZ is virtual (zero duration); Barrier synchronizes all
+ * qubits.
+ */
+Schedule schedule(const Circuit &c, const Durations &dur);
+
+/** Channel-occupancy statistics of a schedule. */
+struct ConcurrencyProfile
+{
+    /** Maximum simultaneously driven channels. */
+    int peakChannels = 0;
+    /** Time-averaged driven channels over the makespan. */
+    double avgChannels = 0.0;
+    /** Maximum simultaneously executing gates. */
+    int peakGates = 0;
+};
+
+ConcurrencyProfile concurrency(const Schedule &s);
+
+/** Peak/average waveform-memory bandwidth demand in bytes/second. */
+struct BandwidthProfile
+{
+    double peak = 0.0;
+    double avg = 0.0;
+};
+
+/**
+ * @param bytes_per_channel_per_sec DAC consumption rate per channel
+ *        (sampling rate x sample size; Section III's BW = fs * s)
+ */
+BandwidthProfile bandwidth(const Schedule &s,
+                           double bytes_per_channel_per_sec);
+
+} // namespace compaqt::circuits
+
+#endif // COMPAQT_CIRCUITS_SCHEDULER_HH

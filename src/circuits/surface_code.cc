@@ -1,0 +1,239 @@
+#include "circuits/surface_code.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace compaqt::circuits
+{
+
+namespace
+{
+
+struct Coord
+{
+    int r = 0;
+    int c = 0;
+
+    auto operator<=>(const Coord &) const = default;
+};
+
+struct Patch
+{
+    std::map<Coord, int> dataIds;
+    /** (coord, isX, ordered data neighbors) per ancilla. */
+    struct Anc
+    {
+        Coord at;
+        bool isX = false;
+        std::vector<Coord> neighbors; // step-ordered; may hold gaps
+    };
+    std::vector<Anc> ancillas;
+};
+
+Patch
+buildRotated(int d)
+{
+    Patch p;
+    int next = 0;
+    for (int i = 0; i < d; ++i)
+        for (int j = 0; j < d; ++j)
+            p.dataIds[{2 * i + 1, 2 * j + 1}] = next++;
+
+    auto valid = [&](Coord q) { return p.dataIds.contains(q); };
+
+    for (int i = 0; i <= d; ++i) {
+        for (int j = 0; j <= d; ++j) {
+            const Coord at{2 * i, 2 * j};
+            const bool is_x = (i + j) % 2 == 1;
+            // Zig-zag orders avoid hook errors: X sweeps rows first,
+            // Z sweeps columns first.
+            const std::vector<Coord> order =
+                is_x ? std::vector<Coord>{{at.r - 1, at.c - 1},
+                                          {at.r - 1, at.c + 1},
+                                          {at.r + 1, at.c - 1},
+                                          {at.r + 1, at.c + 1}}
+                     : std::vector<Coord>{{at.r - 1, at.c - 1},
+                                          {at.r + 1, at.c - 1},
+                                          {at.r - 1, at.c + 1},
+                                          {at.r + 1, at.c + 1}};
+            int weight = 0;
+            for (const Coord &q : order)
+                weight += valid(q) ? 1 : 0;
+            bool include = false;
+            if (weight == 4) {
+                include = true;
+            } else if (weight == 2) {
+                // Boundary stabilizers: X on top/bottom, Z on sides.
+                if (is_x && (i == 0 || i == d))
+                    include = true;
+                if (!is_x && (j == 0 || j == d))
+                    include = true;
+            }
+            if (include)
+                p.ancillas.push_back({at, is_x, order});
+        }
+    }
+    return p;
+}
+
+Patch
+buildUnrotated(int d)
+{
+    Patch p;
+    const int span = 2 * d - 1;
+    int next = 0;
+    for (int r = 0; r < span; ++r)
+        for (int c = 0; c < span; ++c)
+            if ((r + c) % 2 == 0)
+                p.dataIds[{r, c}] = next++;
+
+    for (int r = 0; r < span; ++r) {
+        for (int c = 0; c < span; ++c) {
+            if ((r + c) % 2 != 1)
+                continue;
+            const bool is_x = r % 2 == 1;
+            const std::vector<Coord> order =
+                is_x ? std::vector<Coord>{{r - 1, c},
+                                          {r, c - 1},
+                                          {r, c + 1},
+                                          {r + 1, c}}
+                     : std::vector<Coord>{{r - 1, c},
+                                          {r, c + 1},
+                                          {r, c - 1},
+                                          {r + 1, c}};
+            p.ancillas.push_back({{r, c}, is_x, order});
+        }
+    }
+    return p;
+}
+
+} // namespace
+
+CouplingMap
+SurfaceCode::nativeCoupling() const
+{
+    std::vector<std::pair<int, int>> edges;
+    std::vector<int> ancillas = xAncillas;
+    ancillas.insert(ancillas.end(), zAncillas.begin(), zAncillas.end());
+    for (std::size_t a = 0; a < ancillas.size(); ++a)
+        for (int dq : supports[a])
+            edges.emplace_back(ancillas[a], dq);
+    return CouplingMap(totalQubits(), std::move(edges));
+}
+
+SurfaceCode
+makeSurfaceCode(int distance, SurfaceLayout layout, int rounds)
+{
+    COMPAQT_REQUIRE(distance >= 3 && distance % 2 == 1,
+                    "distance must be odd and >= 3");
+    COMPAQT_REQUIRE(rounds >= 1, "need at least one syndrome round");
+
+    const Patch p = layout == SurfaceLayout::Rotated
+                        ? buildRotated(distance)
+                        : buildUnrotated(distance);
+
+    SurfaceCode sc;
+    sc.distance = distance;
+    sc.layout = layout;
+
+    const int n_data = static_cast<int>(p.dataIds.size());
+    for (int q = 0; q < n_data; ++q)
+        sc.dataQubits.push_back(q);
+
+    // Assign ancilla ids: X first, then Z, preserving build order.
+    std::map<Coord, int> ancIds;
+    int next = n_data;
+    for (const auto &a : p.ancillas)
+        if (a.isX) {
+            ancIds[a.at] = next;
+            sc.xAncillas.push_back(next++);
+        }
+    for (const auto &a : p.ancillas)
+        if (!a.isX) {
+            ancIds[a.at] = next;
+            sc.zAncillas.push_back(next++);
+        }
+
+    // Supports, aligned with [xAncillas..., zAncillas...].
+    auto supportOf = [&](const Patch::Anc &a) {
+        std::vector<int> s;
+        for (const Coord &q : a.neighbors) {
+            auto it = p.dataIds.find(q);
+            if (it != p.dataIds.end())
+                s.push_back(it->second);
+        }
+        return s;
+    };
+    for (const auto &a : p.ancillas)
+        if (a.isX)
+            sc.supports.push_back(supportOf(a));
+    for (const auto &a : p.ancillas)
+        if (!a.isX)
+            sc.supports.push_back(supportOf(a));
+
+    // Syndrome-extraction circuit.
+    Circuit c(sc.totalQubits(),
+              "surface-" + std::to_string(sc.totalQubits()));
+    for (int round = 0; round < rounds; ++round) {
+        for (int q : sc.xAncillas)
+            c.h(q);
+        c.barrier();
+        // The four interaction steps are emitted without barriers:
+        // the pulse scheduler serializes conflicts through operand
+        // dependences (each ancilla's CXs chain on the ancilla, each
+        // data qubit is reused across steps), exactly like an ASAP
+        // pulse schedule of the standard zig-zag dance.
+        for (int step = 0; step < 4; ++step) {
+            for (const auto &a : p.ancillas) {
+                const Coord q = a.neighbors[static_cast<std::size_t>(
+                    step)];
+                auto it = p.dataIds.find(q);
+                if (it == p.dataIds.end())
+                    continue;
+                const int anc = ancIds.at(a.at);
+                if (a.isX)
+                    c.cx(anc, it->second);
+                else
+                    c.cx(it->second, anc);
+            }
+        }
+        c.barrier();
+        for (int q : sc.xAncillas)
+            c.h(q);
+        c.barrier();
+        for (int q : sc.xAncillas)
+            c.measure(q);
+        for (int q : sc.zAncillas)
+            c.measure(q);
+        c.barrier();
+    }
+    sc.circuit = std::move(c);
+    return sc;
+}
+
+SurfaceCode
+surface17()
+{
+    return makeSurfaceCode(3, SurfaceLayout::Rotated);
+}
+
+SurfaceCode
+surface25()
+{
+    return makeSurfaceCode(3, SurfaceLayout::Unrotated);
+}
+
+SurfaceCode
+surface49()
+{
+    return makeSurfaceCode(5, SurfaceLayout::Rotated);
+}
+
+SurfaceCode
+surface81()
+{
+    return makeSurfaceCode(5, SurfaceLayout::Unrotated);
+}
+
+} // namespace compaqt::circuits

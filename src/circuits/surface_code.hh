@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Surface-code syndrome-extraction circuits (Fowler et al.\ [20],
+ * Tomita-Svore [75]) for the scalability studies of Figs 5(c) and 17.
+ *
+ * Two layouts are supported:
+ *  - rotated: d^2 data + (d^2 - 1) ancillas (surface-17 at d=3,
+ *    surface-49 at d=5), plaquette stabilizers on diagonal neighbors;
+ *  - unrotated (Tomita-Svore): on a (2d-1)^2 grid, d^2 + (d-1)^2 data
+ *    and 2d(d-1) ancillas (surface-25 at d=3, surface-81 at d=5),
+ *    stabilizers on lattice neighbors.
+ *
+ * One syndrome round is: H on X-ancillas; four barrier-separated CX
+ * layers in the standard zig-zag order; H on X-ancillas; measure all
+ * ancillas. Surface codes keep nearly every qubit busy in the CX
+ * layers, which is exactly why they stress waveform-memory bandwidth.
+ */
+
+#ifndef COMPAQT_CIRCUITS_SURFACE_CODE_HH
+#define COMPAQT_CIRCUITS_SURFACE_CODE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "circuits/circuit.hh"
+#include "circuits/transpiler.hh"
+
+namespace compaqt::circuits
+{
+
+/** Layout flavor. */
+enum class SurfaceLayout
+{
+    Rotated,
+    Unrotated,
+};
+
+/** A constructed surface-code patch and its syndrome circuit. */
+struct SurfaceCode
+{
+    int distance = 3;
+    SurfaceLayout layout = SurfaceLayout::Rotated;
+    /** Data qubit ids (contiguous from 0). */
+    std::vector<int> dataQubits;
+    /** X-type ancilla ids. */
+    std::vector<int> xAncillas;
+    /** Z-type ancilla ids. */
+    std::vector<int> zAncillas;
+    /** stabilizer -> data-qubit supports, aligned with ancilla order
+     *  (X ancillas first, then Z). */
+    std::vector<std::vector<int>> supports;
+    /** Syndrome-extraction circuit (`rounds` repetitions). */
+    Circuit circuit{1};
+
+    std::size_t
+    totalQubits() const
+    {
+        return dataQubits.size() + xAncillas.size() + zAncillas.size();
+    }
+
+    /**
+     * Native coupling map of the patch: one edge per ancilla-data
+     * interaction, i.e.\ the device a QEC controller would drive.
+     */
+    CouplingMap nativeCoupling() const;
+};
+
+/**
+ * Build a distance-d patch and its syndrome circuit.
+ *
+ * @param distance odd code distance >= 3
+ * @param layout rotated (17/49 qubits) or unrotated (25/81)
+ * @param rounds number of syndrome rounds in the circuit
+ */
+SurfaceCode makeSurfaceCode(int distance, SurfaceLayout layout,
+                            int rounds = 1);
+
+/** Convenience: the paper's named patches by qubit count. */
+SurfaceCode surface17();
+SurfaceCode surface25();
+SurfaceCode surface49();
+SurfaceCode surface81();
+
+} // namespace compaqt::circuits
+
+#endif // COMPAQT_CIRCUITS_SURFACE_CODE_HH

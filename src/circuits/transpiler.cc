@@ -1,0 +1,277 @@
+#include "circuits/transpiler.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace compaqt::circuits
+{
+
+CouplingMap::CouplingMap(std::size_t n_qubits,
+                         std::vector<std::pair<int, int>> edges)
+    : nQubits_(n_qubits), edges_(std::move(edges)), adj_(n_qubits)
+{
+    for (const auto &[a, b] : edges_) {
+        COMPAQT_REQUIRE(a >= 0 && b >= 0 &&
+                            a < static_cast<int>(n_qubits) &&
+                            b < static_cast<int>(n_qubits) && a != b,
+                        "coupling edge out of range");
+        adj_[static_cast<std::size_t>(a)].push_back(b);
+        adj_[static_cast<std::size_t>(b)].push_back(a);
+    }
+}
+
+CouplingMap
+CouplingMap::allToAll(std::size_t n_qubits)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < static_cast<int>(n_qubits); ++a)
+        for (int b = a + 1; b < static_cast<int>(n_qubits); ++b)
+            edges.emplace_back(a, b);
+    return CouplingMap(n_qubits, std::move(edges));
+}
+
+bool
+CouplingMap::connected(int a, int b) const
+{
+    const auto &nbrs = adj_[static_cast<std::size_t>(a)];
+    return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+std::vector<int>
+CouplingMap::path(int a, int b) const
+{
+    std::vector<int> prev(nQubits_, -1);
+    std::queue<int> frontier;
+    frontier.push(a);
+    prev[static_cast<std::size_t>(a)] = a;
+    while (!frontier.empty()) {
+        const int u = frontier.front();
+        frontier.pop();
+        if (u == b)
+            break;
+        for (int v : adj_[static_cast<std::size_t>(u)]) {
+            if (prev[static_cast<std::size_t>(v)] == -1) {
+                prev[static_cast<std::size_t>(v)] = u;
+                frontier.push(v);
+            }
+        }
+    }
+    COMPAQT_REQUIRE(prev[static_cast<std::size_t>(b)] != -1,
+                    "coupling map is disconnected");
+    std::vector<int> path;
+    for (int u = b; u != a; u = prev[static_cast<std::size_t>(u)])
+        path.push_back(u);
+    path.push_back(a);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+namespace
+{
+
+/** Emit RZ(phi+pi) SX RZ(theta+pi) SX RZ(lambda), i.e. U3 up to a
+ *  global phase. Zero-angle RZs are elided. */
+void
+emitU3(Circuit &out, int q, double theta, double phi, double lambda)
+{
+    auto rz = [&](double a) {
+        if (std::abs(std::remainder(a, 2.0 * M_PI)) > 1e-12)
+            out.rz(q, std::remainder(a, 2.0 * M_PI));
+    };
+    rz(lambda);
+    out.sx(q);
+    rz(theta + M_PI);
+    out.sx(q);
+    rz(phi + M_PI);
+}
+
+void
+emitCcx(Circuit &out, int a, int b, int c)
+{
+    out.h(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(b);
+    out.t(c);
+    out.h(c);
+    out.cx(a, b);
+    out.t(a);
+    out.tdg(b);
+    out.cx(a, b);
+}
+
+void
+lowerGate(Circuit &out, const Gate &g)
+{
+    switch (g.op) {
+      case Op::X:
+      case Op::SX:
+      case Op::RZ:
+      case Op::CX:
+      case Op::Measure:
+      case Op::Barrier:
+        out.add(g.op, g.qubits, g.param);
+        return;
+      case Op::H:
+        out.rz(g.qubits[0], M_PI / 2.0);
+        out.sx(g.qubits[0]);
+        out.rz(g.qubits[0], M_PI / 2.0);
+        return;
+      case Op::Z:
+        out.rz(g.qubits[0], M_PI);
+        return;
+      case Op::S:
+        out.rz(g.qubits[0], M_PI / 2.0);
+        return;
+      case Op::Sdg:
+        out.rz(g.qubits[0], -M_PI / 2.0);
+        return;
+      case Op::T:
+        out.rz(g.qubits[0], M_PI / 4.0);
+        return;
+      case Op::Tdg:
+        out.rz(g.qubits[0], -M_PI / 4.0);
+        return;
+      case Op::Y:
+        out.rz(g.qubits[0], M_PI);
+        out.x(g.qubits[0]);
+        return;
+      case Op::Rx:
+        emitU3(out, g.qubits[0], g.param, -M_PI / 2.0, M_PI / 2.0);
+        return;
+      case Op::Ry:
+        emitU3(out, g.qubits[0], g.param, 0.0, 0.0);
+        return;
+      case Op::Swap:
+        out.cx(g.qubits[0], g.qubits[1]);
+        out.cx(g.qubits[1], g.qubits[0]);
+        out.cx(g.qubits[0], g.qubits[1]);
+        return;
+      case Op::CZ:
+        lowerGate(out, {Op::H, {g.qubits[1]}, 0.0});
+        out.cx(g.qubits[0], g.qubits[1]);
+        lowerGate(out, {Op::H, {g.qubits[1]}, 0.0});
+        return;
+      case Op::CP:
+        out.rz(g.qubits[0], g.param / 2.0);
+        out.rz(g.qubits[1], g.param / 2.0);
+        out.cx(g.qubits[0], g.qubits[1]);
+        out.rz(g.qubits[1], -g.param / 2.0);
+        out.cx(g.qubits[0], g.qubits[1]);
+        return;
+      case Op::CCX: {
+        Circuit tmp(out.numQubits());
+        emitCcx(tmp, g.qubits[0], g.qubits[1], g.qubits[2]);
+        for (const Gate &t : tmp.gates())
+            lowerGate(out, t);
+        return;
+      }
+    }
+    COMPAQT_PANIC("unhandled opcode in decompose");
+}
+
+} // namespace
+
+Circuit
+decompose(const Circuit &in)
+{
+    Circuit out(in.numQubits(), in.name());
+    for (const Gate &g : in.gates())
+        lowerGate(out, g);
+    return out;
+}
+
+Circuit
+route(const Circuit &in, const CouplingMap &map)
+{
+    COMPAQT_REQUIRE(map.numQubits() >= in.numQubits(),
+                    "device too small for circuit");
+    Circuit out(map.numQubits(), in.name());
+
+    // phys[l] = physical qubit currently holding logical l.
+    std::vector<int> phys(map.numQubits());
+    std::iota(phys.begin(), phys.end(), 0);
+
+    auto emitSwap = [&](int pa, int pb) {
+        out.cx(pa, pb);
+        out.cx(pb, pa);
+        out.cx(pa, pb);
+        // Update the layout: whichever logicals live at pa/pb swap.
+        for (int &p : phys) {
+            if (p == pa)
+                p = pb;
+            else if (p == pb)
+                p = pa;
+        }
+    };
+
+    for (const Gate &g : in.gates()) {
+        COMPAQT_REQUIRE(opInBasis(g.op), "route() requires basis ops");
+        if (g.op != Op::CX) {
+            std::vector<int> mapped;
+            mapped.reserve(g.qubits.size());
+            for (int q : g.qubits)
+                mapped.push_back(phys[static_cast<std::size_t>(q)]);
+            out.add(g.op, std::move(mapped), g.param);
+            continue;
+        }
+        int pc = phys[static_cast<std::size_t>(g.qubits[0])];
+        int pt = phys[static_cast<std::size_t>(g.qubits[1])];
+        if (!map.connected(pc, pt)) {
+            const auto p = map.path(pc, pt);
+            // Walk the control toward the target, stopping adjacent.
+            for (std::size_t s = 0; s + 2 < p.size(); ++s)
+                emitSwap(p[s], p[s + 1]);
+            pc = p[p.size() - 2];
+            pt = p.back();
+        }
+        out.cx(pc, pt);
+    }
+    return out;
+}
+
+Circuit
+transpile(const Circuit &in, const CouplingMap &map)
+{
+    return route(decompose(in), map);
+}
+
+Circuit
+compactToUsedQubits(const Circuit &in, std::vector<int> *old_of_new)
+{
+    std::vector<int> remap(in.numQubits(), -1);
+    int next = 0;
+    for (const Gate &g : in.gates())
+        for (int q : g.qubits)
+            if (remap[static_cast<std::size_t>(q)] < 0)
+                remap[static_cast<std::size_t>(q)] = next++;
+    if (old_of_new) {
+        old_of_new->assign(static_cast<std::size_t>(std::max(next, 1)),
+                           0);
+        for (std::size_t q = 0; q < remap.size(); ++q)
+            if (remap[q] >= 0)
+                (*old_of_new)[static_cast<std::size_t>(remap[q])] =
+                    static_cast<int>(q);
+    }
+    Circuit out(static_cast<std::size_t>(std::max(next, 1)),
+                in.name());
+    for (const Gate &g : in.gates()) {
+        std::vector<int> mapped;
+        mapped.reserve(g.qubits.size());
+        for (int q : g.qubits)
+            mapped.push_back(remap[static_cast<std::size_t>(q)]);
+        out.add(g.op, std::move(mapped), g.param);
+    }
+    return out;
+}
+
+} // namespace compaqt::circuits

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lowering to the IBM physical basis {RZ, SX, X, CX} plus coupling-map
+ * routing — the role Qiskit's transpiler plays in the paper's flow
+ * (Section VI, "Software System"). Optimization parity with Qiskit is
+ * not a goal; producing valid basis circuits with realistic CX
+ * inflation on sparse topologies is.
+ */
+
+#ifndef COMPAQT_CIRCUITS_TRANSPILER_HH
+#define COMPAQT_CIRCUITS_TRANSPILER_HH
+
+#include <utility>
+#include <vector>
+
+#include "circuits/circuit.hh"
+
+namespace compaqt::circuits
+{
+
+/** An undirected device coupling map. */
+class CouplingMap
+{
+  public:
+    CouplingMap(std::size_t n_qubits,
+                std::vector<std::pair<int, int>> edges);
+
+    /** Fully connected map (no routing needed). */
+    static CouplingMap allToAll(std::size_t n_qubits);
+
+    std::size_t numQubits() const { return nQubits_; }
+    bool connected(int a, int b) const;
+
+    /** BFS shortest path from a to b (inclusive of endpoints). */
+    std::vector<int> path(int a, int b) const;
+
+    const std::vector<std::pair<int, int>> &
+    edges() const
+    {
+        return edges_;
+    }
+
+  private:
+    std::size_t nQubits_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adj_;
+};
+
+/**
+ * Lower every gate to the physical basis. Single-qubit non-basis
+ * gates become ZSXZSXZ (RZ - SX - RZ - SX - RZ) sequences; Swap/CZ/
+ * CP/CCX become their standard CX decompositions.
+ */
+Circuit decompose(const Circuit &in);
+
+/**
+ * Route a basis circuit onto a coupling map: CX gates between
+ * uncoupled qubits get SWAP chains (3 CX each) inserted along BFS
+ * shortest paths, updating the logical-to-physical layout as it goes.
+ *
+ * @pre in contains only basis ops
+ */
+Circuit route(const Circuit &in, const CouplingMap &map);
+
+/** decompose() then route(). */
+Circuit transpile(const Circuit &in, const CouplingMap &map);
+
+/**
+ * Relabel the qubits a circuit actually touches to 0..k-1 (dropping
+ * idle wires). Simulation cost is exponential in wire count, so
+ * compacting a routed circuit before statevector simulation matters.
+ *
+ * @param old_of_new if non-null, receives the inverse mapping:
+ *        old_of_new[new_label] = original qubit (for remapping
+ *        per-qubit gate calibrations)
+ */
+Circuit compactToUsedQubits(const Circuit &in,
+                            std::vector<int> *old_of_new = nullptr);
+
+} // namespace compaqt::circuits
+
+#endif // COMPAQT_CIRCUITS_TRANSPILER_HH

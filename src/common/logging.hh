@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a COMPAQT bug); aborts.
+ * fatal()  — the caller/user supplied an impossible configuration; exits.
+ */
+
+#ifndef COMPAQT_COMMON_LOGGING_HH
+#define COMPAQT_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace compaqt
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+} // namespace compaqt
+
+/** Abort on a violated internal invariant. */
+#define COMPAQT_PANIC(msg) ::compaqt::panicImpl(__FILE__, __LINE__, msg)
+
+/** Exit on an invalid user-supplied configuration. */
+#define COMPAQT_FATAL(msg) ::compaqt::fatalImpl(__FILE__, __LINE__, msg)
+
+/** Cheap always-on invariant check (unlike NDEBUG-stripped assert). */
+#define COMPAQT_REQUIRE(cond, msg) \
+    do { if (!(cond)) COMPAQT_PANIC(msg); } while (0)
+
+#endif // COMPAQT_COMMON_LOGGING_HH

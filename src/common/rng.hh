@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic device calibrations and stochastic noise draws in the
+ * repository flow through Rng so that every test and bench is exactly
+ * reproducible run-to-run and machine-to-machine. The generator is
+ * xoshiro256**, seeded via splitmix64; string seeding (FNV-1a) lets a
+ * device model derive an independent stream from its machine name.
+ */
+
+#ifndef COMPAQT_COMMON_RNG_HH
+#define COMPAQT_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace compaqt
+{
+
+/**
+ * Deterministic xoshiro256** PRNG with convenience distributions.
+ *
+ * Not thread-safe; create one Rng per logical stream instead of sharing.
+ */
+class Rng
+{
+  public:
+    /** Seed from a 64-bit value (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Seed from a string (e.g.\ a machine name) plus a salt. */
+    explicit Rng(std::string_view name, std::uint64_t salt = 0);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (uses cached second value). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli draw: true with probability p. */
+    bool chance(double p);
+
+    /** Hash a string to a 64-bit seed (FNV-1a). */
+    static std::uint64_t hashName(std::string_view name);
+
+  private:
+    std::uint64_t state_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+} // namespace compaqt
+
+#endif // COMPAQT_COMMON_RNG_HH

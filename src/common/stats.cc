@@ -1,0 +1,185 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace compaqt
+{
+
+Summary
+summarize(std::span<const double> xs)
+{
+    Summary s;
+    if (xs.empty())
+        return s;
+    s.count = xs.size();
+    s.min = std::numeric_limits<double>::infinity();
+    s.max = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    for (double x : xs) {
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+        sum += x;
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    return s;
+}
+
+double
+mean(std::span<const double> xs)
+{
+    return summarize(xs).mean;
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return summarize(xs).stddev;
+}
+
+std::size_t
+Histogram::count(long v) const
+{
+    auto it = bins_.find(v);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+long
+Histogram::maxValue() const
+{
+    return bins_.empty() ? 0 : bins_.rbegin()->first;
+}
+
+LineFit
+fitLine(std::span<const double> xs, std::span<const double> ys)
+{
+    COMPAQT_REQUIRE(xs.size() == ys.size(), "fitLine size mismatch");
+    LineFit fit;
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return fit;
+
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        syy += (ys[i] - my) * (ys[i] - my);
+    }
+    if (sxx == 0.0)
+        return fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+namespace
+{
+
+/**
+ * Weighted least squares of y = slope*x + intercept. Weighting by
+ * (y_i - b)^2 counteracts the log transform's amplification of noise
+ * near the asymptote (delta-method variance of log(y - b)).
+ */
+struct WeightedFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double sse = 0.0; // weighted residual sum
+};
+
+WeightedFit
+fitLineWeighted(const std::vector<double> &xs,
+                const std::vector<double> &ys,
+                const std::vector<double> &ws)
+{
+    double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sw += ws[i];
+        swx += ws[i] * xs[i];
+        swy += ws[i] * ys[i];
+        swxx += ws[i] * xs[i] * xs[i];
+        swxy += ws[i] * xs[i] * ys[i];
+    }
+    WeightedFit f;
+    const double det = sw * swxx - swx * swx;
+    if (det == 0.0 || sw == 0.0)
+        return f;
+    f.slope = (sw * swxy - swx * swy) / det;
+    f.intercept = (swy - f.slope * swx) / sw;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double r = ys[i] - (f.slope * xs[i] + f.intercept);
+        f.sse += ws[i] * r * r;
+    }
+    return f;
+}
+
+} // namespace
+
+DecayFit
+fitDecay(std::span<const double> xs, std::span<const double> ys,
+         double b_hint)
+{
+    COMPAQT_REQUIRE(xs.size() == ys.size(), "fitDecay size mismatch");
+    COMPAQT_REQUIRE(xs.size() >= 3, "fitDecay needs >= 3 points");
+
+    // Scan asymptote candidates around the hint; for each, fit
+    // log(y - b) = log(a) + x log(alpha) with weights (y - b)^2 and
+    // keep the lowest weighted residual.
+    DecayFit best;
+    double bestSse = std::numeric_limits<double>::infinity();
+
+    // The asymptote is scanned only narrowly around the hint: for RB
+    // the hint (1/d) is physically exact up to SPAM, and a free
+    // asymptote trades off against alpha on partially decayed data.
+    const double y_min = *std::min_element(ys.begin(), ys.end());
+    std::vector<double> candidates;
+    for (int i = -12; i <= 12; ++i) {
+        const double b = b_hint + 0.0025 * i;
+        if (b < y_min - 1e-9)
+            candidates.push_back(b);
+    }
+    if (candidates.empty())
+        candidates.push_back(y_min - 1e-3);
+
+    std::vector<double> lx, ly, lw;
+    for (double b : candidates) {
+        lx.clear();
+        ly.clear();
+        lw.clear();
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double d = ys[i] - b;
+            if (d > 1e-12) {
+                lx.push_back(xs[i]);
+                ly.push_back(std::log(d));
+                lw.push_back(d * d);
+            }
+        }
+        if (lx.size() < 3)
+            continue;
+        const WeightedFit wf = fitLineWeighted(lx, ly, lw);
+        // The SSE landscape is nearly flat in b; a mild quadratic
+        // penalty keeps the asymptote near its physical value
+        // instead of drifting to a scan edge on noisy data.
+        const double drift = (b - b_hint) / 0.03;
+        const double sse = wf.sse * (1.0 + 0.1 * drift * drift);
+        if (sse < bestSse && wf.slope <= 0.0) {
+            bestSse = sse;
+            best.alpha = std::exp(wf.slope);
+            best.a = std::exp(wf.intercept);
+            best.b = b;
+        }
+    }
+    return best;
+}
+
+} // namespace compaqt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small statistics helpers shared by the codec, fidelity, and bench code:
+ * summary statistics, histograms, linear least squares, and an
+ * exponential-decay fit used by randomized benchmarking.
+ */
+
+#ifndef COMPAQT_COMMON_STATS_HH
+#define COMPAQT_COMMON_STATS_HH
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace compaqt
+{
+
+/** Summary statistics of a sample. */
+struct Summary
+{
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+/** Compute min/max/mean/stddev of a sample. Empty input yields zeros. */
+Summary summarize(std::span<const double> xs);
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(std::span<const double> xs);
+
+/** Population standard deviation; 0 for fewer than two points. */
+double stddev(std::span<const double> xs);
+
+/**
+ * Integer-keyed histogram (used for samples-per-window counts, Fig 11).
+ */
+class Histogram
+{
+  public:
+    /** Record one observation of value v. */
+    void add(long v) { ++bins_[v]; ++total_; }
+
+    /** Number of observations equal to v. */
+    std::size_t count(long v) const;
+
+    /** Total number of observations. */
+    std::size_t total() const { return total_; }
+
+    /** Largest observed value; 0 if empty. */
+    long maxValue() const;
+
+    /** All (value, count) pairs in increasing value order. */
+    const std::map<long, std::size_t> &bins() const { return bins_; }
+
+  private:
+    std::map<long, std::size_t> bins_;
+    std::size_t total_ = 0;
+};
+
+/** Result of a least-squares line fit y = slope*x + intercept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/** Ordinary least squares over (x, y) pairs. @pre xs.size() == ys.size() */
+LineFit fitLine(std::span<const double> xs, std::span<const double> ys);
+
+/** Result of a decay fit y = a * alpha^x + b. */
+struct DecayFit
+{
+    double a = 0.0;
+    double alpha = 0.0;
+    double b = 0.0;
+};
+
+/**
+ * Fit y = a * alpha^x + b, the randomized-benchmarking decay model.
+ *
+ * The asymptote b is scanned over a coarse grid and refined; for each
+ * candidate b, log(y - b) is fit linearly. Robust for the
+ * well-conditioned decays produced by RB.
+ *
+ * @param xs sequence lengths (must be positive and increasing)
+ * @param ys survival probabilities
+ * @param b_hint expected asymptote (e.g.\ 0.25 for two-qubit RB)
+ */
+DecayFit fitDecay(std::span<const double> xs, std::span<const double> ys,
+                  double b_hint);
+
+} // namespace compaqt
+
+#endif // COMPAQT_COMMON_STATS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal fixed-width table printer used by the bench binaries to emit
+ * the rows/series the paper reports. Columns auto-size to the widest
+ * cell; numeric cells are right-aligned.
+ */
+
+#ifndef COMPAQT_COMMON_TABLE_HH
+#define COMPAQT_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace compaqt
+{
+
+/**
+ * Accumulates rows of string cells and renders an aligned ASCII table.
+ */
+class Table
+{
+  public:
+    /** @param title printed above the table, followed by a rule. */
+    explicit Table(std::string title);
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double v, int precision = 2);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace compaqt
+
+#endif // COMPAQT_COMMON_TABLE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit constants and conversions used across the repository. Keeping
+ * them centralized avoids the usual GS/s-vs-GB/s slip-ups in the
+ * bandwidth arithmetic of Section III.
+ */
+
+#ifndef COMPAQT_COMMON_UNITS_HH
+#define COMPAQT_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace compaqt::units
+{
+
+constexpr double kilo = 1e3;
+constexpr double mega = 1e6;
+constexpr double giga = 1e9;
+
+constexpr double ns = 1e-9;
+constexpr double us = 1e-6;
+
+constexpr double kiB = 1024.0;
+constexpr double miB = 1024.0 * 1024.0;
+
+/** Bytes/second to GB/s (decimal, as the paper reports). */
+constexpr double
+toGBs(double bytes_per_sec)
+{
+    return bytes_per_sec / 1e9;
+}
+
+/** Bytes to MB (decimal, as the paper reports). */
+constexpr double
+toMB(double bytes)
+{
+    return bytes / 1e6;
+}
+
+/** Watts to milliwatts. */
+constexpr double
+toMW(double watts)
+{
+    return watts * 1e3;
+}
+
+} // namespace compaqt::units
+
+#endif // COMPAQT_COMMON_UNITS_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Adaptive compression for flat-top waveforms (Section V-D, Fig 13).
+ *
+ * Multi-qubit gates commonly use flat-top envelopes whose long
+ * constant middle can be represented by a single repeat codeword and
+ * decoded with the IDCT engine *bypassed*, saving both memory and
+ * IDCT power. The ramps are compressed normally with int-DCT-W.
+ *
+ * The constant period is treated as one segment (not divided into
+ * windows); segment boundaries are aligned to the window grid so the
+ * surrounding DCT windows stay well-formed.
+ */
+
+#ifndef COMPAQT_CORE_ADAPTIVE_HH
+#define COMPAQT_CORE_ADAPTIVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compressor.hh"
+
+namespace compaqt::core
+{
+
+/** One segment of an adaptively compressed channel. */
+struct AdaptiveSegment
+{
+    /** True: `count` copies of `value` (IDCT bypass). */
+    bool isFlat = false;
+    /** Repeated sample value (flat segments). */
+    double value = 0.0;
+    /** Number of repeated samples (flat segments). */
+    std::size_t count = 0;
+    /** DCT-compressed windows (non-flat segments). */
+    CompressedChannel windows;
+};
+
+/** An adaptively compressed channel: ramp / flat / ramp segments. */
+struct AdaptiveChannel
+{
+    std::size_t numSamples = 0;
+    std::size_t windowSize = 0;
+    std::vector<AdaptiveSegment> segments;
+
+    /** Memory words: DCT words plus one codeword per flat segment. */
+    std::size_t totalWords() const;
+
+    /** Samples reconstructed through the IDCT (ramp samples). */
+    std::size_t idctSamples() const;
+
+    /** Samples reconstructed via the bypass path (flat samples). */
+    std::size_t bypassSamples() const;
+};
+
+/** Both channels of an adaptively compressed waveform. */
+struct AdaptiveCompressed
+{
+    AdaptiveChannel i;
+    AdaptiveChannel q;
+
+    dsp::CompressionStats stats() const;
+    double ratio() const { return stats().ratio(); }
+};
+
+/**
+ * Adaptive compressor: detects the window-aligned flat run of each
+ * channel and encodes it as a repeat codeword; everything else goes
+ * through the regular int-DCT-W path.
+ */
+class AdaptiveCompressor
+{
+  public:
+    /**
+     * @param cfg regular codec configuration for the ramp segments
+     *        (must be an integer codec)
+     * @param min_flat_windows minimum window-aligned flat length, in
+     *        windows, worth a bypass segment
+     */
+    explicit AdaptiveCompressor(const CompressorConfig &cfg,
+                                std::size_t min_flat_windows = 2);
+
+    AdaptiveCompressed
+    compress(const waveform::IqWaveform &wf) const;
+
+    AdaptiveChannel
+    compressChannel(std::span<const double> x) const;
+
+    /** Reconstruct a channel (bypass segments emit the raw value). */
+    static std::vector<double>
+    decompressChannel(const AdaptiveChannel &ch);
+
+    /** Reconstruct both channels. */
+    static waveform::IqWaveform
+    decompress(const AdaptiveCompressed &ac);
+
+  private:
+    CompressorConfig cfg_;
+    std::size_t minFlatWindows_;
+};
+
+} // namespace compaqt::core
+
+#endif // COMPAQT_CORE_ADAPTIVE_HH

@@ -1,0 +1,233 @@
+#include "core/compressed_library.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace compaqt::core
+{
+
+namespace
+{
+
+constexpr std::uint32_t kMagic = 0x43505154; // "CPQT"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    COMPAQT_REQUIRE(static_cast<bool>(is),
+                    "truncated compressed library stream");
+    return v;
+}
+
+template <typename T>
+void
+writeVector(std::ostream &os, const std::vector<T> &v)
+{
+    writePod<std::uint64_t>(os, v.size());
+    if (!v.empty())
+        os.write(reinterpret_cast<const char *>(v.data()),
+                 static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVector(std::istream &is)
+{
+    const auto n = readPod<std::uint64_t>(is);
+    std::vector<T> v(n);
+    if (n > 0) {
+        is.read(reinterpret_cast<char *>(v.data()),
+                static_cast<std::streamsize>(n * sizeof(T)));
+        COMPAQT_REQUIRE(static_cast<bool>(is),
+                        "truncated compressed library stream");
+    }
+    return v;
+}
+
+void
+writeChannel(std::ostream &os, const CompressedChannel &ch)
+{
+    writePod<std::uint64_t>(os, ch.numSamples);
+    writePod<std::uint64_t>(os, ch.windowSize);
+    writePod<std::uint64_t>(os, ch.windows.size());
+    for (const auto &w : ch.windows) {
+        writeVector(os, w.fcoeffs);
+        writeVector(os, w.icoeffs);
+        writePod<std::uint32_t>(os, w.zeros);
+    }
+}
+
+CompressedChannel
+readChannel(std::istream &is)
+{
+    CompressedChannel ch;
+    ch.numSamples = readPod<std::uint64_t>(is);
+    ch.windowSize = readPod<std::uint64_t>(is);
+    const auto count = readPod<std::uint64_t>(is);
+    ch.windows.resize(count);
+    for (auto &w : ch.windows) {
+        w.fcoeffs = readVector<double>(is);
+        w.icoeffs = readVector<std::int32_t>(is);
+        w.zeros = readPod<std::uint32_t>(is);
+    }
+    return ch;
+}
+
+void
+writeDelta(std::ostream &os, const dsp::DeltaEncoded &d)
+{
+    writePod<std::uint16_t>(os, d.base);
+    writePod<std::int32_t>(os, d.deltaWidth);
+    writePod<std::uint64_t>(os, d.originalCount);
+    writePod<std::uint8_t>(os, d.hasZeroCrossing ? 1 : 0);
+    writeVector(os, d.deltas);
+}
+
+dsp::DeltaEncoded
+readDelta(std::istream &is)
+{
+    dsp::DeltaEncoded d;
+    d.base = readPod<std::uint16_t>(is);
+    d.deltaWidth = readPod<std::int32_t>(is);
+    d.originalCount = readPod<std::uint64_t>(is);
+    d.hasZeroCrossing = readPod<std::uint8_t>(is) != 0;
+    d.deltas = readVector<std::int32_t>(is);
+    return d;
+}
+
+} // namespace
+
+CompressedLibrary
+CompressedLibrary::build(const waveform::PulseLibrary &lib,
+                         const FidelityAwareConfig &cfg)
+{
+    CompressedLibrary out;
+    for (const auto &[id, wf] : lib.entries()) {
+        FidelityAwareResult r = compressFidelityAware(wf, cfg);
+        CompressedEntry e;
+        e.cw = std::move(r.compressed);
+        e.threshold = r.threshold;
+        e.mse = r.mse;
+        e.converged = r.converged;
+        out.entries_[id] = std::move(e);
+    }
+    return out;
+}
+
+bool
+CompressedLibrary::contains(const waveform::GateId &id) const
+{
+    return entries_.contains(id);
+}
+
+const CompressedEntry &
+CompressedLibrary::entry(const waveform::GateId &id) const
+{
+    auto it = entries_.find(id);
+    COMPAQT_REQUIRE(it != entries_.end(),
+                    "gate not in compressed library");
+    return it->second;
+}
+
+dsp::CompressionStats
+CompressedLibrary::totalStats() const
+{
+    dsp::CompressionStats s;
+    for (const auto &[id, e] : entries_)
+        s += e.cw.stats();
+    return s;
+}
+
+std::size_t
+CompressedLibrary::worstCaseWindowWords() const
+{
+    std::size_t worst = 0;
+    for (const auto &[id, e] : entries_)
+        worst = std::max(worst, e.cw.worstCaseWindowWords());
+    return worst;
+}
+
+std::vector<double>
+CompressedLibrary::ratios() const
+{
+    std::vector<double> out;
+    out.reserve(entries_.size());
+    for (const auto &[id, e] : entries_)
+        out.push_back(e.ratio());
+    return out;
+}
+
+void
+CompressedLibrary::insert(const waveform::GateId &id, CompressedEntry e)
+{
+    entries_[id] = std::move(e);
+}
+
+void
+CompressedLibrary::save(std::ostream &os) const
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+    writePod<std::uint64_t>(os, entries_.size());
+    for (const auto &[id, e] : entries_) {
+        writePod<std::uint8_t>(os, static_cast<std::uint8_t>(id.type));
+        writePod<std::int32_t>(os, id.q0);
+        writePod<std::int32_t>(os, id.q1);
+        writePod<double>(os, e.threshold);
+        writePod<double>(os, e.mse);
+        writePod<std::uint8_t>(os, e.converged ? 1 : 0);
+        writePod<std::uint8_t>(os,
+                               static_cast<std::uint8_t>(e.cw.codec));
+        writePod<std::uint64_t>(os, e.cw.windowSize);
+        writeChannel(os, e.cw.i);
+        writeChannel(os, e.cw.q);
+        writeDelta(os, e.cw.deltaI);
+        writeDelta(os, e.cw.deltaQ);
+    }
+}
+
+CompressedLibrary
+CompressedLibrary::load(std::istream &is)
+{
+    COMPAQT_REQUIRE(readPod<std::uint32_t>(is) == kMagic,
+                    "bad compressed library magic");
+    COMPAQT_REQUIRE(readPod<std::uint32_t>(is) == kVersion,
+                    "unsupported compressed library version");
+    CompressedLibrary out;
+    const auto count = readPod<std::uint64_t>(is);
+    for (std::uint64_t n = 0; n < count; ++n) {
+        waveform::GateId id;
+        id.type =
+            static_cast<waveform::GateType>(readPod<std::uint8_t>(is));
+        id.q0 = readPod<std::int32_t>(is);
+        id.q1 = readPod<std::int32_t>(is);
+        CompressedEntry e;
+        e.threshold = readPod<double>(is);
+        e.mse = readPod<double>(is);
+        e.converged = readPod<std::uint8_t>(is) != 0;
+        e.cw.codec = static_cast<Codec>(readPod<std::uint8_t>(is));
+        e.cw.windowSize = readPod<std::uint64_t>(is);
+        e.cw.i = readChannel(is);
+        e.cw.q = readChannel(is);
+        e.cw.deltaI = readDelta(is);
+        e.cw.deltaQ = readDelta(is);
+        out.entries_[id] = std::move(e);
+    }
+    return out;
+}
+
+} // namespace compaqt::core

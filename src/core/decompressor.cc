@@ -1,0 +1,100 @@
+#include "core/decompressor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dsp/dct.hh"
+#include "dsp/int_dct.hh"
+#include "dsp/metrics.hh"
+#include "dsp/windowed.hh"
+
+namespace compaqt::core
+{
+
+std::vector<std::int32_t>
+Decompressor::expandWindowInt(const CompressedWindow &w,
+                              std::size_t window_size)
+{
+    std::vector<std::int32_t> out(w.icoeffs.begin(), w.icoeffs.end());
+    out.resize(out.size() + w.zeros, 0);
+    COMPAQT_REQUIRE(out.size() == window_size,
+                    "expanded window has wrong size");
+    return out;
+}
+
+std::vector<double>
+Decompressor::expandWindowFloat(const CompressedWindow &w,
+                                std::size_t window_size)
+{
+    std::vector<double> out(w.fcoeffs.begin(), w.fcoeffs.end());
+    out.resize(out.size() + w.zeros, 0.0);
+    COMPAQT_REQUIRE(out.size() == window_size,
+                    "expanded window has wrong size");
+    return out;
+}
+
+std::vector<double>
+Decompressor::decompressChannel(const CompressedChannel &ch,
+                                Codec codec) const
+{
+    COMPAQT_REQUIRE(codec != Codec::Delta,
+                    "use deltaDecode for the Delta codec");
+    const std::size_t ws = ch.windowSize;
+
+    if (codecIsInteger(codec)) {
+        const dsp::IntDct xform(ws);
+        std::vector<double> out;
+        out.reserve(ch.windows.size() * ws);
+        std::vector<std::int32_t> xi(ws);
+        for (const auto &w : ch.windows) {
+            const auto yi = expandWindowInt(w, ws);
+            xform.inverse(yi, xi);
+            for (std::int32_t v : xi)
+                out.push_back(dsp::IntDct::dequantize(v));
+        }
+        out.resize(ch.numSamples);
+        return out;
+    }
+
+    dsp::DctPlan plan(ws);
+    std::vector<double> out;
+    out.reserve(ch.windows.size() * ws);
+    std::vector<double> x(ws);
+    for (const auto &w : ch.windows) {
+        const auto y = expandWindowFloat(w, ws);
+        plan.inverse(y, x);
+        out.insert(out.end(), x.begin(), x.end());
+    }
+    out.resize(ch.numSamples);
+    return out;
+}
+
+waveform::IqWaveform
+Decompressor::decompress(const CompressedWaveform &cw) const
+{
+    waveform::IqWaveform wf;
+    if (cw.codec == Codec::Delta) {
+        wf.i = dsp::deltaDecode(cw.deltaI);
+        wf.q = dsp::deltaDecode(cw.deltaQ);
+        return wf;
+    }
+    wf.i = decompressChannel(cw.i, cw.codec);
+    wf.q = decompressChannel(cw.q, cw.codec);
+    return wf;
+}
+
+waveform::IqWaveform
+roundTrip(const Compressor &comp, const waveform::IqWaveform &wf)
+{
+    Decompressor dec;
+    return dec.decompress(comp.compress(wf));
+}
+
+double
+roundTripMse(const Compressor &comp, const waveform::IqWaveform &wf)
+{
+    const auto rt = roundTrip(comp, wf);
+    return std::max(dsp::mse(wf.i, rt.i), dsp::mse(wf.q, rt.q));
+}
+
+} // namespace compaqt::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reference (software) decompression: the golden model the hardware
+ * decompression pipeline of Section V must match sample-for-sample.
+ * Also used at compile time by fidelity-aware compression to measure
+ * the distortion a candidate threshold would produce.
+ */
+
+#ifndef COMPAQT_CORE_DECOMPRESSOR_HH
+#define COMPAQT_CORE_DECOMPRESSOR_HH
+
+#include <vector>
+
+#include "core/compressor.hh"
+
+namespace compaqt::core
+{
+
+/**
+ * Software decoder for every codec the Compressor produces.
+ */
+class Decompressor
+{
+  public:
+    /** Reconstruct both channels of a compressed waveform. */
+    waveform::IqWaveform
+    decompress(const CompressedWaveform &cw) const;
+
+    /**
+     * Reconstruct one channel.
+     * @param codec the codec that produced the channel
+     */
+    std::vector<double> decompressChannel(const CompressedChannel &ch,
+                                          Codec codec) const;
+
+    /**
+     * Expand one compressed window back to windowSize transform
+     * coefficients (integer path), i.e.\ the RLE-decode stage.
+     */
+    static std::vector<std::int32_t>
+    expandWindowInt(const CompressedWindow &w, std::size_t window_size);
+
+    /** Float-path window expansion. */
+    static std::vector<double>
+    expandWindowFloat(const CompressedWindow &w,
+                      std::size_t window_size);
+};
+
+/**
+ * Convenience: compress-then-decompress round trip, returning the
+ * distorted waveform a qubit would actually receive.
+ */
+waveform::IqWaveform roundTrip(const Compressor &comp,
+                               const waveform::IqWaveform &wf);
+
+/** Worst (max) channel MSE between an original and its round trip. */
+double roundTripMse(const Compressor &comp,
+                    const waveform::IqWaveform &wf);
+
+} // namespace compaqt::core
+
+#endif // COMPAQT_CORE_DECOMPRESSOR_HH

@@ -1,0 +1,51 @@
+#include "core/fidelity_aware.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "dsp/metrics.hh"
+
+namespace compaqt::core
+{
+
+FidelityAwareResult
+compressFidelityAware(const waveform::IqWaveform &wf,
+                      const FidelityAwareConfig &cfg)
+{
+    COMPAQT_REQUIRE(cfg.targetMse > 0.0, "target MSE must be positive");
+    COMPAQT_REQUIRE(cfg.initialThreshold > cfg.minThreshold,
+                    "initial threshold below the floor");
+
+    FidelityAwareResult result;
+    Decompressor dec;
+    double threshold = cfg.initialThreshold;
+
+    while (true) {
+        CompressorConfig cc = cfg.base;
+        cc.threshold = threshold;
+        const Compressor comp(cc);
+        CompressedWaveform cw = comp.compress(wf);
+        const auto rt = dec.decompress(cw);
+        const double mse =
+            std::max(dsp::mse(wf.i, rt.i), dsp::mse(wf.q, rt.q));
+        ++result.iterations;
+
+        result.compressed = std::move(cw);
+        result.threshold = threshold;
+        result.mse = mse;
+
+        if (mse <= cfg.targetMse) {
+            result.converged = true;
+            return result;
+        }
+        threshold /= 2.0;
+        if (threshold < cfg.minThreshold) {
+            // Algorithm 1's "no solution found": return the floor
+            // compression so callers can still inspect it.
+            result.converged = false;
+            return result;
+        }
+    }
+}
+
+} // namespace compaqt::core

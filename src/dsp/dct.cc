@@ -1,0 +1,74 @@
+#include "dsp/dct.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::dsp
+{
+
+DctPlan::DctPlan(std::size_t n)
+    : n_(n), basis_(n * n)
+{
+    COMPAQT_REQUIRE(n > 0, "DctPlan requires n > 0");
+    const double nd = static_cast<double>(n);
+    const double c0 = std::sqrt(1.0 / nd);
+    const double ck = std::sqrt(2.0 / nd);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double scale = k == 0 ? c0 : ck;
+        for (std::size_t i = 0; i < n; ++i) {
+            basis_[k * n + i] =
+                scale * std::cos(M_PI * (2.0 * i + 1.0) * k / (2.0 * nd));
+        }
+    }
+}
+
+void
+DctPlan::forward(std::span<const double> x, std::span<double> y) const
+{
+    COMPAQT_REQUIRE(x.size() == n_ && y.size() == n_,
+                    "DctPlan::forward size mismatch");
+    for (std::size_t k = 0; k < n_; ++k) {
+        double acc = 0.0;
+        const double *row = &basis_[k * n_];
+        for (std::size_t i = 0; i < n_; ++i)
+            acc += row[i] * x[i];
+        y[k] = acc;
+    }
+}
+
+void
+DctPlan::inverse(std::span<const double> y, std::span<double> x) const
+{
+    COMPAQT_REQUIRE(x.size() == n_ && y.size() == n_,
+                    "DctPlan::inverse size mismatch");
+    // The basis is orthogonal, so the inverse is the transpose product.
+    for (std::size_t i = 0; i < n_; ++i)
+        x[i] = 0.0;
+    for (std::size_t k = 0; k < n_; ++k) {
+        const double *row = &basis_[k * n_];
+        const double yk = y[k];
+        for (std::size_t i = 0; i < n_; ++i)
+            x[i] += row[i] * yk;
+    }
+}
+
+std::vector<double>
+dct(std::span<const double> x)
+{
+    DctPlan plan(x.size());
+    std::vector<double> y(x.size());
+    plan.forward(x, y);
+    return y;
+}
+
+std::vector<double>
+idct(std::span<const double> y)
+{
+    DctPlan plan(y.size());
+    std::vector<double> x(y.size());
+    plan.inverse(y, x);
+    return x;
+}
+
+} // namespace compaqt::dsp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Floating-point Discrete Cosine Transform (orthonormal DCT-II) and its
+ * inverse (DCT-III), for arbitrary N. This is the reference transform
+ * the paper adapts from SciPy (norm='ortho') for the DCT-N and DCT-W
+ * compression variants (Equations 1 and 2).
+ *
+ * The implementation is a direct O(N^2) matrix product with a cached
+ * basis; waveforms are at most a few thousand samples, so this is fast
+ * enough for compile-time compression and for tests.
+ */
+
+#ifndef COMPAQT_DSP_DCT_HH
+#define COMPAQT_DSP_DCT_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace compaqt::dsp
+{
+
+/**
+ * Orthonormal N-point DCT-II of x.
+ *
+ * y[k] = c_k * sum_n x[n] cos(pi (2n+1) k / (2N)),
+ * with c_0 = sqrt(1/N) and c_k = sqrt(2/N) otherwise, so that the
+ * transform matrix is orthogonal and dct followed by idct is identity.
+ *
+ * @param x input signal (N = x.size())
+ * @return transform coefficients, size N
+ */
+std::vector<double> dct(std::span<const double> x);
+
+/** Orthonormal N-point inverse (DCT-III). Exact inverse of dct(). */
+std::vector<double> idct(std::span<const double> y);
+
+/**
+ * Cached cosine basis for a fixed N, used on hot paths (windowed
+ * transforms apply the same small basis thousands of times).
+ */
+class DctPlan
+{
+  public:
+    /** Build the orthonormal basis for n-point transforms. @pre n > 0 */
+    explicit DctPlan(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /** Forward transform. @pre x.size() == size() == y.size() */
+    void forward(std::span<const double> x, std::span<double> y) const;
+
+    /** Inverse transform. @pre y.size() == size() == x.size() */
+    void inverse(std::span<const double> y, std::span<double> x) const;
+
+  private:
+    std::size_t n_;
+    /** basis_[k * n_ + n] = c_k cos(pi (2n+1) k / (2N)). */
+    std::vector<double> basis_;
+};
+
+} // namespace compaqt::dsp
+
+#endif // COMPAQT_DSP_DCT_HH

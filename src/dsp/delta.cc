@@ -1,0 +1,118 @@
+#include "dsp/delta.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::dsp
+{
+
+namespace
+{
+
+/** Quantize to 15-bit magnitude + sign bit (sign-magnitude pattern). */
+std::uint16_t
+toSignMagnitude(double x)
+{
+    const double mag = std::min(std::abs(x), 1.0);
+    const auto m =
+        static_cast<std::uint16_t>(std::lround(mag * 32767.0));
+    return x < 0.0 ? static_cast<std::uint16_t>(m | 0x8000u) : m;
+}
+
+double
+fromSignMagnitude(std::uint16_t p)
+{
+    const double mag = static_cast<double>(p & 0x7fffu) / 32767.0;
+    return (p & 0x8000u) ? -mag : mag;
+}
+
+int
+bitsForSigned(std::int32_t v)
+{
+    // Two's-complement width: smallest w with -2^(w-1) <= v < 2^(w-1).
+    int w = 1;
+    while (v < -(std::int32_t{1} << (w - 1)) ||
+           v >= (std::int32_t{1} << (w - 1)))
+        ++w;
+    return w;
+}
+
+} // namespace
+
+DeltaEncoded
+deltaEncode(std::span<const double> x)
+{
+    DeltaEncoded enc;
+    enc.originalCount = x.size();
+    if (x.empty())
+        return enc;
+
+    enc.base = toSignMagnitude(x[0]);
+    enc.deltas.reserve(x.size() - 1);
+    std::uint16_t prev = enc.base;
+    bool prev_neg = x[0] < 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        const std::uint16_t cur = toSignMagnitude(x[i]);
+        enc.deltas.push_back(static_cast<std::int32_t>(cur) -
+                             static_cast<std::int32_t>(prev));
+        const bool neg = x[i] < 0.0;
+        // A crossing is a genuine sign flip between nonzero samples.
+        if (neg != prev_neg && (cur & 0x7fffu) != 0 &&
+            (prev & 0x7fffu) != 0)
+            enc.hasZeroCrossing = true;
+        if ((cur & 0x7fffu) != 0)
+            prev_neg = neg;
+        prev = cur;
+    }
+
+    int width = 1;
+    for (std::int32_t d : enc.deltas)
+        width = std::max(width, bitsForSigned(d));
+    enc.deltaWidth = width;
+    return enc;
+}
+
+std::vector<double>
+deltaDecode(const DeltaEncoded &enc)
+{
+    std::vector<double> out;
+    out.reserve(enc.originalCount);
+    if (enc.originalCount == 0)
+        return out;
+    std::int32_t pattern = enc.base;
+    out.push_back(fromSignMagnitude(static_cast<std::uint16_t>(pattern)));
+    for (std::int32_t d : enc.deltas) {
+        pattern += d;
+        COMPAQT_REQUIRE(pattern >= 0 && pattern <= 0xffff,
+                        "delta decode pattern out of range");
+        out.push_back(
+            fromSignMagnitude(static_cast<std::uint16_t>(pattern)));
+    }
+    return out;
+}
+
+std::size_t
+deltaCompressedBits(const DeltaEncoded &enc)
+{
+    if (enc.originalCount == 0)
+        return 0;
+    // Base sample + 5-bit delta-width field + fixed-width deltas.
+    return kDeltaSampleBits + 5 +
+           enc.deltas.size() * static_cast<std::size_t>(enc.deltaWidth);
+}
+
+double
+deltaRatio(const DeltaEncoded &enc)
+{
+    if (enc.originalCount == 0)
+        return 1.0;
+    const double original =
+        static_cast<double>(enc.originalCount) * kDeltaSampleBits;
+    const double compressed =
+        static_cast<double>(deltaCompressedBits(enc));
+    return original / compressed;
+}
+
+} // namespace compaqt::dsp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Base-delta compression baseline (Section IV-B).
+ *
+ * The paper evaluates delta compression as the conventional-memory-
+ * compression strawman: samples are stored sign-magnitude (as DAC
+ * sample words are), and each waveform is encoded as a base sample
+ * plus fixed-width deltas over the sign-magnitude bit patterns. Smooth
+ * same-sign waveforms need roughly half-width deltas (R ~ 2); a zero
+ * crossing flips the sign bit, producing a delta that occupies the
+ * full bit-field, so such waveforms see no compression (R ~ 1) — the
+ * behaviour shown in Fig 7(a).
+ */
+
+#ifndef COMPAQT_DSP_DELTA_HH
+#define COMPAQT_DSP_DELTA_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace compaqt::dsp
+{
+
+/** Bits per stored sample in the uncompressed layout (one channel). */
+constexpr int kDeltaSampleBits = 16;
+
+/** Lossless delta encoding of a quantized waveform channel. */
+struct DeltaEncoded
+{
+    /** First sample, sign-magnitude bit pattern. */
+    std::uint16_t base = 0;
+    /** Signed differences of consecutive sign-magnitude patterns. */
+    std::vector<std::int32_t> deltas;
+    /** Bits required to store any delta (two's complement). */
+    int deltaWidth = 0;
+    /** Number of samples in the original waveform. */
+    std::size_t originalCount = 0;
+    /** True if the waveform changes sign anywhere. */
+    bool hasZeroCrossing = false;
+};
+
+/** Encode a normalized waveform ([-1, 1] doubles) channel. */
+DeltaEncoded deltaEncode(std::span<const double> x);
+
+/** Exact inverse of deltaEncode at the quantized resolution. */
+std::vector<double> deltaDecode(const DeltaEncoded &enc);
+
+/** Size of the encoding in bits (base + width field + deltas). */
+std::size_t deltaCompressedBits(const DeltaEncoded &enc);
+
+/** Compression ratio vs the uncompressed 16-bit layout. */
+double deltaRatio(const DeltaEncoded &enc);
+
+} // namespace compaqt::dsp
+
+#endif // COMPAQT_DSP_DELTA_HH

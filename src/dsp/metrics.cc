@@ -1,0 +1,42 @@
+#include "dsp/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::dsp
+{
+
+double
+mse(std::span<const double> a, std::span<const double> b)
+{
+    COMPAQT_REQUIRE(a.size() == b.size(), "mse size mismatch");
+    if (a.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc / static_cast<double>(a.size());
+}
+
+double
+maxAbsError(std::span<const double> a, std::span<const double> b)
+{
+    COMPAQT_REQUIRE(a.size() == b.size(), "maxAbsError size mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+double
+energy(std::span<const double> x)
+{
+    double acc = 0.0;
+    for (double v : x)
+        acc += v * v;
+    return acc;
+}
+
+} // namespace compaqt::dsp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Distortion and size metrics shared by the codecs: mean squared
+ * error (the fidelity proxy of Algorithm 1), peak error, energy, and
+ * the old-size/new-size compression-ratio accounting of Section IV-D.
+ */
+
+#ifndef COMPAQT_DSP_METRICS_HH
+#define COMPAQT_DSP_METRICS_HH
+
+#include <cstddef>
+#include <span>
+
+namespace compaqt::dsp
+{
+
+/** Mean squared error between two equal-length signals. */
+double mse(std::span<const double> a, std::span<const double> b);
+
+/** Maximum absolute difference between two equal-length signals. */
+double maxAbsError(std::span<const double> a, std::span<const double> b);
+
+/** Sum of squared samples. */
+double energy(std::span<const double> x);
+
+/** Size and ratio bookkeeping for one compressed waveform channel. */
+struct CompressionStats
+{
+    /** Samples in the original waveform (one channel). */
+    std::size_t originalSamples = 0;
+    /** Memory words (samples + RLE codewords) after compression. */
+    std::size_t compressedWords = 0;
+
+    /** R = old size / new size, the paper's metric. */
+    double
+    ratio() const
+    {
+        if (compressedWords == 0)
+            return 1.0;
+        return static_cast<double>(originalSamples) /
+               static_cast<double>(compressedWords);
+    }
+
+    CompressionStats &
+    operator+=(const CompressionStats &o)
+    {
+        originalSamples += o.originalSamples;
+        compressedWords += o.compressedWords;
+        return *this;
+    }
+};
+
+} // namespace compaqt::dsp
+
+#endif // COMPAQT_DSP_METRICS_HH

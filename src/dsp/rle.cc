@@ -1,0 +1,19 @@
+#include "dsp/rle.hh"
+
+// The RLE codec is a header-only template (dsp/rle.hh); this
+// translation unit pins the two instantiations used across the
+// repository so their code is emitted once.
+
+namespace compaqt::dsp
+{
+
+template std::vector<RleWord<std::int32_t>>
+rleEncode(std::span<const std::int32_t>);
+template std::vector<RleWord<double>> rleEncode(std::span<const double>);
+
+template std::vector<std::int32_t>
+rleDecode(std::span<const RleWord<std::int32_t>>, std::size_t);
+template std::vector<double> rleDecode(std::span<const RleWord<double>>,
+                                       std::size_t);
+
+} // namespace compaqt::dsp

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trailing-zero run-length encoding of transformed windows.
+ *
+ * Per Section IV-C, after the DCT and thresholding, "RLE is started only
+ * when the transformed waveform after thresholding is consistently
+ * zero": a compressed window is the verbatim prefix of coefficients
+ * followed by a single codeword {signature, zero count} covering the
+ * trailing run of zeros. The codeword occupies one memory word, so the
+ * samples-per-window statistic of Fig 11 is prefix length + 1.
+ *
+ * If a window has no trailing zeros the codeword is omitted (the window
+ * is stored verbatim and occupies exactly WS words); the decoder knows
+ * the window size, so the stream stays self-delimiting.
+ */
+
+#ifndef COMPAQT_DSP_RLE_HH
+#define COMPAQT_DSP_RLE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace compaqt::dsp
+{
+
+/**
+ * One word of a compressed stream: either a verbatim transform sample
+ * or an RLE codeword encoding `count` zeros. In hardware the signature
+ * is a tag bit alongside the data; here it is an explicit flag.
+ */
+template <typename T>
+struct RleWord
+{
+    bool isRle = false;
+    /** Sample value when !isRle. */
+    T value{};
+    /** Encoded zero count when isRle. */
+    std::uint32_t count = 0;
+
+    static RleWord sample(T v) { return {false, v, 0}; }
+    static RleWord codeword(std::uint32_t n) { return {true, T{}, n}; }
+
+    bool operator==(const RleWord &) const = default;
+};
+
+/**
+ * Encode one window. Zeros inside the prefix (before the last nonzero
+ * sample) are stored verbatim; only the trailing run is folded into a
+ * codeword, and only if it is non-empty.
+ */
+template <typename T>
+std::vector<RleWord<T>>
+rleEncode(std::span<const T> window)
+{
+    std::size_t last_nonzero = window.size();
+    while (last_nonzero > 0 && window[last_nonzero - 1] == T{})
+        --last_nonzero;
+
+    std::vector<RleWord<T>> out;
+    out.reserve(last_nonzero + 1);
+    for (std::size_t i = 0; i < last_nonzero; ++i)
+        out.push_back(RleWord<T>::sample(window[i]));
+    const std::size_t run = window.size() - last_nonzero;
+    if (run > 0) {
+        out.push_back(
+            RleWord<T>::codeword(static_cast<std::uint32_t>(run)));
+    }
+    return out;
+}
+
+/**
+ * Decode one window back to exactly `window_size` samples.
+ *
+ * @pre the stream is a valid encoding of a window of that size.
+ */
+template <typename T>
+std::vector<T>
+rleDecode(std::span<const RleWord<T>> words, std::size_t window_size)
+{
+    std::vector<T> out;
+    out.reserve(window_size);
+    for (const auto &w : words) {
+        if (w.isRle) {
+            for (std::uint32_t i = 0; i < w.count; ++i)
+                out.push_back(T{});
+        } else {
+            out.push_back(w.value);
+        }
+    }
+    COMPAQT_REQUIRE(out.size() == window_size,
+                    "rleDecode produced wrong sample count");
+    return out;
+}
+
+} // namespace compaqt::dsp
+
+#endif // COMPAQT_DSP_RLE_HH

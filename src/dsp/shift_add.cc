@@ -1,0 +1,74 @@
+#include "dsp/shift_add.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace compaqt::dsp
+{
+
+std::vector<CsdDigit>
+csd(std::int64_t c)
+{
+    std::vector<CsdDigit> digits;
+    const int sign = c < 0 ? -1 : 1;
+    std::uint64_t u = static_cast<std::uint64_t>(std::llabs(c));
+
+    // Non-adjacent form: repeatedly peel the lowest digit. If the two
+    // low bits are 11, emit -1 and carry; otherwise emit the low bit.
+    int shift = 0;
+    while (u != 0) {
+        if (u & 1) {
+            // u mod 4 == 3 -> digit -1 (and carry), else digit +1.
+            const int d = (u & 3) == 3 ? -1 : 1;
+            digits.push_back({shift, d * sign});
+            u -= static_cast<std::uint64_t>(d);
+        }
+        u >>= 1;
+        ++shift;
+    }
+    return digits;
+}
+
+int
+csdDigits(std::int64_t c)
+{
+    return static_cast<int>(csd(c).size());
+}
+
+void
+OpCounter::addConstantMultiply(int input_id, std::int64_t c)
+{
+    const auto digits = csd(c);
+    if (digits.empty())
+        return;
+    adders_ += static_cast<int>(digits.size()) - 1;
+    for (const auto &d : digits) {
+        if (d.shift == 0)
+            continue;
+        if (taps_.insert({input_id, d.shift}).second)
+            ++shifters_;
+    }
+}
+
+void
+OpCounter::reset()
+{
+    multipliers_ = 0;
+    adders_ = 0;
+    shifters_ = 0;
+    taps_.clear();
+}
+
+std::int64_t
+multiplyShiftAdd(std::int64_t c, std::int64_t x)
+{
+    std::int64_t acc = 0;
+    for (const auto &d : csd(c)) {
+        const std::int64_t term = x << d.shift;
+        acc += d.sign > 0 ? term : -term;
+    }
+    return acc;
+}
+
+} // namespace compaqt::dsp

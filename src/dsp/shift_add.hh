@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multiplierless constant multiplication via canonical-signed-digit
+ * (CSD) decomposition, plus operation accounting.
+ *
+ * The int-DCT-W decompression engine replaces every constant multiplier
+ * with shift-and-add networks (Section V-B, citing [68][76]). This
+ * module provides both the functional model (multiplyShiftAdd computes
+ * exactly c*x using only shifts and adds) and the hardware-cost model:
+ * each CSD digit beyond the first costs one adder, and each distinct
+ * nonzero shift amount applied to a given input costs one shifter
+ * (barrel taps are shared across constants fed by the same input).
+ */
+
+#ifndef COMPAQT_DSP_SHIFT_ADD_HH
+#define COMPAQT_DSP_SHIFT_ADD_HH
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace compaqt::dsp
+{
+
+/** One signed digit of a CSD expansion: value = sign * 2^shift. */
+struct CsdDigit
+{
+    int shift = 0;
+    int sign = 1;
+
+    bool operator==(const CsdDigit &) const = default;
+};
+
+/**
+ * Canonical signed-digit expansion of a constant (non-adjacent form).
+ *
+ * The result has no two adjacent nonzero digits and is the minimal
+ * signed-power-of-two representation. csd(0) is empty.
+ */
+std::vector<CsdDigit> csd(std::int64_t c);
+
+/** Number of nonzero digits in the CSD form of c. */
+int csdDigits(std::int64_t c);
+
+/**
+ * Tallies the operations a dataflow graph would instantiate in
+ * hardware. Used to regenerate Table IV.
+ */
+class OpCounter
+{
+  public:
+    /** Record a true (fixed/floating) multiplier. */
+    void addMultiplier() { ++multipliers_; }
+
+    /** Record one two-input adder/subtractor. */
+    void addAdder(int n = 1) { adders_ += n; }
+
+    /**
+     * Record the shift-add network for constant c applied to the
+     * input identified by input_id. Adders: one per CSD digit beyond
+     * the first. Shifters: one per shift amount not yet used by this
+     * input (taps are shared).
+     */
+    void addConstantMultiply(int input_id, std::int64_t c);
+
+    /** Begin a fresh engine tally (clears everything). */
+    void reset();
+
+    int multipliers() const { return multipliers_; }
+    int adders() const { return adders_; }
+    int shifters() const { return shifters_; }
+
+  private:
+    int multipliers_ = 0;
+    int adders_ = 0;
+    int shifters_ = 0;
+    /** (input id, shift amount) pairs already provisioned. */
+    std::set<std::pair<int, int>> taps_;
+};
+
+/**
+ * Compute c * x using only the CSD shifts and adds (functional model of
+ * the multiplierless datapath). Bit-exact with plain multiplication.
+ */
+std::int64_t multiplyShiftAdd(std::int64_t c, std::int64_t x);
+
+} // namespace compaqt::dsp
+
+#endif // COMPAQT_DSP_SHIFT_ADD_HH

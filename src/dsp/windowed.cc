@@ -1,0 +1,76 @@
+#include "dsp/windowed.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace compaqt::dsp
+{
+
+std::size_t
+numWindows(std::size_t n, std::size_t ws)
+{
+    COMPAQT_REQUIRE(ws > 0, "window size must be positive");
+    return (n + ws - 1) / ws;
+}
+
+std::vector<std::vector<double>>
+splitWindows(std::span<const double> x, std::size_t ws)
+{
+    const std::size_t count = numWindows(x.size(), ws);
+    std::vector<std::vector<double>> windows(count);
+    for (std::size_t w = 0; w < count; ++w) {
+        windows[w].assign(ws, 0.0);
+        const std::size_t base = w * ws;
+        const std::size_t len = std::min(ws, x.size() - base);
+        std::copy_n(x.begin() + static_cast<std::ptrdiff_t>(base), len,
+                    windows[w].begin());
+    }
+    return windows;
+}
+
+std::vector<double>
+joinWindows(const std::vector<std::vector<double>> &windows, std::size_t n)
+{
+    std::vector<double> out;
+    out.reserve(n);
+    for (const auto &w : windows)
+        out.insert(out.end(), w.begin(), w.end());
+    COMPAQT_REQUIRE(out.size() >= n, "joinWindows: too few windows");
+    out.resize(n);
+    return out;
+}
+
+WindowedDct::WindowedDct(std::size_t ws)
+    : ws_(ws), plan_(ws)
+{
+}
+
+std::vector<std::vector<double>>
+WindowedDct::forward(std::span<const double> x) const
+{
+    auto windows = splitWindows(x, ws_);
+    std::vector<double> y(ws_);
+    for (auto &w : windows) {
+        plan_.forward(w, y);
+        w = y;
+    }
+    return windows;
+}
+
+std::vector<double>
+WindowedDct::inverse(const std::vector<std::vector<double>> &coeffs,
+                     std::size_t n) const
+{
+    std::vector<std::vector<double>> windows(coeffs.size());
+    std::vector<double> x(ws_);
+    for (std::size_t w = 0; w < coeffs.size(); ++w) {
+        COMPAQT_REQUIRE(coeffs[w].size() == ws_,
+                        "WindowedDct::inverse window size mismatch");
+        plan_.inverse(coeffs[w], x);
+        windows[w] = x;
+    }
+    return joinWindows(windows, n);
+}
+
+} // namespace compaqt::dsp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Windowed transforms: splitting a waveform into fixed-size windows
+ * (zero-padded at the tail), transforming each window independently,
+ * and reassembling. This is the DCT-W organization of Section IV-C;
+ * windowing bounds the hardware IDCT size at the cost of some
+ * compressibility and window-boundary distortion.
+ */
+
+#ifndef COMPAQT_DSP_WINDOWED_HH
+#define COMPAQT_DSP_WINDOWED_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/dct.hh"
+
+namespace compaqt::dsp
+{
+
+/** Number of ws-sized windows covering n samples (ceiling). */
+std::size_t numWindows(std::size_t n, std::size_t ws);
+
+/**
+ * Split x into ws-sized windows; the last window is zero-padded.
+ */
+std::vector<std::vector<double>> splitWindows(std::span<const double> x,
+                                              std::size_t ws);
+
+/**
+ * Concatenate windows and truncate to n samples (inverse of
+ * splitWindows for a signal of original length n).
+ */
+std::vector<double>
+joinWindows(const std::vector<std::vector<double>> &windows,
+            std::size_t n);
+
+/**
+ * Floating-point windowed DCT/IDCT with a cached ws-point plan.
+ */
+class WindowedDct
+{
+  public:
+    /** @param ws window size (any positive size; 8/16/32 typical). */
+    explicit WindowedDct(std::size_t ws);
+
+    std::size_t windowSize() const { return ws_; }
+
+    /** Per-window forward transform of the whole signal. */
+    std::vector<std::vector<double>>
+    forward(std::span<const double> x) const;
+
+    /**
+     * Inverse of forward(): reconstruct n samples from per-window
+     * coefficients.
+     */
+    std::vector<double>
+    inverse(const std::vector<std::vector<double>> &coeffs,
+            std::size_t n) const;
+
+  private:
+    std::size_t ws_;
+    DctPlan plan_;
+};
+
+} // namespace compaqt::dsp
+
+#endif // COMPAQT_DSP_WINDOWED_HH

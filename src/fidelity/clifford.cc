@@ -1,0 +1,215 @@
+#include "fidelity/clifford.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace compaqt::fidelity
+{
+
+namespace
+{
+
+constexpr double kMagEps = 0.05;
+// Entries of Clifford unitaries are separated by >= ~0.15 in each
+// component; a 1e-3 grid after phase canonicalization is safe against
+// the ~1e-12 numerical noise of BFS products.
+constexpr double kGrid = 1e3;
+
+template <typename Mat>
+Mat
+canonImpl(const Mat &u, int dim)
+{
+    // Find the first entry with significant magnitude and rotate the
+    // global phase so it becomes real positive.
+    for (int idx = 0; idx < dim * dim; ++idx) {
+        const Cplx v = u.m[static_cast<std::size_t>(idx)];
+        if (std::abs(v) > kMagEps) {
+            const Cplx phase = v / std::abs(v);
+            Mat r = u;
+            for (auto &e : r.m)
+                e /= phase;
+            return r;
+        }
+    }
+    COMPAQT_PANIC("canonicalize on a near-zero matrix");
+}
+
+template <typename Mat>
+std::size_t
+hashImpl(const Mat &u)
+{
+    std::size_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](long v) {
+        h ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+             (h << 6) + (h >> 2);
+    };
+    for (const Cplx &e : u.m) {
+        mix(std::lround(e.real() * kGrid));
+        mix(std::lround(e.imag() * kGrid));
+    }
+    return h;
+}
+
+template <typename Mat>
+bool
+closeEnough(const Mat &a, const Mat &b)
+{
+    for (std::size_t i = 0; i < a.m.size(); ++i)
+        if (std::abs(a.m[i] - b.m[i]) > 1e-6)
+            return false;
+    return true;
+}
+
+/** BFS closure of the generator set, phase-canonical dedup. */
+template <typename Mat>
+void
+generateGroup(const std::vector<Mat> &generators,
+              std::vector<Mat> &elements,
+              std::unordered_map<std::size_t,
+                                 std::vector<std::size_t>> &index,
+              std::size_t expected_size)
+{
+    auto tryInsert = [&](const Mat &u) -> bool {
+        const Mat c = canonImpl(u, static_cast<int>(
+            std::sqrt(static_cast<double>(u.m.size()))));
+        const std::size_t h = hashImpl(c);
+        auto &bucket = index[h];
+        for (std::size_t i : bucket)
+            if (closeEnough(elements[i], c))
+                return false;
+        bucket.push_back(elements.size());
+        elements.push_back(c);
+        return true;
+    };
+
+    Mat id{};
+    for (std::size_t i = 0; i < id.m.size();
+         i += static_cast<std::size_t>(
+             std::sqrt(static_cast<double>(id.m.size()))) + 1)
+        id.m[i] = 1.0;
+    tryInsert(id);
+
+    std::deque<std::size_t> frontier{0};
+    while (!frontier.empty()) {
+        const std::size_t cur = frontier.front();
+        frontier.pop_front();
+        for (const Mat &g : generators) {
+            const Mat next = g * elements[cur];
+            if (tryInsert(next))
+                frontier.push_back(elements.size() - 1);
+        }
+    }
+    COMPAQT_REQUIRE(elements.size() == expected_size,
+                    "Clifford group closure has unexpected size");
+}
+
+template <typename Mat>
+std::size_t
+lookup(const Mat &u,
+       const std::vector<Mat> &elements,
+       const std::unordered_map<std::size_t,
+                                std::vector<std::size_t>> &index)
+{
+    const Mat c = canonImpl(u, static_cast<int>(
+        std::sqrt(static_cast<double>(u.m.size()))));
+    auto it = index.find(hashImpl(c));
+    COMPAQT_REQUIRE(it != index.end(), "unitary is not in the group");
+    for (std::size_t i : it->second)
+        if (closeEnough(elements[i], c))
+            return i;
+    COMPAQT_PANIC("unitary is not in the group");
+}
+
+} // namespace
+
+Mat2
+canonicalize(const Mat2 &u)
+{
+    return canonImpl(u, 2);
+}
+
+Mat4
+canonicalize(const Mat4 &u)
+{
+    return canonImpl(u, 4);
+}
+
+Clifford1Q::Clifford1Q()
+{
+    generateGroup<Mat2>({hGate(), sGate()}, elements_, index_, 24);
+}
+
+const Clifford1Q &
+Clifford1Q::instance()
+{
+    static const Clifford1Q group;
+    return group;
+}
+
+std::size_t
+Clifford1Q::hashOf(const Mat2 &u) const
+{
+    return hashImpl(u);
+}
+
+std::size_t
+Clifford1Q::indexOf(const Mat2 &u) const
+{
+    return lookup(u, elements_, index_);
+}
+
+std::size_t
+Clifford1Q::inverseIndex(const Mat2 &u) const
+{
+    return indexOf(u.adjoint());
+}
+
+std::size_t
+Clifford1Q::sample(Rng &rng) const
+{
+    return rng.uniformInt(elements_.size());
+}
+
+Clifford2Q::Clifford2Q()
+{
+    const Mat2 i2 = Mat2::identity();
+    generateGroup<Mat4>({kron(hGate(), i2), kron(i2, hGate()),
+                         kron(sGate(), i2), kron(i2, sGate()),
+                         cxGate()},
+                        elements_, index_, 11520);
+}
+
+const Clifford2Q &
+Clifford2Q::instance()
+{
+    static const Clifford2Q group;
+    return group;
+}
+
+std::size_t
+Clifford2Q::hashOf(const Mat4 &u) const
+{
+    return hashImpl(u);
+}
+
+std::size_t
+Clifford2Q::indexOf(const Mat4 &u) const
+{
+    return lookup(u, elements_, index_);
+}
+
+std::size_t
+Clifford2Q::inverseIndex(const Mat4 &u) const
+{
+    return indexOf(u.adjoint());
+}
+
+std::size_t
+Clifford2Q::sample(Rng &rng) const
+{
+    return rng.uniformInt(elements_.size());
+}
+
+} // namespace compaqt::fidelity

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The single- and two-qubit Clifford groups for randomized
+ * benchmarking (Magesan et al.\ [44]). Groups are generated once by
+ * breadth-first closure over {H, S} (and CX for two qubits), stored
+ * as phase-canonical unitaries with a hash index, which gives uniform
+ * sampling and O(1) inverse lookup.
+ */
+
+#ifndef COMPAQT_FIDELITY_CLIFFORD_HH
+#define COMPAQT_FIDELITY_CLIFFORD_HH
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fidelity/gates.hh"
+
+namespace compaqt::fidelity
+{
+
+/** Normalize global phase: first entry with |m| > eps made real
+ *  positive. Two equal-up-to-phase unitaries canonicalize equally. */
+Mat2 canonicalize(const Mat2 &u);
+Mat4 canonicalize(const Mat4 &u);
+
+/**
+ * The 24-element single-qubit Clifford group.
+ */
+class Clifford1Q
+{
+  public:
+    /** Lazily built singleton (construction is cheap but do it once). */
+    static const Clifford1Q &instance();
+
+    std::size_t size() const { return elements_.size(); }
+    const Mat2 &element(std::size_t i) const { return elements_[i]; }
+
+    /** Index of a unitary (must be a Clifford up to phase). */
+    std::size_t indexOf(const Mat2 &u) const;
+
+    /** Index of the inverse of the given unitary. */
+    std::size_t inverseIndex(const Mat2 &u) const;
+
+    std::size_t sample(Rng &rng) const;
+
+  private:
+    Clifford1Q();
+    std::vector<Mat2> elements_;
+    std::unordered_map<std::size_t, std::vector<std::size_t>> index_;
+
+    std::size_t hashOf(const Mat2 &u) const;
+};
+
+/**
+ * The 11520-element two-qubit Clifford group.
+ */
+class Clifford2Q
+{
+  public:
+    static const Clifford2Q &instance();
+
+    std::size_t size() const { return elements_.size(); }
+    const Mat4 &element(std::size_t i) const { return elements_[i]; }
+
+    std::size_t indexOf(const Mat4 &u) const;
+    std::size_t inverseIndex(const Mat4 &u) const;
+
+    std::size_t sample(Rng &rng) const;
+
+  private:
+    Clifford2Q();
+    std::vector<Mat4> elements_;
+    std::unordered_map<std::size_t, std::vector<std::size_t>> index_;
+
+    std::size_t hashOf(const Mat4 &u) const;
+};
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_CLIFFORD_HH

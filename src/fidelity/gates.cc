@@ -1,0 +1,262 @@
+#include "fidelity/gates.hh"
+
+#include <cmath>
+
+namespace compaqt::fidelity
+{
+
+namespace
+{
+const Cplx kI{0.0, 1.0};
+}
+
+Mat2
+Mat2::identity()
+{
+    Mat2 r;
+    r(0, 0) = 1.0;
+    r(1, 1) = 1.0;
+    return r;
+}
+
+Mat2
+Mat2::operator*(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+            Cplx acc = 0.0;
+            for (int k = 0; k < 2; ++k)
+                acc += (*this)(i, k) * o(k, j);
+            r(i, j) = acc;
+        }
+    return r;
+}
+
+Mat2
+Mat2::adjoint() const
+{
+    Mat2 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            r(i, j) = std::conj((*this)(j, i));
+    return r;
+}
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r(i, i) = 1.0;
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            Cplx acc = 0.0;
+            for (int k = 0; k < 4; ++k)
+                acc += (*this)(i, k) * o(k, j);
+            r(i, j) = acc;
+        }
+    return r;
+}
+
+Mat4
+Mat4::adjoint() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = std::conj((*this)(j, i));
+    return r;
+}
+
+Cplx
+Mat4::trace() const
+{
+    return m[0] + m[5] + m[10] + m[15];
+}
+
+Mat4
+kron(const Mat2 &a, const Mat2 &b)
+{
+    Mat4 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l)
+                    r(i * 2 + k, j * 2 + l) = a(i, j) * b(k, l);
+    return r;
+}
+
+Mat2
+xGate()
+{
+    Mat2 r;
+    r(0, 1) = 1.0;
+    r(1, 0) = 1.0;
+    return r;
+}
+
+Mat2
+yGate()
+{
+    Mat2 r;
+    r(0, 1) = -kI;
+    r(1, 0) = kI;
+    return r;
+}
+
+Mat2
+zGate()
+{
+    Mat2 r;
+    r(0, 0) = 1.0;
+    r(1, 1) = -1.0;
+    return r;
+}
+
+Mat2
+hGate()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    Mat2 r;
+    r(0, 0) = s;
+    r(0, 1) = s;
+    r(1, 0) = s;
+    r(1, 1) = -s;
+    return r;
+}
+
+Mat2
+sGate()
+{
+    Mat2 r;
+    r(0, 0) = 1.0;
+    r(1, 1) = kI;
+    return r;
+}
+
+Mat2
+sxGate()
+{
+    Mat2 r;
+    r(0, 0) = Cplx{0.5, 0.5};
+    r(0, 1) = Cplx{0.5, -0.5};
+    r(1, 0) = Cplx{0.5, -0.5};
+    r(1, 1) = Cplx{0.5, 0.5};
+    return r;
+}
+
+Mat2
+rxGate(double theta)
+{
+    Mat2 r;
+    r(0, 0) = std::cos(theta / 2.0);
+    r(0, 1) = -kI * std::sin(theta / 2.0);
+    r(1, 0) = -kI * std::sin(theta / 2.0);
+    r(1, 1) = std::cos(theta / 2.0);
+    return r;
+}
+
+Mat2
+ryGate(double theta)
+{
+    Mat2 r;
+    r(0, 0) = std::cos(theta / 2.0);
+    r(0, 1) = -std::sin(theta / 2.0);
+    r(1, 0) = std::sin(theta / 2.0);
+    r(1, 1) = std::cos(theta / 2.0);
+    return r;
+}
+
+Mat2
+rzGate(double theta)
+{
+    Mat2 r;
+    r(0, 0) = std::exp(-kI * (theta / 2.0));
+    r(1, 1) = std::exp(kI * (theta / 2.0));
+    return r;
+}
+
+Mat4
+cxGate()
+{
+    Mat4 r;
+    r(0, 0) = 1.0;
+    r(1, 1) = 1.0;
+    r(2, 3) = 1.0;
+    r(3, 2) = 1.0;
+    return r;
+}
+
+Mat2
+xyRotation(double phi, double axis_angle)
+{
+    const double c = std::cos(phi / 2.0);
+    const double s = std::sin(phi / 2.0);
+    Mat2 r;
+    r(0, 0) = c;
+    r(1, 1) = c;
+    // -i sin(phi/2) (cos(t) X + sin(t) Y)
+    r(0, 1) = -kI * s * Cplx{std::cos(axis_angle),
+                             -std::sin(axis_angle)};
+    r(1, 0) = -kI * s * Cplx{std::cos(axis_angle),
+                             std::sin(axis_angle)};
+    return r;
+}
+
+Mat4
+crUnitary(double theta, double phi)
+{
+    const Mat2 u0 = rxGate(theta + phi); // control |0> block
+    const Mat2 u1 = rxGate(phi - theta); // control |1> block
+    Mat4 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+            r(i, j) = u0(i, j);
+            r(2 + i, 2 + j) = u1(i, j);
+        }
+    return r;
+}
+
+double
+avgGateFidelity(const Mat2 &u, const Mat2 &v)
+{
+    const Cplx tr = (u.adjoint() * v).trace();
+    const double t2 = std::norm(tr);
+    return (t2 + 2.0) / 6.0;
+}
+
+double
+avgGateFidelity(const Mat4 &u, const Mat4 &v)
+{
+    const Cplx tr = (u.adjoint() * v).trace();
+    const double t2 = std::norm(tr);
+    return (t2 + 4.0) / 20.0;
+}
+
+double
+phaseDistance(const Mat2 &u, const Mat2 &v)
+{
+    const Cplx tr = (u.adjoint() * v).trace();
+    const double phase_mag = std::abs(tr) / 2.0;
+    // ||U e^{i a} - V||_F^2 minimized over a = 4 - 2 |tr| / ... use
+    // 1 - |tr|/d as a phase-invariant distance.
+    return 1.0 - std::min(phase_mag, 1.0);
+}
+
+double
+phaseDistance(const Mat4 &u, const Mat4 &v)
+{
+    const Cplx tr = (u.adjoint() * v).trace();
+    const double phase_mag = std::abs(tr) / 4.0;
+    return 1.0 - std::min(phase_mag, 1.0);
+}
+
+} // namespace compaqt::fidelity

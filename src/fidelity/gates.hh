@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Small dense unitary algebra (2x2 and 4x4 complex matrices), the
+ * ideal gate set, and average gate fidelity — the quantum-mechanics
+ * toolbox under the pulse simulator, the statevector simulator, and
+ * randomized benchmarking.
+ */
+
+#ifndef COMPAQT_FIDELITY_GATES_HH
+#define COMPAQT_FIDELITY_GATES_HH
+
+#include <array>
+#include <complex>
+#include <cstddef>
+
+namespace compaqt::fidelity
+{
+
+using Cplx = std::complex<double>;
+
+/** Row-major 2x2 complex matrix. */
+struct Mat2
+{
+    std::array<Cplx, 4> m{};
+
+    static Mat2 identity();
+
+    Cplx &operator()(int r, int c) { return m[static_cast<std::size_t>(
+        r * 2 + c)]; }
+    const Cplx &operator()(int r, int c) const
+    {
+        return m[static_cast<std::size_t>(r * 2 + c)];
+    }
+
+    Mat2 operator*(const Mat2 &o) const;
+    Mat2 adjoint() const;
+    Cplx trace() const { return m[0] + m[3]; }
+};
+
+/** Row-major 4x4 complex matrix. */
+struct Mat4
+{
+    std::array<Cplx, 16> m{};
+
+    static Mat4 identity();
+
+    Cplx &operator()(int r, int c) { return m[static_cast<std::size_t>(
+        r * 4 + c)]; }
+    const Cplx &operator()(int r, int c) const
+    {
+        return m[static_cast<std::size_t>(r * 4 + c)];
+    }
+
+    Mat4 operator*(const Mat4 &o) const;
+    Mat4 adjoint() const;
+    Cplx trace() const;
+};
+
+/** Kronecker product a (x) b (a on the high-order qubit). */
+Mat4 kron(const Mat2 &a, const Mat2 &b);
+
+// Ideal gate matrices.
+Mat2 xGate();
+Mat2 yGate();
+Mat2 zGate();
+Mat2 hGate();
+Mat2 sGate();
+Mat2 sxGate();
+Mat2 rxGate(double theta);
+Mat2 ryGate(double theta);
+Mat2 rzGate(double theta);
+
+/** CX in the |control target> basis (control = high-order qubit). */
+Mat4 cxGate();
+
+/**
+ * Rotation about an equatorial axis: exp(-i phi/2 (cos(t) X +
+ * sin(t) Y)) — one integration step of the pulse simulator.
+ */
+Mat2 xyRotation(double phi, double axis_angle);
+
+/**
+ * Cross-resonance-style unitary exp(-i (theta ZX + phi IX) / 2);
+ * the two terms commute, giving Rx(theta + phi) on the target when
+ * the control is |0> and Rx(phi - theta) when it is |1>.
+ */
+Mat4 crUnitary(double theta, double phi);
+
+/** Average gate fidelity of V against U, d = 2. */
+double avgGateFidelity(const Mat2 &u, const Mat2 &v);
+
+/** Average gate fidelity of V against U, d = 4. */
+double avgGateFidelity(const Mat4 &u, const Mat4 &v);
+
+/** Frobenius distance up to global phase (test helper). */
+double phaseDistance(const Mat2 &u, const Mat2 &v);
+double phaseDistance(const Mat4 &u, const Mat4 &v);
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_GATES_HH

@@ -1,0 +1,313 @@
+#include "fidelity/noise.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/decompressor.hh"
+#include "fidelity/pulse_sim.hh"
+#include "fidelity/statevector.hh"
+
+namespace compaqt::fidelity
+{
+
+NoiseModel
+NoiseModel::ideal()
+{
+    return {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+}
+
+NoiseModel
+NoiseModel::ibm(const std::string &machine)
+{
+    Rng rng(machine, 777);
+    NoiseModel nm;
+    nm.p1q = 1.0e-3 * rng.uniform(0.7, 1.3);
+    nm.p2q = 2.5e-2 * rng.uniform(0.85, 1.15);
+    nm.readout0to1 = 1.0e-2 * rng.uniform(0.8, 1.2);
+    nm.readout1to0 = 3.5e-2 * rng.uniform(0.8, 1.2);
+    nm.damp1q = 1.0e-3 * rng.uniform(0.8, 1.2);
+    nm.damp2q = 1.5e-2 * rng.uniform(0.8, 1.2);
+    return nm;
+}
+
+GateSet
+GateSet::ideal(std::size_t)
+{
+    GateSet gs;
+    gs.defaultX_ = xGate();
+    gs.defaultSx_ = sxGate();
+    gs.defaultCx_ = cxGate();
+    return gs;
+}
+
+GateSet
+GateSet::fromLibrary(const waveform::DeviceModel &dev,
+                     const waveform::PulseLibrary &lib)
+{
+    GateSet gs = GateSet::ideal(dev.numQubits());
+    const int nq = static_cast<int>(dev.numQubits());
+    for (int q = 0; q < nq; ++q) {
+        const auto &xwf = lib.waveform({waveform::GateType::X, q, -1});
+        const auto &swf = lib.waveform({waveform::GateType::SX, q, -1});
+        gs.x_[q] = simulatePulse(xwf, calibrateRabiScale(xwf, M_PI));
+        gs.sx_[q] =
+            simulatePulse(swf, calibrateRabiScale(swf, M_PI / 2.0));
+    }
+    for (const auto &[a, b] : dev.coupling()) {
+        for (const auto &[c, t] : {std::pair{a, b}, std::pair{b, a}}) {
+            const auto &wf =
+                lib.waveform({waveform::GateType::CX, c, t});
+            double area = 0.0;
+            for (double v : wf.i)
+                area += v;
+            const double zx = (M_PI / 2.0) / area;
+            // CX = ideal CX composed with the deviation of the played
+            // CR pulse from its calibration point.
+            const Mat4 cal = crUnitary(M_PI / 2.0, 0.0);
+            const Mat4 act = simulateCrPulse(wf, zx, zx * 0.1);
+            gs.cx_[{c, t}] = cxGate() * (cal.adjoint() * act);
+        }
+    }
+    return gs;
+}
+
+GateSet
+GateSet::fromCompressed(const waveform::DeviceModel &dev,
+                        const waveform::PulseLibrary &original,
+                        const core::CompressedLibrary &compressed)
+{
+    GateSet gs = GateSet::ideal(dev.numQubits());
+    core::Decompressor dec;
+    const int nq = static_cast<int>(dev.numQubits());
+
+    auto decoded = [&](const waveform::GateId &id) {
+        return dec.decompress(compressed.entry(id).cw);
+    };
+
+    for (int q = 0; q < nq; ++q) {
+        const waveform::GateId xid{waveform::GateType::X, q, -1};
+        const waveform::GateId sid{waveform::GateType::SX, q, -1};
+        // Rabi scale is calibrated on the *original* pulse; the
+        // decompressed envelope is what gets played.
+        gs.x_[q] = simulatePulse(
+            decoded(xid), calibrateRabiScale(original.waveform(xid),
+                                             M_PI));
+        gs.sx_[q] = simulatePulse(
+            decoded(sid), calibrateRabiScale(original.waveform(sid),
+                                             M_PI / 2.0));
+    }
+    for (const auto &[a, b] : dev.coupling()) {
+        for (const auto &[c, t] : {std::pair{a, b}, std::pair{b, a}}) {
+            const waveform::GateId cid{waveform::GateType::CX, c, t};
+            const auto &orig = original.waveform(cid);
+            double area = 0.0;
+            for (double v : orig.i)
+                area += v;
+            const double zx = (M_PI / 2.0) / area;
+            const Mat4 cal = crUnitary(M_PI / 2.0, 0.0);
+            const Mat4 act = simulateCrPulse(decoded(cid), zx, zx * 0.1);
+            gs.cx_[{c, t}] = cxGate() * (cal.adjoint() * act);
+        }
+    }
+    return gs;
+}
+
+const Mat2 &
+GateSet::xGateOn(int q) const
+{
+    auto it = x_.find(q);
+    return it == x_.end() ? defaultX_ : it->second;
+}
+
+const Mat2 &
+GateSet::sxGateOn(int q) const
+{
+    auto it = sx_.find(q);
+    return it == sx_.end() ? defaultSx_ : it->second;
+}
+
+const Mat4 &
+GateSet::cxGateOn(int control, int target) const
+{
+    auto it = cx_.find({control, target});
+    return it == cx_.end() ? defaultCx_ : it->second;
+}
+
+GateSet
+GateSet::remap(const std::vector<int> &old_of_new) const
+{
+    GateSet gs;
+    gs.defaultX_ = defaultX_;
+    gs.defaultSx_ = defaultSx_;
+    gs.defaultCx_ = defaultCx_;
+    const int n = static_cast<int>(old_of_new.size());
+    for (int nq = 0; nq < n; ++nq) {
+        const int oq = old_of_new[static_cast<std::size_t>(nq)];
+        if (auto it = x_.find(oq); it != x_.end())
+            gs.x_[nq] = it->second;
+        if (auto it = sx_.find(oq); it != sx_.end())
+            gs.sx_[nq] = it->second;
+    }
+    for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+            if (a == b)
+                continue;
+            auto it = cx_.find({old_of_new[static_cast<std::size_t>(a)],
+                                old_of_new[static_cast<std::size_t>(b)]});
+            if (it != cx_.end())
+                gs.cx_[{a, b}] = it->second;
+        }
+    }
+    return gs;
+}
+
+namespace
+{
+
+void
+applyRandomPauli(Statevector &sv, int q, Rng &rng)
+{
+    switch (rng.uniformInt(3)) {
+      case 0:
+        sv.applyPauliX(q);
+        break;
+      case 1:
+        sv.applyPauliY(q);
+        break;
+      default:
+        sv.applyPauliZ(q);
+        break;
+    }
+}
+
+void
+applyRandomPauli2(Statevector &sv, int a, int b, Rng &rng)
+{
+    // Uniform over the 15 non-identity two-qubit Paulis.
+    const auto pick = 1 + rng.uniformInt(15);
+    const auto pa = pick / 4;    // 0..3 on qubit a
+    const auto pb = pick % 4;    // 0..3 on qubit b
+    auto apply1 = [&](int q, std::uint64_t p) {
+        switch (p) {
+          case 1:
+            sv.applyPauliX(q);
+            break;
+          case 2:
+            sv.applyPauliY(q);
+            break;
+          case 3:
+            sv.applyPauliZ(q);
+            break;
+          default:
+            break;
+        }
+    };
+    apply1(a, pa);
+    apply1(b, pb);
+}
+
+} // namespace
+
+RunResult
+runNoisy(const circuits::Circuit &c, const GateSet &gates,
+         const NoiseModel &noise, int trajectories, Rng &rng)
+{
+    COMPAQT_REQUIRE(trajectories >= 1, "need at least one trajectory");
+
+    // Collect measured qubits (must be terminal).
+    std::vector<int> measured;
+    std::vector<bool> done(c.numQubits(), false);
+    for (const auto &g : c.gates()) {
+        if (g.op == circuits::Op::Measure) {
+            measured.push_back(g.qubits[0]);
+            done[static_cast<std::size_t>(g.qubits[0])] = true;
+        } else if (g.op != circuits::Op::Barrier) {
+            for (int q : g.qubits)
+                COMPAQT_REQUIRE(!done[static_cast<std::size_t>(q)],
+                                "gate after measurement unsupported");
+        }
+    }
+    COMPAQT_REQUIRE(!measured.empty(), "circuit measures no qubits");
+
+    std::vector<double> acc(std::size_t{1} << measured.size(), 0.0);
+    for (int traj = 0; traj < trajectories; ++traj) {
+        Statevector sv(c.numQubits());
+        for (const auto &g : c.gates()) {
+            switch (g.op) {
+              case circuits::Op::RZ:
+                sv.apply1(rzGate(g.param), g.qubits[0]);
+                break;
+              case circuits::Op::X:
+                sv.apply1(gates.xGateOn(g.qubits[0]), g.qubits[0]);
+                if (rng.chance(noise.p1q))
+                    applyRandomPauli(sv, g.qubits[0], rng);
+                sv.applyAmplitudeDamping(g.qubits[0], noise.damp1q,
+                                         rng);
+                break;
+              case circuits::Op::SX:
+                sv.apply1(gates.sxGateOn(g.qubits[0]), g.qubits[0]);
+                if (rng.chance(noise.p1q))
+                    applyRandomPauli(sv, g.qubits[0], rng);
+                sv.applyAmplitudeDamping(g.qubits[0], noise.damp1q,
+                                         rng);
+                break;
+              case circuits::Op::CX:
+                sv.apply2(gates.cxGateOn(g.qubits[0], g.qubits[1]),
+                          g.qubits[0], g.qubits[1]);
+                if (rng.chance(noise.p2q))
+                    applyRandomPauli2(sv, g.qubits[0], g.qubits[1],
+                                      rng);
+                sv.applyAmplitudeDamping(g.qubits[0], noise.damp2q,
+                                         rng);
+                sv.applyAmplitudeDamping(g.qubits[1], noise.damp2q,
+                                         rng);
+                break;
+              case circuits::Op::Measure:
+              case circuits::Op::Barrier:
+                break;
+              default:
+                COMPAQT_PANIC("runNoisy requires a basis circuit");
+            }
+        }
+        const auto m = sv.marginal(measured);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += m[i];
+    }
+    for (double &p : acc)
+        p /= trajectories;
+    applyReadoutError(acc, noise.readout0to1, noise.readout1to0);
+    return {std::move(acc), std::move(measured)};
+}
+
+RunResult
+runIdeal(const circuits::Circuit &c)
+{
+    Rng rng(0);
+    return runNoisy(c, GateSet::ideal(c.numQubits()),
+                    NoiseModel::ideal(), 1, rng);
+}
+
+std::vector<double>
+sampleShots(const std::vector<double> &dist, std::size_t shots, Rng &rng)
+{
+    COMPAQT_REQUIRE(shots > 0, "need at least one shot");
+    std::vector<double> cdf(dist.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        acc += dist[i];
+        cdf[i] = acc;
+    }
+    std::vector<double> counts(dist.size(), 0.0);
+    for (std::size_t s = 0; s < shots; ++s) {
+        const double u = rng.uniform() * acc;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const auto idx = static_cast<std::size_t>(
+            std::distance(cdf.begin(), it));
+        counts[std::min(idx, counts.size() - 1)] += 1.0;
+    }
+    for (double &v : counts)
+        v /= static_cast<double>(shots);
+    return counts;
+}
+
+} // namespace compaqt::fidelity

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Noise modelling and noisy circuit execution.
+ *
+ * The paper measures fidelity on real IBM machines; our substitute
+ * (DESIGN.md §1) is a calibrated stochastic model: depolarizing Pauli
+ * noise per basis gate plus per-qubit readout flips, with gate
+ * unitaries taken from pulse simulation so that compression
+ * distortion perturbs them exactly as it would on hardware. Baseline
+ * runs use the original pulses; COMPAQT runs use the decompressed
+ * ones; the ideal distribution uses mathematical gates.
+ */
+
+#ifndef COMPAQT_FIDELITY_NOISE_HH
+#define COMPAQT_FIDELITY_NOISE_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuits/circuit.hh"
+#include "common/rng.hh"
+#include "core/compressed_library.hh"
+#include "fidelity/gates.hh"
+#include "waveform/library.hh"
+
+namespace compaqt::fidelity
+{
+
+/** Stochastic error rates of a machine. */
+struct NoiseModel
+{
+    /** Depolarizing probability per 1Q basis gate. */
+    double p1q = 1e-3;
+    /** Depolarizing probability per CX. */
+    double p2q = 2.5e-2;
+    /** Readout: probability a true 0 reads as 1. */
+    double readout0to1 = 1.0e-2;
+    /** Readout: probability a true 1 reads as 0 (IBM readout is
+     *  biased toward ground). */
+    double readout1to0 = 3.5e-2;
+    /** Effective amplitude-damping rate per qubit per 1Q gate. */
+    double damp1q = 1e-3;
+    /** Effective amplitude-damping rate per qubit per CX (captures
+     *  T1 during the long CR pulse plus other |0>-biasing decay). */
+    double damp2q = 1.5e-2;
+
+    /** Noiseless model (for ideal references). */
+    static NoiseModel ideal();
+
+    /**
+     * IBM-era rates with small deterministic per-machine variation
+     * derived from the name.
+     */
+    static NoiseModel ibm(const std::string &machine);
+};
+
+/**
+ * The concrete unitaries used for each basis gate of a device:
+ * either mathematically ideal, or integrated from (possibly
+ * decompressed) pulse envelopes.
+ */
+class GateSet
+{
+  public:
+    /** Mathematically ideal gates everywhere. */
+    static GateSet ideal(std::size_t n_qubits);
+
+    /** Gates integrated from the original calibrated pulses. */
+    static GateSet fromLibrary(const waveform::DeviceModel &dev,
+                               const waveform::PulseLibrary &lib);
+
+    /**
+     * Gates integrated from compressed-then-decompressed pulses,
+     * calibrated against the originals (the COMPAQT datapath).
+     */
+    static GateSet
+    fromCompressed(const waveform::DeviceModel &dev,
+                   const waveform::PulseLibrary &original,
+                   const core::CompressedLibrary &compressed);
+
+    const Mat2 &xGateOn(int q) const;
+    const Mat2 &sxGateOn(int q) const;
+    const Mat4 &cxGateOn(int control, int target) const;
+
+    /**
+     * Re-key the per-qubit gates for a compacted circuit:
+     * old_of_new[new_label] = physical qubit this label refers to
+     * (see circuits::compactToUsedQubits).
+     */
+    GateSet remap(const std::vector<int> &old_of_new) const;
+
+  private:
+    Mat2 defaultX_;
+    Mat2 defaultSx_;
+    Mat4 defaultCx_;
+    std::map<int, Mat2> x_;
+    std::map<int, Mat2> sx_;
+    std::map<std::pair<int, int>, Mat4> cx_;
+};
+
+/** Result of executing a circuit. */
+struct RunResult
+{
+    /** Distribution over measured bits (first measure = LSB). */
+    std::vector<double> distribution;
+    /** Qubits measured, in measurement order. */
+    std::vector<int> measuredQubits;
+};
+
+/** Exact noiseless execution with ideal gates. */
+RunResult runIdeal(const circuits::Circuit &c);
+
+/**
+ * Monte-Carlo noisy execution: `trajectories` runs with stochastic
+ * Pauli insertions, probabilities averaged, then readout error
+ * applied to the final distribution.
+ *
+ * @pre c is a basis circuit with terminal measurements
+ */
+RunResult runNoisy(const circuits::Circuit &c, const GateSet &gates,
+                   const NoiseModel &noise, int trajectories, Rng &rng);
+
+/**
+ * Multinomially sample `shots` outcomes from a distribution and
+ * return the empirical distribution — the shot noise of a real
+ * experiment (the paper uses 80k shots).
+ */
+std::vector<double> sampleShots(const std::vector<double> &dist,
+                                std::size_t shots, Rng &rng);
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_NOISE_HH

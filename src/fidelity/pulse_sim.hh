@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pulse-level gate simulation: integrate the rotating-frame drive
+ * Hamiltonian H(t) = (Omega_I(t) X + Omega_Q(t) Y) / 2 over a pulse
+ * envelope to obtain the gate unitary a qubit actually sees. This is
+ * how compression distortion reaches gate fidelity in our
+ * reproduction: the decompressed envelope is integrated and compared
+ * against the original (Section IV-D's MSE-fidelity link, made
+ * mechanistic).
+ */
+
+#ifndef COMPAQT_FIDELITY_PULSE_SIM_HH
+#define COMPAQT_FIDELITY_PULSE_SIM_HH
+
+#include "fidelity/gates.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt::fidelity
+{
+
+/**
+ * Integrate a 1Q envelope into an SU(2) unitary.
+ *
+ * Each sample contributes an exact rotation by
+ * phi = rabi_scale * sqrt(I^2 + Q^2) about the equatorial axis
+ * atan2(Q, I); the product over samples is the gate.
+ *
+ * @param rabi_scale radians of rotation per unit amplitude per sample
+ */
+Mat2 simulatePulse(const waveform::IqWaveform &wf, double rabi_scale);
+
+/**
+ * Rabi scale that calibrates an envelope to a target rotation angle
+ * (pi for X, pi/2 for SX): scale = theta / sum(|I|).
+ */
+double calibrateRabiScale(const waveform::IqWaveform &wf, double theta);
+
+/**
+ * Cross-resonance unitary from an envelope: the commuting ZX and IX
+ * angles integrate to zx_scale * sum(I) and ix_scale * sum(Q).
+ */
+Mat4 simulateCrPulse(const waveform::IqWaveform &wf, double zx_scale,
+                     double ix_scale);
+
+/**
+ * Average-gate-error a distorted (e.g.\ decompressed) pulse introduces
+ * relative to the original, with the Rabi scale calibrated on the
+ * original: 1 - F_avg(U_orig, U_dist).
+ */
+double pulseGateError(const waveform::IqWaveform &original,
+                      const waveform::IqWaveform &distorted,
+                      double target_theta);
+
+/** Same for a cross-resonance pair (target ZX angle pi/2). */
+double crGateError(const waveform::IqWaveform &original,
+                   const waveform::IqWaveform &distorted);
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_PULSE_SIM_HH

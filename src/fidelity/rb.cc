@@ -1,0 +1,114 @@
+#include "fidelity/rb.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fidelity/clifford.hh"
+#include "fidelity/statevector.hh"
+
+namespace compaqt::fidelity
+{
+
+double
+pauliProbabilityForEpc(double epc, int dim)
+{
+    // A uniform random non-identity Pauli applied with probability p
+    // yields a depolarizing channel with decay
+    // alpha = 1 - p d^2 / (d^2 - 1); EPC = (d-1)/d (1 - alpha) gives
+    // p = epc * d/(d-1) * (d^2-1)/d^2.
+    const double d = dim;
+    return epc * d / (d - 1.0) * (d * d - 1.0) / (d * d);
+}
+
+namespace
+{
+
+template <typename Group, typename Mat>
+RbResult
+runRb(const RbConfig &cfg, const Group &group, int n_qubits)
+{
+    const int dim = 1 << n_qubits;
+    const double p_pauli =
+        pauliProbabilityForEpc(cfg.errorPerClifford, dim);
+
+    Rng rng(cfg.seed);
+    RbResult result;
+
+    auto applyNoise = [&](Statevector &sv) {
+        if (!rng.chance(p_pauli))
+            return;
+        // Uniform non-identity Pauli string over n_qubits.
+        std::uint64_t pick =
+            1 + rng.uniformInt((1ULL << (2 * n_qubits)) - 1);
+        for (int q = 0; q < n_qubits; ++q) {
+            switch (pick & 3) {
+              case 1:
+                sv.applyPauliX(q);
+                break;
+              case 2:
+                sv.applyPauliY(q);
+                break;
+              case 3:
+                sv.applyPauliZ(q);
+                break;
+              default:
+                break;
+            }
+            pick >>= 2;
+        }
+    };
+
+    auto applyClifford = [&](Statevector &sv, const Mat &m) {
+        if constexpr (std::is_same_v<Mat, Mat2>) {
+            sv.apply1(m, 0);
+        } else {
+            sv.apply2(m, 1, 0);
+        }
+    };
+
+    for (int m : cfg.lengths) {
+        double mean_survival = 0.0;
+        for (int s = 0; s < cfg.sequencesPerLength; ++s) {
+            Statevector sv(static_cast<std::size_t>(n_qubits));
+            Mat net{};
+            bool first = true;
+            for (int g = 0; g < m; ++g) {
+                const std::size_t idx = group.sample(rng);
+                const Mat &c = group.element(idx);
+                applyClifford(sv, c);
+                applyNoise(sv);
+                net = first ? c : Mat(c * net);
+                first = false;
+            }
+            // Recovery Clifford: the group inverse of the net product.
+            const std::size_t inv = group.inverseIndex(net);
+            applyClifford(sv, group.element(inv));
+            applyNoise(sv);
+            mean_survival += sv.probabilities()[0];
+        }
+        result.lengths.push_back(static_cast<double>(m));
+        result.survival.push_back(mean_survival /
+                                  cfg.sequencesPerLength);
+    }
+
+    result.fit = fitDecay(result.lengths, result.survival,
+                          1.0 / static_cast<double>(dim));
+    result.alpha = result.fit.alpha;
+    result.epc = (dim - 1.0) / dim * (1.0 - result.alpha);
+    return result;
+}
+
+} // namespace
+
+RbResult
+runRb2(const RbConfig &cfg)
+{
+    return runRb<Clifford2Q, Mat4>(cfg, Clifford2Q::instance(), 2);
+}
+
+RbResult
+runRb1(const RbConfig &cfg)
+{
+    return runRb<Clifford1Q, Mat2>(cfg, Clifford1Q::instance(), 1);
+}
+
+} // namespace compaqt::fidelity

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Randomized benchmarking (Magesan et al.\ [44]) on the simulated
+ * device: random Clifford sequences with an exact inverse, stochastic
+ * Pauli noise per Clifford, exponential decay fit A alpha^m + B.
+ *
+ * The reported "fidelity" matches the paper's Fig 9 convention: it is
+ * the decay parameter alpha, with EPC = (d-1)/d * (1 - alpha)
+ * (1 - 4/3 * 1.65e-2 = 0.978 for Fig 9's baseline).
+ */
+
+#ifndef COMPAQT_FIDELITY_RB_HH
+#define COMPAQT_FIDELITY_RB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace compaqt::fidelity
+{
+
+/** RB experiment parameters. */
+struct RbConfig
+{
+    /** Clifford sequence lengths to sample. */
+    std::vector<int> lengths = {1, 5, 10, 20, 35, 50, 75, 100};
+    /** Random sequences per length. */
+    int sequencesPerLength = 24;
+    /**
+     * Error per Clifford injected as depolarizing noise. The Pauli
+     * insertion probability is EPC * d^2 / (d^2 - 1) * d / (d - 1)
+     * (1.25x for two qubits), so the fitted EPC reproduces this
+     * value.
+     */
+    double errorPerClifford = 1.65e-2;
+    std::uint64_t seed = 1;
+};
+
+/** RB experiment outcome. */
+struct RbResult
+{
+    std::vector<double> lengths;
+    /** Mean survival probability per length. */
+    std::vector<double> survival;
+    DecayFit fit;
+    /** Decay parameter alpha (the paper's "RB fidelity"). */
+    double alpha = 0.0;
+    /** Error per Clifford from the fit. */
+    double epc = 0.0;
+};
+
+/** Two-qubit RB (d = 4, asymptote 1/4). */
+RbResult runRb2(const RbConfig &cfg);
+
+/** Single-qubit RB (d = 2, asymptote 1/2). */
+RbResult runRb1(const RbConfig &cfg);
+
+/** Pauli insertion probability that realizes a target EPC. */
+double pauliProbabilityForEpc(double epc, int dim);
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_RB_HH

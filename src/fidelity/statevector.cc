@@ -1,0 +1,207 @@
+#include "fidelity/statevector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::fidelity
+{
+
+Statevector::Statevector(std::size_t n_qubits)
+    : nQubits_(n_qubits), amps_(std::size_t{1} << n_qubits)
+{
+    COMPAQT_REQUIRE(n_qubits >= 1 && n_qubits <= 16,
+                    "statevector supports 1..16 qubits");
+    amps_[0] = 1.0;
+}
+
+void
+Statevector::apply1(const Mat2 &u, int q)
+{
+    COMPAQT_REQUIRE(q >= 0 && q < static_cast<int>(nQubits_),
+                    "qubit out of range");
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if (idx & mask)
+            continue;
+        const std::size_t j = idx | mask;
+        const Cplx a0 = amps_[idx];
+        const Cplx a1 = amps_[j];
+        amps_[idx] = u(0, 0) * a0 + u(0, 1) * a1;
+        amps_[j] = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+}
+
+void
+Statevector::apply2(const Mat4 &u, int q_high, int q_low)
+{
+    COMPAQT_REQUIRE(q_high != q_low, "apply2 needs distinct qubits");
+    COMPAQT_REQUIRE(q_high >= 0 && q_high < static_cast<int>(nQubits_) &&
+                        q_low >= 0 && q_low < static_cast<int>(nQubits_),
+                    "qubit out of range");
+    const std::size_t mh = std::size_t{1} << q_high;
+    const std::size_t ml = std::size_t{1} << q_low;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if (idx & (mh | ml))
+            continue;
+        const std::size_t i00 = idx;
+        const std::size_t i01 = idx | ml;
+        const std::size_t i10 = idx | mh;
+        const std::size_t i11 = idx | mh | ml;
+        const Cplx a00 = amps_[i00];
+        const Cplx a01 = amps_[i01];
+        const Cplx a10 = amps_[i10];
+        const Cplx a11 = amps_[i11];
+        // Matrix basis |q_high q_low>: row/col order 00, 01, 10, 11.
+        amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 +
+                     u(0, 3) * a11;
+        amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 +
+                     u(1, 3) * a11;
+        amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 +
+                     u(2, 3) * a11;
+        amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 +
+                     u(3, 3) * a11;
+    }
+}
+
+void
+Statevector::applyPauliX(int q)
+{
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if (idx & mask)
+            continue;
+        std::swap(amps_[idx], amps_[idx | mask]);
+    }
+}
+
+void
+Statevector::applyPauliY(int q)
+{
+    const Cplx i{0.0, 1.0};
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if (idx & mask)
+            continue;
+        const std::size_t j = idx | mask;
+        const Cplx a0 = amps_[idx];
+        const Cplx a1 = amps_[j];
+        amps_[idx] = -i * a1;
+        amps_[j] = i * a0;
+    }
+}
+
+void
+Statevector::applyPauliZ(int q)
+{
+    const std::size_t mask = std::size_t{1} << q;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx)
+        if (idx & mask)
+            amps_[idx] = -amps_[idx];
+}
+
+void
+Statevector::applyAmplitudeDamping(int q, double gamma, Rng &rng)
+{
+    COMPAQT_REQUIRE(gamma >= 0.0 && gamma <= 1.0,
+                    "damping rate out of range");
+    if (gamma == 0.0)
+        return;
+    const std::size_t mask = std::size_t{1} << q;
+    double p1 = 0.0;
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx)
+        if (idx & mask)
+            p1 += std::norm(amps_[idx]);
+    if (p1 == 0.0)
+        return;
+
+    if (rng.chance(gamma * p1)) {
+        // Jump: |...1...> -> |...0...|, renormalized.
+        const double scale = 1.0 / std::sqrt(p1);
+        for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+            if (idx & mask)
+                continue;
+            amps_[idx] = amps_[idx | mask] * scale;
+            amps_[idx | mask] = 0.0;
+        }
+        return;
+    }
+    // No-jump evolution: damp the |1> component and renormalize.
+    const double k = std::sqrt(1.0 - gamma);
+    const double norm = std::sqrt(1.0 - gamma * p1);
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        if (idx & mask)
+            amps_[idx] *= k / norm;
+        else
+            amps_[idx] /= norm;
+    }
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> p(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+std::vector<double>
+Statevector::marginal(const std::vector<int> &qubits) const
+{
+    std::vector<double> out(std::size_t{1} << qubits.size(), 0.0);
+    for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+        const double p = std::norm(amps_[idx]);
+        if (p == 0.0)
+            continue;
+        std::size_t key = 0;
+        for (std::size_t b = 0; b < qubits.size(); ++b)
+            if (idx & (std::size_t{1} << qubits[b]))
+                key |= std::size_t{1} << b;
+        out[key] += p;
+    }
+    return out;
+}
+
+double
+Statevector::normSquared() const
+{
+    double n = 0.0;
+    for (const Cplx &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+void
+applyReadoutError(std::vector<double> &dist, double p_flip)
+{
+    applyReadoutError(dist, p_flip, p_flip);
+}
+
+void
+applyReadoutError(std::vector<double> &dist, double p01, double p10)
+{
+    COMPAQT_REQUIRE(p01 >= 0.0 && p01 <= 1.0 && p10 >= 0.0 &&
+                        p10 <= 1.0,
+                    "flip probability out of range");
+    if ((p01 == 0.0 && p10 == 0.0) || dist.empty())
+        return;
+    std::size_t k = 0;
+    while ((std::size_t{1} << k) < dist.size())
+        ++k;
+    COMPAQT_REQUIRE(dist.size() == std::size_t{1} << k,
+                    "distribution size must be a power of two");
+    for (std::size_t b = 0; b < k; ++b) {
+        const std::size_t mask = std::size_t{1} << b;
+        for (std::size_t idx = 0; idx < dist.size(); ++idx) {
+            if (idx & mask)
+                continue;
+            const double p0 = dist[idx];
+            const double p1 = dist[idx | mask];
+            dist[idx] = (1.0 - p01) * p0 + p10 * p1;
+            dist[idx | mask] = (1.0 - p10) * p1 + p01 * p0;
+        }
+    }
+}
+
+} // namespace compaqt::fidelity

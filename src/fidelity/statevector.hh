@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dense statevector simulator for the benchmark-fidelity studies
+ * (Section VII-B). Sixteen qubits is plenty for Table VI; gates are
+ * applied by bit-indexed sweeps. Little-endian convention: qubit q is
+ * bit q of the basis index.
+ */
+
+#ifndef COMPAQT_FIDELITY_STATEVECTOR_HH
+#define COMPAQT_FIDELITY_STATEVECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fidelity/gates.hh"
+
+namespace compaqt::fidelity
+{
+
+/**
+ * A pure n-qubit state.
+ */
+class Statevector
+{
+  public:
+    /** Initialize |0...0>. @pre n_qubits <= 16 */
+    explicit Statevector(std::size_t n_qubits);
+
+    std::size_t numQubits() const { return nQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    const std::vector<Cplx> &amplitudes() const { return amps_; }
+
+    /** Apply a 1Q unitary to qubit q. */
+    void apply1(const Mat2 &u, int q);
+
+    /** Apply a 2Q unitary; q_high is the high-order (control-side)
+     *  qubit of the matrix basis |q_high q_low>. */
+    void apply2(const Mat4 &u, int q_high, int q_low);
+
+    /** Fast Pauli application (noise channels). */
+    void applyPauliX(int q);
+    void applyPauliY(int q);
+    void applyPauliZ(int q);
+
+    /**
+     * Monte-Carlo amplitude damping (T1 relaxation) on qubit q with
+     * rate gamma: with probability gamma * P(q=1) the excitation
+     * collapses to |0>; otherwise the no-jump Kraus operator
+     * diag(1, sqrt(1-gamma)) is applied and the state renormalized.
+     */
+    void applyAmplitudeDamping(int q, double gamma, Rng &rng);
+
+    /** Probability of each basis state. */
+    std::vector<double> probabilities() const;
+
+    /**
+     * Marginal distribution over the given qubits (in the given
+     * order; qubit order defines the output bit order, first listed
+     * qubit = least-significant bit).
+     */
+    std::vector<double>
+    marginal(const std::vector<int> &qubits) const;
+
+    /** Squared norm (should stay 1; used by tests). */
+    double normSquared() const;
+
+  private:
+    std::size_t nQubits_;
+    std::vector<Cplx> amps_;
+};
+
+/**
+ * Apply independent per-qubit readout bit-flip error to a
+ * distribution over k measured bits: each bit flips with probability
+ * p_flip. O(k 2^k) in-place sweep.
+ */
+void applyReadoutError(std::vector<double> &dist, double p_flip);
+
+/**
+ * Asymmetric readout error: a true 0 reads as 1 with probability
+ * p01, a true 1 reads as 0 with probability p10 (IBM readout is
+ * biased toward 0, p10 > p01).
+ */
+void applyReadoutError(std::vector<double> &dist, double p01,
+                       double p10);
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_STATEVECTOR_HH

@@ -1,0 +1,27 @@
+#include "fidelity/tvd.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::fidelity
+{
+
+double
+tvd(std::span<const double> p, std::span<const double> q)
+{
+    COMPAQT_REQUIRE(p.size() == q.size(), "tvd size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        acc += std::abs(p[i] - q[i]);
+    return 0.5 * acc;
+}
+
+double
+fidelityTvd(std::span<const double> ideal,
+            std::span<const double> measured)
+{
+    return 1.0 - tvd(ideal, measured);
+}
+
+} // namespace compaqt::fidelity

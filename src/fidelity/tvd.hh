@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Total Variational Distance and the paper's fidelity metric
+ * F(P, Q) = 1 - TVD(P, Q) (Equation 3, Section VI).
+ */
+
+#ifndef COMPAQT_FIDELITY_TVD_HH
+#define COMPAQT_FIDELITY_TVD_HH
+
+#include <span>
+
+namespace compaqt::fidelity
+{
+
+/** TVD(P, Q) = (1/2) sum |p_i - q_i|. @pre equal sizes */
+double tvd(std::span<const double> p, std::span<const double> q);
+
+/** F = 1 - TVD (Equation 3). */
+double fidelityTvd(std::span<const double> ideal,
+                   std::span<const double> measured);
+
+} // namespace compaqt::fidelity
+
+#endif // COMPAQT_FIDELITY_TVD_HH

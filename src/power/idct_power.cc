@@ -1,0 +1,26 @@
+#include "power/idct_power.hh"
+
+#include "uarch/timing.hh"
+
+namespace compaqt::power
+{
+
+double
+idctEnergyPerWindowJ(uarch::EngineKind kind, std::size_t ws,
+                     const IdctPowerParams &p)
+{
+    const dsp::OpCounter ops = uarch::engineOps(kind, ws);
+    return ops.adders() * p.adderEnergyJ +
+           ops.shifters() * p.shifterEnergyJ +
+           ops.multipliers() * p.multiplierEnergyJ +
+           p.overheadPerWindowJ;
+}
+
+double
+idctPowerW(uarch::EngineKind kind, std::size_t ws,
+           double windows_per_sec, const IdctPowerParams &p)
+{
+    return idctEnergyPerWindowJ(kind, ws, p) * windows_per_sec;
+}
+
+} // namespace compaqt::power

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Decompression-engine power from instantiated operation counts at
+ * 40nm-class per-op energies (stands in for Synopsys DC + TSMC
+ * CLN40G, DESIGN.md §1).
+ */
+
+#ifndef COMPAQT_POWER_IDCT_POWER_HH
+#define COMPAQT_POWER_IDCT_POWER_HH
+
+#include <cstddef>
+
+#include "uarch/idct_engine.hh"
+
+namespace compaqt::power
+{
+
+/** 40nm per-operation energies. */
+struct IdctPowerParams
+{
+    /** 16-bit adder operation, joules. */
+    double adderEnergyJ = 6e-15;
+    /** Fixed shift (wiring + mux toggle), joules. */
+    double shifterEnergyJ = 1e-15;
+    /** 16x16 multiplier operation, joules. */
+    double multiplierEnergyJ = 6e-13;
+    /** Engine control/register overhead per window, joules. */
+    double overheadPerWindowJ = 1e-13;
+};
+
+/** Energy to decompress one window, joules. */
+double idctEnergyPerWindowJ(uarch::EngineKind kind, std::size_t ws,
+                            const IdctPowerParams &p = {});
+
+/** Engine power at a given window throughput (windows/second). */
+double idctPowerW(uarch::EngineKind kind, std::size_t ws,
+                  double windows_per_sec,
+                  const IdctPowerParams &p = {});
+
+} // namespace compaqt::power
+
+#endif // COMPAQT_POWER_IDCT_POWER_HH

@@ -1,0 +1,35 @@
+#include "power/sram.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::power
+{
+
+SramModel::SramModel(double capacity_bytes, const SramParams &params)
+    : capacityBytes_(capacity_bytes), params_(params)
+{
+    COMPAQT_REQUIRE(capacity_bytes > 0.0, "capacity must be positive");
+}
+
+double
+SramModel::energyPerAccessJ() const
+{
+    return params_.baseEnergyJ +
+           params_.arrayEnergyJPerSqrtByte * std::sqrt(capacityBytes_);
+}
+
+double
+SramModel::leakagePowerW() const
+{
+    return params_.leakageWPerByte * capacityBytes_;
+}
+
+double
+SramModel::powerW(double accesses_per_sec) const
+{
+    return energyPerAccessJ() * accesses_per_sec + leakagePowerW();
+}
+
+} // namespace compaqt::power

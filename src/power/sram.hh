@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SRAM energy model for the cryogenic-ASIC study (Section VII-D),
+ * standing in for the Destiny/CACTI flow (DESIGN.md §1). Dynamic
+ * energy per access grows with the square root of capacity (wordline
+ * plus bitline length), calibrated to 40nm-class numbers.
+ *
+ * Note the accounting the paper implies: the ASIC provisions the same
+ * SRAM macro either way (COMPAQT's win is storing more waveforms and
+ * issuing fewer accesses per waveform, not shrinking the array), so
+ * energy-per-access is evaluated at the provisioned capacity and the
+ * savings come from the reduced access count.
+ */
+
+#ifndef COMPAQT_POWER_SRAM_HH
+#define COMPAQT_POWER_SRAM_HH
+
+#include <cstddef>
+
+namespace compaqt::power
+{
+
+/** 40nm-class SRAM calibration. */
+struct SramParams
+{
+    /** Fixed (decode/sense) energy per access, joules. */
+    double baseEnergyJ = 0.4e-12;
+    /** Array-size term, joules per sqrt(byte). */
+    double arrayEnergyJPerSqrtByte = 7.6e-15;
+    /** Static leakage power per byte, watts (cryo-CMOS: tiny). */
+    double leakageWPerByte = 2e-9;
+};
+
+/**
+ * SRAM macro of a given capacity.
+ */
+class SramModel
+{
+  public:
+    explicit SramModel(double capacity_bytes,
+                       const SramParams &params = {});
+
+    double capacityBytes() const { return capacityBytes_; }
+
+    /** Dynamic energy of one word access, joules. */
+    double energyPerAccessJ() const;
+
+    /** Leakage power, watts. */
+    double leakagePowerW() const;
+
+    /** Total power at an access rate (accesses/second), watts. */
+    double powerW(double accesses_per_sec) const;
+
+  private:
+    double capacityBytes_;
+    SramParams params_;
+};
+
+} // namespace compaqt::power
+
+#endif // COMPAQT_POWER_SRAM_HH

@@ -1,0 +1,63 @@
+#include "power/system.hh"
+
+#include "common/logging.hh"
+
+namespace compaqt::power
+{
+
+PowerBreakdown
+uncompressedPower(const SystemParams &p)
+{
+    PowerBreakdown b;
+    b.dacW = p.dacW;
+    const SramModel sram(p.sramBytes, p.sram);
+    // One access per sample per channel.
+    b.memoryW = sram.powerW(p.sampleRateHz * p.channels);
+    b.idctW = 0.0;
+    return b;
+}
+
+PowerBreakdown
+compressedPower(std::size_t ws, double avg_words_per_window,
+                const SystemParams &p)
+{
+    COMPAQT_REQUIRE(avg_words_per_window > 0.0,
+                    "need positive words per window");
+    PowerBreakdown b;
+    b.dacW = p.dacW;
+    const SramModel sram(p.sramBytes, p.sram);
+    const double windows_per_sec =
+        p.sampleRateHz / static_cast<double>(ws) * p.channels;
+    b.memoryW = sram.powerW(windows_per_sec * avg_words_per_window);
+    b.idctW = idctPowerW(uarch::EngineKind::IntDctW, ws,
+                         windows_per_sec, p.idct);
+    return b;
+}
+
+PowerBreakdown
+adaptivePower(std::size_t ws, double avg_words_per_window,
+              double idct_fraction, const SystemParams &p)
+{
+    COMPAQT_REQUIRE(idct_fraction >= 0.0 && idct_fraction <= 1.0,
+                    "idct fraction out of range");
+    PowerBreakdown full = compressedPower(ws, avg_words_per_window, p);
+    PowerBreakdown b;
+    b.dacW = full.dacW;
+    // During the flat period only the repeat codeword is fetched and
+    // the IDCT idles; both scale by the ramp fraction.
+    b.memoryW = full.memoryW * idct_fraction;
+    b.idctW = full.idctW * idct_fraction;
+    return b;
+}
+
+double
+idctFraction(const core::AdaptiveChannel &ch)
+{
+    const double total = static_cast<double>(ch.idctSamples()) +
+                         static_cast<double>(ch.bypassSamples());
+    if (total == 0.0)
+        return 1.0;
+    return static_cast<double>(ch.idctSamples()) / total;
+}
+
+} // namespace compaqt::power

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Controller power rollup for the cryogenic-ASIC study (Figs 18/19):
+ * DAC + waveform memory + decompression engine for one qubit channel
+ * pair, with the adaptive-decompression accounting of Section V-D.
+ */
+
+#ifndef COMPAQT_POWER_SYSTEM_HH
+#define COMPAQT_POWER_SYSTEM_HH
+
+#include "core/adaptive.hh"
+#include "power/idct_power.hh"
+#include "power/sram.hh"
+
+namespace compaqt::power
+{
+
+/** System-level calibration. */
+struct SystemParams
+{
+    SramParams sram;
+    IdctPowerParams idct;
+    /** DAC power per channel pair (the paper's 2 mW reference). */
+    double dacW = 2e-3;
+    /** Per-channel DAC sample rate. */
+    double sampleRateHz = 4.54e9;
+    /** Channels per qubit (I and Q). */
+    int channels = 2;
+    /** Provisioned waveform SRAM per qubit, bytes (Section III). */
+    double sramBytes = 18 * 1024.0;
+};
+
+/** Power split of one qubit's control path, watts. */
+struct PowerBreakdown
+{
+    double dacW = 0.0;
+    double memoryW = 0.0;
+    double idctW = 0.0;
+
+    double total() const { return dacW + memoryW + idctW; }
+};
+
+/** Uncompressed baseline: one memory access per sample. */
+PowerBreakdown uncompressedPower(const SystemParams &p = {});
+
+/**
+ * COMPAQT: accesses drop to one per stored word; the IDCT engine runs
+ * once per window per channel.
+ *
+ * @param ws window size
+ * @param avg_words_per_window measured mean compressed words per
+ *        window of the library (e.g.\ ~2.5 for int-DCT-W WS=16)
+ */
+PowerBreakdown compressedPower(std::size_t ws,
+                               double avg_words_per_window,
+                               const SystemParams &p = {});
+
+/**
+ * Adaptive decompression on a flat-top pulse: memory and IDCT are
+ * active only during the ramps (Fig 13b / Fig 19).
+ *
+ * @param idct_fraction fraction of samples reconstructed through the
+ *        IDCT path (ramp samples / total samples)
+ */
+PowerBreakdown adaptivePower(std::size_t ws,
+                             double avg_words_per_window,
+                             double idct_fraction,
+                             const SystemParams &p = {});
+
+/** Fraction of samples an adaptive channel pushes through the IDCT. */
+double idctFraction(const core::AdaptiveChannel &ch);
+
+} // namespace compaqt::power
+
+#endif // COMPAQT_POWER_SYSTEM_HH

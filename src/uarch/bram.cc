@@ -1,0 +1,55 @@
+#include "uarch/bram.hh"
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+BankedWaveform::BankedWaveform(std::size_t width)
+    : width_(width), banks_(width), valid_(width)
+{
+    COMPAQT_REQUIRE(width > 0, "bank group needs at least one bank");
+}
+
+void
+BankedWaveform::appendWindow(const std::vector<Word> &words)
+{
+    COMPAQT_REQUIRE(words.size() <= width_,
+                    "window exceeds uniform memory width");
+    for (std::size_t j = 0; j < width_; ++j) {
+        if (j < words.size()) {
+            banks_[j].push_back(words[j]);
+            valid_[j].push_back(true);
+        } else {
+            banks_[j].push_back(Word{});
+            valid_[j].push_back(false);
+        }
+    }
+    ++numWindows_;
+}
+
+std::vector<Word>
+BankedWaveform::fetchWindow(std::size_t w) const
+{
+    COMPAQT_REQUIRE(w < numWindows_, "window index out of range");
+    std::vector<Word> out;
+    for (std::size_t j = 0; j < width_; ++j) {
+        if (valid_[j][w]) {
+            out.push_back(banks_[j][w]);
+            ++accesses_;
+        }
+    }
+    return out;
+}
+
+std::size_t
+BankedWaveform::storedWords() const
+{
+    std::size_t n = 0;
+    for (const auto &v : valid_)
+        for (bool b : v)
+            n += b ? 1 : 0;
+    return n;
+}
+
+} // namespace compaqt::uarch

@@ -1,0 +1,112 @@
+#include "uarch/controller.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+Controller::Controller(const ControllerConfig &cfg,
+                       const core::CompressedLibrary &lib)
+    : cfg_(cfg), lib_(lib)
+{
+    if (cfg_.compressed) {
+        COMPAQT_REQUIRE(dsp::intDctSupported(cfg_.windowSize),
+                        "controller window size must be 4/8/16/32");
+        COMPAQT_REQUIRE(lib_.worstCaseWindowWords() <= cfg_.memoryWidth,
+                        "library exceeds compressed memory width");
+    }
+}
+
+std::size_t
+Controller::banksPerChannel() const
+{
+    RfsocPlatform rf;
+    rf.clockRatio = cfg_.clockRatio();
+    rf.totalBrams = cfg_.totalBrams;
+    rf.channelsPerQubit = cfg_.channelsPerQubit;
+    return uarch::banksPerChannel(rf, cfg_.compressed, cfg_.windowSize,
+                                  cfg_.memoryWidth);
+}
+
+std::size_t
+Controller::maxConcurrentQubits() const
+{
+    return cfg_.totalBrams /
+           (banksPerChannel() *
+            static_cast<std::size_t>(cfg_.channelsPerQubit));
+}
+
+StreamResult
+Controller::playGate(const waveform::GateId &id)
+{
+    COMPAQT_REQUIRE(cfg_.compressed,
+                    "playGate models the compressed datapath");
+    const core::CompressedEntry &e = lib_.entry(id);
+    DecompressionPipeline pipe(EngineKind::IntDctW, cfg_.windowSize,
+                               cfg_.memoryWidth);
+    pipe.load(e.cw.i);
+    return pipe.stream();
+}
+
+std::optional<waveform::GateId>
+gateIdFor(const circuits::Gate &g)
+{
+    switch (g.op) {
+      case circuits::Op::X:
+        return waveform::GateId{waveform::GateType::X, g.qubits[0], -1};
+      case circuits::Op::SX:
+        return waveform::GateId{waveform::GateType::SX, g.qubits[0],
+                                -1};
+      case circuits::Op::CX:
+        return waveform::GateId{waveform::GateType::CX, g.qubits[0],
+                                g.qubits[1]};
+      case circuits::Op::Measure:
+        return waveform::GateId{waveform::GateType::Measure,
+                                g.qubits[0], -1};
+      default:
+        return std::nullopt;
+    }
+}
+
+ExecutionStats
+Controller::execute(const circuits::Schedule &sched)
+{
+    ExecutionStats stats;
+    const std::size_t banks_per_channel = banksPerChannel();
+    const double bytes_per_channel_per_sec =
+        cfg_.dacRateHz * 2.0; // 16-bit samples per channel
+
+    // Event-boundary sweep of channel demand.
+    std::map<double, int> deltas;
+    for (const auto &e : sched.events) {
+        const auto id = gateIdFor(e.gate);
+        if (!id)
+            continue;
+        // Every gate drives the I/Q pair of one qubit channel group
+        // (the CR drive lives on the control qubit's channels).
+        const int ch = cfg_.channelsPerQubit;
+        deltas[e.start] += ch;
+        deltas[e.start + e.duration] -= ch;
+
+        const core::CompressedEntry &entry = lib_.entry(*id);
+        const auto s = entry.cw.stats();
+        stats.totalSamples += s.originalSamples;
+        stats.totalWordsRead += s.compressedWords;
+    }
+    int chan = 0;
+    for (const auto &[t, d] : deltas) {
+        chan += d;
+        stats.peakChannels = std::max(stats.peakChannels, chan);
+    }
+    stats.peakBanks =
+        static_cast<std::size_t>(stats.peakChannels) * banks_per_channel;
+    stats.feasible = stats.peakBanks <= cfg_.totalBrams;
+    stats.peakBandwidthBytesPerSec =
+        stats.peakChannels * bytes_per_channel_per_sec;
+    return stats;
+}
+
+} // namespace compaqt::uarch

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The COMPAQT controller (Fig 6): per-channel decompression pipelines
+ * in front of the DACs, a pulse sequencer that plays scheduled gates,
+ * and the bank-budget accounting that decides how many qubits one
+ * RFSoC can drive concurrently.
+ */
+
+#ifndef COMPAQT_UARCH_CONTROLLER_HH
+#define COMPAQT_UARCH_CONTROLLER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "circuits/scheduler.hh"
+#include "core/compressed_library.hh"
+#include "uarch/pipeline.hh"
+#include "uarch/scaling.hh"
+
+namespace compaqt::uarch
+{
+
+/** Static configuration of one controller instance. */
+struct ControllerConfig
+{
+    double fabricClockHz = 294e6;
+    /** Per-channel DAC consumption rate, samples/s. */
+    double dacRateHz = 4.7e9;
+    std::size_t totalBrams = 1260;
+    /** Streams per qubit (I and Q). */
+    int channelsPerQubit = 2;
+    /** False = uncompressed baseline controller. */
+    bool compressed = true;
+    std::size_t windowSize = 16;
+    /** Uniform compressed-memory width (words per window). */
+    std::size_t memoryWidth = 3;
+
+    /** DAC-to-fabric clock ratio (samples needed per fabric cycle). */
+    int
+    clockRatio() const
+    {
+        return static_cast<int>(dacRateHz / fabricClockHz + 0.5);
+    }
+};
+
+/** Outcome of executing a schedule on the controller. */
+struct ExecutionStats
+{
+    /** Peak BRAM banks demanded at any instant. */
+    std::size_t peakBanks = 0;
+    /** Peak concurrently driven channels. */
+    int peakChannels = 0;
+    /** True if the bank budget was never exceeded. */
+    bool feasible = true;
+    /** Total samples streamed to DACs. */
+    std::uint64_t totalSamples = 0;
+    /** Total memory words fetched. */
+    std::uint64_t totalWordsRead = 0;
+    /** Peak waveform-memory bandwidth demand, bytes/s. */
+    double peakBandwidthBytesPerSec = 0.0;
+};
+
+/**
+ * A controller bound to one device's (compressed) pulse library.
+ */
+class Controller
+{
+  public:
+    /**
+     * @param lib compressed library; must use the integer codec with
+     *        the config's window size when compressed mode is on
+     */
+    Controller(const ControllerConfig &cfg,
+               const core::CompressedLibrary &lib);
+
+    const ControllerConfig &config() const { return cfg_; }
+
+    /** Banks one channel occupies (Section V-C interleaving). */
+    std::size_t banksPerChannel() const;
+
+    /** Concurrent-qubit capacity under the bank budget. */
+    std::size_t maxConcurrentQubits() const;
+
+    /**
+     * Stream one gate's I channel through the decompression pipeline
+     * (compressed mode). Samples are bit-exact with the software
+     * decoder.
+     */
+    StreamResult playGate(const waveform::GateId &id);
+
+    /**
+     * Execute a scheduled circuit: sweep event boundaries, account
+     * bank demand and bandwidth, and verify the budget.
+     */
+    ExecutionStats execute(const circuits::Schedule &sched);
+
+  private:
+    ControllerConfig cfg_;
+    const core::CompressedLibrary &lib_;
+};
+
+/** Map a scheduled event's gate to the waveform it plays (nullopt for
+ *  virtual ops). */
+std::optional<waveform::GateId>
+gateIdFor(const circuits::Gate &g);
+
+} // namespace compaqt::uarch
+
+#endif // COMPAQT_UARCH_CONTROLLER_HH

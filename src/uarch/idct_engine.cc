@@ -1,0 +1,44 @@
+#include "uarch/idct_engine.hh"
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+IdctEngine::IdctEngine(EngineKind kind, std::size_t window_size)
+    : kind_(kind), ws_(window_size), xform_(window_size)
+{
+}
+
+int
+IdctEngine::latency() const
+{
+    // int-DCT-W: constant one-cycle latency (Section V-B). DCT-W:
+    // multiplier + accumulation stages pipelined over four cycles.
+    return kind_ == EngineKind::IntDctW ? 1 : 4;
+}
+
+std::vector<std::int32_t>
+IdctEngine::transform(const std::vector<std::int32_t> &coeffs)
+{
+    COMPAQT_REQUIRE(coeffs.size() == ws_,
+                    "IDCT engine fed wrong window size");
+    std::vector<std::int32_t> out(ws_);
+    if (kind_ == EngineKind::IntDctW) {
+        // Count the datapath once; it is instantiated, not re-built,
+        // per window.
+        xform_.inverseButterfly(coeffs, out,
+                                opsCounted_ ? nullptr : &ops_);
+        opsCounted_ = true;
+    } else {
+        if (!opsCounted_) {
+            xform_.countMultiplierIdct(ops_);
+            opsCounted_ = true;
+        }
+        xform_.inverse(coeffs, out);
+    }
+    ++invocations_;
+    return out;
+}
+
+} // namespace compaqt::uarch

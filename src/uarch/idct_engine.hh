@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Stage 2 of the decompression pipeline (Fig 10): the hardware IDCT.
+ * The int-DCT-W engine is the multiplierless shift-add datapath with
+ * a constant one-cycle latency (Section V-B); the DCT-W engine is the
+ * multiplier-based (Loeffler-style) alternative, pipelined with a
+ * deeper latency, kept for the Fig 16 / Table IV comparisons.
+ */
+
+#ifndef COMPAQT_UARCH_IDCT_ENGINE_HH
+#define COMPAQT_UARCH_IDCT_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsp/int_dct.hh"
+
+namespace compaqt::uarch
+{
+
+/** Engine flavor (Table II). */
+enum class EngineKind
+{
+    IntDctW, ///< shift-add, 1-cycle latency
+    DctW,    ///< multiplier-based, pipelined (latency 4)
+};
+
+/**
+ * Cycle- and op-counting IDCT engine; functionally bit-exact with
+ * dsp::IntDct::inverse (the software golden model).
+ */
+class IdctEngine
+{
+  public:
+    IdctEngine(EngineKind kind, std::size_t window_size);
+
+    EngineKind kind() const { return kind_; }
+    std::size_t windowSize() const { return ws_; }
+
+    /** Pipeline latency in fabric cycles. */
+    int latency() const;
+
+    /** Transform one expanded coefficient window to samples. */
+    std::vector<std::int32_t>
+    transform(const std::vector<std::int32_t> &coeffs);
+
+    /** Windows transformed. */
+    std::uint64_t invocations() const { return invocations_; }
+
+    /** Datapath operation tallies (Table IV). */
+    const dsp::OpCounter &ops() const { return ops_; }
+
+  private:
+    EngineKind kind_;
+    std::size_t ws_;
+    dsp::IntDct xform_;
+    dsp::OpCounter ops_;
+    std::uint64_t invocations_ = 0;
+    bool opsCounted_ = false;
+};
+
+} // namespace compaqt::uarch
+
+#endif // COMPAQT_UARCH_IDCT_ENGINE_HH

@@ -1,0 +1,109 @@
+#include "uarch/pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+namespace
+{
+
+/** Memory words of one compressed window (prefix + codeword). */
+std::vector<Word>
+windowWords(const core::CompressedWindow &w)
+{
+    std::vector<Word> words;
+    words.reserve(w.words());
+    for (std::int32_t c : w.icoeffs)
+        words.push_back(Word::sample(c));
+    if (w.zeros > 0)
+        words.push_back(Word::codeword(w.zeros));
+    return words;
+}
+
+} // namespace
+
+DecompressionPipeline::DecompressionPipeline(EngineKind kind,
+                                             std::size_t window_size,
+                                             std::size_t memory_width)
+    : ws_(window_size), memWidth_(memory_width), rle_(window_size),
+      engine_(kind, window_size), memory_(memory_width)
+{
+}
+
+void
+DecompressionPipeline::load(const core::CompressedChannel &ch)
+{
+    COMPAQT_REQUIRE(ch.windowSize == ws_,
+                    "channel window size mismatch");
+    memory_ = BankedWaveform(memWidth_);
+    for (const auto &w : ch.windows) {
+        COMPAQT_REQUIRE(w.icoeffs.size() == w.prefixSize(),
+                        "pipeline requires the integer codec");
+        memory_.appendWindow(windowWords(w));
+    }
+    loadedSamples_ = ch.numSamples;
+}
+
+StreamResult
+DecompressionPipeline::stream()
+{
+    COMPAQT_REQUIRE(memory_.numWindows() > 0, "no waveform loaded");
+    StreamResult r;
+    const std::uint64_t reads_before = memory_.accesses();
+
+    for (std::size_t w = 0; w < memory_.numWindows(); ++w) {
+        const auto words = memory_.fetchWindow(w); // cycle: fetch
+        const auto coeffs = rle_.decode(words);    // cycle: expand
+        const auto samples = engine_.transform(coeffs); // cycle: IDCT
+        r.samples.insert(r.samples.end(), samples.begin(),
+                         samples.end());
+    }
+    r.samples.resize(loadedSamples_);
+
+    // Pipelined stages: one window per cycle in steady state, plus
+    // fill latency (fetch + RLE + IDCT latency).
+    r.stats.cycles = memory_.numWindows() + 2 +
+                     static_cast<std::uint64_t>(engine_.latency());
+    r.stats.wordsRead = memory_.accesses() - reads_before;
+    r.stats.samplesOut = r.samples.size();
+    r.stats.idctWindows = memory_.numWindows();
+    return r;
+}
+
+StreamResult
+DecompressionPipeline::streamAdaptive(const core::AdaptiveChannel &ch)
+{
+    COMPAQT_REQUIRE(ch.windowSize == ws_,
+                    "adaptive channel window size mismatch");
+    StreamResult r;
+    std::uint64_t cycles = 2 + static_cast<std::uint64_t>(
+        engine_.latency()); // pipeline fill
+
+    for (const auto &seg : ch.segments) {
+        if (seg.isFlat) {
+            // One codeword read; the decoded value feeds the DAC
+            // buffer directly, bypassing memory and the IDCT
+            // (Fig 13b). One cycle to issue the codeword.
+            const auto v = dsp::IntDct::quantize(seg.value);
+            r.samples.insert(r.samples.end(), seg.count, v);
+            r.stats.wordsRead += 1;
+            r.stats.bypassSamples += seg.count;
+            cycles += 1;
+            continue;
+        }
+        load(seg.windows);
+        StreamResult part = stream();
+        r.samples.insert(r.samples.end(), part.samples.begin(),
+                         part.samples.end());
+        r.stats.wordsRead += part.stats.wordsRead;
+        r.stats.idctWindows += part.stats.idctWindows;
+        cycles += part.stats.idctWindows; // steady-state pipelining
+    }
+    r.samples.resize(ch.numSamples);
+    r.stats.cycles = cycles;
+    r.stats.samplesOut = r.samples.size();
+    return r;
+}
+
+} // namespace compaqt::uarch

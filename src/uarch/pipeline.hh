@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The full decompression pipeline of Fig 10 (banked fetch -> RLE
+ * decode -> IDCT -> DAC buffer), with the adaptive IDCT-bypass path
+ * of Fig 13(b). Streams a compressed channel and reports the cycle,
+ * access, and bandwidth accounting the evaluation needs.
+ *
+ * The pipeline is modelled at window granularity: each stage takes
+ * one fabric cycle and the stages are pipelined, so a W-window
+ * waveform streams in W + latency cycles, producing WS samples per
+ * cycle — the bandwidth expansion of Fig 2(b).
+ */
+
+#ifndef COMPAQT_UARCH_PIPELINE_HH
+#define COMPAQT_UARCH_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive.hh"
+#include "core/compressor.hh"
+#include "uarch/bram.hh"
+#include "uarch/idct_engine.hh"
+#include "uarch/rle_decoder.hh"
+
+namespace compaqt::uarch
+{
+
+/** Streaming statistics for one waveform playback. */
+struct StreamStats
+{
+    /** Fabric cycles from first fetch to last sample. */
+    std::uint64_t cycles = 0;
+    /** Memory words actually read. */
+    std::uint64_t wordsRead = 0;
+    /** Samples delivered to the DAC buffer. */
+    std::uint64_t samplesOut = 0;
+    /** Windows that went through the IDCT. */
+    std::uint64_t idctWindows = 0;
+    /** Samples produced by the RLE-only bypass (adaptive mode). */
+    std::uint64_t bypassSamples = 0;
+
+    /** Samples per fabric cycle — the effective bandwidth boost. */
+    double
+    samplesPerCycle() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(samplesOut) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** Result of streaming: the decoded samples plus statistics. */
+struct StreamResult
+{
+    std::vector<std::int32_t> samples;
+    StreamStats stats;
+};
+
+/**
+ * One per-channel decompression pipeline instance.
+ */
+class DecompressionPipeline
+{
+  public:
+    /**
+     * @param kind engine flavor
+     * @param window_size transform size (4/8/16/32)
+     * @param memory_width uniform words per window the memory was
+     *        provisioned for (>= worst case of the library)
+     */
+    DecompressionPipeline(EngineKind kind, std::size_t window_size,
+                          std::size_t memory_width);
+
+    /**
+     * Load a compressed channel into banked memory.
+     * @pre integer codec, windows fit memory_width
+     */
+    void load(const core::CompressedChannel &ch);
+
+    /**
+     * Stream the loaded waveform once; samples are bit-exact with
+     * core::Decompressor (the golden model).
+     */
+    StreamResult stream();
+
+    /**
+     * Stream an adaptively compressed channel: flat segments take the
+     * bypass path (one cycle per codeword, no memory/IDCT activity
+     * beyond it).
+     */
+    StreamResult streamAdaptive(const core::AdaptiveChannel &ch);
+
+    const IdctEngine &engine() const { return engine_; }
+
+  private:
+    std::size_t ws_;
+    std::size_t memWidth_;
+    RleDecoder rle_;
+    IdctEngine engine_;
+    BankedWaveform memory_;
+    std::size_t loadedSamples_ = 0;
+};
+
+} // namespace compaqt::uarch
+
+#endif // COMPAQT_UARCH_PIPELINE_HH

@@ -1,0 +1,44 @@
+#include "uarch/resources.hh"
+
+#include <cmath>
+
+#include "uarch/timing.hh"
+
+namespace compaqt::uarch
+{
+
+ResourceEstimate
+baselineResources()
+{
+    // QICK single-qubit control block as synthesized on the zc7u7ev
+    // (Table VIII's measured baseline; includes the AXI interface).
+    return {3386, 6448};
+}
+
+ResourceEstimate
+engineResources(EngineKind kind, std::size_t ws, const ResourceParams &p)
+{
+    const dsp::OpCounter ops = engineOps(kind, ws);
+    ResourceEstimate r;
+    r.luts = static_cast<int>(std::lround(
+        ops.adders() * p.lutsPerAdder +
+        ops.multipliers() * p.lutsPerMultiplier + p.lutOverhead));
+    // Registered: input coefficients and output samples of one window.
+    r.ffs = static_cast<int>(std::lround(
+        2.0 * static_cast<double>(ws) * p.ffsPerSample + p.ffOverhead));
+    return r;
+}
+
+double
+lutPercent(const ResourceEstimate &r, const SocResources &soc)
+{
+    return 100.0 * r.luts / soc.totalLuts;
+}
+
+double
+ffPercent(const ResourceEstimate &r, const SocResources &soc)
+{
+    return 100.0 * r.ffs / soc.totalFfs;
+}
+
+} // namespace compaqt::uarch

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FPGA resource model (Tables IV and VIII): LUT/FF estimates for the
+ * IDCT engines from their instantiated operation counts, plus the
+ * QICK baseline calibration point. Stands in for Vivado synthesis
+ * (DESIGN.md §1).
+ *
+ * Cost model: a w-bit carry-chain adder costs ~w LUTs; fixed shifts
+ * are wiring (0 LUTs); the window's coefficient/sample registers and
+ * control dominate the FF count.
+ */
+
+#ifndef COMPAQT_UARCH_RESOURCES_HH
+#define COMPAQT_UARCH_RESOURCES_HH
+
+#include <cstddef>
+
+#include "uarch/idct_engine.hh"
+
+namespace compaqt::uarch
+{
+
+/** Resource-model calibration. */
+struct ResourceParams
+{
+    /** Effective datapath width in LUTs per adder. */
+    double lutsPerAdder = 9.0;
+    /** LUTs per true multiplier when not mapped to DSP blocks. */
+    double lutsPerMultiplier = 180.0;
+    /** Control/mux LUT overhead per engine. */
+    double lutOverhead = 80.0;
+    /** Sample register width (bits -> FFs per registered sample). */
+    double ffsPerSample = 16.0;
+    /** Control FF overhead per engine. */
+    double ffOverhead = 10.0;
+};
+
+/** One design point's resource usage. */
+struct ResourceEstimate
+{
+    int luts = 0;
+    int ffs = 0;
+};
+
+/** QICK baseline usage (Vivado-reported calibration constants). */
+ResourceEstimate baselineResources();
+
+/** Single IDCT engine usage from its instantiated op counts. */
+ResourceEstimate engineResources(EngineKind kind, std::size_t ws,
+                                 const ResourceParams &p = {});
+
+/** Total FPGA resources of the evaluation SoC (Xilinx zc7u7ev). */
+struct SocResources
+{
+    int totalLuts = 230400;
+    int totalFfs = 460800;
+};
+
+/** Percent utilization helpers for the Table VIII format. */
+double lutPercent(const ResourceEstimate &r, const SocResources &soc = {});
+double ffPercent(const ResourceEstimate &r, const SocResources &soc = {});
+
+} // namespace compaqt::uarch
+
+#endif // COMPAQT_UARCH_RESOURCES_HH

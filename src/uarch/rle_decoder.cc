@@ -1,0 +1,35 @@
+#include "uarch/rle_decoder.hh"
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+RleDecoder::RleDecoder(std::size_t window_size)
+    : windowSize_(window_size)
+{
+    COMPAQT_REQUIRE(window_size > 0, "window size must be positive");
+}
+
+std::vector<std::int32_t>
+RleDecoder::decode(const std::vector<Word> &words)
+{
+    std::vector<std::int32_t> out;
+    out.reserve(windowSize_);
+    for (const Word &w : words) {
+        if (w.isRle) {
+            // The signature identifies the codeword; the last cn
+            // inputs of the IDCT stage are forced to zero.
+            for (std::uint32_t i = 0; i < w.count; ++i)
+                out.push_back(0);
+        } else {
+            out.push_back(w.value);
+        }
+    }
+    COMPAQT_REQUIRE(out.size() == windowSize_,
+                    "RLE decode produced wrong coefficient count");
+    ++cycles_;
+    return out;
+}
+
+} // namespace compaqt::uarch

@@ -1,0 +1,119 @@
+#include "uarch/scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+VendorParams
+VendorParams::ibm()
+{
+    VendorParams p;
+    p.fs = 4.54e9;
+    p.sampleBits = 32;
+    p.nSingleQubitGates = 2; // X, SX
+    p.nTwoQubitGates = 1;    // CX
+    p.degree = 2.3;          // heavy-hexagonal average
+    p.t1q = 30e-9;
+    p.t2q = 300e-9;
+    p.tReadout = 300e-9;
+    return p;
+}
+
+VendorParams
+VendorParams::google()
+{
+    VendorParams p;
+    p.fs = 1e9;
+    p.sampleBits = 28;
+    p.nSingleQubitGates = 3; // fsim, iSWAP, phased XZ families
+    p.nTwoQubitGates = 2;
+    p.degree = 4.0; // grid
+    p.t1q = 25e-9;
+    p.t2q = 30e-9;
+    p.tReadout = 500e-9;
+    return p;
+}
+
+double
+memoryPerQubitBytes(const VendorParams &p)
+{
+    // MC = sum_1q fs Ns t + sum_{d * n2q} fs Ns t + fs Ns t_readout
+    const double bytes_per_sample = p.sampleBits / 8.0;
+    const double one_q =
+        p.nSingleQubitGates * p.fs * bytes_per_sample * p.t1q;
+    const double two_q = p.degree * p.nTwoQubitGates * p.fs *
+                         bytes_per_sample * p.t2q;
+    const double readout = p.fs * bytes_per_sample * p.tReadout;
+    return one_q + two_q + readout;
+}
+
+double
+memoryCapacityBytes(const VendorParams &p, std::size_t n_qubits)
+{
+    return memoryPerQubitBytes(p) * static_cast<double>(n_qubits);
+}
+
+double
+bandwidthDemandBytesPerSec(double fs, int sample_bits,
+                           std::size_t n_qubits)
+{
+    return fs * (sample_bits / 8.0) * static_cast<double>(n_qubits);
+}
+
+std::size_t
+capacityConstrainedQubits(const RfsocPlatform &rf, const VendorParams &p)
+{
+    return static_cast<std::size_t>(rf.memoryBytes /
+                                    memoryPerQubitBytes(p));
+}
+
+std::size_t
+bandwidthConstrainedQubits(const RfsocPlatform &rf)
+{
+    const double per_qubit =
+        bandwidthDemandBytesPerSec(rf.dacRate, rf.sampleBits, 1);
+    return static_cast<std::size_t>(rf.maxBandwidthBytesPerSec /
+                                    per_qubit);
+}
+
+std::size_t
+banksPerChannel(const RfsocPlatform &rf, bool compressed,
+                std::size_t ws, std::size_t words_per_window)
+{
+    if (!compressed)
+        return static_cast<std::size_t>(rf.clockRatio);
+    COMPAQT_REQUIRE(ws > 0 && words_per_window > 0,
+                    "bad compressed-memory geometry");
+    // Pipelines needed to sustain clockRatio samples per fabric
+    // cycle; each consumes words_per_window banks.
+    const auto pipelines = static_cast<std::size_t>(std::ceil(
+        static_cast<double>(rf.clockRatio) / static_cast<double>(ws)));
+    return pipelines * words_per_window;
+}
+
+std::size_t
+qubitsSupported(const RfsocPlatform &rf, bool compressed, std::size_t ws,
+                std::size_t words_per_window)
+{
+    const std::size_t per_channel =
+        banksPerChannel(rf, compressed, ws, words_per_window);
+    return rf.totalBrams /
+           (per_channel * static_cast<std::size_t>(rf.channelsPerQubit));
+}
+
+double
+qubitGain(const RfsocPlatform &rf, std::size_t ws,
+          std::size_t words_per_window)
+{
+    const auto base = static_cast<double>(
+        qubitsSupported(rf, false, ws, words_per_window));
+    const auto comp = static_cast<double>(
+        qubitsSupported(rf, true, ws, words_per_window));
+    return base == 0.0 ? 0.0 : comp / base;
+}
+
+} // namespace compaqt::uarch

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Analytic capacity/bandwidth scaling models of Section III (Fig 5)
+ * and the qubits-supported solver behind Table V and Fig 17(b).
+ */
+
+#ifndef COMPAQT_UARCH_SCALING_HH
+#define COMPAQT_UARCH_SCALING_HH
+
+#include <cstddef>
+
+namespace compaqt::uarch
+{
+
+/** Table I vendor parameters. */
+struct VendorParams
+{
+    /** DAC sampling rate, samples/s. */
+    double fs = 4.54e9;
+    /** Sample size in bits (covers I and Q). */
+    int sampleBits = 32;
+    /** Single-qubit gate types. */
+    int nSingleQubitGates = 2;
+    /** Two-qubit gate types. */
+    int nTwoQubitGates = 1;
+    /** Average qubit degree (coupler count per qubit). */
+    double degree = 2.0;
+    /** Gate latencies, seconds. */
+    double t1q = 30e-9;
+    double t2q = 300e-9;
+    double tReadout = 300e-9;
+
+    static VendorParams ibm();
+    static VendorParams google();
+};
+
+/** Per-qubit waveform memory (Section III's MC formula), bytes. */
+double memoryPerQubitBytes(const VendorParams &p);
+
+/** Library capacity for n qubits, bytes. */
+double memoryCapacityBytes(const VendorParams &p, std::size_t n_qubits);
+
+/** Peak bandwidth to drive n qubits concurrently, bytes/s (BW=fs*s). */
+double bandwidthDemandBytesPerSec(double fs, int sample_bits,
+                                  std::size_t n_qubits);
+
+/** RFSoC platform constants used as Fig 5 reference lines. */
+struct RfsocPlatform
+{
+    /** On-chip BRAM+URAM capacity, bytes (Fig 5a line). */
+    double memoryBytes = 7.56e6;
+    /** Peak internal memory bandwidth, bytes/s (Fig 5b line). */
+    double maxBandwidthBytesPerSec = 866e9;
+    /** On-fabric 16x-faster DACs (6 GS/s). */
+    double dacRate = 6e9;
+    /** Stored sample size in bits. */
+    int sampleBits = 32;
+    /** DAC-to-fabric clock ratio (QICK: 16). */
+    int clockRatio = 16;
+    /** BRAM banks available for waveform memory. */
+    std::size_t totalBrams = 1260;
+    /** Streams per qubit (I and Q). */
+    int channelsPerQubit = 2;
+};
+
+/** Qubits supportable if only capacity constrained (Fig 5d left). */
+std::size_t capacityConstrainedQubits(const RfsocPlatform &rf,
+                                      const VendorParams &p);
+
+/** Qubits supportable if bandwidth constrained (Fig 5d right). */
+std::size_t bandwidthConstrainedQubits(const RfsocPlatform &rf);
+
+/**
+ * BRAM banks one channel needs. Uncompressed: clockRatio banks (one
+ * sample per bank per fabric cycle). Compressed: words_per_window
+ * banks per decompression pipeline, times the clockRatio/ws pipelines
+ * needed to hit the DAC rate (Section V-C's WS=8 example needs two
+ * 8-point engines at ratio 16).
+ */
+std::size_t banksPerChannel(const RfsocPlatform &rf, bool compressed,
+                            std::size_t ws, std::size_t words_per_window);
+
+/** Concurrent qubits a platform can drive (Table V, Fig 17b). */
+std::size_t qubitsSupported(const RfsocPlatform &rf, bool compressed,
+                            std::size_t ws,
+                            std::size_t words_per_window);
+
+/**
+ * Normalized qubit gain of compression: ws / words_per_window when
+ * the clock ratio is a multiple of ws (Table V's 2.66x / 5.33x).
+ */
+double qubitGain(const RfsocPlatform &rf, std::size_t ws,
+                 std::size_t words_per_window);
+
+} // namespace compaqt::uarch
+
+#endif // COMPAQT_UARCH_SCALING_HH

@@ -1,0 +1,58 @@
+#include "uarch/timing.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace compaqt::uarch
+{
+
+dsp::OpCounter
+engineOps(EngineKind kind, std::size_t ws)
+{
+    COMPAQT_REQUIRE(dsp::intDctSupported(ws), "unsupported window size");
+    dsp::IntDct xform(ws);
+    dsp::OpCounter ops;
+    if (kind == EngineKind::IntDctW) {
+        std::vector<std::int32_t> y(ws, 0), x(ws, 0);
+        xform.inverseButterfly(y, x, &ops);
+    } else {
+        xform.countMultiplierIdct(ops);
+    }
+    return ops;
+}
+
+TimingEstimate
+baselineTiming(const TimingParams &p)
+{
+    TimingEstimate t;
+    t.criticalPathNs = p.baselinePathNs;
+    t.fmaxMhz = 1e3 / t.criticalPathNs;
+    t.normalized = 1.0;
+    return t;
+}
+
+TimingEstimate
+engineTiming(EngineKind kind, std::size_t ws, bool pipelined,
+             const TimingParams &p)
+{
+    TimingEstimate t;
+    if (pipelined) {
+        // Register balancing restores the baseline path.
+        return baselineTiming(p);
+    }
+    const dsp::OpCounter ops = engineOps(kind, ws);
+    double path =
+        kind == EngineKind::IntDctW
+            ? p.intFixedNs + p.nsPerAdder * ops.adders()
+            : p.dctwFixedNs + p.multiplierNs +
+                  p.nsPerAdder * ops.adders();
+    path = std::max(path, p.baselinePathNs);
+    t.criticalPathNs = path;
+    t.fmaxMhz = 1e3 / path;
+    t.normalized = p.baselinePathNs / path;
+    return t;
+}
+
+} // namespace compaqt::uarch

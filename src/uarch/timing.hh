@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FPGA timing model for the decompression engines (Fig 16): a
+ * structural critical-path estimate standing in for Vivado synthesis
+ * (DESIGN.md §1).
+ *
+ * Model: the baseline controller path is calibrated to QICK's
+ * reported 294 MHz. An integrated engine's path is a fixed datapath
+ * term (CSD chain + output butterfly + RLE mux for int-DCT-W; the
+ * shallower Loeffler network plus a DSP multiplier for DCT-W) plus a
+ * routing-congestion term proportional to the engine's instantiated
+ * adder count — congestion, not logic depth, is what separates the
+ * window sizes, since the odd-part adder array grows quadratically
+ * with WS while tree depth grows only logarithmically.
+ */
+
+#ifndef COMPAQT_UARCH_TIMING_HH
+#define COMPAQT_UARCH_TIMING_HH
+
+#include <cstddef>
+
+#include "uarch/idct_engine.hh"
+
+namespace compaqt::uarch
+{
+
+/** Calibrated delays (ns) of a mid-range FPGA fabric. */
+struct TimingParams
+{
+    /** Baseline controller critical path (294 MHz QICK). */
+    double baselinePathNs = 3.40;
+    /** int-DCT-W fixed datapath: RLE mux + CSD chain + butterfly. */
+    double intFixedNs = 3.64;
+    /** DCT-W fixed datapath (shallower Loeffler adder network). */
+    double dctwFixedNs = 2.95;
+    /** Unpipelined DSP multiplier on the DCT-W path. */
+    double multiplierNs = 2.10;
+    /** Routing-congestion cost per instantiated adder. */
+    double nsPerAdder = 4.3e-4;
+};
+
+/** Timing estimate of one design point. */
+struct TimingEstimate
+{
+    double criticalPathNs = 0.0;
+    double fmaxMhz = 0.0;
+    /** fmax relative to the uncompressed baseline. */
+    double normalized = 0.0;
+};
+
+/** Baseline (uncompressed QICK-style) controller timing. */
+TimingEstimate baselineTiming(const TimingParams &p = {});
+
+/**
+ * Timing with a decompression engine integrated into the stream path.
+ *
+ * @param kind engine flavor (multiplier DCT-W vs shift-add int-DCT-W)
+ * @param ws window size (4/8/16/32)
+ * @param pipelined if true, the engine is register-balanced and the
+ *        path reverts to baseline — the paper's "can be pipelined to
+ *        enable a design with no clock frequency degradation"
+ */
+TimingEstimate engineTiming(EngineKind kind, std::size_t ws,
+                            bool pipelined = false,
+                            const TimingParams &p = {});
+
+/** Instantiated op counts of an engine datapath (drives the model). */
+dsp::OpCounter engineOps(EngineKind kind, std::size_t ws);
+
+} // namespace compaqt::uarch
+
+#endif // COMPAQT_UARCH_TIMING_HH

@@ -1,0 +1,102 @@
+#include "waveform/complex_gates.hh"
+
+#include <cmath>
+
+namespace compaqt::waveform
+{
+
+namespace
+{
+
+/**
+ * Superpose cosine/sine harmonics under a Hann window, the generic
+ * shape optimal-control pulses take: a smooth backbone plus the
+ * higher-frequency components the optimizer adds. Each harmonic is an
+ * (index, amplitude) pair; indices in the tens put structure inside a
+ * 16-sample window, which is what limits compressibility.
+ */
+IqWaveform
+harmonicPulse(std::size_t n, double amp,
+              const std::vector<std::pair<int, double>> &i_harmonics,
+              const std::vector<std::pair<int, double>> &q_harmonics)
+{
+    IqWaveform wf;
+    wf.i.assign(n, 0.0);
+    wf.q.assign(n, 0.0);
+    const double nd = static_cast<double>(n - 1);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double t = static_cast<double>(k) / nd; // [0, 1]
+        // Hann window keeps the pulse endpoints at zero.
+        const double win = 0.5 * (1.0 - std::cos(2.0 * M_PI * t));
+        double vi = 0.0, vq = 0.0;
+        for (const auto &[h, a] : i_harmonics)
+            vi += a * std::cos(2.0 * M_PI * h * t);
+        for (const auto &[h, a] : q_harmonics)
+            vq += a * std::sin(2.0 * M_PI * h * t);
+        wf.i[k] = amp * win * vi;
+        wf.q[k] = amp * win * vq;
+    }
+    return wf;
+}
+
+} // namespace
+
+IqWaveform
+iToffoliPulse()
+{
+    // Simultaneous CR drives on both controls: a long flat-top with
+    // gentle ramps; ~390 ns at 4.54 GS/s.
+    return gaussianSquare(1776, 280, 0.12, 0.22);
+}
+
+IqWaveform
+toffoliPulse()
+{
+    // Machine-learned single-shot Toffoli: ~260 ns with substantial
+    // high-harmonic content (optimal control does not produce smooth
+    // Gaussians), hence the worst compressibility of Table IX.
+    return harmonicPulse(
+        1184, 0.16,
+        {{0, 1.0}, {1, 0.45}, {2, -0.28}, {3, 0.15},
+         {22, 0.12}, {37, -0.096}, {51, 0.072}},
+        {{1, 0.35}, {2, -0.22}, {3, 0.12}, {29, 0.084}, {44, -0.06}});
+}
+
+IqWaveform
+cczPulse()
+{
+    // CCZ from the same optimal-control family, slightly less
+    // high-frequency structure than the Toffoli drive.
+    return harmonicPulse(
+        1184, 0.15,
+        {{0, 1.0}, {1, 0.38}, {2, -0.22}, {3, 0.10},
+         {22, 0.11}, {37, -0.088}},
+        {{1, 0.30}, {2, -0.16}, {3, 0.08}, {29, 0.066}});
+}
+
+IqWaveform
+fluxoniumPulse()
+{
+    // Fluxonium 1Q gates: ~170 ns raised-cosine envelopes (smooth,
+    // single-lobe -> highly compressible).
+    IqWaveform wf;
+    wf.i = raisedCosine(768, 0.22);
+    wf.q = raisedCosine(768, 0.05);
+    return wf;
+}
+
+std::vector<ComplexPulse>
+complexPulseSet()
+{
+    return {
+        {"Transmon", "iToffoli", "Three Qubit Gate Pulse [34]",
+         iToffoliPulse()},
+        {"Transmon", "Toffoli", "Three Qubit Gate Pulse [81]",
+         toffoliPulse()},
+        {"Transmon", "CCZ", "Three Qubit Gate Pulse [81]", cczPulse()},
+        {"Fluxonium", "X family", "Single Qubit Gate Pulse [59]",
+         fluxoniumPulse()},
+    };
+}
+
+} // namespace compaqt::waveform

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Complex and emerging-technology gate pulses for the Table IX study:
+ * three-qubit transmon gates (iToffoli [34], optimal-control Toffoli
+ * and CCZ [81]) and fluxonium single-qubit pulses [59].
+ *
+ * The published envelopes are not redistributable, so each is
+ * synthesized to match the *structure* the papers describe: the
+ * iToffoli is a long smooth simultaneous-CR-style flat-top; the
+ * machine-learned Toffoli/CCZ pulses carry several harmonic components
+ * (hence compress worse); fluxonium pulses are short raised-cosine
+ * envelopes. Compressibility depends on exactly this structure.
+ */
+
+#ifndef COMPAQT_WAVEFORM_COMPLEX_GATES_HH
+#define COMPAQT_WAVEFORM_COMPLEX_GATES_HH
+
+#include <string>
+#include <vector>
+
+#include "waveform/shapes.hh"
+
+namespace compaqt::waveform
+{
+
+/** A named pulse for the complex-gate compressibility study. */
+struct ComplexPulse
+{
+    std::string device;
+    std::string gate;
+    std::string description;
+    IqWaveform wf;
+};
+
+/** Simultaneous-CR iToffoli drive (three-qubit, Kim et al.\ [34]). */
+IqWaveform iToffoliPulse();
+
+/** Optimal-control Toffoli drive (Zahedinejad et al.\ [81]). */
+IqWaveform toffoliPulse();
+
+/** Optimal-control CCZ drive (Zahedinejad et al.\ [81]). */
+IqWaveform cczPulse();
+
+/** Fluxonium fast 1Q pulse (Propson et al.\ [59]). */
+IqWaveform fluxoniumPulse();
+
+/** The full Table IX pulse set. */
+std::vector<ComplexPulse> complexPulseSet();
+
+} // namespace compaqt::waveform
+
+#endif // COMPAQT_WAVEFORM_COMPLEX_GATES_HH

@@ -1,0 +1,164 @@
+#include "waveform/device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace compaqt::waveform
+{
+
+namespace
+{
+
+/** 16-qubit Falcon (ibmq_guadalupe) heavy-hex coupling map. */
+const std::vector<std::pair<int, int>> kGuadalupeMap = {
+    {0, 1},   {1, 2},   {1, 4},   {2, 3},  {3, 5},   {4, 7},
+    {5, 8},   {6, 7},   {7, 10},  {8, 9},  {8, 11},  {10, 12},
+    {11, 14}, {12, 13}, {12, 15}, {13, 14},
+};
+
+/** 27-qubit Falcon (toronto/montreal/mumbai/hanoi) coupling map. */
+const std::vector<std::pair<int, int>> kFalcon27Map = {
+    {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},
+    {5, 8},   {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12},
+    {11, 14}, {12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18},
+    {16, 19}, {17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23},
+    {22, 25}, {23, 24}, {24, 25}, {25, 26},
+};
+
+/** 5-qubit linear chain (bogota). */
+const std::vector<std::pair<int, int>> kLinear5Map = {
+    {0, 1}, {1, 2}, {2, 3}, {3, 4}};
+
+/** 5-qubit T shape (lima). */
+const std::vector<std::pair<int, int>> kLima5Map = {
+    {0, 1}, {1, 2}, {1, 3}, {3, 4}};
+
+} // namespace
+
+std::vector<std::pair<int, int>>
+DeviceModel::heavyHexCoupling(std::size_t n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        edges.emplace_back(static_cast<int>(i), static_cast<int>(i + 1));
+    // Rungs every eighth qubit spanning four positions keep the max
+    // degree at three, like the heavy-hex lattice.
+    for (std::size_t i = 2; i + 4 < n; i += 8)
+        edges.emplace_back(static_cast<int>(i), static_cast<int>(i + 4));
+    return edges;
+}
+
+DeviceModel
+DeviceModel::ibm(const std::string &name)
+{
+    if (name == "guadalupe")
+        return synthetic(name, 16, kGuadalupeMap);
+    if (name == "toronto" || name == "montreal" || name == "mumbai" ||
+        name == "hanoi")
+        return synthetic(name, 27, kFalcon27Map);
+    if (name == "bogota")
+        return synthetic(name, 5, kLinear5Map);
+    if (name == "lima")
+        return synthetic(name, 5, kLima5Map);
+    if (name == "brooklyn")
+        return synthetic(name, 65, heavyHexCoupling(65));
+    if (name == "washington")
+        return synthetic(name, 127, heavyHexCoupling(127));
+    COMPAQT_FATAL("unknown IBM machine name");
+}
+
+DeviceModel
+DeviceModel::synthetic(const std::string &name, std::size_t n_qubits,
+                       std::vector<std::pair<int, int>> coupling)
+{
+    COMPAQT_REQUIRE(n_qubits > 0, "device needs at least one qubit");
+    for (const auto &[a, b] : coupling) {
+        COMPAQT_REQUIRE(a >= 0 && b >= 0 &&
+                            a < static_cast<int>(n_qubits) &&
+                            b < static_cast<int>(n_qubits) && a != b,
+                        "coupling edge out of range");
+    }
+    DeviceModel dev;
+    dev.name_ = name;
+    dev.nQubits_ = n_qubits;
+    dev.coupling_ = std::move(coupling);
+    dev.calibrate();
+    return dev;
+}
+
+void
+DeviceModel::calibrate()
+{
+    qubits_.resize(nQubits_);
+    for (std::size_t q = 0; q < nQubits_; ++q) {
+        Rng rng(name_, q);
+        QubitCalibration &cal = qubits_[q];
+        cal.xAmp = rng.uniform(0.10, 0.25);
+        cal.sxAmp = cal.xAmp * rng.uniform(0.48, 0.52);
+        cal.sigmaFrac = rng.uniform(0.23, 0.27);
+        cal.dragBeta = rng.uniform(-2.0, 2.0);
+        cal.measAmp = rng.uniform(0.10, 0.20);
+        cal.measPhase = rng.uniform(-0.35, 0.35);
+    }
+
+    pairs_.assign(nQubits_ * nQubits_, CouplingCalibration{});
+    for (const auto &[a, b] : coupling_) {
+        for (const auto &[ctl, tgt] :
+             {std::pair{a, b}, std::pair{b, a}}) {
+            Rng rng(name_, 1000 + static_cast<std::uint64_t>(ctl) *
+                                      nQubits_ +
+                               static_cast<std::uint64_t>(tgt));
+            CouplingCalibration &cal =
+                pairs_[static_cast<std::size_t>(ctl) * nQubits_ +
+                       static_cast<std::size_t>(tgt)];
+            cal.crAmp = rng.uniform(0.05, 0.15);
+            cal.crPhase = rng.uniform(-0.30, 0.30);
+            cal.rampFrac = rng.uniform(0.12, 0.18);
+        }
+    }
+}
+
+std::vector<int>
+DeviceModel::neighbors(int q) const
+{
+    std::vector<int> out;
+    for (const auto &[a, b] : coupling_) {
+        if (a == q)
+            out.push_back(b);
+        else if (b == q)
+            out.push_back(a);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+DeviceModel::coupled(int a, int b) const
+{
+    return std::any_of(coupling_.begin(), coupling_.end(),
+                       [&](const auto &e) {
+                           return (e.first == a && e.second == b) ||
+                                  (e.first == b && e.second == a);
+                       });
+}
+
+const QubitCalibration &
+DeviceModel::qubit(int q) const
+{
+    COMPAQT_REQUIRE(q >= 0 && q < static_cast<int>(nQubits_),
+                    "qubit index out of range");
+    return qubits_[static_cast<std::size_t>(q)];
+}
+
+const CouplingCalibration &
+DeviceModel::pair(int control, int target) const
+{
+    COMPAQT_REQUIRE(coupled(control, target),
+                    "pair() on uncoupled qubits");
+    return pairs_[static_cast<std::size_t>(control) * nQubits_ +
+                  static_cast<std::size_t>(target)];
+}
+
+} // namespace compaqt::waveform

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Synthetic device models standing in for the IBM machines the paper
+ * evaluates on (see DESIGN.md §1 for the substitution rationale).
+ *
+ * A DeviceModel carries the per-qubit and per-coupling calibration
+ * parameters a real backend would report (pulse amplitudes, widths,
+ * DRAG betas, durations). Parameters are drawn from IBM-realistic
+ * ranges using a PRNG seeded by the machine name, so "guadalupe" is
+ * the same 16-qubit device in every test, bench, and example.
+ */
+
+#ifndef COMPAQT_WAVEFORM_DEVICE_HH
+#define COMPAQT_WAVEFORM_DEVICE_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace compaqt::waveform
+{
+
+/** Per-qubit single-qubit-gate and readout calibration. */
+struct QubitCalibration
+{
+    /** X (pi) pulse amplitude, normalized full scale. */
+    double xAmp = 0.18;
+    /** SX (pi/2) pulse amplitude. */
+    double sxAmp = 0.09;
+    /** Gaussian sigma as a fraction of the 1Q pulse duration. */
+    double sigmaFrac = 0.25;
+    /** DRAG coefficient. */
+    double dragBeta = 1.0;
+    /** Readout pulse amplitude. */
+    double measAmp = 0.15;
+    /** Readout drive phase (radians), sets the measure Q channel. */
+    double measPhase = 0.0;
+};
+
+/** Per-directed-pair cross-resonance calibration. */
+struct CouplingCalibration
+{
+    /** CR drive amplitude. */
+    double crAmp = 0.10;
+    /** CR drive phase (radians). */
+    double crPhase = 0.0;
+    /** Ramp length as a fraction of the 2Q pulse duration. */
+    double rampFrac = 0.15;
+};
+
+/**
+ * A control-system view of one quantum machine: qubit count, coupling
+ * map, DAC rate, and calibrated pulse parameters.
+ */
+class DeviceModel
+{
+  public:
+    /**
+     * Build one of the canned IBM-like machines by name. Known names:
+     * bogota (5), lima (5), guadalupe (16), toronto / montreal /
+     * mumbai / hanoi (27, Falcon heavy-hex), brooklyn (65),
+     * washington (127). Fatal on unknown names.
+     */
+    static DeviceModel ibm(const std::string &name);
+
+    /**
+     * Build a synthetic machine with an explicit coupling map.
+     * Calibrations are drawn deterministically from the name.
+     */
+    static DeviceModel
+    synthetic(const std::string &name, std::size_t n_qubits,
+              std::vector<std::pair<int, int>> coupling);
+
+    const std::string &name() const { return name_; }
+    std::size_t numQubits() const { return nQubits_; }
+
+    /** Undirected coupling map (one entry per physical coupler). */
+    const std::vector<std::pair<int, int>> &
+    coupling() const
+    {
+        return coupling_;
+    }
+
+    /** Neighbors of qubit q. */
+    std::vector<int> neighbors(int q) const;
+
+    /** True if (a, b) or (b, a) is in the coupling map. */
+    bool coupled(int a, int b) const;
+
+    /** DAC sampling rate in samples/second (IBM: 4.54e9). */
+    double samplingRate() const { return samplingRate_; }
+
+    /** Stored sample size in bits covering both I and Q (IBM: 32). */
+    int sampleBits() const { return sampleBits_; }
+
+    /** 1Q pulse duration in samples. */
+    std::size_t oneQubitSamples() const { return samples1q_; }
+
+    /** 2Q (cross-resonance) pulse duration in samples. */
+    std::size_t twoQubitSamples() const { return samples2q_; }
+
+    /** Readout pulse duration in samples. */
+    std::size_t measureSamples() const { return samplesMeas_; }
+
+    const QubitCalibration &qubit(int q) const;
+
+    /** Calibration of the directed pair control -> target. */
+    const CouplingCalibration &pair(int control, int target) const;
+
+    /**
+     * Heavy-hex-like coupling for n qubits: a degree-<=3 chain with
+     * periodic rungs, matching the edge density (~1.15 n) of IBM's
+     * heavy-hexagonal lattices. Used for machines whose exact maps
+     * are not hard-coded.
+     */
+    static std::vector<std::pair<int, int>>
+    heavyHexCoupling(std::size_t n);
+
+  private:
+    DeviceModel() = default;
+
+    void calibrate();
+
+    std::string name_;
+    std::size_t nQubits_ = 0;
+    std::vector<std::pair<int, int>> coupling_;
+    double samplingRate_ = 4.54e9;
+    int sampleBits_ = 32;
+    std::size_t samples1q_ = 144;
+    std::size_t samples2q_ = 1360;
+    std::size_t samplesMeas_ = 1360;
+    std::vector<QubitCalibration> qubits_;
+    /** Directed-pair calibrations indexed control * nQubits + target. */
+    std::vector<CouplingCalibration> pairs_;
+};
+
+} // namespace compaqt::waveform
+
+#endif // COMPAQT_WAVEFORM_DEVICE_HH

@@ -1,0 +1,142 @@
+#include "waveform/library.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::waveform
+{
+
+const char *
+gateTypeName(GateType t)
+{
+    switch (t) {
+      case GateType::X:
+        return "X";
+      case GateType::SX:
+        return "SX";
+      case GateType::CX:
+        return "CX";
+      case GateType::Measure:
+        return "Meas";
+    }
+    return "?";
+}
+
+std::string
+toString(const GateId &id)
+{
+    std::string s = gateTypeName(id.type);
+    s += "(q" + std::to_string(id.q0);
+    if (id.q1 >= 0)
+        s += ",q" + std::to_string(id.q1);
+    s += ")";
+    return s;
+}
+
+IqWaveform
+makeOneQubitPulse(const DeviceModel &dev, GateType type, int q)
+{
+    COMPAQT_REQUIRE(type == GateType::X || type == GateType::SX,
+                    "makeOneQubitPulse expects X or SX");
+    const QubitCalibration &cal = dev.qubit(q);
+    const std::size_t n = dev.oneQubitSamples();
+    const double sigma = cal.sigmaFrac * static_cast<double>(n);
+    const double amp = type == GateType::X ? cal.xAmp : cal.sxAmp;
+    return drag(n, sigma, amp, cal.dragBeta);
+}
+
+IqWaveform
+makeCrPulse(const DeviceModel &dev, int control, int target)
+{
+    const CouplingCalibration &cal = dev.pair(control, target);
+    const std::size_t n = dev.twoQubitSamples();
+    const auto ramp =
+        static_cast<std::size_t>(cal.rampFrac * static_cast<double>(n));
+    return gaussianSquare(n, ramp, cal.crAmp, cal.crPhase);
+}
+
+IqWaveform
+makeMeasurePulse(const DeviceModel &dev, int q)
+{
+    const QubitCalibration &cal = dev.qubit(q);
+    const std::size_t n = dev.measureSamples();
+    return gaussianSquare(n, n / 8, cal.measAmp, cal.measPhase);
+}
+
+PulseLibrary
+PulseLibrary::build(const DeviceModel &dev)
+{
+    PulseLibrary lib;
+    lib.sampleBits_ = dev.sampleBits();
+    const int nq = static_cast<int>(dev.numQubits());
+    for (int q = 0; q < nq; ++q) {
+        lib.pulses_[{GateType::X, q, -1}] =
+            makeOneQubitPulse(dev, GateType::X, q);
+        lib.pulses_[{GateType::SX, q, -1}] =
+            makeOneQubitPulse(dev, GateType::SX, q);
+        lib.pulses_[{GateType::Measure, q, -1}] =
+            makeMeasurePulse(dev, q);
+    }
+    for (const auto &[a, b] : dev.coupling()) {
+        lib.pulses_[{GateType::CX, a, b}] = makeCrPulse(dev, a, b);
+        lib.pulses_[{GateType::CX, b, a}] = makeCrPulse(dev, b, a);
+    }
+    return lib;
+}
+
+bool
+PulseLibrary::contains(const GateId &id) const
+{
+    return pulses_.contains(id);
+}
+
+const IqWaveform &
+PulseLibrary::waveform(const GateId &id) const
+{
+    auto it = pulses_.find(id);
+    COMPAQT_REQUIRE(it != pulses_.end(), "waveform not in library");
+    return it->second;
+}
+
+double
+PulseLibrary::waveformBytes(const GateId &id) const
+{
+    return static_cast<double>(waveform(id).size()) * sampleBits_ / 8.0;
+}
+
+double
+PulseLibrary::totalBytes() const
+{
+    double total = 0.0;
+    for (const auto &[id, wf] : pulses_)
+        total += static_cast<double>(wf.size()) * sampleBits_ / 8.0;
+    return total;
+}
+
+double
+PulseLibrary::perQubitBytes(int q) const
+{
+    double total = 0.0;
+    for (const auto &[id, wf] : pulses_) {
+        const double bytes =
+            static_cast<double>(wf.size()) * sampleBits_ / 8.0;
+        if (id.type == GateType::CX) {
+            // Each directed CX waveform is charged to its control
+            // qubit, giving every qubit its d outgoing CR pulses.
+            if (id.q0 == q)
+                total += bytes;
+        } else if (id.q0 == q) {
+            total += bytes;
+        }
+    }
+    return total;
+}
+
+void
+PulseLibrary::insert(const GateId &id, IqWaveform wf)
+{
+    pulses_[id] = std::move(wf);
+}
+
+} // namespace compaqt::waveform

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The per-device pulse library: every gate the machine supports mapped
+ * to its calibrated I/Q waveform, plus the capacity accounting of
+ * Section III (Table I). This is the object COMPAQT compresses at
+ * compile time and the controller streams at runtime.
+ */
+
+#ifndef COMPAQT_WAVEFORM_LIBRARY_HH
+#define COMPAQT_WAVEFORM_LIBRARY_HH
+
+#include <compare>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "waveform/device.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt::waveform
+{
+
+/** Physical gate families stored in waveform memory. */
+enum class GateType
+{
+    X,       ///< pi rotation, DRAG envelope
+    SX,      ///< pi/2 rotation, DRAG envelope
+    CX,      ///< cross-resonance drive, GaussianSquare envelope
+    Measure, ///< readout tone, GaussianSquare envelope
+};
+
+/** Printable name of a gate type. */
+const char *gateTypeName(GateType t);
+
+/** Identifies one stored waveform: a gate bound to physical qubits. */
+struct GateId
+{
+    GateType type = GateType::X;
+    /** Target qubit (control qubit for CX). */
+    int q0 = 0;
+    /** CX target; unused (-1) otherwise. */
+    int q1 = -1;
+
+    auto operator<=>(const GateId &) const = default;
+};
+
+/** Human-readable form, e.g. "SX(q2)" or "CX(q1,q4)". */
+std::string toString(const GateId &id);
+
+/**
+ * All calibrated waveforms of one device.
+ */
+class PulseLibrary
+{
+  public:
+    /** Generate the full library for a device from its calibrations. */
+    static PulseLibrary build(const DeviceModel &dev);
+
+    /** Number of stored waveforms. */
+    std::size_t size() const { return pulses_.size(); }
+
+    bool contains(const GateId &id) const;
+
+    /** Waveform for a gate. @pre contains(id) */
+    const IqWaveform &waveform(const GateId &id) const;
+
+    /** All entries, ordered by GateId. */
+    const std::map<GateId, IqWaveform> &entries() const
+    {
+        return pulses_;
+    }
+
+    /** Sample size in bits covering both channels (from the device). */
+    int sampleBits() const { return sampleBits_; }
+
+    /** Uncompressed footprint of one waveform in bytes. */
+    double waveformBytes(const GateId &id) const;
+
+    /** Uncompressed footprint of the whole library in bytes. */
+    double totalBytes() const;
+
+    /**
+     * Uncompressed footprint attributable to one qubit in bytes: its
+     * 1Q gates, readout, and its share of each incident CX pair
+     * (Section III's per-qubit memory estimate; ~18 KB on IBM).
+     */
+    double perQubitBytes(int q) const;
+
+    /** Insert or replace a waveform (used for custom gate studies). */
+    void insert(const GateId &id, IqWaveform wf);
+
+  private:
+    std::map<GateId, IqWaveform> pulses_;
+    int sampleBits_ = 32;
+};
+
+/** Build the calibrated DRAG waveform for one 1Q gate. */
+IqWaveform makeOneQubitPulse(const DeviceModel &dev, GateType type,
+                             int q);
+
+/** Build the calibrated cross-resonance waveform for control->target. */
+IqWaveform makeCrPulse(const DeviceModel &dev, int control, int target);
+
+/** Build the calibrated readout waveform for a qubit. */
+IqWaveform makeMeasurePulse(const DeviceModel &dev, int q);
+
+} // namespace compaqt::waveform
+
+#endif // COMPAQT_WAVEFORM_LIBRARY_HH

@@ -1,0 +1,115 @@
+#include "waveform/shapes.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace compaqt::waveform
+{
+
+std::vector<double>
+liftedGaussian(std::size_t n, double sigma, double amp)
+{
+    COMPAQT_REQUIRE(n > 0 && sigma > 0.0, "bad gaussian parameters");
+    const double c = (static_cast<double>(n) - 1.0) / 2.0;
+    auto g = [&](double t) {
+        const double d = (t - c) / sigma;
+        return std::exp(-0.5 * d * d);
+    };
+    const double floor = g(-1.0);
+    std::vector<double> out(n);
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = amp * (g(static_cast<double>(k)) - floor) / (1.0 - floor);
+    return out;
+}
+
+std::vector<double>
+gaussianDerivative(std::size_t n, double sigma, double amp)
+{
+    COMPAQT_REQUIRE(n > 0 && sigma > 0.0, "bad gaussian parameters");
+    const double c = (static_cast<double>(n) - 1.0) / 2.0;
+    const double floor = std::exp(-0.5 * (c + 1.0) * (c + 1.0) /
+                                  (sigma * sigma));
+    std::vector<double> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        const double t = static_cast<double>(k);
+        const double d = (t - c) / sigma;
+        const double g = std::exp(-0.5 * d * d);
+        out[k] = amp * (-(t - c) / (sigma * sigma)) * g / (1.0 - floor);
+    }
+    return out;
+}
+
+IqWaveform
+drag(std::size_t n, double sigma, double amp, double beta)
+{
+    IqWaveform wf;
+    wf.i = liftedGaussian(n, sigma, amp);
+    wf.q = gaussianDerivative(n, sigma, amp * beta);
+    return wf;
+}
+
+IqWaveform
+gaussianSquare(std::size_t n, std::size_t ramp, double amp,
+               double iq_phase)
+{
+    COMPAQT_REQUIRE(2 * ramp <= n, "gaussianSquare ramps exceed length");
+    std::vector<double> env(n, amp);
+    if (ramp > 0) {
+        // Gaussian ramps with sigma = ramp / 2, lifted to zero at the
+        // outer edge and reaching amp at the flat top.
+        const double sigma = static_cast<double>(ramp) / 2.0;
+        auto g = [&](double d) { return std::exp(-0.5 * d * d /
+                                                 (sigma * sigma)); };
+        const double floor = g(static_cast<double>(ramp) + 1.0);
+        for (std::size_t k = 0; k < ramp; ++k) {
+            const double d = static_cast<double>(ramp - k);
+            const double v = amp * (g(d) - floor) / (1.0 - floor);
+            env[k] = v;
+            env[n - 1 - k] = v;
+        }
+    }
+    IqWaveform wf;
+    const double qf = std::tan(iq_phase);
+    wf.q.resize(n);
+    for (std::size_t k = 0; k < n; ++k)
+        wf.q[k] = env[k] * qf;
+    wf.i = std::move(env);
+    return wf;
+}
+
+std::vector<double>
+raisedCosine(std::size_t n, double amp)
+{
+    COMPAQT_REQUIRE(n > 1, "raisedCosine needs n > 1");
+    std::vector<double> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        out[k] = 0.5 * amp *
+                 (1.0 - std::cos(2.0 * M_PI * static_cast<double>(k) /
+                                 (static_cast<double>(n) - 1.0)));
+    }
+    return out;
+}
+
+FlatRun
+findFlatRun(const std::vector<double> &x, std::size_t min_run,
+            double tolerance)
+{
+    FlatRun best;
+    std::size_t start = 0;
+    while (start < x.size()) {
+        std::size_t end = start + 1;
+        while (end < x.size() &&
+               std::abs(x[end] - x[start]) <= tolerance)
+            ++end;
+        const std::size_t len = end - start;
+        if (len >= min_run && len > best.length) {
+            best.start = start;
+            best.length = len;
+        }
+        start = end;
+    }
+    return best;
+}
+
+} // namespace compaqt::waveform

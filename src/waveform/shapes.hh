@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pulse-envelope generators for superconducting qubit control.
+ *
+ * Waveforms here are the pulse *envelopes* of Section II-A (the dotted
+ * red line of Fig 3a): the Inphase (I) and Quadrature (Q) components
+ * that the waveform memory stores and the DAC mixes up to the qubit
+ * frequency. Amplitudes are normalized to [-1, 1] full scale.
+ *
+ * Shapes implemented:
+ *  - lifted Gaussian (the standard 1Q envelope),
+ *  - DRAG (Gaussian I, scaled-derivative Q) used by IBM for X/SX,
+ *  - GaussianSquare (flat-top with Gaussian ramps) used for echoed
+ *    cross-resonance 2Q gates and for readout,
+ *  - raised cosine (fluxonium-style fast 1Q pulses).
+ */
+
+#ifndef COMPAQT_WAVEFORM_SHAPES_HH
+#define COMPAQT_WAVEFORM_SHAPES_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace compaqt::waveform
+{
+
+/** A two-channel (I/Q) pulse envelope, one sample per DAC tick. */
+struct IqWaveform
+{
+    std::vector<double> i;
+    std::vector<double> q;
+
+    std::size_t size() const { return i.size(); }
+};
+
+/**
+ * Gaussian envelope "lifted" so the first/last samples sit at zero
+ * (the Qiskit convention): amp * (g(t) - g(-1)) / (1 - g(-1)) with
+ * g(t) = exp(-(t - c)^2 / (2 sigma^2)), c = (n - 1) / 2.
+ */
+std::vector<double> liftedGaussian(std::size_t n, double sigma,
+                                   double amp);
+
+/**
+ * Time derivative of the lifted Gaussian (per-sample units), used for
+ * the DRAG quadrature component.
+ */
+std::vector<double> gaussianDerivative(std::size_t n, double sigma,
+                                       double amp);
+
+/**
+ * DRAG pulse: I = lifted Gaussian, Q = beta * dI/dt. The standard
+ * leakage-suppressing 1Q envelope (Derivative Removal by Adiabatic
+ * Gate), Section IV-C / Fig 8.
+ */
+IqWaveform drag(std::size_t n, double sigma, double amp, double beta);
+
+/**
+ * Flat-top envelope with Gaussian rise/fall ramps of `ramp` samples
+ * each and a constant middle of n - 2*ramp samples (Fig 13a). The
+ * quadrature channel is I rotated by iq_phase
+ * (Q = tan(iq_phase) * I), modelling a static drive phase.
+ *
+ * @pre 2 * ramp <= n
+ */
+IqWaveform gaussianSquare(std::size_t n, std::size_t ramp, double amp,
+                          double iq_phase);
+
+/** Raised-cosine (Hann) envelope: amp/2 * (1 - cos(2 pi t / (n-1))). */
+std::vector<double> raisedCosine(std::size_t n, double amp);
+
+/**
+ * Index of the first flat sample and the flat length of a
+ * gaussianSquare-style envelope; {0, 0} if no run of at least
+ * min_run samples is value-constant. Used by adaptive compression
+ * (Section V-D) to find the IDCT-bypassable region.
+ */
+struct FlatRun
+{
+    std::size_t start = 0;
+    std::size_t length = 0;
+};
+
+FlatRun findFlatRun(const std::vector<double> &x, std::size_t min_run,
+                    double tolerance = 1e-12);
+
+} // namespace compaqt::waveform
+
+#endif // COMPAQT_WAVEFORM_SHAPES_HH

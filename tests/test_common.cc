@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG determinism and distributions,
+ * statistics, histogram, decay fitting, table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace compaqt
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StringSeedingIsStable)
+{
+    Rng a("guadalupe", 3), b("guadalupe", 3), c("toronto", 3);
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIntHasNoObviousBias)
+{
+    Rng rng(11);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(7)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 7.0, 5.0 * std::sqrt(n / 7.0));
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.2) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Stats, SummarizeBasics)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const Summary s = summarize(xs);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+    EXPECT_EQ(s.count, 4u);
+}
+
+TEST(Stats, SummarizeEmptyIsZero)
+{
+    const Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, HistogramCounts)
+{
+    Histogram h;
+    h.add(2);
+    h.add(2);
+    h.add(3);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.count(5), 0u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.maxValue(), 3);
+}
+
+TEST(Stats, LineFitRecoversSlope)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * i - 7.0);
+    }
+    const LineFit f = fitLine(xs, ys);
+    EXPECT_NEAR(f.slope, 3.0, 1e-10);
+    EXPECT_NEAR(f.intercept, -7.0, 1e-9);
+    EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, DecayFitRecoversAlpha)
+{
+    // y = 0.75 * 0.97^x + 0.25, the shape of a 2Q RB decay.
+    std::vector<double> xs, ys;
+    for (int m : {1, 5, 10, 20, 35, 50, 75, 100}) {
+        xs.push_back(m);
+        ys.push_back(0.75 * std::pow(0.97, m) + 0.25);
+    }
+    const DecayFit f = fitDecay(xs, ys, 0.25);
+    EXPECT_NEAR(f.alpha, 0.97, 2e-3);
+    EXPECT_NEAR(f.b, 0.25, 0.02);
+    EXPECT_NEAR(f.a, 0.75, 0.05);
+}
+
+TEST(Stats, DecayFitToleratesNoise)
+{
+    Rng rng(5);
+    std::vector<double> xs, ys;
+    for (int m : {1, 5, 10, 20, 35, 50, 75, 100}) {
+        xs.push_back(m);
+        ys.push_back(0.75 * std::pow(0.96, m) + 0.25 +
+                     rng.normal(0.0, 0.004));
+    }
+    const DecayFit f = fitDecay(xs, ys, 0.25);
+    EXPECT_NEAR(f.alpha, 0.96, 0.01);
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", Table::num(1.5, 1)});
+    std::ostringstream ss;
+    t.print(ss);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::sci(0.000123, 1), "1.2e-04");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::toGBs(2e9), 2.0);
+    EXPECT_DOUBLE_EQ(units::toMB(5e6), 5.0);
+    EXPECT_DOUBLE_EQ(units::toMW(0.003), 3.0);
+}
+
+} // namespace
+} // namespace compaqt

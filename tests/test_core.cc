@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit and property tests for the COMPAQT core: compression round
+ * trips and distortion bounds for every codec, channel equalization,
+ * Algorithm 1 behaviour, adaptive flat-top compression, and the
+ * compressed-library build/serialization path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/adaptive.hh"
+#include "core/compressed_library.hh"
+#include "core/compressor.hh"
+#include "core/decompressor.hh"
+#include "core/fidelity_aware.hh"
+#include "dsp/metrics.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt::core
+{
+namespace
+{
+
+waveform::IqWaveform
+testDrag()
+{
+    return waveform::drag(144, 36.0, 0.2, 1.2);
+}
+
+waveform::IqWaveform
+testFlatTop()
+{
+    return waveform::gaussianSquare(1360, 200, 0.12, 0.15);
+}
+
+// ------------------------------------------------------------ compressor
+
+class CodecParam
+    : public ::testing::TestWithParam<std::tuple<Codec, std::size_t>>
+{
+};
+
+TEST_P(CodecParam, RoundTripMseIsBounded)
+{
+    const auto [codec, ws] = GetParam();
+    CompressorConfig cfg{codec, ws, 1e-3};
+    const Compressor comp(cfg);
+    const auto wf = testDrag();
+    const double err = roundTripMse(comp, wf);
+    EXPECT_LT(err, 1e-4) << codecName(codec) << " ws=" << ws;
+}
+
+TEST_P(CodecParam, RatioAtLeastOneOnSmoothPulses)
+{
+    const auto [codec, ws] = GetParam();
+    CompressorConfig cfg{codec, ws, 1e-3};
+    const Compressor comp(cfg);
+    EXPECT_GE(comp.compress(testDrag()).ratio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, CodecParam,
+    ::testing::Values(std::tuple{Codec::DctN, std::size_t{16}},
+                      std::tuple{Codec::DctW, std::size_t{8}},
+                      std::tuple{Codec::DctW, std::size_t{16}},
+                      std::tuple{Codec::IntDctW, std::size_t{8}},
+                      std::tuple{Codec::IntDctW, std::size_t{16}},
+                      std::tuple{Codec::IntDctW, std::size_t{32}}));
+
+TEST(Compressor, ZeroThresholdIsNearLossless)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 0.0};
+    const Compressor comp(cfg);
+    const auto wf = testDrag();
+    // Quantization + integer transform rounding only.
+    EXPECT_LT(roundTripMse(comp, wf), 1e-7);
+}
+
+TEST(Compressor, HigherThresholdCompressesMore)
+{
+    const auto wf = testFlatTop();
+    double prev_ratio = 0.0;
+    for (double thr : {1e-4, 1e-3, 1e-2}) {
+        CompressorConfig cfg{Codec::IntDctW, 16, thr};
+        const Compressor comp(cfg);
+        const double r = comp.compress(wf).ratio();
+        EXPECT_GE(r, prev_ratio);
+        prev_ratio = r;
+    }
+}
+
+TEST(Compressor, ChannelsShareWindowCounts)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const Compressor comp(cfg);
+    const auto cw = comp.compress(testDrag());
+    ASSERT_EQ(cw.i.windows.size(), cw.q.windows.size());
+    for (std::size_t w = 0; w < cw.i.windows.size(); ++w)
+        EXPECT_EQ(cw.i.windows[w].words(), cw.q.windows[w].words())
+            << "window " << w;
+}
+
+TEST(Compressor, WindowInvariantPrefixPlusZeros)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const Compressor comp(cfg);
+    const auto cw = comp.compress(testFlatTop());
+    for (const auto *ch : {&cw.i, &cw.q})
+        for (const auto &w : ch->windows)
+            EXPECT_EQ(w.prefixSize() + w.zeros, 16u);
+}
+
+TEST(Compressor, DctNUsesSingleWindow)
+{
+    CompressorConfig cfg{Codec::DctN, 0, 1e-3};
+    const Compressor comp(cfg);
+    const auto cw = comp.compress(testDrag());
+    EXPECT_EQ(cw.i.windows.size(), 1u);
+    EXPECT_EQ(cw.windowSize, 144u);
+}
+
+TEST(Compressor, DeltaCodecRoundTrip)
+{
+    CompressorConfig cfg{Codec::Delta, 0, 0.0};
+    const Compressor comp(cfg);
+    const auto wf = testDrag();
+    const auto cw = comp.compress(wf);
+    Decompressor dec;
+    const auto rt = dec.decompress(cw);
+    EXPECT_LT(dsp::mse(wf.i, rt.i), 1e-8);
+    EXPECT_LT(dsp::mse(wf.q, rt.q), 1e-8);
+    EXPECT_GT(cw.ratio(), 0.9);
+}
+
+TEST(Compressor, GaussianSquareBeatsDragCompression)
+{
+    // 2Q/readout flat-tops are longer and smoother than DRAG 1Q
+    // pulses (Section IV-D's observation about qft-4).
+    CompressorConfig cfg{Codec::IntDctW, 16, 2e-3};
+    const Compressor comp(cfg);
+    EXPECT_GT(comp.compress(testFlatTop()).ratio(),
+              comp.compress(testDrag()).ratio());
+}
+
+TEST(Compressor, RejectsBadIntWindowSize)
+{
+    CompressorConfig cfg{Codec::IntDctW, 12, 1e-3};
+    EXPECT_DEATH({ Compressor comp(cfg); }, "window size");
+}
+
+// ---------------------------------------------------------- decompressor
+
+TEST(Decompressor, ExpandWindowReconstructsLayout)
+{
+    CompressedWindow w;
+    w.icoeffs = {100, -50};
+    w.zeros = 14;
+    const auto full = Decompressor::expandWindowInt(w, 16);
+    ASSERT_EQ(full.size(), 16u);
+    EXPECT_EQ(full[0], 100);
+    EXPECT_EQ(full[1], -50);
+    for (std::size_t i = 2; i < 16; ++i)
+        EXPECT_EQ(full[i], 0);
+}
+
+TEST(Decompressor, PreservesOriginalLength)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const Compressor comp(cfg);
+    // 150 samples: the last window is padded; decode must trim.
+    waveform::IqWaveform wf;
+    wf.i = waveform::liftedGaussian(150, 40.0, 0.2);
+    wf.q.assign(150, 0.0);
+    Decompressor dec;
+    const auto rt = dec.decompress(comp.compress(wf));
+    EXPECT_EQ(rt.i.size(), 150u);
+    EXPECT_EQ(rt.q.size(), 150u);
+}
+
+// -------------------------------------------------------- fidelity-aware
+
+TEST(FidelityAware, MeetsMseTarget)
+{
+    FidelityAwareConfig cfg;
+    cfg.base.codec = Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    cfg.targetMse = 1e-6;
+    const auto r = compressFidelityAware(testDrag(), cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.mse, 1e-6);
+    EXPECT_GT(r.iterations, 0);
+}
+
+TEST(FidelityAware, TighterTargetCompressesLess)
+{
+    FidelityAwareConfig loose, tight;
+    loose.base.codec = tight.base.codec = Codec::IntDctW;
+    loose.base.windowSize = tight.base.windowSize = 16;
+    loose.targetMse = 1e-5;
+    tight.targetMse = 1e-8;
+    const auto wf = testDrag();
+    const auto rl = compressFidelityAware(wf, loose);
+    const auto rt = compressFidelityAware(wf, tight);
+    EXPECT_GE(rl.compressed.ratio(), rt.compressed.ratio());
+    EXPECT_LE(rt.mse, 1e-8);
+}
+
+TEST(FidelityAware, ThresholdHalvesUntilConverged)
+{
+    FidelityAwareConfig cfg;
+    cfg.base.codec = Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    cfg.targetMse = 1e-7;
+    cfg.initialThreshold = 0.05;
+    const auto r = compressFidelityAware(testDrag(), cfg);
+    // Returned threshold is initial / 2^(iterations-1).
+    EXPECT_NEAR(r.threshold,
+                0.05 / std::ldexp(1.0, r.iterations - 1), 1e-12);
+}
+
+TEST(FidelityAware, ImpossibleTargetReportsNonConvergence)
+{
+    FidelityAwareConfig cfg;
+    cfg.base.codec = Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    // Below the integer quantization floor: unreachable.
+    cfg.targetMse = 1e-14;
+    const auto r = compressFidelityAware(testDrag(), cfg);
+    EXPECT_FALSE(r.converged);
+    EXPECT_GT(r.mse, 1e-14);
+}
+
+// -------------------------------------------------------------- adaptive
+
+TEST(Adaptive, FlatTopSplitsIntoThreeSegments)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const AdaptiveCompressor comp(cfg);
+    const auto ac = comp.compress(testFlatTop());
+    ASSERT_EQ(ac.i.segments.size(), 3u);
+    EXPECT_FALSE(ac.i.segments[0].isFlat);
+    EXPECT_TRUE(ac.i.segments[1].isFlat);
+    EXPECT_FALSE(ac.i.segments[2].isFlat);
+}
+
+TEST(Adaptive, RoundTripMatchesOriginal)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const AdaptiveCompressor comp(cfg);
+    const auto wf = testFlatTop();
+    const auto ac = comp.compress(wf);
+    const auto rt = AdaptiveCompressor::decompress(ac);
+    EXPECT_LT(dsp::mse(wf.i, rt.i), 1e-5);
+    EXPECT_LT(dsp::mse(wf.q, rt.q), 1e-5);
+    EXPECT_EQ(rt.i.size(), wf.i.size());
+}
+
+TEST(Adaptive, BypassCoversTheFlatRegion)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const AdaptiveCompressor comp(cfg);
+    const auto ac = comp.compress(testFlatTop());
+    // The 1360-sample pulse has ~960 flat samples; window alignment
+    // keeps at least 900 of them on the bypass path.
+    EXPECT_GT(ac.i.bypassSamples(), 900u);
+    EXPECT_EQ(ac.i.bypassSamples() + ac.i.idctSamples(),
+              16u * ((ac.i.idctSamples() / 16) +
+                     ac.i.bypassSamples() / 16));
+}
+
+TEST(Adaptive, BeatsPlainCompressionOnFlatTops)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const AdaptiveCompressor acomp(cfg);
+    const Compressor comp(cfg);
+    const auto wf = testFlatTop();
+    EXPECT_GT(acomp.compress(wf).ratio(),
+              comp.compress(wf).ratio());
+}
+
+TEST(Adaptive, PureGaussianHasNoFlatSegment)
+{
+    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    const AdaptiveCompressor comp(cfg);
+    const auto ac = comp.compress(testDrag());
+    ASSERT_EQ(ac.i.segments.size(), 1u);
+    EXPECT_FALSE(ac.i.segments[0].isFlat);
+    EXPECT_EQ(ac.i.bypassSamples(), 0u);
+}
+
+// ---------------------------------------------------- compressed library
+
+TEST(CompressedLibrary, BuildCoversAllGates)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    FidelityAwareConfig cfg;
+    cfg.base.codec = Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    const auto clib = CompressedLibrary::build(lib, cfg);
+    EXPECT_EQ(clib.size(), lib.size());
+    for (const auto &[id, wf] : lib.entries()) {
+        ASSERT_TRUE(clib.contains(id));
+        EXPECT_TRUE(clib.entry(id).converged);
+    }
+}
+
+TEST(CompressedLibrary, PaperOperatingPoint)
+{
+    // The headline numbers of Section VII-A at the default target:
+    // worst window <= 3 words, per-gate R in [5.33-ish, 8.3].
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    FidelityAwareConfig cfg;
+    cfg.base.codec = Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    const auto clib = CompressedLibrary::build(lib, cfg);
+    EXPECT_LE(clib.worstCaseWindowWords(), 3u);
+    const auto rs = clib.ratios();
+    const double min_r = *std::min_element(rs.begin(), rs.end());
+    const double max_r = *std::max_element(rs.begin(), rs.end());
+    EXPECT_GT(min_r, 4.5);
+    EXPECT_LT(max_r, 9.0);
+    EXPECT_GT(clib.ratio(), 5.0);
+}
+
+TEST(CompressedLibrary, SerializationRoundTrips)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    FidelityAwareConfig cfg;
+    cfg.base.codec = Codec::IntDctW;
+    cfg.base.windowSize = 16;
+    const auto clib = CompressedLibrary::build(lib, cfg);
+
+    std::stringstream ss;
+    clib.save(ss);
+    const auto loaded = CompressedLibrary::load(ss);
+    ASSERT_EQ(loaded.size(), clib.size());
+
+    Decompressor dec;
+    for (const auto &[id, e] : clib.entries()) {
+        ASSERT_TRUE(loaded.contains(id));
+        const auto &l = loaded.entry(id);
+        EXPECT_DOUBLE_EQ(l.threshold, e.threshold);
+        EXPECT_DOUBLE_EQ(l.mse, e.mse);
+        // Decoded waveforms are bit-identical.
+        const auto a = dec.decompress(e.cw);
+        const auto b = dec.decompress(l.cw);
+        EXPECT_EQ(a.i, b.i);
+        EXPECT_EQ(a.q, b.q);
+    }
+}
+
+TEST(CompressedLibrary, LoadRejectsGarbage)
+{
+    std::stringstream ss;
+    ss << "not a compressed library";
+    EXPECT_DEATH({ auto l = CompressedLibrary::load(ss); }, "magic");
+}
+
+} // namespace
+} // namespace compaqt::core

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the power substrate: SRAM model monotonicity, engine
+ * energy accounting, and the Fig 18/19 system rollups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hh"
+#include "power/idct_power.hh"
+#include "power/sram.hh"
+#include "power/system.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt::power
+{
+namespace
+{
+
+TEST(Sram, EnergyGrowsWithCapacity)
+{
+    const SramModel small(2 * 1024.0);
+    const SramModel big(5 * 1024.0 * 1024.0);
+    EXPECT_LT(small.energyPerAccessJ(), big.energyPerAccessJ());
+    EXPECT_LT(small.leakagePowerW(), big.leakagePowerW());
+}
+
+TEST(Sram, PowerScalesWithAccessRate)
+{
+    const SramModel m(18 * 1024.0);
+    const double p1 = m.powerW(1e9);
+    const double p2 = m.powerW(2e9);
+    EXPECT_GT(p2, p1);
+    EXPECT_NEAR(p2 - m.leakagePowerW(),
+                2.0 * (p1 - m.leakagePowerW()), 1e-12);
+}
+
+TEST(Sram, CalibrationIsPicojouleScale)
+{
+    // 18 KB macro: energy/access in the ~1-2 pJ band at 40nm.
+    const SramModel m(18 * 1024.0);
+    EXPECT_GT(m.energyPerAccessJ(), 0.5e-12);
+    EXPECT_LT(m.energyPerAccessJ(), 3e-12);
+}
+
+TEST(IdctPower, IntEngineCheaperThanMultiplier)
+{
+    const double e_int =
+        idctEnergyPerWindowJ(uarch::EngineKind::IntDctW, 8);
+    const double e_mul =
+        idctEnergyPerWindowJ(uarch::EngineKind::DctW, 8);
+    EXPECT_LT(e_int, e_mul);
+}
+
+TEST(IdctPower, EnergyGrowsWithWindowSize)
+{
+    const double e8 =
+        idctEnergyPerWindowJ(uarch::EngineKind::IntDctW, 8);
+    const double e16 =
+        idctEnergyPerWindowJ(uarch::EngineKind::IntDctW, 16);
+    const double e32 =
+        idctEnergyPerWindowJ(uarch::EngineKind::IntDctW, 32);
+    EXPECT_LT(e8, e16);
+    EXPECT_LT(e16, e32);
+}
+
+TEST(System, UncompressedBreakdownMatchesFig18)
+{
+    const auto b = uncompressedPower();
+    EXPECT_DOUBLE_EQ(b.dacW, 2e-3);
+    // Memory dominates: ~12-15 mW at 2 x 4.54 GS/s.
+    EXPECT_GT(b.memoryW, 10e-3);
+    EXPECT_LT(b.memoryW, 16e-3);
+    EXPECT_DOUBLE_EQ(b.idctW, 0.0);
+}
+
+TEST(System, CompressionCutsTotalPowerPast2p5x)
+{
+    // Fig 18's headline: > 2.5x total reduction at WS=8, more at 16.
+    const auto base = uncompressedPower();
+    const auto ws8 = compressedPower(8, 2.3);
+    const auto ws16 = compressedPower(16, 2.5);
+    EXPECT_GT(base.total() / ws8.total(), 2.0);
+    EXPECT_GT(base.total() / ws16.total(), 2.5);
+    EXPECT_LT(ws16.total(), ws8.total());
+    // The IDCT overhead must not swamp the memory savings.
+    EXPECT_LT(ws16.idctW, base.memoryW - ws16.memoryW);
+}
+
+TEST(System, MemoryPowerReductionTracksAccessRatio)
+{
+    const auto base = uncompressedPower();
+    const auto comp = compressedPower(16, 2.5);
+    // Accesses drop by 16/2.5 = 6.4x; leakage holds a small floor.
+    const double ratio = base.memoryW / comp.memoryW;
+    EXPECT_GT(ratio, 4.0);
+    EXPECT_LT(ratio, 7.0);
+}
+
+TEST(System, AdaptiveSavesFurtherPower)
+{
+    // Fig 19: the flat-top bypass yields ~4x total vs uncompressed.
+    const auto base = uncompressedPower();
+    const auto plain = compressedPower(16, 2.5);
+    const auto adaptive = adaptivePower(16, 2.5, 0.3);
+    EXPECT_LT(adaptive.total(), plain.total());
+    EXPECT_GT(base.total() / adaptive.total(), 3.0);
+    EXPECT_DOUBLE_EQ(adaptive.dacW, plain.dacW);
+}
+
+TEST(System, IdctFractionFromAdaptiveChannel)
+{
+    core::CompressorConfig cfg{core::Codec::IntDctW, 16, 1e-3};
+    const core::AdaptiveCompressor comp(cfg);
+    const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.1);
+    const auto ac = comp.compress(wf);
+    const double f = idctFraction(ac.i);
+    EXPECT_GT(f, 0.05);
+    EXPECT_LT(f, 0.6); // most of the flat-top bypasses the IDCT
+}
+
+TEST(System, AdaptiveFractionBounds)
+{
+    EXPECT_DEATH(adaptivePower(16, 2.5, 1.5), "fraction");
+}
+
+} // namespace
+} // namespace compaqt::power

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the waveform substrate: envelope shapes, device
+ * models and their determinism, pulse libraries and the Table I
+ * memory accounting, and the Table IX complex pulses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "waveform/complex_gates.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt::waveform
+{
+namespace
+{
+
+// --------------------------------------------------------------- shapes
+
+TEST(Shapes, LiftedGaussianEndpointsNearZero)
+{
+    // sigma = n/4 truncates the Gaussian at ~2 sigma, so the lifted
+    // endpoints sit within ~1% of the amplitude (as on IBM backends).
+    const auto g = liftedGaussian(144, 36.0, 0.2);
+    ASSERT_EQ(g.size(), 144u);
+    EXPECT_NEAR(g.front(), 0.0, 0.01 * 0.2);
+    EXPECT_NEAR(g.back(), 0.0, 0.01 * 0.2);
+    // Peak at center, value = amp.
+    EXPECT_NEAR(g[71], 0.2, 1e-3);
+    EXPECT_NEAR(g[72], 0.2, 1e-3);
+}
+
+TEST(Shapes, LiftedGaussianIsSymmetric)
+{
+    const auto g = liftedGaussian(100, 25.0, 0.15);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_NEAR(g[i], g[99 - i], 1e-12);
+}
+
+TEST(Shapes, GaussianDerivativeIsAntisymmetric)
+{
+    const auto d = gaussianDerivative(100, 25.0, 0.15);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_NEAR(d[i], -d[99 - i], 1e-12);
+    // Crosses zero at the center.
+    EXPECT_NEAR(d[49], -d[50], 1e-12);
+}
+
+TEST(Shapes, DragChannelsAreConsistent)
+{
+    const auto wf = drag(144, 36.0, 0.2, 1.5);
+    ASSERT_EQ(wf.i.size(), 144u);
+    ASSERT_EQ(wf.q.size(), 144u);
+    // Q is the scaled derivative of I: check the finite-difference
+    // relation at a few interior points.
+    for (std::size_t k : {30u, 60u, 100u}) {
+        const double fd = (wf.i[k + 1] - wf.i[k - 1]) / 2.0;
+        EXPECT_NEAR(wf.q[k], 1.5 * fd, 5e-4) << "k=" << k;
+    }
+}
+
+TEST(Shapes, GaussianSquareHasFlatTop)
+{
+    const auto wf = gaussianSquare(200, 40, 0.3, 0.0);
+    // Flat section between the ramps.
+    for (std::size_t k = 40; k < 160; ++k)
+        EXPECT_DOUBLE_EQ(wf.i[k], 0.3);
+    EXPECT_LT(wf.i[0], 0.02);
+    EXPECT_LT(wf.i[199], 0.02);
+    // Zero phase -> zero quadrature.
+    for (double v : wf.q)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Shapes, GaussianSquarePhaseSetsQuadrature)
+{
+    const auto wf = gaussianSquare(200, 40, 0.3, 0.2);
+    for (std::size_t k = 50; k < 150; ++k)
+        EXPECT_NEAR(wf.q[k], 0.3 * std::tan(0.2), 1e-12);
+}
+
+TEST(Shapes, RaisedCosinePeaksAtCenter)
+{
+    const auto rc = raisedCosine(101, 0.4);
+    EXPECT_NEAR(rc[50], 0.4, 1e-12);
+    EXPECT_NEAR(rc[0], 0.0, 1e-12);
+    EXPECT_NEAR(rc[100], 0.0, 1e-12);
+}
+
+TEST(Shapes, FindFlatRunLocatesTop)
+{
+    const auto wf = gaussianSquare(200, 40, 0.3, 0.0);
+    const auto run = findFlatRun(wf.i, 32);
+    EXPECT_EQ(run.start, 40u);
+    EXPECT_EQ(run.length, 120u);
+}
+
+TEST(Shapes, FindFlatRunRejectsShortRuns)
+{
+    const std::vector<double> x = {0.1, 0.2, 0.2, 0.2, 0.3};
+    const auto run = findFlatRun(x, 5);
+    EXPECT_EQ(run.length, 0u);
+    const auto run3 = findFlatRun(x, 3);
+    EXPECT_EQ(run3.start, 1u);
+    EXPECT_EQ(run3.length, 3u);
+}
+
+// --------------------------------------------------------------- device
+
+TEST(Device, KnownMachineSizes)
+{
+    EXPECT_EQ(DeviceModel::ibm("bogota").numQubits(), 5u);
+    EXPECT_EQ(DeviceModel::ibm("lima").numQubits(), 5u);
+    EXPECT_EQ(DeviceModel::ibm("guadalupe").numQubits(), 16u);
+    EXPECT_EQ(DeviceModel::ibm("toronto").numQubits(), 27u);
+    EXPECT_EQ(DeviceModel::ibm("hanoi").numQubits(), 27u);
+    EXPECT_EQ(DeviceModel::ibm("brooklyn").numQubits(), 65u);
+    EXPECT_EQ(DeviceModel::ibm("washington").numQubits(), 127u);
+}
+
+TEST(Device, CalibrationIsDeterministicPerName)
+{
+    const auto a = DeviceModel::ibm("guadalupe");
+    const auto b = DeviceModel::ibm("guadalupe");
+    const auto c = DeviceModel::ibm("toronto");
+    for (int q = 0; q < 16; ++q) {
+        EXPECT_DOUBLE_EQ(a.qubit(q).xAmp, b.qubit(q).xAmp);
+        EXPECT_DOUBLE_EQ(a.qubit(q).dragBeta, b.qubit(q).dragBeta);
+    }
+    // Different machines calibrate differently.
+    EXPECT_NE(a.qubit(0).xAmp, c.qubit(0).xAmp);
+}
+
+TEST(Device, QubitsAreDistinct)
+{
+    const auto dev = DeviceModel::ibm("guadalupe");
+    int distinct = 0;
+    for (int q = 1; q < 16; ++q)
+        distinct += dev.qubit(q).xAmp != dev.qubit(0).xAmp ? 1 : 0;
+    EXPECT_EQ(distinct, 15);
+}
+
+TEST(Device, CalibrationRangesAreRealistic)
+{
+    const auto dev = DeviceModel::ibm("washington");
+    for (int q = 0; q < 127; ++q) {
+        const auto &cal = dev.qubit(q);
+        EXPECT_GE(cal.xAmp, 0.10);
+        EXPECT_LE(cal.xAmp, 0.25);
+        EXPECT_NEAR(cal.sxAmp / cal.xAmp, 0.5, 0.021);
+        EXPECT_LE(std::abs(cal.dragBeta), 2.0);
+    }
+}
+
+TEST(Device, CouplingQueriesWork)
+{
+    const auto dev = DeviceModel::ibm("guadalupe");
+    EXPECT_TRUE(dev.coupled(0, 1));
+    EXPECT_TRUE(dev.coupled(1, 0));
+    EXPECT_FALSE(dev.coupled(0, 2));
+    const auto n1 = dev.neighbors(1);
+    EXPECT_EQ(n1, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(Device, HeavyHexDegreeBound)
+{
+    const auto edges = DeviceModel::heavyHexCoupling(127);
+    std::vector<int> degree(127, 0);
+    for (const auto &[a, b] : edges) {
+        ++degree[static_cast<std::size_t>(a)];
+        ++degree[static_cast<std::size_t>(b)];
+    }
+    for (int d : degree)
+        EXPECT_LE(d, 3);
+    // Edge density close to the heavy-hex ~1.13 edges/qubit.
+    EXPECT_GT(edges.size(), 127u);
+    EXPECT_LT(edges.size(), 150u);
+}
+
+TEST(Device, PairCalibrationIsDirectional)
+{
+    const auto dev = DeviceModel::ibm("guadalupe");
+    const auto &ab = dev.pair(0, 1);
+    const auto &ba = dev.pair(1, 0);
+    EXPECT_NE(ab.crAmp, ba.crAmp);
+}
+
+// -------------------------------------------------------------- library
+
+TEST(Library, ContainsAllGates)
+{
+    const auto dev = DeviceModel::ibm("guadalupe");
+    const auto lib = PulseLibrary::build(dev);
+    // 16 qubits x (X + SX + Meas) + 2 x 16 directed CX pulses.
+    EXPECT_EQ(lib.size(), 16u * 3 + 2 * 16);
+    EXPECT_TRUE(lib.contains({GateType::X, 5, -1}));
+    EXPECT_TRUE(lib.contains({GateType::CX, 0, 1}));
+    EXPECT_TRUE(lib.contains({GateType::CX, 1, 0}));
+    EXPECT_FALSE(lib.contains({GateType::CX, 0, 2}));
+}
+
+TEST(Library, WaveformDurationsMatchDevice)
+{
+    const auto dev = DeviceModel::ibm("guadalupe");
+    const auto lib = PulseLibrary::build(dev);
+    EXPECT_EQ(lib.waveform({GateType::X, 0, -1}).size(),
+              dev.oneQubitSamples());
+    EXPECT_EQ(lib.waveform({GateType::CX, 0, 1}).size(),
+              dev.twoQubitSamples());
+    EXPECT_EQ(lib.waveform({GateType::Measure, 0, -1}).size(),
+              dev.measureSamples());
+}
+
+TEST(Library, PerQubitMemoryNearPaperEstimate)
+{
+    // Section III: ~18 KB per qubit on IBM systems. The average over
+    // the machine (degree ~2) lands in the 12-22 KB band.
+    const auto dev = DeviceModel::ibm("guadalupe");
+    const auto lib = PulseLibrary::build(dev);
+    const double avg_kb = lib.totalBytes() / 1024.0 / dev.numQubits();
+    EXPECT_GT(avg_kb, 12.0);
+    EXPECT_LT(avg_kb, 22.0);
+}
+
+TEST(Library, TotalBytesConsistent)
+{
+    const auto dev = DeviceModel::ibm("bogota");
+    const auto lib = PulseLibrary::build(dev);
+    double sum = 0.0;
+    for (const auto &[id, wf] : lib.entries())
+        sum += lib.waveformBytes(id);
+    EXPECT_NEAR(sum, lib.totalBytes(), 1e-6);
+}
+
+TEST(Library, XAndSxAmplitudesFollowCalibration)
+{
+    const auto dev = DeviceModel::ibm("guadalupe");
+    const auto lib = PulseLibrary::build(dev);
+    for (int q : {0, 3, 7, 15}) {
+        const auto &x = lib.waveform({GateType::X, q, -1});
+        const auto &sx = lib.waveform({GateType::SX, q, -1});
+        const double xp = *std::max_element(x.i.begin(), x.i.end());
+        const double sp = *std::max_element(sx.i.begin(), sx.i.end());
+        // The sample grid straddles the exact center, so the sampled
+        // peak sits a hair under the calibrated amplitude.
+        EXPECT_NEAR(xp, dev.qubit(q).xAmp, 1e-3 * dev.qubit(q).xAmp);
+        EXPECT_NEAR(sp, dev.qubit(q).sxAmp, 1e-3 * dev.qubit(q).sxAmp);
+    }
+}
+
+TEST(Library, InsertReplacesWaveform)
+{
+    const auto dev = DeviceModel::ibm("bogota");
+    auto lib = PulseLibrary::build(dev);
+    IqWaveform wf;
+    wf.i.assign(10, 0.5);
+    wf.q.assign(10, 0.0);
+    lib.insert({GateType::X, 0, -1}, wf);
+    EXPECT_EQ(lib.waveform({GateType::X, 0, -1}).size(), 10u);
+}
+
+TEST(Library, GateIdFormatting)
+{
+    EXPECT_EQ(toString({GateType::SX, 2, -1}), "SX(q2)");
+    EXPECT_EQ(toString({GateType::CX, 1, 4}), "CX(q1,q4)");
+    EXPECT_EQ(toString({GateType::Measure, 0, -1}), "Meas(q0)");
+}
+
+// -------------------------------------------------------- complex gates
+
+TEST(ComplexGates, SetHasFourPulses)
+{
+    const auto set = complexPulseSet();
+    ASSERT_EQ(set.size(), 4u);
+    EXPECT_EQ(set[0].gate, "iToffoli");
+    EXPECT_EQ(set[3].device, "Fluxonium");
+    for (const auto &cp : set) {
+        EXPECT_GT(cp.wf.size(), 0u);
+        EXPECT_EQ(cp.wf.i.size(), cp.wf.q.size());
+    }
+}
+
+TEST(ComplexGates, EnvelopesAreBounded)
+{
+    for (const auto &cp : complexPulseSet()) {
+        for (double v : cp.wf.i)
+            EXPECT_LE(std::abs(v), 1.0);
+        for (double v : cp.wf.q)
+            EXPECT_LE(std::abs(v), 1.0);
+    }
+}
+
+TEST(ComplexGates, IToffoliHasFlatTop)
+{
+    const auto wf = iToffoliPulse();
+    const auto run = findFlatRun(wf.i, 64);
+    EXPECT_GT(run.length, 512u);
+}
+
+} // namespace
+} // namespace compaqt::waveform
