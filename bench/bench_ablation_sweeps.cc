@@ -15,7 +15,7 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/decompressor.hh"
+#include "core/pipeline.hh"
 #include "dsp/metrics.hh"
 #include "uarch/resources.hh"
 #include "uarch/scaling.hh"
@@ -26,6 +26,7 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("ablation_sweeps");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     const auto x3 = lib.waveform({waveform::GateType::X, 3, -1});
@@ -33,18 +34,19 @@ main()
     // ----------------------------------------------- threshold sweep
     Table t1("Ablation 1: threshold vs ratio/MSE (X(q3), WS=16)");
     t1.header({"threshold", "R", "MSE", "worst window words"});
-    core::Decompressor dec;
     for (double thr : {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2}) {
-        core::CompressorConfig cfg{core::Codec::IntDctW, 16, thr};
-        const core::Compressor comp(cfg);
-        const auto cw = comp.compress(x3);
-        const auto rt = dec.decompress(cw);
+        const auto pipe = core::CompressionPipeline::with("int-dct")
+                              .window(16)
+                              .threshold(thr)
+                              .build();
+        const auto cw = pipe.compress(x3);
+        const auto rt = pipe.decompress(cw);
         t1.row({Table::sci(thr, 0), Table::num(cw.ratio(), 2),
                 Table::sci(std::max(dsp::mse(x3.i, rt.i),
                                     dsp::mse(x3.q, rt.q))),
                 std::to_string(cw.worstCaseWindowWords())});
     }
-    t1.print(std::cout);
+    report.print(t1);
     std::cout << '\n';
 
     // --------------------------------------------- window-size sweep
@@ -53,8 +55,7 @@ main()
                "engine LUTs"});
     const uarch::RfsocPlatform rf;
     for (std::size_t ws : {4u, 8u, 16u, 32u}) {
-        const auto clib =
-            bench::buildCompressed(lib, core::Codec::IntDctW, ws);
+        const auto clib = bench::buildCompressed(lib, "int-dct", ws);
         const auto worst = clib.worstCaseWindowWords();
         const auto timing =
             uarch::engineTiming(uarch::EngineKind::IntDctW, ws);
@@ -66,13 +67,12 @@ main()
                 Table::num(timing.normalized, 2),
                 std::to_string(res.luts)});
     }
-    t2.print(std::cout);
+    report.print(t2);
     std::cout << "(WS=16 maximizes qubit gain before the WS=32 "
                  "resource/fmax cliff — the paper's choice)\n\n";
 
     // ------------------------------------- uniform vs variable width
-    const auto clib =
-        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+    const auto clib = bench::buildCompressed(lib, "int-dct", 16);
     std::size_t variable = 0, windows = 0;
     for (const auto &[id, e] : clib.entries())
         for (const auto *ch : {&e.cw.i, &e.cw.q}) {
@@ -88,7 +88,7 @@ main()
                            static_cast<double>(variable),
                        2) +
                 "x"});
-    t3.print(std::cout);
+    report.print(t3);
     std::cout << "(the uniform layout trades ~1.5x capacity for "
                  "fixed-width banked fetches — Section V-A's "
                  "simplicity-vs-compressibility trade)\n";

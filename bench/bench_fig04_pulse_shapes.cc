@@ -11,6 +11,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_util.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "waveform/device.hh"
@@ -21,6 +22,7 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("fig04_pulse_shapes");
     std::cout << "Figure 4: pi-pulse shapes across IBM machines\n"
               << "(paper: every qubit has a unique tuned DRAG pulse)\n\n";
 
@@ -48,7 +50,7 @@ main()
         t.row({"DRAG beta", Table::num(sb.min, 2),
                Table::num(sb.mean, 2), Table::num(sb.max, 2),
                Table::num(sb.stddev, 2)});
-        t.print(std::cout);
+        report.print(t);
 
         // Coarse amplitude histogram: the "spread" visible in Fig 4.
         Histogram h;

@@ -16,6 +16,7 @@
 #include "circuits/benchmarks.hh"
 #include "circuits/scheduler.hh"
 #include "circuits/surface_code.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "uarch/scaling.hh"
@@ -26,6 +27,7 @@ using namespace compaqt::uarch;
 int
 main()
 {
+    bench::JsonReport report("fig05_memory_scaling");
     const auto ibm = VendorParams::ibm();
     const auto google = VendorParams::google();
     const RfsocPlatform rf;
@@ -40,7 +42,7 @@ main()
                           2),
                Table::num(units::toMB(rf.memoryBytes), 2)});
     }
-    a.print(std::cout);
+    report.print(a);
     std::cout << '\n';
 
     // ----------------------------------------------------------- (b)
@@ -54,7 +56,7 @@ main()
                Table::num(units::toGBs(rf.maxBandwidthBytesPerSec),
                           0)});
     }
-    b.print(std::cout);
+    report.print(b);
     std::cout << '\n';
 
     // ----------------------------------------------------------- (c)
@@ -79,7 +81,7 @@ main()
     emit("surface-25 (d=3)", circuits::surface25().circuit, 447, 402);
     emit("surface-81 (d=5)", circuits::surface81().circuit, 1609,
          1453);
-    c.print(std::cout);
+    report.print(c);
     std::cout << '\n';
 
     // ----------------------------------------------------------- (d)
@@ -89,7 +91,7 @@ main()
     d.header({"constraint", "qubits", "paper"});
     d.row({"capacity only", std::to_string(cap), ">200"});
     d.row({"bandwidth", std::to_string(bwq), "<40"});
-    d.print(std::cout);
+    report.print(d);
     // The paper's plot caps the capacity bar at its 200-qubit axis;
     // the "5x drop" reads 200 -> <40.
     const double shown_cap = std::min<std::size_t>(cap, 200);

@@ -13,11 +13,10 @@
 
 #include "bench_util.hh"
 #include "common/table.hh"
-#include "core/decompressor.hh"
+#include "core/pipeline.hh"
 #include "dsp/metrics.hh"
 
 using namespace compaqt;
-using core::Codec;
 
 namespace
 {
@@ -30,21 +29,29 @@ struct SetResult
 
 SetResult
 compressSet(const waveform::PulseLibrary &lib,
-            const std::vector<waveform::GateId> &ids, Codec codec,
-            std::size_t ws)
+            const std::vector<waveform::GateId> &ids,
+            const std::string &codec, std::size_t ws)
 {
-    core::FidelityAwareConfig cfg;
-    cfg.base.codec = codec;
-    cfg.base.windowSize = ws;
+    const auto pipe = core::CompressionPipeline::with(codec)
+                          .window(ws)
+                          .mseTarget(1e-5)
+                          .build();
     dsp::CompressionStats stats;
     double mse = 0.0;
     for (const auto &id : ids) {
-        const auto r = core::compressFidelityAware(lib.waveform(id),
-                                                   cfg);
+        const auto r = pipe.compressToTarget(lib.waveform(id));
         stats += r.compressed.stats();
         mse += r.mse;
     }
     return {stats.ratio(), mse / static_cast<double>(ids.size())};
+}
+
+/** Display label of a registry codec, e.g. "int-DCT-W". */
+std::string
+labelOf(const std::string &codec)
+{
+    return std::string(
+        core::CodecRegistry::instance().create(codec, 16)->label());
 }
 
 } // namespace
@@ -52,6 +59,7 @@ compressSet(const waveform::PulseLibrary &lib,
 int
 main()
 {
+    bench::JsonReport report("fig07_compression_qft4");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
 
@@ -66,20 +74,20 @@ main()
     Table a("Fig 7a: per-waveform compression ratio R (WS=16)");
     a.header({"codec", "SX(q2)", "SX(q3)", "SX(q5)", "SX(q8)",
               "Meas(q0)"});
-    for (Codec codec : {Codec::Delta, Codec::DctN, Codec::DctW,
-                        Codec::IntDctW}) {
-        std::vector<std::string> row = {core::codecName(codec)};
+    for (const std::string codec :
+         {"delta", "dct-n", "dct-w", "int-dct"}) {
+        const auto pipe = core::CompressionPipeline::with(codec)
+                              .window(16)
+                              .mseTarget(1e-5)
+                              .build();
+        std::vector<std::string> row = {labelOf(codec)};
         for (const auto &id : five) {
-            core::FidelityAwareConfig cfg;
-            cfg.base.codec = codec;
-            cfg.base.windowSize = 16;
-            const auto r =
-                core::compressFidelityAware(lib.waveform(id), cfg);
+            const auto r = pipe.compressToTarget(lib.waveform(id));
             row.push_back(Table::num(r.compressed.ratio(), 2));
         }
         a.row(std::move(row));
     }
-    a.print(std::cout);
+    report.print(a);
     std::cout << '\n';
 
     // ------------------------------------------------------- (b)+(c)
@@ -92,28 +100,30 @@ main()
     Table c("Fig 7c: average MSE for qft-4");
     c.header({"codec", "WS=8", "WS=16"});
 
-    const auto delta = compressSet(lib, ids, Codec::Delta, 16);
+    const auto delta = compressSet(lib, ids, "delta", 16);
     b.row({"Delta", Table::num(delta.ratio, 2),
            Table::num(delta.ratio, 2), "1.9", "1.9"});
 
-    const auto dctn = compressSet(lib, ids, Codec::DctN, 16);
+    const auto dctn = compressSet(lib, ids, "dct-n", 16);
     b.row({"DCT-N", Table::num(dctn.ratio, 1),
            Table::num(dctn.ratio, 1), "126.2", "126.2"});
     c.row({"DCT-N", Table::sci(dctn.avgMse), Table::sci(dctn.avgMse)});
 
-    for (Codec codec : {Codec::DctW, Codec::IntDctW}) {
+    for (const std::string codec : {"dct-w", "int-dct"}) {
         const auto r8 = compressSet(lib, ids, codec, 8);
         const auto r16 = compressSet(lib, ids, codec, 16);
-        const bool is_int = codec == Codec::IntDctW;
-        b.row({core::codecName(codec), Table::num(r8.ratio, 2),
+        const bool is_int = codec == "int-dct";
+        b.row({labelOf(codec), Table::num(r8.ratio, 2),
                Table::num(r16.ratio, 2), is_int ? "4.0" : "4.0",
                is_int ? "8.0" : "7.8"});
-        c.row({core::codecName(codec), Table::sci(r8.avgMse),
+        c.row({labelOf(codec), Table::sci(r8.avgMse),
                Table::sci(r16.avgMse)});
+        report.metric(codec + "_qft4_ratio_ws8", r8.ratio);
+        report.metric(codec + "_qft4_ratio_ws16", r16.ratio);
     }
-    b.print(std::cout);
+    report.print(b);
     std::cout << '\n';
-    c.print(std::cout);
+    report.print(c);
     std::cout << "\n(paper MSE band: 1e-7 .. 5e-6; int-DCT-W highest "
                  "due to integer approximation)\n";
     return 0;

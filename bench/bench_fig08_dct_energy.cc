@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "dsp/dct.hh"
 #include "dsp/metrics.hh"
@@ -19,6 +20,7 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("fig08_dct_energy");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto wf =
         waveform::makeOneQubitPulse(dev, waveform::GateType::X, 0);
@@ -43,7 +45,7 @@ main()
             next_mark *= 2;
         }
     }
-    t.print(std::cout);
+    report.print(t);
 
     // Where would RLE start at a representative threshold?
     const double threshold = 1e-3;

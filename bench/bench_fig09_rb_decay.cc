@@ -55,10 +55,11 @@ compressionErrorPerClifford(const waveform::PulseLibrary &lib,
 int
 main()
 {
+    bench::JsonReport report("fig09_rb_decay");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     const auto clib =
-        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+        bench::buildCompressed(lib, "int-dct", 16);
 
     const double hw_epc = 1.65e-2; // guadalupe-era 2Q Clifford error
     const double comp_extra = compressionErrorPerClifford(lib, clib);
@@ -83,7 +84,7 @@ main()
                Table::num(base.survival[i], 4),
                Table::num(comp.survival[i], 4)});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << '\n';
 
     Table s("Fig 9: fitted fidelity and EPC");
@@ -93,7 +94,7 @@ main()
            Table::sci(base.epc), "0.978", "1.650e-02"});
     s.row({"int-DCT-W (WS=16)", Table::num(comp.alpha, 3),
            Table::sci(comp.epc), "0.975", "1.842e-02"});
-    s.print(std::cout);
+    report.print(s);
     std::cout << "\n(the paper's baseline/compressed gap is within "
                  "experimental variability; compression adds only "
               << Table::sci(comp_extra) << " per Clifford)\n";

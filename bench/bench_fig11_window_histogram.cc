@@ -18,6 +18,7 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("fig11_window_histogram");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     std::cout << "guadalupe library: " << lib.size()
@@ -26,7 +27,7 @@ main()
 
     for (std::size_t ws : {8u, 16u}) {
         const auto clib =
-            bench::buildCompressed(lib, core::Codec::IntDctW, ws);
+            bench::buildCompressed(lib, "int-dct", ws);
         Histogram h;
         for (const auto &[id, e] : clib.entries())
             for (const auto *ch : {&e.cw.i, &e.cw.q})
@@ -41,7 +42,9 @@ main()
                                   static_cast<double>(h.total()),
                               2)});
         }
-        t.print(std::cout);
+        report.print(t);
+        report.metric("worst_window_words_ws" + std::to_string(ws),
+                      static_cast<double>(clib.worstCaseWindowWords()));
         std::cout << "worst case: " << h.maxValue()
                   << " words (paper: 3) -> uniform memory width "
                   << clib.worstCaseWindowWords() << "\n\n";

@@ -17,10 +17,11 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("fig14_guadalupe_ratios");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     const auto clib =
-        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+        bench::buildCompressed(lib, "int-dct", 16);
 
     Table t("Fig 14: compression ratio per qubit (int-DCT-W, WS=16)");
     t.header({"qubit", "SX", "X", "CX (avg)", "mean"});
@@ -42,8 +43,10 @@ main()
         t.row({std::to_string(q), Table::num(sx, 2), Table::num(x, 2),
                Table::num(cx, 2), Table::num(mean, 2)});
     }
-    t.print(std::cout);
+    report.print(t);
     const Summary s = summarize(means);
+    report.metric("per_qubit_mean_ratio_min", s.min);
+    report.metric("per_qubit_mean_ratio_avg", s.mean);
     std::cout << "\nper-qubit mean ratio: min " << Table::num(s.min, 2)
               << ", avg " << Table::num(s.mean, 2) << ", max "
               << Table::num(s.max, 2)

@@ -25,16 +25,17 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("fig15_benchmark_fidelity");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     const auto clib8 =
-        bench::buildCompressed(lib, core::Codec::IntDctW, 8);
+        bench::buildCompressed(lib, "int-dct", 8);
     const auto clib16 =
-        bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+        bench::buildCompressed(lib, "int-dct", 16);
     // WS=8 at a loose MSE budget: the aggressive operating point
     // whose window-boundary distortion the paper's Fig 15 shows.
     const auto clib8a =
-        bench::buildCompressed(lib, core::Codec::IntDctW, 8, 2e-3);
+        bench::buildCompressed(lib, "int-dct", 8, 2e-3);
 
     const auto nm = fidelity::NoiseModel::ibm("guadalupe");
     const auto gs_base = fidelity::GateSet::fromLibrary(dev, lib);
@@ -87,7 +88,7 @@ main()
                Table::num(f8a / fb, 3), Table::num(f16 / fb, 3),
                Table::num(spec.paperBaselineFidelity, 3)});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\n(paper: WS=16 within noise of 1.0 everywhere; "
                  "WS=8 drops on several benchmarks. With per-pulse "
                  "Algorithm-1 thresholds WS=8 is also safe; the "

@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "uarch/timing.hh"
 
@@ -17,6 +18,7 @@ using namespace compaqt::uarch;
 int
 main()
 {
+    bench::JsonReport report("fig16_clock_frequency");
     Table t("Fig 16: normalized fmax vs baseline (294 MHz)");
     t.header({"design", "path (ns)", "fmax (MHz)", "normalized",
               "paper"});
@@ -50,7 +52,7 @@ main()
            Table::num(piped.criticalPathNs, 2),
            Table::num(piped.fmaxMhz, 0), Table::num(piped.normalized, 2),
            "1.0 (no degradation)"});
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\nMultiplier-based DCT-W pays ~33%; shift-add "
                  "int-DCT-W stays within ~10% unpipelined.\n";
     return 0;

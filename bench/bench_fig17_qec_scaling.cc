@@ -12,6 +12,7 @@
 
 #include "circuits/scheduler.hh"
 #include "circuits/surface_code.hh"
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "uarch/scaling.hh"
 
@@ -21,6 +22,7 @@ using namespace compaqt::uarch;
 int
 main()
 {
+    bench::JsonReport report("fig17_qec_scaling");
     // ----------------------------------------------------------- (a)
     Table a("Fig 17a: peak concurrent ops in one syndrome cycle");
     a.header({"patch", "qubits", "peak channels", "avg channels",
@@ -38,7 +40,7 @@ main()
                               static_cast<double>(sc.totalQubits()),
                           0)});
     }
-    a.print(std::cout);
+    report.print(a);
     std::cout << "(paper: >80% of physical qubits driven "
                  "concurrently)\n\n";
 
@@ -59,7 +61,7 @@ main()
                std::to_string(caps[2] / n),
                n == 17 ? "~2 / ~5 / ~11" : "~1 / ~3 / ~7"});
     }
-    b.print(std::cout);
+    report.print(b);
     std::cout << "\nCOMPAQT at WS=16 controls ~5x more logical "
                  "qubits than the uncompressed baseline.\n";
     return 0;

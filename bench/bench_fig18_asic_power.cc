@@ -40,6 +40,7 @@ avgWordsPerWindow(const core::CompressedLibrary &clib)
 int
 main()
 {
+    bench::JsonReport report("fig18_asic_power");
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
 
@@ -54,7 +55,7 @@ main()
 
     for (std::size_t ws : {8u, 16u}) {
         const auto clib =
-            bench::buildCompressed(lib, core::Codec::IntDctW, ws);
+            bench::buildCompressed(lib, "int-dct", ws);
         const double words = avgWordsPerWindow(clib);
         const auto p = compressedPower(ws, words);
         t.row({"int-DCT-W WS=" + std::to_string(ws) + " (" +
@@ -65,7 +66,7 @@ main()
                Table::num(units::toMW(p.total()), 2),
                Table::num(base.total() / p.total(), 2) + "x"});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\n(paper: >2.5x total reduction; memory power alone "
                  "drops >3x)\n";
     return 0;

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "core/adaptive.hh"
@@ -21,10 +22,11 @@ using namespace compaqt::power;
 int
 main()
 {
+    bench::JsonReport report("fig19_adaptive_power");
     // 100 ns flat section at 4.54 GS/s inside a 300 ns CR pulse.
     const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.1);
 
-    core::CompressorConfig ccfg{core::Codec::IntDctW, 16, 2e-3};
+    core::CompressorConfig ccfg{"int-dct", 16, 2e-3};
     const core::AdaptiveCompressor acomp(ccfg);
     const auto ac = acomp.compress(wf);
     const double frac = idctFraction(ac.i);
@@ -55,7 +57,7 @@ main()
                Table::num(units::toMW(p.total()), 2),
                Table::num(base.total() / p.total(), 2) + "x"});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\n(paper: ~4x reduction; gain scales with the "
                  "flat-top duration)\n";
     return 0;

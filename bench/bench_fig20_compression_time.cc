@@ -42,7 +42,7 @@ compressLibrary(benchmark::State &state, const std::string &machine,
 {
     const auto &lib = libraryFor(machine);
     core::FidelityAwareConfig cfg;
-    cfg.base.codec = core::Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = ws;
 
     std::size_t waveforms = 0;

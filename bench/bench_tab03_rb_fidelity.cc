@@ -20,14 +20,13 @@
 #include "fidelity/rb.hh"
 
 using namespace compaqt;
-using core::Codec;
 
 namespace
 {
 
 double
-extraErrorPerClifford(const waveform::PulseLibrary &lib, Codec codec,
-                      std::size_t ws)
+extraErrorPerClifford(const waveform::PulseLibrary &lib,
+                      const std::string &codec, std::size_t ws)
 {
     core::FidelityAwareConfig cfg;
     cfg.base.codec = codec;
@@ -58,6 +57,7 @@ extraErrorPerClifford(const waveform::PulseLibrary &lib, Codec codec,
 int
 main()
 {
+    bench::JsonReport report("tab03_rb_fidelity");
     struct MachineRow
     {
         const char *name;
@@ -79,15 +79,14 @@ main()
         const auto dev = waveform::DeviceModel::ibm(m.name);
         const auto lib = waveform::PulseLibrary::build(dev);
         std::vector<std::string> row = {m.name};
-        const Codec codecs[] = {Codec::DctN, Codec::DctW,
-                                Codec::IntDctW};
+        const char *codecs[] = {"dct-n", "dct-w", "int-dct"};
         // Baseline first.
         fidelity::RbConfig cfg;
         cfg.sequencesPerLength = 150;
         cfg.errorPerClifford = m.hwEpc;
         cfg.seed = seed++;
         row.push_back(Table::num(fidelity::runRb2(cfg).alpha, 3));
-        for (Codec codec : codecs) {
+        for (const char *codec : codecs) {
             fidelity::RbConfig c2 = cfg;
             c2.errorPerClifford =
                 m.hwEpc + extraErrorPerClifford(lib, codec, 16);
@@ -98,7 +97,7 @@ main()
                       "/" + m.paper[2] + "/" + m.paper[3]);
         t.row(std::move(row));
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\nAll variants sit within the variability band of "
                  "the baseline, as in the paper.\n";
     return 0;

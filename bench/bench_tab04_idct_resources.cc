@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "uarch/timing.hh"
 
@@ -23,6 +24,7 @@ using namespace compaqt::uarch;
 int
 main()
 {
+    bench::JsonReport report("tab04_idct_resources");
     Table t("Table IV: IDCT engine operation counts");
     t.header({"variant", "WS", "multipliers", "adders", "shifters",
               "paper (m/a/s)"});
@@ -47,7 +49,7 @@ main()
                std::to_string(ops.adders()),
                std::to_string(ops.shifters()), r.paper});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\nint-DCT-W is multiplierless at every size; our "
                  "adder counts are un-shared CSD counts (see header "
                  "comment).\n";

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "uarch/scaling.hh"
 
@@ -18,6 +19,7 @@ using namespace compaqt::uarch;
 int
 main()
 {
+    bench::JsonReport report("tab05_qubit_scaling");
     const RfsocPlatform rf; // ratio 16, 1260 BRAMs, 2 ch/qubit
 
     Table t("Table V: qubits supported (normalized), 16x clock ratio");
@@ -37,7 +39,7 @@ main()
                           2),
                ws == 8 ? "2.66" : "5.33"});
     }
-    t.print(std::cout);
+    report.print(t);
 
     std::cout << "\nSection V-C worked example (QICK, DAC:fabric = "
                  "16x):\n"

@@ -17,6 +17,7 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("tab07_machine_ratios");
     Table t("Table VII: compression ratios, int-DCT-W WS=16");
     t.header({"machine", "min", "max", "avg",
               "paper (min/max/avg)"});
@@ -36,13 +37,13 @@ main()
         const auto dev = waveform::DeviceModel::ibm(r.name);
         const auto lib = waveform::PulseLibrary::build(dev);
         const auto clib =
-            bench::buildCompressed(lib, core::Codec::IntDctW, 16);
+            bench::buildCompressed(lib, "int-dct", 16);
         const auto ratios = clib.ratios();
         const Summary s = summarize(ratios);
         t.row({r.name, Table::num(s.min, 2), Table::num(s.max, 2),
                Table::num(s.mean, 2), r.paper});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\nEvery machine compresses every gate pulse by >4x "
                  "despite per-qubit pulse diversity.\n";
     return 0;

@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "uarch/resources.hh"
 
@@ -18,6 +19,7 @@ using namespace compaqt::uarch;
 int
 main()
 {
+    bench::JsonReport report("tab08_fpga_resources");
     Table t("Table VIII: FPGA resources (zc7u7ev)");
     t.header({"design", "LUTs", "LUT %", "FFs", "FF %",
               "paper (LUT/FF)"});
@@ -43,7 +45,7 @@ main()
                std::to_string(e.ffs), Table::num(ffPercent(e), 2),
                r.paper});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\nEngines trade scarce BRAM for abundant LUT/FF; "
                  "WS=32 is the resource cliff that makes it "
                  "sub-optimal (Section VII-C).\n";

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/table.hh"
 #include "core/fidelity_aware.hh"
 #include "waveform/complex_gates.hh"
@@ -16,6 +17,7 @@ using namespace compaqt;
 int
 main()
 {
+    bench::JsonReport report("tab09_complex_pulses");
     const double paper[] = {8.32, 5.31, 5.59, 7.2};
 
     Table t("Table IX: complex gate pulse compression (WS=16)");
@@ -24,7 +26,7 @@ main()
     int i = 0;
     for (const auto &cp : waveform::complexPulseSet()) {
         core::FidelityAwareConfig cfg;
-        cfg.base.codec = core::Codec::IntDctW;
+        cfg.base.codec = "int-dct";
         cfg.base.windowSize = 16;
         const auto r = core::compressFidelityAware(cp.wf, cfg);
         t.row({cp.device, cp.gate, cp.description,
@@ -32,7 +34,7 @@ main()
                Table::num(r.compressed.ratio(), 2),
                Table::num(paper[i++], 2)});
     }
-    t.print(std::cout);
+    report.print(t);
     std::cout << "\nEven optimal-control multi-qubit pulses compress "
                  ">5x; smooth pulses approach the 8x ceiling.\n";
     return 0;

@@ -1,31 +1,44 @@
 /**
  * @file
- * Shared helpers for the bench binaries: compiled-library caching and
- * the standard qft-4-on-guadalupe gate-pulse set used by Figs 7/11.
+ * Shared helpers for the bench binaries: compiled-library building,
+ * the standard qft-4-on-guadalupe gate-pulse set used by Figs 7/11,
+ * and the machine-readable JSON side-channel (BENCH_<name>.json) that
+ * lets the perf trajectory be tracked across PRs.
  */
 
 #ifndef COMPAQT_BENCH_BENCH_UTIL_HH
 #define COMPAQT_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "common/table.hh"
 #include "core/compressed_library.hh"
+#include "core/pipeline.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
 
 namespace compaqt::bench
 {
 
-/** Build a device's compressed library at the paper operating point. */
+/** Build a device's compressed library at the paper operating point.
+ *  @param codec CodecRegistry key, e.g. "int-dct" */
 inline core::CompressedLibrary
-buildCompressed(const waveform::PulseLibrary &lib, core::Codec codec,
-                std::size_t ws, double target_mse = 1e-5)
+buildCompressed(const waveform::PulseLibrary &lib,
+                const std::string &codec, std::size_t ws,
+                double target_mse = 1e-5)
 {
-    core::FidelityAwareConfig cfg;
-    cfg.base.codec = codec;
-    cfg.base.windowSize = ws;
-    cfg.targetMse = target_mse;
-    return core::CompressedLibrary::build(lib, cfg);
+    return core::CompressionPipeline::with(codec)
+        .window(ws)
+        .mseTarget(target_mse)
+        .build()
+        .compressLibrary(lib);
 }
 
 /**
@@ -52,6 +65,84 @@ qft4GateSet(const waveform::DeviceModel &dev)
     }
     return ids;
 }
+
+/**
+ * Collects every table (and any scalar metrics) a bench emits and
+ * writes them as BENCH_<name>.json next to the text output when the
+ * report goes out of scope. Declare one at the top of main():
+ *
+ *     bench::JsonReport report("fig07_compression_qft4");
+ *     ...
+ *     report.print(my_table);        // stdout table + JSON record
+ *     report.metric("ratio", 8.0);   // scalar series
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name)
+        : name_(std::move(name))
+    {
+    }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    ~JsonReport() { write(); }
+
+    /** Record a table in the JSON report. */
+    void
+    add(const Table &t)
+    {
+        std::ostringstream ss;
+        t.json(ss);
+        tables_.push_back(ss.str());
+    }
+
+    /** Print a table to stdout and record it. */
+    void
+    print(const Table &t)
+    {
+        t.print(std::cout);
+        add(t);
+    }
+
+    /** Record a named scalar, e.g. an overall compression ratio.
+     *  Non-finite values are recorded as JSON null. */
+    void
+    metric(const std::string &key, double value)
+    {
+        std::ostringstream ss;
+        ss << "\"" << key << "\": ";
+        if (std::isfinite(value))
+            ss << std::setprecision(15) << value;
+        else
+            ss << "null";
+        metrics_.push_back(ss.str());
+    }
+
+  private:
+    void
+    write() const
+    {
+        const std::string path = "BENCH_" + name_ + ".json";
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "warning: cannot write " << path << '\n';
+            return;
+        }
+        os << "{\"bench\": \"" << name_ << "\",\n \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i)
+            os << (i ? ", " : "") << metrics_[i];
+        os << "},\n \"tables\": [";
+        for (std::size_t i = 0; i < tables_.size(); ++i)
+            os << (i ? ",\n  " : "") << tables_[i];
+        os << "]}\n";
+    }
+
+    std::string name_;
+    std::vector<std::string> tables_;
+    std::vector<std::string> metrics_;
+};
 
 } // namespace compaqt::bench
 

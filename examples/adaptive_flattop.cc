@@ -14,12 +14,10 @@
 
 #include "common/table.hh"
 #include "common/units.hh"
-#include "core/adaptive.hh"
-#include "core/decompressor.hh"
+#include "compaqt.hh"
 #include "dsp/metrics.hh"
 #include "power/system.hh"
 #include "uarch/pipeline.hh"
-#include "waveform/shapes.hh"
 
 using namespace compaqt;
 
@@ -28,7 +26,7 @@ main()
 {
     // An echoed-CR style flat-top: 300 ns, 100+ ns constant section.
     const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.12);
-    core::CompressorConfig cfg{core::Codec::IntDctW, 16, 2e-3};
+    core::CompressorConfig cfg{"int-dct", 16, 2e-3};
 
     // Plain windowed compression.
     const core::Compressor plain(cfg);

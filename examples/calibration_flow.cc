@@ -15,9 +15,7 @@
 
 #include "common/stats.hh"
 #include "common/table.hh"
-#include "core/compressed_library.hh"
-#include "waveform/device.hh"
-#include "waveform/library.hh"
+#include "compaqt.hh"
 
 using namespace compaqt;
 
@@ -31,11 +29,11 @@ main()
               << Table::num(lib.totalBytes() / 1024.0, 1)
               << " KB uncompressed\n";
 
-    core::FidelityAwareConfig cfg;
-    cfg.base.codec = core::Codec::IntDctW;
-    cfg.base.windowSize = 16;
-    cfg.targetMse = 1e-5;
-    const auto clib = core::CompressedLibrary::build(lib, cfg);
+    const auto clib = Pipeline::with("int-dct")
+                          .window(16)
+                          .mseTarget(1e-5)
+                          .build()
+                          .compressLibrary(lib);
 
     // Per-family report.
     std::map<waveform::GateType, std::vector<double>> family;

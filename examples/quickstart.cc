@@ -14,12 +14,11 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/decompressor.hh"
-#include "core/fidelity_aware.hh"
+#include "compaqt.hh"
+#include "dsp/int_dct.hh"
 #include "dsp/metrics.hh"
 #include "fidelity/pulse_sim.hh"
 #include "uarch/pipeline.hh"
-#include "waveform/shapes.hh"
 
 using namespace compaqt;
 
@@ -27,17 +26,17 @@ int
 main()
 {
     // 1. A calibrated X pulse: 144 samples (~32 ns at 4.54 GS/s).
-    const waveform::IqWaveform pulse =
-        waveform::drag(144, 36.0, 0.18, 1.1);
+    const IqWaveform pulse = waveform::drag(144, 36.0, 0.18, 1.1);
     std::cout << "pulse: " << pulse.size()
               << " samples x 2 channels (I/Q)\n";
 
-    // 2. Compile-time compression to a 1e-5 MSE budget.
-    core::FidelityAwareConfig cfg;
-    cfg.base.codec = core::Codec::IntDctW;
-    cfg.base.windowSize = 16;
-    cfg.targetMse = 1e-5;
-    const auto result = core::compressFidelityAware(pulse, cfg);
+    // 2. Compile-time compression to a 1e-5 MSE budget: the hardware
+    //    codec ("int-dct"), WS=16, Algorithm-1 threshold search.
+    const auto compaqt_pipe = Pipeline::with("int-dct")
+                                  .window(16)
+                                  .mseTarget(1e-5)
+                                  .build();
+    const auto result = compaqt_pipe.compressToTarget(pulse);
     std::cout << "compressed: R = " << result.compressed.ratio()
               << " (threshold " << result.threshold << ", MSE "
               << result.mse << ", " << result.iterations
@@ -56,8 +55,7 @@ main()
               << stream.stats.wordsRead << " memory words read\n";
 
     // Verify the pipeline against the software golden model.
-    core::Decompressor dec;
-    const auto golden = dec.decompress(result.compressed);
+    const auto golden = compaqt_pipe.decompress(result.compressed);
     bool exact = true;
     for (std::size_t k = 0; k < golden.i.size(); ++k)
         exact &= dsp::IntDct::dequantize(stream.samples[k]) ==

@@ -15,7 +15,7 @@
 #include "circuits/surface_code.hh"
 #include "common/table.hh"
 #include "common/units.hh"
-#include "core/compressed_library.hh"
+#include "core/pipeline.hh"
 #include "uarch/controller.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
@@ -40,10 +40,11 @@ main()
     const auto dev = waveform::DeviceModel::synthetic(
         "surface17-device", sc.totalQubits(), map.edges());
     const auto lib = waveform::PulseLibrary::build(dev);
-    core::FidelityAwareConfig ccfg;
-    ccfg.base.codec = core::Codec::IntDctW;
-    ccfg.base.windowSize = 16;
-    const auto clib = core::CompressedLibrary::build(lib, ccfg);
+    const auto clib = core::CompressionPipeline::with("int-dct")
+                          .window(16)
+                          .mseTarget(1e-5)
+                          .build()
+                          .compressLibrary(lib);
 
     // Schedule the syndrome cycle and execute it on the controller.
     const auto sched = circuits::schedule(sc.circuit, {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -79,6 +80,123 @@ Table::print(std::ostream &os) const
     for (const auto &r : rows_)
         emit(r);
     os << std::setw(0);
+}
+
+namespace
+{
+
+/** JSON string literal; escapes quotes, backslashes, and all control
+ *  characters (RFC 8259 forbids raw chars below 0x20). */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/**
+ * True when s is a valid JSON number literal:
+ * -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. Stricter than
+ * std::stod, which also accepts hex, inf/nan, "+x", ".5", "5." and
+ * leading zeros — all invalid JSON.
+ */
+bool
+isJsonNumber(const std::string &s)
+{
+    std::size_t i = 0;
+    const std::size_t n = s.size();
+    auto digits = [&] {
+        const std::size_t start = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        return i > start;
+    };
+    if (i < n && s[i] == '-')
+        ++i;
+    if (i < n && s[i] == '0')
+        ++i;
+    else if (!digits())
+        return false;
+    if (i < n && s[i] == '.') {
+        ++i;
+        if (!digits())
+            return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < n && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        if (!digits())
+            return false;
+    }
+    return i == n;
+}
+
+/** Emit a cell as a JSON number when it is one. */
+void
+jsonCell(std::ostream &os, const std::string &s)
+{
+    if (isJsonNumber(s))
+        os << s;
+    else
+        jsonString(os, s);
+}
+
+void
+jsonCells(std::ostream &os, const std::vector<std::string> &cells)
+{
+    os << '[';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        jsonCell(os, cells[i]);
+    }
+    os << ']';
+}
+
+} // namespace
+
+void
+Table::json(std::ostream &os) const
+{
+    os << "{\"title\": ";
+    jsonString(os, title_);
+    os << ", \"header\": ";
+    jsonCells(os, header_);
+    os << ", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r > 0)
+            os << ", ";
+        jsonCells(os, rows_[r]);
+    }
+    os << "]}";
 }
 
 std::string

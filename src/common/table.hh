@@ -33,6 +33,13 @@ class Table
     /** Render to the given stream. */
     void print(std::ostream &os) const;
 
+    /**
+     * Render as a JSON object {"title", "header", "rows"}. Cells that
+     * parse fully as numbers are emitted as JSON numbers so downstream
+     * tooling can track the values across runs.
+     */
+    void json(std::ostream &os) const;
+
     /** Format a double with the given precision. */
     static std::string num(double v, int precision = 3);
 

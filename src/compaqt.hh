@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Umbrella header for the COMPAQT compression stack: include this one
+ * file and use the `compaqt::` aliases instead of spelling out the
+ * layer namespaces. Covers waveform generation, the pluggable codec
+ * layer, and the pipeline facade; the uarch/power/fidelity evaluation
+ * layers keep their own headers.
+ *
+ *     #include "compaqt.hh"
+ *
+ *     auto pipe = compaqt::Pipeline::with("int-dct")
+ *                     .window(16).mseTarget(1e-5).build();
+ */
+
+#ifndef COMPAQT_COMPAQT_HH
+#define COMPAQT_COMPAQT_HH
+
+#include "core/adaptive.hh"
+#include "core/codec.hh"
+#include "core/compressed_library.hh"
+#include "core/compressor.hh"
+#include "core/decompressor.hh"
+#include "core/fidelity_aware.hh"
+#include "core/pipeline.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt
+{
+
+// Codec layer
+using core::CodecRegistrar;
+using core::CodecRegistry;
+using core::CompressedChannel;
+using core::CompressedWaveform;
+using core::CompressedWindow;
+using core::ICodec;
+
+// Entry points
+using core::CompressionPipeline;
+using core::Compressor;
+using core::CompressorConfig;
+using core::Decompressor;
+using Pipeline = core::CompressionPipeline;
+
+// Fidelity-aware compression (Algorithm 1)
+using core::compressFidelityAware;
+using core::FidelityAwareConfig;
+using core::FidelityAwareResult;
+
+// Library compilation
+using core::CompressedEntry;
+using core::CompressedLibrary;
+
+// Waveforms
+using waveform::IqWaveform;
+using waveform::PulseLibrary;
+
+} // namespace compaqt
+
+#endif // COMPAQT_COMPAQT_HH

@@ -55,18 +55,20 @@ AdaptiveCompressed::stats() const
 
 AdaptiveCompressor::AdaptiveCompressor(const CompressorConfig &cfg,
                                        std::size_t min_flat_windows)
-    : cfg_(cfg), minFlatWindows_(min_flat_windows)
+    : ramps_(cfg), minFlatWindows_(min_flat_windows)
 {
-    COMPAQT_REQUIRE(codecIsInteger(cfg.codec),
-                    "adaptive compression runs on the integer codec");
+    COMPAQT_REQUIRE(ramps_.codec().isInteger() &&
+                        ramps_.codec().isWindowed(),
+                    "adaptive compression needs a windowed integer codec");
     COMPAQT_REQUIRE(min_flat_windows >= 1, "min_flat_windows must be >=1");
 }
 
 AdaptiveChannel
 AdaptiveCompressor::compressChannel(std::span<const double> x) const
 {
-    const std::size_t ws = cfg_.windowSize;
+    const std::size_t ws = ramps_.config().windowSize;
     AdaptiveChannel ch;
+    ch.codec = ramps_.config().codec;
     ch.numSamples = x.size();
     ch.windowSize = ws;
 
@@ -77,13 +79,12 @@ AdaptiveCompressor::compressChannel(std::span<const double> x) const
         waveform::findFlatRun(vx, minFlatWindows_ * ws,
                               1.0 / (1 << dsp::IntDct::kInputFractionBits));
 
-    const Compressor ramps(cfg_);
     auto pushDct = [&](std::size_t begin, std::size_t end) {
         if (begin >= end)
             return;
         AdaptiveSegment seg;
         seg.isFlat = false;
-        seg.windows = ramps.compressChannel(
+        seg.windows = ramps_.compressChannel(
             std::span<const double>(vx).subspan(begin, end - begin));
         ch.segments.push_back(std::move(seg));
     };
@@ -134,7 +135,7 @@ AdaptiveCompressor::decompressChannel(const AdaptiveChannel &ch)
             out.insert(out.end(), seg.count, seg.value);
         } else {
             const auto part =
-                dec.decompressChannel(seg.windows, Codec::IntDctW);
+                dec.decompressChannel(seg.windows, ch.codec);
             out.insert(out.end(), part.begin(), part.end());
         }
     }

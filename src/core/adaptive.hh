@@ -39,6 +39,8 @@ struct AdaptiveSegment
 /** An adaptively compressed channel: ramp / flat / ramp segments. */
 struct AdaptiveChannel
 {
+    /** CodecRegistry key of the ramp-segment codec. */
+    std::string codec = "int-dct";
     std::size_t numSamples = 0;
     std::size_t windowSize = 0;
     std::vector<AdaptiveSegment> segments;
@@ -67,13 +69,17 @@ struct AdaptiveCompressed
  * Adaptive compressor: detects the window-aligned flat run of each
  * channel and encodes it as a repeat codeword; everything else goes
  * through the regular int-DCT-W path.
+ *
+ * Holds a configured Compressor (whose codec carries scratch
+ * buffers), so like it an AdaptiveCompressor is move-only and must
+ * not be shared between threads; build one per thread.
  */
 class AdaptiveCompressor
 {
   public:
     /**
      * @param cfg regular codec configuration for the ramp segments
-     *        (must be an integer codec)
+     *        (must name a windowed integer codec in the registry)
      * @param min_flat_windows minimum window-aligned flat length, in
      *        windows, worth a bypass segment
      */
@@ -95,7 +101,7 @@ class AdaptiveCompressor
     decompress(const AdaptiveCompressed &ac);
 
   private:
-    CompressorConfig cfg_;
+    Compressor ramps_;
     std::size_t minFlatWindows_;
 };
 

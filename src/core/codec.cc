@@ -1,0 +1,193 @@
+#include "core/codec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/codecs/builtin.hh"
+
+namespace compaqt::core
+{
+
+// --------------------------------------------------- compressed data types
+
+std::size_t
+CompressedChannel::totalWords() const
+{
+    std::size_t total = 0;
+    for (const auto &w : windows)
+        total += w.words();
+    return total;
+}
+
+dsp::CompressionStats
+CompressedChannel::stats() const
+{
+    return {numSamples, totalWords()};
+}
+
+dsp::CompressionStats
+CompressedWaveform::stats() const
+{
+    if (codec == kDeltaCodecName) {
+        // Express the bit-level delta encoding in 16-bit sample-word
+        // equivalents so ratios are comparable across codecs.
+        const double bits =
+            static_cast<double>(dsp::deltaCompressedBits(deltaI)) +
+            static_cast<double>(dsp::deltaCompressedBits(deltaQ));
+        dsp::CompressionStats s;
+        s.originalSamples = deltaI.originalCount + deltaQ.originalCount;
+        s.compressedWords = static_cast<std::size_t>(
+            std::ceil(bits / dsp::kDeltaSampleBits));
+        return s;
+    }
+    dsp::CompressionStats s = i.stats();
+    s += q.stats();
+    return s;
+}
+
+std::size_t
+CompressedWaveform::worstCaseWindowWords() const
+{
+    std::size_t worst = 0;
+    for (const auto *ch : {&i, &q})
+        for (const auto &w : ch->windows)
+            worst = std::max(worst, w.words());
+    return worst;
+}
+
+void
+equalizeChannels(CompressedChannel &a, CompressedChannel &b,
+                 bool integer_coeffs)
+{
+    COMPAQT_REQUIRE(a.windows.size() == b.windows.size(),
+                    "equalizeChannels window count mismatch");
+    for (std::size_t w = 0; w < a.windows.size(); ++w) {
+        CompressedWindow &wa = a.windows[w];
+        CompressedWindow &wb = b.windows[w];
+        const std::size_t k = std::max(wa.prefixSize(), wb.prefixSize());
+        for (CompressedWindow *win : {&wa, &wb}) {
+            const std::size_t pad = k - win->prefixSize();
+            if (pad == 0)
+                continue;
+            COMPAQT_REQUIRE(win->zeros >= pad,
+                            "equalizeChannels pad exceeds zero run");
+            if (integer_coeffs)
+                win->icoeffs.resize(win->icoeffs.size() + pad, 0);
+            else
+                win->fcoeffs.resize(win->fcoeffs.size() + pad, 0.0);
+            win->zeros -= static_cast<std::uint32_t>(pad);
+        }
+    }
+}
+
+// --------------------------------------------------------- ICodec defaults
+
+void
+ICodec::compress(const waveform::IqWaveform &wf, double threshold,
+                 CompressedWaveform &out) const
+{
+    COMPAQT_REQUIRE(wf.i.size() == wf.q.size(),
+                    "I/Q channel length mismatch");
+    COMPAQT_REQUIRE(threshold >= 0.0, "negative threshold");
+    out.codec.assign(name());
+    out.deltaI = {};
+    out.deltaQ = {};
+    compressChannel(wf.i, threshold, out.i);
+    compressChannel(wf.q, threshold, out.q);
+    out.windowSize = out.i.windowSize;
+    equalizeChannels(out.i, out.q, isInteger());
+}
+
+void
+ICodec::decompress(const CompressedWaveform &cw,
+                   waveform::IqWaveform &out) const
+{
+    decompressChannel(cw.i, out.i);
+    decompressChannel(cw.q, out.q);
+}
+
+// ---------------------------------------------------------- codec registry
+
+CodecRegistry &
+CodecRegistry::instance()
+{
+    // Leaked singleton: codecs registered from namespace-scope
+    // CodecRegistrar objects must not outlive the registry.
+    static CodecRegistry *reg = [] {
+        auto *r = new CodecRegistry;
+        codecs::registerDeltaCodec(*r);
+        codecs::registerDctCodecs(*r);
+        codecs::registerIntDctCodec(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+void
+CodecRegistry::add(std::string name, Factory factory,
+                   std::vector<std::string> aliases)
+{
+    COMPAQT_REQUIRE(!name.empty(), "codec name must not be empty");
+    COMPAQT_REQUIRE(static_cast<bool>(factory),
+                    "codec factory must not be empty");
+    // Replacing a codec silently would change what serialized
+    // libraries decode to, so duplicates are fatal.
+    if (contains(name))
+        COMPAQT_FATAL("duplicate codec registration");
+    for (const auto &a : aliases) {
+        if (contains(a))
+            COMPAQT_FATAL("duplicate codec alias registration");
+        aliases_[a] = name;
+    }
+    factories_[std::move(name)] = std::move(factory);
+}
+
+bool
+CodecRegistry::contains(std::string_view name) const
+{
+    return factories_.find(name) != factories_.end() ||
+           aliases_.find(name) != aliases_.end();
+}
+
+std::string_view
+CodecRegistry::canonicalName(std::string_view name) const
+{
+    auto alias = aliases_.find(name);
+    return alias != aliases_.end() ? std::string_view(alias->second)
+                                   : name;
+}
+
+std::unique_ptr<ICodec>
+CodecRegistry::create(std::string_view name,
+                      std::size_t window_size) const
+{
+    auto alias = aliases_.find(name);
+    if (alias != aliases_.end())
+        name = alias->second;
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        std::ostringstream msg;
+        msg << "unknown codec \"" << name << "\" (registered:";
+        for (const auto &n : names())
+            msg << ' ' << n;
+        msg << ')';
+        COMPAQT_FATAL(msg.str().c_str());
+    }
+    auto codec = it->second(window_size);
+    COMPAQT_REQUIRE(codec != nullptr, "codec factory returned null");
+    return codec;
+}
+
+std::vector<std::string>
+CodecRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto &[name, factory] : factories_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace compaqt::core

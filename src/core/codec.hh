@@ -1,0 +1,300 @@
+/**
+ * @file
+ * The pluggable codec layer of the COMPAQT compression stack.
+ *
+ * Every compression algorithm the system knows — the paper's Table II
+ * variants, the delta baseline, and any codec registered later — is an
+ * ICodec implementation looked up by name in the process-wide
+ * CodecRegistry. The compile-time compressor, the fidelity-aware
+ * threshold search (Algorithm 1), the compressed pulse library, and
+ * the pipeline facade all dispatch through this interface, so a codec
+ * registered in one translation unit is usable from all of them
+ * without modifying any.
+ *
+ * Built-in codecs (registered by the library itself):
+ *   "delta"    Delta     base-delta over sign-magnitude samples
+ *   "dct-n"    DCT-N     whole-waveform floating DCT
+ *   "dct-w"    DCT-W     windowed floating DCT
+ *   "int-dct"  int-DCT-W windowed HEVC-style integer DCT (hardware)
+ *
+ * Thresholds are expressed in normalized waveform-amplitude units for
+ * all codecs (the integer path converts through the transform's
+ * coefficientScale), so a given threshold trades distortion for
+ * compression comparably across codecs.
+ */
+
+#ifndef COMPAQT_CORE_CODEC_HH
+#define COMPAQT_CORE_CODEC_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "dsp/delta.hh"
+#include "dsp/metrics.hh"
+#include "waveform/shapes.hh"
+
+namespace compaqt::core
+{
+
+/** Registry key of the delta baseline (the one non-windowed codec). */
+inline constexpr std::string_view kDeltaCodecName = "delta";
+
+/**
+ * One compressed window: the verbatim coefficient prefix plus the
+ * count of trailing zeros folded into the RLE codeword. Integer
+ * codecs fill icoeffs; float codecs fill fcoeffs.
+ */
+struct CompressedWindow
+{
+    std::vector<double> fcoeffs;
+    std::vector<std::int32_t> icoeffs;
+    std::uint32_t zeros = 0;
+
+    /** Number of kept coefficients. */
+    std::size_t
+    prefixSize() const
+    {
+        return std::max(fcoeffs.size(), icoeffs.size());
+    }
+
+    /** Memory words: prefix + codeword (if a zero run exists). */
+    std::size_t
+    words() const
+    {
+        return prefixSize() + (zeros > 0 ? 1 : 0);
+    }
+};
+
+/** One compressed channel (I or Q) of a waveform. */
+struct CompressedChannel
+{
+    /** Original sample count before padding. */
+    std::size_t numSamples = 0;
+    /** Transform window size (== padded length for DCT-N). */
+    std::size_t windowSize = 0;
+    std::vector<CompressedWindow> windows;
+
+    /** Total memory words across windows. */
+    std::size_t totalWords() const;
+
+    dsp::CompressionStats stats() const;
+};
+
+/**
+ * A fully compressed I/Q waveform, tagged with the registry name of
+ * the codec that produced it. For the delta codec the channels hold
+ * no windows and delta bookkeeping is carried separately.
+ */
+struct CompressedWaveform
+{
+    /** CodecRegistry key of the producing codec. */
+    std::string codec = "int-dct";
+    std::size_t windowSize = 0;
+    CompressedChannel i;
+    CompressedChannel q;
+    /** Lossless delta encodings ("delta" codec only). */
+    dsp::DeltaEncoded deltaI;
+    dsp::DeltaEncoded deltaQ;
+
+    /** Combined old-size/new-size stats over both channels. */
+    dsp::CompressionStats stats() const;
+
+    /** R = old size / new size (Section IV-D). */
+    double ratio() const { return stats().ratio(); }
+
+    /** Worst-case words in any window (uniform memory width). */
+    std::size_t worstCaseWindowWords() const;
+};
+
+/**
+ * Split a thresholded coefficient window into its verbatim prefix
+ * plus the trailing-zero run folded into the RLE codeword, reusing
+ * out's buffers. Every windowed codec packs through this one helper
+ * so the prefix+zeros == windowSize invariant (which channel
+ * equalization and the hardware RLE decoder rely on) has a single
+ * definition.
+ */
+template <typename T>
+void
+packWindow(std::span<const T> coeffs, CompressedWindow &out)
+{
+    std::size_t last = coeffs.size();
+    while (last > 0 && coeffs[last - 1] == T{})
+        --last;
+    out.zeros = static_cast<std::uint32_t>(coeffs.size() - last);
+    const auto end =
+        coeffs.begin() + static_cast<std::ptrdiff_t>(last);
+    if constexpr (std::is_same_v<T, double>) {
+        out.fcoeffs.assign(coeffs.begin(), end);
+        out.icoeffs.clear();
+    } else {
+        out.icoeffs.assign(coeffs.begin(), end);
+        out.fcoeffs.clear();
+    }
+}
+
+/**
+ * Make both channels use the same per-window prefix length by
+ * re-expanding explicit zeros in the shorter prefix (Section IV-C:
+ * "the number of samples per window after compression are kept the
+ * same for both channels").
+ *
+ * @param integer_coeffs true when the channels carry icoeffs
+ */
+void equalizeChannels(CompressedChannel &a, CompressedChannel &b,
+                      bool integer_coeffs);
+
+/**
+ * A compression algorithm instance, configured for one window size.
+ *
+ * Instances are created by the CodecRegistry and may cache transform
+ * plans and scratch buffers between calls, so the per-window hot
+ * paths do no allocation in steady state when callers reuse output
+ * objects. Because of that scratch state an instance is NOT safe to
+ * share between threads; create one per thread.
+ */
+class ICodec
+{
+  public:
+    virtual ~ICodec() = default;
+
+    /** Registry key, e.g. "int-dct". */
+    virtual std::string_view name() const = 0;
+
+    /** Display label for tables/plots, e.g. "int-DCT-W". */
+    virtual std::string_view label() const = 0;
+
+    /** True when compressed coefficients are integers (icoeffs). */
+    virtual bool isInteger() const = 0;
+
+    /** False for waveform-level codecs with no window structure. */
+    virtual bool isWindowed() const { return true; }
+
+    /** Window size this instance was configured with (0 = whole
+     *  waveform). */
+    virtual std::size_t windowSize() const = 0;
+
+    /**
+     * Compress one channel into `out`, reusing its buffers.
+     * @param threshold coefficient-zeroing threshold, normalized
+     *        amplitude units
+     */
+    virtual void compressChannel(std::span<const double> x,
+                                 double threshold,
+                                 CompressedChannel &out) const = 0;
+
+    /** Reconstruct one channel into `out`, reusing its capacity. */
+    virtual void decompressChannel(const CompressedChannel &ch,
+                                   std::vector<double> &out) const = 0;
+
+    /**
+     * Compress both channels into `out`. The default implementation
+     * compresses each channel and equalizes per-window prefixes
+     * between I and Q as Section IV-C requires; waveform-level codecs
+     * (delta) override.
+     */
+    virtual void compress(const waveform::IqWaveform &wf,
+                          double threshold,
+                          CompressedWaveform &out) const;
+
+    /** Reconstruct both channels into `out`. */
+    virtual void decompress(const CompressedWaveform &cw,
+                            waveform::IqWaveform &out) const;
+
+    // Allocating conveniences over the buffer-reusing hot paths.
+
+    CompressedWaveform
+    compress(const waveform::IqWaveform &wf, double threshold) const
+    {
+        CompressedWaveform out;
+        compress(wf, threshold, out);
+        return out;
+    }
+
+    waveform::IqWaveform
+    decompress(const CompressedWaveform &cw) const
+    {
+        waveform::IqWaveform out;
+        decompress(cw, out);
+        return out;
+    }
+};
+
+/**
+ * Process-wide, string-keyed codec factory.
+ *
+ * The four built-in codecs self-register; new codecs register from
+ * any translation unit, typically through a namespace-scope
+ * CodecRegistrar object:
+ *
+ *     const core::CodecRegistrar kReg("my-codec",
+ *         [](std::size_t ws) { return std::make_unique<MyCodec>(ws); });
+ *
+ * after which "my-codec" works everywhere a codec name is accepted
+ * (CompressorConfig, the pipeline facade, CompressedLibrary::load).
+ */
+class CodecRegistry
+{
+  public:
+    /** Factory: build a codec instance for one window size. */
+    using Factory =
+        std::function<std::unique_ptr<ICodec>(std::size_t window_size)>;
+
+    /** The process-wide registry, built-ins pre-registered. */
+    static CodecRegistry &instance();
+
+    /**
+     * Register a codec under `name` (and optional aliases). Fatal on
+     * a duplicate name: silently replacing a codec would change what
+     * serialized libraries decode to.
+     */
+    void add(std::string name, Factory factory,
+             std::vector<std::string> aliases = {});
+
+    bool contains(std::string_view name) const;
+
+    /** Canonical key for a name or alias (e.g. "int-dct-w" ->
+     *  "int-dct"); unknown names are returned unchanged. */
+    std::string_view canonicalName(std::string_view name) const;
+
+    /**
+     * Instantiate a codec for a window size. Fatal (with the list of
+     * known codecs) when the name is unknown — a misspelled codec
+     * must not silently fall back.
+     */
+    std::unique_ptr<ICodec> create(std::string_view name,
+                                   std::size_t window_size) const;
+
+    /** Canonical (non-alias) registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    CodecRegistry() = default;
+
+    std::map<std::string, Factory, std::less<>> factories_;
+    /** alias -> canonical name */
+    std::map<std::string, std::string, std::less<>> aliases_;
+};
+
+/** Registers a codec from a namespace-scope object's constructor. */
+struct CodecRegistrar
+{
+    CodecRegistrar(std::string name, CodecRegistry::Factory factory,
+                   std::vector<std::string> aliases = {})
+    {
+        CodecRegistry::instance().add(std::move(name),
+                                      std::move(factory),
+                                      std::move(aliases));
+    }
+};
+
+} // namespace compaqt::core
+
+#endif // COMPAQT_CORE_CODEC_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Registration hooks for the built-in codecs. CodecRegistry::instance()
+ * calls these on first use, which also guarantees the codec
+ * translation units are linked into any binary that touches the
+ * registry, even from a static archive.
+ */
+
+#ifndef COMPAQT_CORE_CODECS_BUILTIN_HH
+#define COMPAQT_CORE_CODECS_BUILTIN_HH
+
+namespace compaqt::core
+{
+
+class CodecRegistry;
+
+namespace codecs
+{
+
+/** "delta" — the Section IV-B base-delta baseline. */
+void registerDeltaCodec(CodecRegistry &reg);
+
+/** "dct-n" and "dct-w" — the floating-point DCT variants. */
+void registerDctCodecs(CodecRegistry &reg);
+
+/** "int-dct" — the HEVC-style hardware integer DCT. */
+void registerIntDctCodec(CodecRegistry &reg);
+
+} // namespace codecs
+} // namespace compaqt::core
+
+#endif // COMPAQT_CORE_CODECS_BUILTIN_HH

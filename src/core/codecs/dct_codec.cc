@@ -1,0 +1,149 @@
+/**
+ * @file
+ * "dct-n" and "dct-w" — the floating-point DCT codecs of Table II,
+ * built on the dsp::DctPlan cached-basis transform. DCT-N treats the
+ * whole waveform as one window (the compressibility upper bound of
+ * Fig 7b); DCT-W transforms fixed-size windows so the hardware IDCT
+ * stays bounded.
+ *
+ * Instances cache the transform plan and per-window scratch buffers,
+ * so compressing into a reused CompressedChannel does no allocation
+ * in steady state.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/codec.hh"
+#include "core/codecs/builtin.hh"
+#include "dsp/dct.hh"
+
+namespace compaqt::core::codecs
+{
+
+namespace
+{
+
+class FloatDctCodec final : public ICodec
+{
+  public:
+    /**
+     * @param whole_waveform true for DCT-N (window = whole signal)
+     * @param ws fixed window size (DCT-W); ignored for DCT-N
+     */
+    FloatDctCodec(bool whole_waveform, std::size_t ws)
+        : whole_(whole_waveform), ws_(whole_waveform ? 0 : ws)
+    {
+        COMPAQT_REQUIRE(whole_waveform || ws > 0,
+                        "dct-w window size must be positive");
+    }
+
+    std::string_view
+    name() const override
+    {
+        return whole_ ? "dct-n" : "dct-w";
+    }
+
+    std::string_view
+    label() const override
+    {
+        return whole_ ? "DCT-N" : "DCT-W";
+    }
+
+    bool isInteger() const override { return false; }
+
+    /** DCT-N has no fixed window structure: one "window" spans the
+     *  whole waveform, whatever its length. */
+    bool isWindowed() const override { return !whole_; }
+
+    std::size_t windowSize() const override { return ws_; }
+
+    void
+    compressChannel(std::span<const double> x, double threshold,
+                    CompressedChannel &out) const override
+    {
+        const std::size_t ws = whole_ ? x.size() : ws_;
+        COMPAQT_REQUIRE(ws > 0, "cannot compress an empty waveform");
+        ensurePlan(ws);
+
+        out.numSamples = x.size();
+        out.windowSize = ws;
+        const std::size_t nwin = (x.size() + ws - 1) / ws;
+        out.windows.resize(nwin);
+
+        for (std::size_t w = 0; w < nwin; ++w) {
+            const std::size_t begin = w * ws;
+            const std::size_t len = std::min(ws, x.size() - begin);
+            std::copy_n(x.begin() + static_cast<std::ptrdiff_t>(begin),
+                        len, xbuf_.begin());
+            std::fill(xbuf_.begin() + static_cast<std::ptrdiff_t>(len),
+                      xbuf_.end(), 0.0);
+            plan_->forward(xbuf_, ybuf_);
+            for (double &c : ybuf_)
+                if (std::abs(c) < threshold)
+                    c = 0.0;
+            packWindow<double>(ybuf_, out.windows[w]);
+        }
+    }
+
+    void
+    decompressChannel(const CompressedChannel &ch,
+                      std::vector<double> &out) const override
+    {
+        const std::size_t ws = ch.windowSize;
+        COMPAQT_REQUIRE(ws > 0, "compressed channel has no window size");
+        ensurePlan(ws);
+
+        out.clear();
+        out.reserve(ch.windows.size() * ws);
+        for (const auto &w : ch.windows) {
+            COMPAQT_REQUIRE(w.fcoeffs.size() + w.zeros == ws,
+                            "compressed window has wrong size");
+            std::copy(w.fcoeffs.begin(), w.fcoeffs.end(),
+                      ybuf_.begin());
+            std::fill(ybuf_.begin() + static_cast<std::ptrdiff_t>(
+                                          w.fcoeffs.size()),
+                      ybuf_.end(), 0.0);
+            plan_->inverse(ybuf_, xbuf_);
+            out.insert(out.end(), xbuf_.begin(), xbuf_.end());
+        }
+        COMPAQT_REQUIRE(out.size() >= ch.numSamples,
+                        "decoded fewer samples than stored");
+        out.resize(ch.numSamples);
+    }
+
+  private:
+    void
+    ensurePlan(std::size_t ws) const
+    {
+        if (!plan_ || plan_->size() != ws) {
+            plan_ = std::make_unique<dsp::DctPlan>(ws);
+            xbuf_.resize(ws);
+            ybuf_.resize(ws);
+        }
+    }
+
+    bool whole_;
+    std::size_t ws_;
+    // Cached plan + scratch; rebuilt only when the window size changes
+    // (DCT-N sees a new size per waveform length).
+    mutable std::unique_ptr<dsp::DctPlan> plan_;
+    mutable std::vector<double> xbuf_;
+    mutable std::vector<double> ybuf_;
+};
+
+} // namespace
+
+void
+registerDctCodecs(CodecRegistry &reg)
+{
+    reg.add("dct-n", [](std::size_t) {
+        return std::make_unique<FloatDctCodec>(true, 0);
+    });
+    reg.add("dct-w", [](std::size_t ws) {
+        return std::make_unique<FloatDctCodec>(false, ws);
+    });
+}
+
+} // namespace compaqt::core::codecs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * "delta" — the base-delta compression baseline of Section IV-B,
+ * adapting dsp::deltaEncode/deltaDecode to the ICodec interface. The
+ * codec is lossless (up to sample quantization) and waveform-level:
+ * it has no window structure, so the channel-level entry points are
+ * not defined for it.
+ */
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/codec.hh"
+#include "core/codecs/builtin.hh"
+#include "dsp/delta.hh"
+
+namespace compaqt::core::codecs
+{
+
+namespace
+{
+
+class DeltaCodec final : public ICodec
+{
+  public:
+    std::string_view name() const override { return kDeltaCodecName; }
+    std::string_view label() const override { return "Delta"; }
+    bool isInteger() const override { return false; }
+    bool isWindowed() const override { return false; }
+    std::size_t windowSize() const override { return 0; }
+
+    void
+    compressChannel(std::span<const double>, double,
+                    CompressedChannel &) const override
+    {
+        COMPAQT_PANIC("compressChannel not defined for the delta codec");
+    }
+
+    void
+    decompressChannel(const CompressedChannel &,
+                      std::vector<double> &) const override
+    {
+        COMPAQT_PANIC(
+            "decompressChannel not defined for the delta codec");
+    }
+
+    void
+    compress(const waveform::IqWaveform &wf, double /*threshold*/,
+             CompressedWaveform &out) const override
+    {
+        COMPAQT_REQUIRE(wf.i.size() == wf.q.size(),
+                        "I/Q channel length mismatch");
+        out.codec.assign(name());
+        out.windowSize = 0;
+        out.i = {};
+        out.q = {};
+        out.deltaI = dsp::deltaEncode(wf.i);
+        out.deltaQ = dsp::deltaEncode(wf.q);
+    }
+
+    void
+    decompress(const CompressedWaveform &cw,
+               waveform::IqWaveform &out) const override
+    {
+        out.i = dsp::deltaDecode(cw.deltaI);
+        out.q = dsp::deltaDecode(cw.deltaQ);
+    }
+};
+
+} // namespace
+
+void
+registerDeltaCodec(CodecRegistry &reg)
+{
+    reg.add(std::string(kDeltaCodecName), [](std::size_t) {
+        return std::make_unique<DeltaCodec>();
+    });
+}
+
+} // namespace compaqt::core::codecs

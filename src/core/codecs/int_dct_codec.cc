@@ -1,0 +1,114 @@
+/**
+ * @file
+ * "int-dct" — the windowed HEVC-style integer DCT of Section IV-C,
+ * the codec the hardware decompression engine of Section V decodes.
+ * Samples are quantized to Q15, transformed with dsp::IntDct, and
+ * thresholded in integer coefficient units (the normalized-amplitude
+ * threshold is converted through the transform's coefficientScale so
+ * thresholds are comparable across codecs).
+ */
+
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/codec.hh"
+#include "core/codecs/builtin.hh"
+#include "dsp/int_dct.hh"
+
+namespace compaqt::core::codecs
+{
+
+namespace
+{
+
+class IntDctCodec final : public ICodec
+{
+  public:
+    explicit IntDctCodec(std::size_t ws)
+        : xform_(ws), xbuf_(ws), ybuf_(ws)
+    {
+    }
+
+    std::string_view name() const override { return "int-dct"; }
+    std::string_view label() const override { return "int-DCT-W"; }
+    bool isInteger() const override { return true; }
+    std::size_t windowSize() const override { return xform_.size(); }
+
+    void
+    compressChannel(std::span<const double> x, double threshold,
+                    CompressedChannel &out) const override
+    {
+        const std::size_t ws = xform_.size();
+        const auto thr = static_cast<std::int32_t>(
+            std::lround(threshold * xform_.coefficientScale()));
+
+        out.numSamples = x.size();
+        out.windowSize = ws;
+        const std::size_t nwin = (x.size() + ws - 1) / ws;
+        out.windows.resize(nwin);
+
+        for (std::size_t w = 0; w < nwin; ++w) {
+            const std::size_t begin = w * ws;
+            const std::size_t len = std::min(ws, x.size() - begin);
+            for (std::size_t k = 0; k < len; ++k)
+                xbuf_[k] = dsp::IntDct::quantize(x[begin + k]);
+            for (std::size_t k = len; k < ws; ++k)
+                xbuf_[k] = 0;
+            xform_.forward(xbuf_, ybuf_);
+            for (std::int32_t &c : ybuf_)
+                if (std::abs(c) < thr)
+                    c = 0;
+            packWindow<std::int32_t>(ybuf_, out.windows[w]);
+        }
+    }
+
+    void
+    decompressChannel(const CompressedChannel &ch,
+                      std::vector<double> &out) const override
+    {
+        const std::size_t ws = xform_.size();
+        COMPAQT_REQUIRE(ch.windowSize == ws,
+                        "channel window size does not match codec");
+
+        out.clear();
+        out.reserve(ch.windows.size() * ws);
+        for (const auto &w : ch.windows) {
+            COMPAQT_REQUIRE(w.icoeffs.size() + w.zeros == ws,
+                            "compressed window has wrong size");
+            std::copy(w.icoeffs.begin(), w.icoeffs.end(),
+                      ybuf_.begin());
+            std::fill(ybuf_.begin() + static_cast<std::ptrdiff_t>(
+                                          w.icoeffs.size()),
+                      ybuf_.end(), 0);
+            xform_.inverse(ybuf_, xbuf_);
+            for (std::int32_t v : xbuf_)
+                out.push_back(dsp::IntDct::dequantize(v));
+        }
+        COMPAQT_REQUIRE(out.size() >= ch.numSamples,
+                        "decoded fewer samples than stored");
+        out.resize(ch.numSamples);
+    }
+
+  private:
+    dsp::IntDct xform_;
+    mutable std::vector<std::int32_t> xbuf_;
+    mutable std::vector<std::int32_t> ybuf_;
+};
+
+} // namespace
+
+void
+registerIntDctCodec(CodecRegistry &reg)
+{
+    reg.add(
+        "int-dct",
+        [](std::size_t ws) {
+            COMPAQT_REQUIRE(dsp::intDctSupported(ws),
+                            "int-DCT-W window size must be 4/8/16/32");
+            return std::make_unique<IntDctCodec>(ws);
+        },
+        {"int-dct-w"});
+}
+
+} // namespace compaqt::core::codecs

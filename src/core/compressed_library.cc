@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
 
 #include "common/logging.hh"
@@ -13,7 +14,16 @@ namespace
 {
 
 constexpr std::uint32_t kMagic = 0x43505154; // "CPQT"
-constexpr std::uint32_t kVersion = 1;
+// Version history:
+//   1 — codec stored as a uint8 of the old closed enum (still
+//       readable; mapped to registry names on load)
+//   2 — codec stored as its CodecRegistry name; load rejects names
+//       that are not registered in this process
+constexpr std::uint32_t kVersion = 2;
+
+/** Registry names of the closed v1 codec enum, in enum order. */
+constexpr const char *kV1CodecNames[] = {"delta", "dct-n", "dct-w",
+                                         "int-dct"};
 
 template <typename T>
 void
@@ -56,6 +66,28 @@ readVector(std::istream &is)
                         "truncated compressed library stream");
     }
     return v;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    COMPAQT_REQUIRE(s.size() <= 255,
+                    "codec name too long to serialize");
+    writePod<std::uint8_t>(os, static_cast<std::uint8_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    const auto n = readPod<std::uint8_t>(is);
+    std::string s(n, '\0');
+    if (n > 0) {
+        is.read(s.data(), n);
+        COMPAQT_REQUIRE(static_cast<bool>(is),
+                        "truncated compressed library stream");
+    }
+    return s;
 }
 
 void
@@ -115,9 +147,13 @@ CompressedLibrary
 CompressedLibrary::build(const waveform::PulseLibrary &lib,
                          const FidelityAwareConfig &cfg)
 {
+    // One codec instance (and its plans/scratch) shared across the
+    // whole library, not re-created per pulse.
+    const auto codec = CodecRegistry::instance().create(
+        cfg.base.codec, cfg.base.windowSize);
     CompressedLibrary out;
     for (const auto &[id, wf] : lib.entries()) {
-        FidelityAwareResult r = compressFidelityAware(wf, cfg);
+        FidelityAwareResult r = compressFidelityAware(*codec, wf, cfg);
         CompressedEntry e;
         e.cw = std::move(r.compressed);
         e.threshold = r.threshold;
@@ -190,8 +226,7 @@ CompressedLibrary::save(std::ostream &os) const
         writePod<double>(os, e.threshold);
         writePod<double>(os, e.mse);
         writePod<std::uint8_t>(os, e.converged ? 1 : 0);
-        writePod<std::uint8_t>(os,
-                               static_cast<std::uint8_t>(e.cw.codec));
+        writeString(os, e.cw.codec);
         writePod<std::uint64_t>(os, e.cw.windowSize);
         writeChannel(os, e.cw.i);
         writeChannel(os, e.cw.q);
@@ -204,9 +239,12 @@ CompressedLibrary
 CompressedLibrary::load(std::istream &is)
 {
     COMPAQT_REQUIRE(readPod<std::uint32_t>(is) == kMagic,
-                    "bad compressed library magic");
-    COMPAQT_REQUIRE(readPod<std::uint32_t>(is) == kVersion,
-                    "unsupported compressed library version");
+                    "bad compressed library magic "
+                    "(not a COMPAQT library stream)");
+    const auto version = readPod<std::uint32_t>(is);
+    COMPAQT_REQUIRE(version == 1 || version == kVersion,
+                    "unsupported compressed library version "
+                    "(newer than this build understands)");
     CompressedLibrary out;
     const auto count = readPod<std::uint64_t>(is);
     for (std::uint64_t n = 0; n < count; ++n) {
@@ -219,7 +257,17 @@ CompressedLibrary::load(std::istream &is)
         e.threshold = readPod<double>(is);
         e.mse = readPod<double>(is);
         e.converged = readPod<std::uint8_t>(is) != 0;
-        e.cw.codec = static_cast<Codec>(readPod<std::uint8_t>(is));
+        if (version == 1) {
+            const auto idx = readPod<std::uint8_t>(is);
+            COMPAQT_REQUIRE(idx < std::size(kV1CodecNames),
+                            "bad codec index in v1 library");
+            e.cw.codec = kV1CodecNames[idx];
+        } else {
+            e.cw.codec = readString(is);
+        }
+        COMPAQT_REQUIRE(CodecRegistry::instance().contains(e.cw.codec),
+                        "compressed library names a codec that is not "
+                        "registered in this process");
         e.cw.windowSize = readPod<std::uint64_t>(is);
         e.cw.i = readChannel(is);
         e.cw.q = readChannel(is);

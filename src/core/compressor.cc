@@ -1,15 +1,66 @@
 #include "core/compressor.hh"
 
-#include <algorithm>
-#include <cmath>
-
 #include "common/logging.hh"
-#include "dsp/dct.hh"
-#include "dsp/int_dct.hh"
-#include "dsp/windowed.hh"
 
 namespace compaqt::core
 {
+
+Compressor::Compressor(const CompressorConfig &cfg)
+    : cfg_(cfg),
+      codec_(CodecRegistry::instance().create(cfg.codec,
+                                              cfg.windowSize))
+{
+    COMPAQT_REQUIRE(cfg_.threshold >= 0.0, "negative threshold");
+}
+
+CompressedWaveform
+Compressor::compress(const waveform::IqWaveform &wf) const
+{
+    return codec_->compress(wf, cfg_.threshold);
+}
+
+void
+Compressor::compress(const waveform::IqWaveform &wf,
+                     CompressedWaveform &out) const
+{
+    codec_->compress(wf, cfg_.threshold, out);
+}
+
+CompressedChannel
+Compressor::compressChannel(std::span<const double> x) const
+{
+    CompressedChannel out;
+    compressChannel(x, out);
+    return out;
+}
+
+void
+Compressor::compressChannel(std::span<const double> x,
+                            CompressedChannel &out) const
+{
+    codec_->compressChannel(x, cfg_.threshold, out);
+}
+
+// ------------------------------------------------- deprecated enum shim
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+std::string_view
+codecKey(Codec c)
+{
+    switch (c) {
+      case Codec::Delta:
+        return "delta";
+      case Codec::DctN:
+        return "dct-n";
+      case Codec::DctW:
+        return "dct-w";
+      case Codec::IntDctW:
+        return "int-dct";
+    }
+    COMPAQT_PANIC("unknown legacy codec enum value");
+}
 
 const char *
 codecName(Codec c)
@@ -33,192 +84,12 @@ codecIsInteger(Codec c)
     return c == Codec::IntDctW;
 }
 
-std::size_t
-CompressedChannel::totalWords() const
+CompressorConfig
+legacyConfig(Codec c, std::size_t window_size, double threshold)
 {
-    std::size_t total = 0;
-    for (const auto &w : windows)
-        total += w.words();
-    return total;
+    return {std::string(codecKey(c)), window_size, threshold};
 }
 
-dsp::CompressionStats
-CompressedChannel::stats() const
-{
-    return {numSamples, totalWords()};
-}
-
-dsp::CompressionStats
-CompressedWaveform::stats() const
-{
-    if (codec == Codec::Delta) {
-        // Express the bit-level delta encoding in 16-bit sample-word
-        // equivalents so ratios are comparable across codecs.
-        const double bits =
-            static_cast<double>(dsp::deltaCompressedBits(deltaI)) +
-            static_cast<double>(dsp::deltaCompressedBits(deltaQ));
-        dsp::CompressionStats s;
-        s.originalSamples = deltaI.originalCount + deltaQ.originalCount;
-        s.compressedWords = static_cast<std::size_t>(
-            std::ceil(bits / dsp::kDeltaSampleBits));
-        return s;
-    }
-    dsp::CompressionStats s = i.stats();
-    s += q.stats();
-    return s;
-}
-
-std::size_t
-CompressedWaveform::worstCaseWindowWords() const
-{
-    std::size_t worst = 0;
-    for (const auto *ch : {&i, &q})
-        for (const auto &w : ch->windows)
-            worst = std::max(worst, w.words());
-    return worst;
-}
-
-Compressor::Compressor(const CompressorConfig &cfg)
-    : cfg_(cfg)
-{
-    if (cfg_.codec == Codec::IntDctW) {
-        COMPAQT_REQUIRE(dsp::intDctSupported(cfg_.windowSize),
-                        "int-DCT-W window size must be 4/8/16/32");
-    }
-    COMPAQT_REQUIRE(cfg_.threshold >= 0.0, "negative threshold");
-}
-
-namespace
-{
-
-/** Split a thresholded coefficient vector into prefix + zero run. */
-template <typename T>
-CompressedWindow
-packWindow(std::span<const T> coeffs)
-{
-    std::size_t last = coeffs.size();
-    while (last > 0 && coeffs[last - 1] == T{})
-        --last;
-    CompressedWindow w;
-    w.zeros = static_cast<std::uint32_t>(coeffs.size() - last);
-    if constexpr (std::is_same_v<T, double>) {
-        w.fcoeffs.assign(coeffs.begin(),
-                         coeffs.begin() + static_cast<std::ptrdiff_t>(last));
-    } else {
-        w.icoeffs.assign(coeffs.begin(),
-                         coeffs.begin() + static_cast<std::ptrdiff_t>(last));
-    }
-    return w;
-}
-
-CompressedChannel
-compressFloat(std::span<const double> x, std::size_t ws,
-              double threshold)
-{
-    CompressedChannel ch;
-    ch.numSamples = x.size();
-    ch.windowSize = ws;
-
-    dsp::WindowedDct wdct(ws);
-    auto coeffs = wdct.forward(x);
-    for (auto &win : coeffs) {
-        for (double &c : win)
-            if (std::abs(c) < threshold)
-                c = 0.0;
-        ch.windows.push_back(packWindow(std::span<const double>(win)));
-    }
-    return ch;
-}
-
-CompressedChannel
-compressInt(std::span<const double> x, std::size_t ws, double threshold)
-{
-    CompressedChannel ch;
-    ch.numSamples = x.size();
-    ch.windowSize = ws;
-
-    const dsp::IntDct xform(ws);
-    const auto thr = static_cast<std::int32_t>(
-        std::lround(threshold * xform.coefficientScale()));
-
-    const auto windows = dsp::splitWindows(x, ws);
-    std::vector<std::int32_t> xi(ws), yi(ws);
-    for (const auto &win : windows) {
-        for (std::size_t k = 0; k < ws; ++k)
-            xi[k] = dsp::IntDct::quantize(win[k]);
-        xform.forward(xi, yi);
-        for (std::int32_t &c : yi)
-            if (std::abs(c) < thr)
-                c = 0;
-        ch.windows.push_back(
-            packWindow(std::span<const std::int32_t>(yi)));
-    }
-    return ch;
-}
-
-} // namespace
-
-CompressedChannel
-Compressor::compressChannel(std::span<const double> x) const
-{
-    switch (cfg_.codec) {
-      case Codec::DctN:
-        return compressFloat(x, x.size(), cfg_.threshold);
-      case Codec::DctW:
-        return compressFloat(x, cfg_.windowSize, cfg_.threshold);
-      case Codec::IntDctW:
-        return compressInt(x, cfg_.windowSize, cfg_.threshold);
-      case Codec::Delta:
-        COMPAQT_PANIC("compressChannel not defined for Delta codec");
-    }
-    COMPAQT_PANIC("unknown codec");
-}
-
-void
-equalizeChannels(CompressedChannel &a, CompressedChannel &b,
-                 bool integer_coeffs)
-{
-    COMPAQT_REQUIRE(a.windows.size() == b.windows.size(),
-                    "equalizeChannels window count mismatch");
-    for (std::size_t w = 0; w < a.windows.size(); ++w) {
-        CompressedWindow &wa = a.windows[w];
-        CompressedWindow &wb = b.windows[w];
-        const std::size_t k = std::max(wa.prefixSize(), wb.prefixSize());
-        for (CompressedWindow *win : {&wa, &wb}) {
-            const std::size_t pad = k - win->prefixSize();
-            if (pad == 0)
-                continue;
-            COMPAQT_REQUIRE(win->zeros >= pad,
-                            "equalizeChannels pad exceeds zero run");
-            if (integer_coeffs)
-                win->icoeffs.resize(win->icoeffs.size() + pad, 0);
-            else
-                win->fcoeffs.resize(win->fcoeffs.size() + pad, 0.0);
-            win->zeros -= static_cast<std::uint32_t>(pad);
-        }
-    }
-}
-
-CompressedWaveform
-Compressor::compress(const waveform::IqWaveform &wf) const
-{
-    COMPAQT_REQUIRE(wf.i.size() == wf.q.size(),
-                    "I/Q channel length mismatch");
-    CompressedWaveform out;
-    out.codec = cfg_.codec;
-    out.windowSize =
-        cfg_.codec == Codec::DctN ? wf.i.size() : cfg_.windowSize;
-
-    if (cfg_.codec == Codec::Delta) {
-        out.deltaI = dsp::deltaEncode(wf.i);
-        out.deltaQ = dsp::deltaEncode(wf.q);
-        return out;
-    }
-
-    out.i = compressChannel(wf.i);
-    out.q = compressChannel(wf.q);
-    equalizeChannels(out.i, out.q, codecIsInteger(cfg_.codec));
-    return out;
-}
+#pragma GCC diagnostic pop
 
 } // namespace compaqt::core

@@ -4,34 +4,93 @@
  * transform each window of a waveform, zero out sub-threshold
  * coefficients, and fold the trailing zero run into one RLE codeword.
  *
- * Four codecs are implemented, matching Table II plus the delta
- * baseline of Section IV-B:
- *  - Delta:    base-delta over sign-magnitude samples (baseline)
- *  - DctN:     N-point floating DCT, window = whole waveform
- *  - DctW:     windowed floating DCT (WS = 8/16/32)
- *  - IntDctW:  windowed HEVC-style integer DCT — the hardware codec
+ * Codec selection is by CodecRegistry name (see core/codec.hh for the
+ * built-in set matching Table II plus the delta baseline of Section
+ * IV-B). Compressor is a thin configured wrapper over one ICodec
+ * instance; new codecs registered anywhere are usable here without
+ * changes.
  *
- * Thresholds are expressed in normalized waveform-amplitude units for
- * all codecs (the integer path converts through the transform's
- * coefficientScale), so a given threshold trades distortion for
- * compression comparably across codecs.
+ * The old `enum class Codec` selector survives below as a deprecated
+ * shim over the registry names; new code should use the string keys
+ * or the CompressionPipeline facade.
  */
 
 #ifndef COMPAQT_CORE_COMPRESSOR_HH
 #define COMPAQT_CORE_COMPRESSOR_HH
 
-#include <cstdint>
+#include <memory>
 #include <span>
-#include <vector>
+#include <string>
 
-#include "dsp/delta.hh"
-#include "dsp/metrics.hh"
-#include "waveform/shapes.hh"
+#include "core/codec.hh"
 
 namespace compaqt::core
 {
 
-/** Compression algorithm selector (Table II + delta baseline). */
+/** Compile-time compression parameters. */
+struct CompressorConfig
+{
+    /** CodecRegistry key ("delta", "dct-n", "dct-w", "int-dct", or
+     *  any registered codec). */
+    std::string codec = "int-dct";
+    /** Window size; ignored by dct-n/delta. Must be 4/8/16/32 for
+     *  int-dct. */
+    std::size_t windowSize = 16;
+    /** Coefficient-zeroing threshold, normalized amplitude units. */
+    double threshold = 1e-3;
+};
+
+/**
+ * Compile-time compressor: one registry codec plus a threshold. Safe
+ * to reuse across waveforms, but the codec instance carries scratch
+ * buffers, so a Compressor must not be shared between threads; it is
+ * move-only to keep that single-owner contract explicit. Build one
+ * per thread.
+ */
+class Compressor
+{
+  public:
+    /** Resolves cfg.codec in the CodecRegistry; fatal if unknown. */
+    explicit Compressor(const CompressorConfig &cfg);
+
+    Compressor(const Compressor &) = delete;
+    Compressor &operator=(const Compressor &) = delete;
+    Compressor(Compressor &&) = default;
+    Compressor &operator=(Compressor &&) = default;
+
+    const CompressorConfig &config() const { return cfg_; }
+
+    /** The resolved codec implementation. */
+    const ICodec &codec() const { return *codec_; }
+
+    /** Compress both channels; per-window prefixes are equalized
+     *  between I and Q as Section IV-C requires. */
+    CompressedWaveform compress(const waveform::IqWaveform &wf) const;
+
+    /** Buffer-reusing variant of compress() for hot loops. */
+    void compress(const waveform::IqWaveform &wf,
+                  CompressedWaveform &out) const;
+
+    /** Compress a single channel (no cross-channel equalization). */
+    CompressedChannel compressChannel(std::span<const double> x) const;
+
+    /** Buffer-reusing variant of compressChannel(). */
+    void compressChannel(std::span<const double> x,
+                         CompressedChannel &out) const;
+
+  private:
+    CompressorConfig cfg_;
+    std::unique_ptr<const ICodec> codec_;
+};
+
+// ------------------------------------------------- deprecated enum shim
+//
+// The pre-registry API: a closed enum of the four paper codecs. Kept
+// so downstream code migrates incrementally; everything here forwards
+// to the registry names.
+
+/** Compression algorithm selector (Table II + delta baseline).
+ *  @deprecated Use CodecRegistry string keys instead. */
 enum class Codec
 {
     Delta,
@@ -40,121 +99,26 @@ enum class Codec
     IntDctW,
 };
 
-/** Printable codec name. */
+/** Registry key for a legacy enum value, e.g. "int-dct".
+ *  @deprecated */
+[[deprecated("use CodecRegistry string keys")]]
+std::string_view codecKey(Codec c);
+
+/** Printable codec name (display label), e.g. "int-DCT-W".
+ *  @deprecated Use ICodec::label(). */
+[[deprecated("use ICodec::label()")]]
 const char *codecName(Codec c);
 
-/** True for codecs whose coefficients are integers. */
+/** True for codecs whose coefficients are integers.
+ *  @deprecated Use ICodec::isInteger(). */
+[[deprecated("use ICodec::isInteger()")]]
 bool codecIsInteger(Codec c);
 
-/** Compile-time compression parameters. */
-struct CompressorConfig
-{
-    Codec codec = Codec::IntDctW;
-    /** Window size; ignored by DctN/Delta. Must be 4/8/16/32 for
-     *  IntDctW. */
-    std::size_t windowSize = 16;
-    /** Coefficient-zeroing threshold, normalized amplitude units. */
-    double threshold = 1e-3;
-};
-
-/**
- * One compressed window: the verbatim coefficient prefix plus the
- * count of trailing zeros folded into the RLE codeword. Integer
- * codecs fill icoeffs; float codecs fill fcoeffs.
- */
-struct CompressedWindow
-{
-    std::vector<double> fcoeffs;
-    std::vector<std::int32_t> icoeffs;
-    std::uint32_t zeros = 0;
-
-    /** Number of kept coefficients. */
-    std::size_t
-    prefixSize() const
-    {
-        return std::max(fcoeffs.size(), icoeffs.size());
-    }
-
-    /** Memory words: prefix + codeword (if a zero run exists). */
-    std::size_t
-    words() const
-    {
-        return prefixSize() + (zeros > 0 ? 1 : 0);
-    }
-};
-
-/** One compressed channel (I or Q) of a waveform. */
-struct CompressedChannel
-{
-    /** Original sample count before padding. */
-    std::size_t numSamples = 0;
-    /** Transform window size (== padded length for DCT-N). */
-    std::size_t windowSize = 0;
-    std::vector<CompressedWindow> windows;
-
-    /** Total memory words across windows. */
-    std::size_t totalWords() const;
-
-    dsp::CompressionStats stats() const;
-};
-
-/**
- * A fully compressed I/Q waveform. For the Delta codec the channels
- * hold no windows and delta bookkeeping is carried separately.
- */
-struct CompressedWaveform
-{
-    Codec codec = Codec::IntDctW;
-    std::size_t windowSize = 0;
-    CompressedChannel i;
-    CompressedChannel q;
-    /** Lossless delta encodings (Delta codec only). */
-    dsp::DeltaEncoded deltaI;
-    dsp::DeltaEncoded deltaQ;
-
-    /** Combined old-size/new-size stats over both channels. */
-    dsp::CompressionStats stats() const;
-
-    /** R = old size / new size (Section IV-D). */
-    double ratio() const { return stats().ratio(); }
-
-    /** Worst-case words in any window (uniform memory width). */
-    std::size_t worstCaseWindowWords() const;
-};
-
-/**
- * Compile-time compressor. Stateless apart from configuration; safe
- * to reuse across waveforms.
- */
-class Compressor
-{
-  public:
-    explicit Compressor(const CompressorConfig &cfg);
-
-    const CompressorConfig &config() const { return cfg_; }
-
-    /** Compress both channels; per-window prefixes are equalized
-     *  between I and Q as Section IV-C requires. */
-    CompressedWaveform compress(const waveform::IqWaveform &wf) const;
-
-    /** Compress a single channel (no cross-channel equalization). */
-    CompressedChannel
-    compressChannel(std::span<const double> x) const;
-
-  private:
-    CompressorConfig cfg_;
-};
-
-/**
- * Make both channels use the same per-window prefix length by
- * re-expanding explicit zeros in the shorter prefix (Section IV-C:
- * "the number of samples per window after compression are kept the
- * same for both channels").
- *
- * @param integer_coeffs true when the channels carry icoeffs
- */
-void equalizeChannels(CompressedChannel &a, CompressedChannel &b,
-                      bool integer_coeffs);
+/** Build a CompressorConfig from the legacy enum selector.
+ *  @deprecated Construct CompressorConfig with a registry key. */
+[[deprecated("construct CompressorConfig with a registry key")]]
+CompressorConfig legacyConfig(Codec c, std::size_t window_size = 16,
+                              double threshold = 1e-3);
 
 } // namespace compaqt::core
 

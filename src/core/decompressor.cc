@@ -3,10 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "dsp/dct.hh"
-#include "dsp/int_dct.hh"
 #include "dsp/metrics.hh"
-#include "dsp/windowed.hh"
 
 namespace compaqt::core
 {
@@ -33,54 +30,95 @@ Decompressor::expandWindowFloat(const CompressedWindow &w,
     return out;
 }
 
+namespace
+{
+
+/** Heterogeneous key comparison so cache probes with a string_view
+ *  name do not allocate. */
+struct CodecKeyLess
+{
+    using is_transparent = void;
+
+    template <typename A, typename B>
+    bool
+    operator()(const std::pair<A, std::size_t> &a,
+               const std::pair<B, std::size_t> &b) const
+    {
+        const std::string_view an(a.first), bn(b.first);
+        return an < bn || (an == bn && a.second < b.second);
+    }
+};
+
+} // namespace
+
+const ICodec &
+Decompressor::codec(std::string_view alias, std::size_t ws)
+{
+    // Per-thread cache: codec instances carry scratch buffers, so
+    // giving each thread its own keeps a shared const Decompressor
+    // thread-safe (as the pre-registry stateless decoder was).
+    //
+    // Keys are canonical names, so an alias ("int-dct-w") shares the
+    // instance of its canonical codec; non-windowed codecs (delta,
+    // dct-n) ignore the window size and cache under key 0, so
+    // decoding waveforms of many distinct lengths keeps the cache
+    // bounded by the number of codecs.
+    static thread_local std::map<std::pair<std::string, std::size_t>,
+                                 std::unique_ptr<ICodec>, CodecKeyLess>
+        cache;
+
+    const std::string_view name =
+        CodecRegistry::instance().canonicalName(alias);
+    auto it = cache.find(std::make_pair(name, std::size_t{0}));
+    if (it != cache.end())
+        return *it->second;
+    it = cache.find(std::make_pair(name, ws));
+    if (it == cache.end()) {
+        auto codec = CodecRegistry::instance().create(name, ws);
+        // Key windowed codecs by the window size the instance
+        // actually configured (a factory may default a 0 request),
+        // so key 0 stays reserved for non-windowed codecs and can
+        // never hijack lookups at other window sizes.
+        const std::size_t key_ws =
+            codec->isWindowed() ? codec->windowSize() : 0;
+        it = cache
+                 .emplace(std::make_pair(std::string(name), key_ws),
+                          std::move(codec))
+                 .first;
+    }
+    return *it->second;
+}
+
 std::vector<double>
 Decompressor::decompressChannel(const CompressedChannel &ch,
-                                Codec codec) const
+                                std::string_view codec_name) const
 {
-    COMPAQT_REQUIRE(codec != Codec::Delta,
-                    "use deltaDecode for the Delta codec");
-    const std::size_t ws = ch.windowSize;
-
-    if (codecIsInteger(codec)) {
-        const dsp::IntDct xform(ws);
-        std::vector<double> out;
-        out.reserve(ch.windows.size() * ws);
-        std::vector<std::int32_t> xi(ws);
-        for (const auto &w : ch.windows) {
-            const auto yi = expandWindowInt(w, ws);
-            xform.inverse(yi, xi);
-            for (std::int32_t v : xi)
-                out.push_back(dsp::IntDct::dequantize(v));
-        }
-        out.resize(ch.numSamples);
-        return out;
-    }
-
-    dsp::DctPlan plan(ws);
     std::vector<double> out;
-    out.reserve(ch.windows.size() * ws);
-    std::vector<double> x(ws);
-    for (const auto &w : ch.windows) {
-        const auto y = expandWindowFloat(w, ws);
-        plan.inverse(y, x);
-        out.insert(out.end(), x.begin(), x.end());
-    }
-    out.resize(ch.numSamples);
+    decompressChannel(ch, codec_name, out);
     return out;
+}
+
+void
+Decompressor::decompressChannel(const CompressedChannel &ch,
+                                std::string_view codec_name,
+                                std::vector<double> &out) const
+{
+    codec(codec_name, ch.windowSize).decompressChannel(ch, out);
 }
 
 waveform::IqWaveform
 Decompressor::decompress(const CompressedWaveform &cw) const
 {
     waveform::IqWaveform wf;
-    if (cw.codec == Codec::Delta) {
-        wf.i = dsp::deltaDecode(cw.deltaI);
-        wf.q = dsp::deltaDecode(cw.deltaQ);
-        return wf;
-    }
-    wf.i = decompressChannel(cw.i, cw.codec);
-    wf.q = decompressChannel(cw.q, cw.codec);
+    decompress(cw, wf);
     return wf;
+}
+
+void
+Decompressor::decompress(const CompressedWaveform &cw,
+                         waveform::IqWaveform &out) const
+{
+    codec(cw.codec, cw.windowSize).decompress(cw, out);
 }
 
 waveform::IqWaveform

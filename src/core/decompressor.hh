@@ -4,11 +4,16 @@
  * decompression pipeline of Section V must match sample-for-sample.
  * Also used at compile time by fidelity-aware compression to measure
  * the distortion a candidate threshold would produce.
+ *
+ * Decoding dispatches through the CodecRegistry on the codec name a
+ * CompressedWaveform carries, so any registered codec decodes here
+ * without changes.
  */
 
 #ifndef COMPAQT_CORE_DECOMPRESSOR_HH
 #define COMPAQT_CORE_DECOMPRESSOR_HH
 
+#include <string_view>
 #include <vector>
 
 #include "core/compressor.hh"
@@ -17,7 +22,11 @@ namespace compaqt::core
 {
 
 /**
- * Software decoder for every codec the Compressor produces.
+ * Software decoder for every registered codec. Stateless: codec
+ * instances (with their cached plans and scratch buffers) live in a
+ * per-thread cache, so a Decompressor is cheap to call in loops and
+ * safe to share between threads — each thread decodes through its
+ * own codec instances.
  */
 class Decompressor
 {
@@ -26,12 +35,21 @@ class Decompressor
     waveform::IqWaveform
     decompress(const CompressedWaveform &cw) const;
 
+    /** Buffer-reusing variant of decompress() for hot loops. */
+    void decompress(const CompressedWaveform &cw,
+                    waveform::IqWaveform &out) const;
+
     /**
      * Reconstruct one channel.
-     * @param codec the codec that produced the channel
+     * @param codec registry name of the codec that produced it
      */
     std::vector<double> decompressChannel(const CompressedChannel &ch,
-                                          Codec codec) const;
+                                          std::string_view codec) const;
+
+    /** Buffer-reusing variant of decompressChannel(). */
+    void decompressChannel(const CompressedChannel &ch,
+                           std::string_view codec,
+                           std::vector<double> &out) const;
 
     /**
      * Expand one compressed window back to windowSize transform
@@ -44,6 +62,9 @@ class Decompressor
     static std::vector<double>
     expandWindowFloat(const CompressedWindow &w,
                       std::size_t window_size);
+
+  private:
+    static const ICodec &codec(std::string_view name, std::size_t ws);
 };
 
 /**

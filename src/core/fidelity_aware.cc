@@ -9,7 +9,8 @@ namespace compaqt::core
 {
 
 FidelityAwareResult
-compressFidelityAware(const waveform::IqWaveform &wf,
+compressFidelityAware(const ICodec &codec,
+                      const waveform::IqWaveform &wf,
                       const FidelityAwareConfig &cfg)
 {
     COMPAQT_REQUIRE(cfg.targetMse > 0.0, "target MSE must be positive");
@@ -17,20 +18,18 @@ compressFidelityAware(const waveform::IqWaveform &wf,
                     "initial threshold below the floor");
 
     FidelityAwareResult result;
-    Decompressor dec;
     double threshold = cfg.initialThreshold;
+    waveform::IqWaveform rt;
 
     while (true) {
-        CompressorConfig cc = cfg.base;
-        cc.threshold = threshold;
-        const Compressor comp(cc);
-        CompressedWaveform cw = comp.compress(wf);
-        const auto rt = dec.decompress(cw);
+        // Compress/decompress into the same buffers each iteration;
+        // the halving search typically runs 5-15 rounds per pulse.
+        codec.compress(wf, threshold, result.compressed);
+        codec.decompress(result.compressed, rt);
         const double mse =
             std::max(dsp::mse(wf.i, rt.i), dsp::mse(wf.q, rt.q));
         ++result.iterations;
 
-        result.compressed = std::move(cw);
         result.threshold = threshold;
         result.mse = mse;
 
@@ -46,6 +45,15 @@ compressFidelityAware(const waveform::IqWaveform &wf,
             return result;
         }
     }
+}
+
+FidelityAwareResult
+compressFidelityAware(const waveform::IqWaveform &wf,
+                      const FidelityAwareConfig &cfg)
+{
+    const auto codec = CodecRegistry::instance().create(
+        cfg.base.codec, cfg.base.windowSize);
+    return compressFidelityAware(*codec, wf, cfg);
 }
 
 } // namespace compaqt::core

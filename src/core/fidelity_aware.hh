@@ -52,9 +52,19 @@ struct FidelityAwareResult
 /**
  * Run Algorithm 1 on one gate pulse: find the largest power-of-two
  * scaled threshold meeting the MSE target, maximizing compression
- * subject to fidelity.
+ * subject to fidelity. The codec named by cfg.base.codec is resolved
+ * once in the CodecRegistry and reused across iterations.
  */
 FidelityAwareResult compressFidelityAware(const waveform::IqWaveform &wf,
+                                          const FidelityAwareConfig &cfg);
+
+/**
+ * Same search on an already-resolved codec instance (what the
+ * pipeline facade uses, so per-pulse searches share one codec and its
+ * scratch buffers). Only cfg's target/threshold knobs are read.
+ */
+FidelityAwareResult compressFidelityAware(const ICodec &codec,
+                                          const waveform::IqWaveform &wf,
                                           const FidelityAwareConfig &cfg);
 
 } // namespace compaqt::core

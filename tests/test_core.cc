@@ -41,7 +41,8 @@ testFlatTop()
 // ------------------------------------------------------------ compressor
 
 class CodecParam
-    : public ::testing::TestWithParam<std::tuple<Codec, std::size_t>>
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, std::size_t>>
 {
 };
 
@@ -52,7 +53,7 @@ TEST_P(CodecParam, RoundTripMseIsBounded)
     const Compressor comp(cfg);
     const auto wf = testDrag();
     const double err = roundTripMse(comp, wf);
-    EXPECT_LT(err, 1e-4) << codecName(codec) << " ws=" << ws;
+    EXPECT_LT(err, 1e-4) << codec << " ws=" << ws;
 }
 
 TEST_P(CodecParam, RatioAtLeastOneOnSmoothPulses)
@@ -65,16 +66,16 @@ TEST_P(CodecParam, RatioAtLeastOneOnSmoothPulses)
 
 INSTANTIATE_TEST_SUITE_P(
     Codecs, CodecParam,
-    ::testing::Values(std::tuple{Codec::DctN, std::size_t{16}},
-                      std::tuple{Codec::DctW, std::size_t{8}},
-                      std::tuple{Codec::DctW, std::size_t{16}},
-                      std::tuple{Codec::IntDctW, std::size_t{8}},
-                      std::tuple{Codec::IntDctW, std::size_t{16}},
-                      std::tuple{Codec::IntDctW, std::size_t{32}}));
+    ::testing::Values(std::tuple{"dct-n", std::size_t{16}},
+                      std::tuple{"dct-w", std::size_t{8}},
+                      std::tuple{"dct-w", std::size_t{16}},
+                      std::tuple{"int-dct", std::size_t{8}},
+                      std::tuple{"int-dct", std::size_t{16}},
+                      std::tuple{"int-dct", std::size_t{32}}));
 
 TEST(Compressor, ZeroThresholdIsNearLossless)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 0.0};
+    CompressorConfig cfg{"int-dct", 16, 0.0};
     const Compressor comp(cfg);
     const auto wf = testDrag();
     // Quantization + integer transform rounding only.
@@ -86,7 +87,7 @@ TEST(Compressor, HigherThresholdCompressesMore)
     const auto wf = testFlatTop();
     double prev_ratio = 0.0;
     for (double thr : {1e-4, 1e-3, 1e-2}) {
-        CompressorConfig cfg{Codec::IntDctW, 16, thr};
+        CompressorConfig cfg{"int-dct", 16, thr};
         const Compressor comp(cfg);
         const double r = comp.compress(wf).ratio();
         EXPECT_GE(r, prev_ratio);
@@ -96,7 +97,7 @@ TEST(Compressor, HigherThresholdCompressesMore)
 
 TEST(Compressor, ChannelsShareWindowCounts)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const Compressor comp(cfg);
     const auto cw = comp.compress(testDrag());
     ASSERT_EQ(cw.i.windows.size(), cw.q.windows.size());
@@ -107,7 +108,7 @@ TEST(Compressor, ChannelsShareWindowCounts)
 
 TEST(Compressor, WindowInvariantPrefixPlusZeros)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const Compressor comp(cfg);
     const auto cw = comp.compress(testFlatTop());
     for (const auto *ch : {&cw.i, &cw.q})
@@ -117,7 +118,7 @@ TEST(Compressor, WindowInvariantPrefixPlusZeros)
 
 TEST(Compressor, DctNUsesSingleWindow)
 {
-    CompressorConfig cfg{Codec::DctN, 0, 1e-3};
+    CompressorConfig cfg{"dct-n", 0, 1e-3};
     const Compressor comp(cfg);
     const auto cw = comp.compress(testDrag());
     EXPECT_EQ(cw.i.windows.size(), 1u);
@@ -126,7 +127,7 @@ TEST(Compressor, DctNUsesSingleWindow)
 
 TEST(Compressor, DeltaCodecRoundTrip)
 {
-    CompressorConfig cfg{Codec::Delta, 0, 0.0};
+    CompressorConfig cfg{"delta", 0, 0.0};
     const Compressor comp(cfg);
     const auto wf = testDrag();
     const auto cw = comp.compress(wf);
@@ -141,7 +142,7 @@ TEST(Compressor, GaussianSquareBeatsDragCompression)
 {
     // 2Q/readout flat-tops are longer and smoother than DRAG 1Q
     // pulses (Section IV-D's observation about qft-4).
-    CompressorConfig cfg{Codec::IntDctW, 16, 2e-3};
+    CompressorConfig cfg{"int-dct", 16, 2e-3};
     const Compressor comp(cfg);
     EXPECT_GT(comp.compress(testFlatTop()).ratio(),
               comp.compress(testDrag()).ratio());
@@ -149,7 +150,7 @@ TEST(Compressor, GaussianSquareBeatsDragCompression)
 
 TEST(Compressor, RejectsBadIntWindowSize)
 {
-    CompressorConfig cfg{Codec::IntDctW, 12, 1e-3};
+    CompressorConfig cfg{"int-dct", 12, 1e-3};
     EXPECT_DEATH({ Compressor comp(cfg); }, "window size");
 }
 
@@ -170,7 +171,7 @@ TEST(Decompressor, ExpandWindowReconstructsLayout)
 
 TEST(Decompressor, PreservesOriginalLength)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const Compressor comp(cfg);
     // 150 samples: the last window is padded; decode must trim.
     waveform::IqWaveform wf;
@@ -187,7 +188,7 @@ TEST(Decompressor, PreservesOriginalLength)
 TEST(FidelityAware, MeetsMseTarget)
 {
     FidelityAwareConfig cfg;
-    cfg.base.codec = Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     cfg.targetMse = 1e-6;
     const auto r = compressFidelityAware(testDrag(), cfg);
@@ -199,7 +200,7 @@ TEST(FidelityAware, MeetsMseTarget)
 TEST(FidelityAware, TighterTargetCompressesLess)
 {
     FidelityAwareConfig loose, tight;
-    loose.base.codec = tight.base.codec = Codec::IntDctW;
+    loose.base.codec = tight.base.codec = "int-dct";
     loose.base.windowSize = tight.base.windowSize = 16;
     loose.targetMse = 1e-5;
     tight.targetMse = 1e-8;
@@ -213,7 +214,7 @@ TEST(FidelityAware, TighterTargetCompressesLess)
 TEST(FidelityAware, ThresholdHalvesUntilConverged)
 {
     FidelityAwareConfig cfg;
-    cfg.base.codec = Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     cfg.targetMse = 1e-7;
     cfg.initialThreshold = 0.05;
@@ -226,7 +227,7 @@ TEST(FidelityAware, ThresholdHalvesUntilConverged)
 TEST(FidelityAware, ImpossibleTargetReportsNonConvergence)
 {
     FidelityAwareConfig cfg;
-    cfg.base.codec = Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     // Below the integer quantization floor: unreachable.
     cfg.targetMse = 1e-14;
@@ -239,7 +240,7 @@ TEST(FidelityAware, ImpossibleTargetReportsNonConvergence)
 
 TEST(Adaptive, FlatTopSplitsIntoThreeSegments)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const AdaptiveCompressor comp(cfg);
     const auto ac = comp.compress(testFlatTop());
     ASSERT_EQ(ac.i.segments.size(), 3u);
@@ -250,7 +251,7 @@ TEST(Adaptive, FlatTopSplitsIntoThreeSegments)
 
 TEST(Adaptive, RoundTripMatchesOriginal)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const AdaptiveCompressor comp(cfg);
     const auto wf = testFlatTop();
     const auto ac = comp.compress(wf);
@@ -262,7 +263,7 @@ TEST(Adaptive, RoundTripMatchesOriginal)
 
 TEST(Adaptive, BypassCoversTheFlatRegion)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const AdaptiveCompressor comp(cfg);
     const auto ac = comp.compress(testFlatTop());
     // The 1360-sample pulse has ~960 flat samples; window alignment
@@ -275,7 +276,7 @@ TEST(Adaptive, BypassCoversTheFlatRegion)
 
 TEST(Adaptive, BeatsPlainCompressionOnFlatTops)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const AdaptiveCompressor acomp(cfg);
     const Compressor comp(cfg);
     const auto wf = testFlatTop();
@@ -285,7 +286,7 @@ TEST(Adaptive, BeatsPlainCompressionOnFlatTops)
 
 TEST(Adaptive, PureGaussianHasNoFlatSegment)
 {
-    CompressorConfig cfg{Codec::IntDctW, 16, 1e-3};
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
     const AdaptiveCompressor comp(cfg);
     const auto ac = comp.compress(testDrag());
     ASSERT_EQ(ac.i.segments.size(), 1u);
@@ -300,7 +301,7 @@ TEST(CompressedLibrary, BuildCoversAllGates)
     const auto dev = waveform::DeviceModel::ibm("bogota");
     const auto lib = waveform::PulseLibrary::build(dev);
     FidelityAwareConfig cfg;
-    cfg.base.codec = Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     const auto clib = CompressedLibrary::build(lib, cfg);
     EXPECT_EQ(clib.size(), lib.size());
@@ -317,7 +318,7 @@ TEST(CompressedLibrary, PaperOperatingPoint)
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     FidelityAwareConfig cfg;
-    cfg.base.codec = Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     const auto clib = CompressedLibrary::build(lib, cfg);
     EXPECT_LE(clib.worstCaseWindowWords(), 3u);
@@ -334,7 +335,7 @@ TEST(CompressedLibrary, SerializationRoundTrips)
     const auto dev = waveform::DeviceModel::ibm("bogota");
     const auto lib = waveform::PulseLibrary::build(dev);
     FidelityAwareConfig cfg;
-    cfg.base.codec = Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     const auto clib = CompressedLibrary::build(lib, cfg);
 

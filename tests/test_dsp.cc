@@ -19,7 +19,6 @@
 #include "dsp/metrics.hh"
 #include "dsp/rle.hh"
 #include "dsp/shift_add.hh"
-#include "dsp/windowed.hh"
 #include "waveform/shapes.hh"
 
 namespace compaqt::dsp
@@ -108,44 +107,6 @@ TEST(DctPlan, MatchesFreeFunctions)
     plan.inverse(y, z);
     for (std::size_t i = 0; i < 16; ++i)
         EXPECT_NEAR(z[i], x[i], 1e-10);
-}
-
-// ----------------------------------------------------------- windowed
-
-TEST(Windowed, SplitJoinRoundTrip)
-{
-    Rng rng(5);
-    const auto x = randomSignal(37, rng);
-    const auto w = splitWindows(x, 8);
-    EXPECT_EQ(w.size(), 5u);
-    EXPECT_EQ(w.back().size(), 8u);
-    // Padding is zero.
-    for (std::size_t i = 5; i < 8; ++i)
-        EXPECT_DOUBLE_EQ(w.back()[i], 0.0);
-    const auto x2 = joinWindows(w, 37);
-    ASSERT_EQ(x2.size(), x.size());
-    for (std::size_t i = 0; i < x.size(); ++i)
-        EXPECT_DOUBLE_EQ(x2[i], x[i]);
-}
-
-TEST(Windowed, NumWindowsCeiling)
-{
-    EXPECT_EQ(numWindows(16, 16), 1u);
-    EXPECT_EQ(numWindows(17, 16), 2u);
-    EXPECT_EQ(numWindows(0, 16), 0u);
-}
-
-TEST(Windowed, ForwardInverseRoundTrip)
-{
-    Rng rng(6);
-    const auto x = randomSignal(100, rng);
-    WindowedDct w(16);
-    const auto coeffs = w.forward(x);
-    EXPECT_EQ(coeffs.size(), 7u);
-    const auto x2 = w.inverse(coeffs, 100);
-    ASSERT_EQ(x2.size(), 100u);
-    for (std::size_t i = 0; i < 100; ++i)
-        EXPECT_NEAR(x2[i], x[i], 1e-10);
 }
 
 // ---------------------------------------------------------- shift-add

@@ -484,7 +484,7 @@ TEST(Noise, CompressedGateSetCloseToBaseline)
     const auto dev = waveform::DeviceModel::ibm("bogota");
     const auto lib = waveform::PulseLibrary::build(dev);
     core::FidelityAwareConfig cfg;
-    cfg.base.codec = core::Codec::IntDctW;
+    cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
     const auto clib = core::CompressedLibrary::build(lib, cfg);
     const auto base = GateSet::fromLibrary(dev, lib);

@@ -41,7 +41,7 @@ struct CompiledDevice
     {
         lib = waveform::PulseLibrary::build(dev);
         core::FidelityAwareConfig cfg;
-        cfg.base.codec = core::Codec::IntDctW;
+        cfg.base.codec = "int-dct";
         cfg.base.windowSize = 16;
         clib = core::CompressedLibrary::build(lib, cfg);
     }
@@ -68,7 +68,7 @@ TEST(Integration, EveryGatePulseStreamsBitExact)
             pipe.load(*ch);
             const auto hw = pipe.stream();
             const auto sw =
-                dec.decompressChannel(*ch, core::Codec::IntDctW);
+                dec.decompressChannel(*ch, "int-dct");
             ASSERT_EQ(hw.samples.size(), sw.size());
             for (std::size_t k = 0; k < sw.size(); ++k)
                 ASSERT_EQ(dsp::IntDct::dequantize(hw.samples[k]),
@@ -208,7 +208,7 @@ TEST(Integration, WindowSize8HasMoreBoundaryDistortion)
     // carry more boundary distortion per gate error than WS=16.
     const auto &cd = compiled();
     core::FidelityAwareConfig cfg8;
-    cfg8.base.codec = core::Codec::IntDctW;
+    cfg8.base.codec = "int-dct";
     cfg8.base.windowSize = 8;
     const auto clib8 = core::CompressedLibrary::build(cd.lib, cfg8);
     core::Decompressor dec;

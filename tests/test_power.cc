@@ -110,7 +110,7 @@ TEST(System, AdaptiveSavesFurtherPower)
 
 TEST(System, IdctFractionFromAdaptiveChannel)
 {
-    core::CompressorConfig cfg{core::Codec::IntDctW, 16, 1e-3};
+    core::CompressorConfig cfg{"int-dct", 16, 1e-3};
     const core::AdaptiveCompressor comp(cfg);
     const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.1);
     const auto ac = comp.compress(wf);

@@ -32,7 +32,7 @@ namespace
 core::CompressedWaveform
 compressedDrag(std::size_t ws = 16)
 {
-    core::CompressorConfig cfg{core::Codec::IntDctW, ws, 2e-3};
+    core::CompressorConfig cfg{"int-dct", ws, 2e-3};
     const core::Compressor comp(cfg);
     return comp.compress(waveform::drag(144, 36.0, 0.2, 1.2));
 }
@@ -139,7 +139,7 @@ TEST(Pipeline, StreamsBitExactSamples)
 
     core::Decompressor dec;
     const auto golden = dec.decompressChannel(cw.i,
-                                              core::Codec::IntDctW);
+                                              "int-dct");
     ASSERT_EQ(result.samples.size(), golden.size());
     for (std::size_t k = 0; k < golden.size(); ++k)
         EXPECT_EQ(dsp::IntDct::dequantize(result.samples[k]),
@@ -186,7 +186,7 @@ TEST_P(PipelineWs, BitExactAtEveryWindowSize)
         pipe.load(*ch);
         const auto hw = pipe.stream();
         const auto sw =
-            dec.decompressChannel(*ch, core::Codec::IntDctW);
+            dec.decompressChannel(*ch, "int-dct");
         ASSERT_EQ(hw.samples.size(), sw.size());
         for (std::size_t k = 0; k < sw.size(); ++k)
             ASSERT_EQ(dsp::IntDct::dequantize(hw.samples[k]), sw[k])
@@ -214,7 +214,7 @@ INSTANTIATE_TEST_SUITE_P(AllWindowSizes, PipelineWs,
 
 TEST(Pipeline, AdaptiveBypassSkipsIdct)
 {
-    core::CompressorConfig cfg{core::Codec::IntDctW, 16, 1e-3};
+    core::CompressorConfig cfg{"int-dct", 16, 1e-3};
     const core::AdaptiveCompressor acomp(cfg);
     const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.0);
     const auto ac = acomp.compress(wf);
@@ -243,7 +243,7 @@ class ControllerTest : public ::testing::Test
         dev_ = waveform::DeviceModel::ibm("guadalupe");
         lib_ = waveform::PulseLibrary::build(dev_);
         core::FidelityAwareConfig cfg;
-        cfg.base.codec = core::Codec::IntDctW;
+        cfg.base.codec = "int-dct";
         cfg.base.windowSize = 16;
         clib_ = core::CompressedLibrary::build(lib_, cfg);
     }
@@ -283,7 +283,7 @@ TEST_F(ControllerTest, PlayGateMatchesGoldenDecode)
     const auto r = ctl.playGate(id);
     core::Decompressor dec;
     const auto golden = dec.decompressChannel(
-        clib_.entry(id).cw.i, core::Codec::IntDctW);
+        clib_.entry(id).cw.i, "int-dct");
     EXPECT_EQ(r.samples.size(), golden.size());
 }
 
