@@ -113,6 +113,29 @@ concurrency(const Schedule &s)
     return p;
 }
 
+std::vector<Schedule>
+partitionByOwner(const Schedule &s, const std::vector<int> &owner,
+                 int num_parts)
+{
+    COMPAQT_REQUIRE(num_parts > 0, "partition needs at least one part");
+    std::vector<Schedule> parts(static_cast<std::size_t>(num_parts));
+    for (const auto &e : s.events) {
+        if (e.gate.qubits.empty())
+            continue;
+        const auto q = static_cast<std::size_t>(e.gate.qubits[0]);
+        if (q >= owner.size())
+            continue;
+        const int p = owner[q];
+        if (p < 0 || p >= num_parts)
+            continue;
+        auto &part = parts[static_cast<std::size_t>(p)];
+        part.events.push_back(e);
+        part.makespan =
+            std::max(part.makespan, e.start + e.duration);
+    }
+    return parts;
+}
+
 BandwidthProfile
 bandwidth(const Schedule &s, double bytes_per_channel_per_sec)
 {

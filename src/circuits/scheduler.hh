@@ -77,6 +77,21 @@ struct BandwidthProfile
 BandwidthProfile bandwidth(const Schedule &s,
                            double bytes_per_channel_per_sec);
 
+/**
+ * Split a schedule across controllers by qubit ownership: event e
+ * goes to part owner[e.gate.qubits[0]] — the gate's drive qubit
+ * (control qubit for CX), matching the channel-group accounting of
+ * uarch::Controller::execute. Event start times are preserved, so
+ * each part is exactly the owning controller's slice of the global
+ * timeline; per-part makespans are recomputed from the surviving
+ * events. Events whose owner is out of [0, num_parts) are dropped.
+ *
+ * @param owner qubit -> owning part, one entry per qubit
+ */
+std::vector<Schedule> partitionByOwner(const Schedule &s,
+                                       const std::vector<int> &owner,
+                                       int num_parts);
+
 } // namespace compaqt::circuits
 
 #endif // COMPAQT_CIRCUITS_SCHEDULER_HH

@@ -3,8 +3,8 @@
  * Umbrella header for the COMPAQT compression stack: include this one
  * file and use the `compaqt::` aliases instead of spelling out the
  * layer namespaces. Covers waveform generation, the pluggable codec
- * layer, and the pipeline facade; the uarch/power/fidelity evaluation
- * layers keep their own headers.
+ * layer, the pipeline facade, and the sharded control-rack runtime;
+ * the uarch/power/fidelity evaluation layers keep their own headers.
  *
  *     #include "compaqt.hh"
  *
@@ -22,6 +22,8 @@
 #include "core/decompressor.hh"
 #include "core/fidelity_aware.hh"
 #include "core/pipeline.hh"
+#include "runtime/rack.hh"
+#include "runtime/service.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
 #include "waveform/shapes.hh"
@@ -56,6 +58,14 @@ using core::CompressedLibrary;
 // Waveforms
 using waveform::IqWaveform;
 using waveform::PulseLibrary;
+
+// Sharded control-rack runtime
+using runtime::DecodedWindowCache;
+using runtime::Rack;
+using runtime::RackConfig;
+using runtime::RackStats;
+using runtime::RuntimeService;
+using runtime::ShardPolicy;
 
 } // namespace compaqt
 

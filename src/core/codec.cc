@@ -108,6 +108,30 @@ ICodec::decompress(const CompressedWaveform &cw,
     decompressChannel(cw.q, out.q);
 }
 
+void
+ICodec::decompressWindow(const CompressedChannel &ch,
+                         std::size_t window,
+                         std::vector<double> &out) const
+{
+    // Any channel with window structure qualifies — including DCT-N,
+    // whose single "window" spans the whole waveform.
+    COMPAQT_REQUIRE(ch.windowSize > 0,
+                    "per-window decode needs a windowed channel");
+    COMPAQT_REQUIRE(window < ch.windows.size(),
+                    "window index out of range");
+    std::vector<double> full;
+    decompressChannel(ch, full);
+    // Clamp both bounds: a channel whose window count is inconsistent
+    // with numSamples (corrupt stream) must not form out-of-range
+    // iterators.
+    const std::size_t begin =
+        std::min(window * ch.windowSize, full.size());
+    const std::size_t end =
+        std::min(begin + ch.windowSize, full.size());
+    out.assign(full.begin() + static_cast<std::ptrdiff_t>(begin),
+               full.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
 // ---------------------------------------------------------- codec registry
 
 CodecRegistry &

@@ -195,6 +195,20 @@ class ICodec
                                    std::vector<double> &out) const = 0;
 
     /**
+     * Reconstruct one window of a channel into `out` — the hook the
+     * runtime decoded-window cache decodes through, so hot gates are
+     * expanded once and replayed from cache. `out` receives the same
+     * samples decompressChannel() would produce for positions
+     * [window * windowSize, min((window + 1) * windowSize,
+     * numSamples)). The default decodes the whole channel and slices;
+     * windowed codecs override with an O(windowSize) path. Only
+     * meaningful for windowed codecs.
+     */
+    virtual void decompressWindow(const CompressedChannel &ch,
+                                  std::size_t window,
+                                  std::vector<double> &out) const;
+
+    /**
      * Compress both channels into `out`. The default implementation
      * compresses each channel and equalizes per-window prefixes
      * between I and Q as Section IV-C requires; waveform-level codecs

@@ -11,6 +11,7 @@
  * in steady state.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -98,14 +99,7 @@ class FloatDctCodec final : public ICodec
         out.clear();
         out.reserve(ch.windows.size() * ws);
         for (const auto &w : ch.windows) {
-            COMPAQT_REQUIRE(w.fcoeffs.size() + w.zeros == ws,
-                            "compressed window has wrong size");
-            std::copy(w.fcoeffs.begin(), w.fcoeffs.end(),
-                      ybuf_.begin());
-            std::fill(ybuf_.begin() + static_cast<std::ptrdiff_t>(
-                                          w.fcoeffs.size()),
-                      ybuf_.end(), 0.0);
-            plan_->inverse(ybuf_, xbuf_);
+            inverseToScratch(w);
             out.insert(out.end(), xbuf_.begin(), xbuf_.end());
         }
         COMPAQT_REQUIRE(out.size() >= ch.numSamples,
@@ -113,7 +107,49 @@ class FloatDctCodec final : public ICodec
         out.resize(ch.numSamples);
     }
 
+    void
+    decompressWindow(const CompressedChannel &ch, std::size_t window,
+                     std::vector<double> &out) const override
+    {
+        // DCT-N's single whole-waveform window goes through the
+        // base-class decode-and-slice path.
+        if (whole_) {
+            ICodec::decompressWindow(ch, window, out);
+            return;
+        }
+        const std::size_t ws = ch.windowSize;
+        COMPAQT_REQUIRE(ws > 0, "compressed channel has no window size");
+        COMPAQT_REQUIRE(window < ch.windows.size(),
+                        "window index out of range");
+        ensurePlan(ws);
+        inverseToScratch(ch.windows[window]);
+        // Clamp as decompressChannel's trim does; a window entirely
+        // past numSamples decodes to zero samples, not underflow.
+        const std::size_t begin = window * ws;
+        const std::size_t len =
+            begin < ch.numSamples
+                ? std::min(ws, ch.numSamples - begin)
+                : 0;
+        out.assign(xbuf_.begin(),
+                   xbuf_.begin() + static_cast<std::ptrdiff_t>(len));
+    }
+
   private:
+    /** Expand one packed window and inverse-transform it into xbuf_ —
+     *  shared by the channel and per-window decode paths.
+     *  @pre ensurePlan(window size) was called */
+    void
+    inverseToScratch(const CompressedWindow &w) const
+    {
+        COMPAQT_REQUIRE(w.fcoeffs.size() + w.zeros == plan_->size(),
+                        "compressed window has wrong size");
+        std::copy(w.fcoeffs.begin(), w.fcoeffs.end(), ybuf_.begin());
+        std::fill(ybuf_.begin() + static_cast<std::ptrdiff_t>(
+                                      w.fcoeffs.size()),
+                  ybuf_.end(), 0.0);
+        plan_->inverse(ybuf_, xbuf_);
+    }
+
     void
     ensurePlan(std::size_t ws) const
     {

@@ -8,6 +8,7 @@
  * thresholds are comparable across codecs).
  */
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -74,14 +75,7 @@ class IntDctCodec final : public ICodec
         out.clear();
         out.reserve(ch.windows.size() * ws);
         for (const auto &w : ch.windows) {
-            COMPAQT_REQUIRE(w.icoeffs.size() + w.zeros == ws,
-                            "compressed window has wrong size");
-            std::copy(w.icoeffs.begin(), w.icoeffs.end(),
-                      ybuf_.begin());
-            std::fill(ybuf_.begin() + static_cast<std::ptrdiff_t>(
-                                          w.icoeffs.size()),
-                      ybuf_.end(), 0);
-            xform_.inverse(ybuf_, xbuf_);
+            inverseToScratch(w);
             for (std::int32_t v : xbuf_)
                 out.push_back(dsp::IntDct::dequantize(v));
         }
@@ -90,7 +84,48 @@ class IntDctCodec final : public ICodec
         out.resize(ch.numSamples);
     }
 
+    void
+    decompressWindow(const CompressedChannel &ch, std::size_t window,
+                     std::vector<double> &out) const override
+    {
+        const std::size_t ws = xform_.size();
+        COMPAQT_REQUIRE(ch.windowSize == ws,
+                        "channel window size does not match codec");
+        COMPAQT_REQUIRE(window < ch.windows.size(),
+                        "window index out of range");
+        inverseToScratch(ch.windows[window]);
+        // The channel's tail window is trimmed to numSamples, exactly
+        // as decompressChannel() trims the assembled channel; windows
+        // entirely past numSamples (corrupt stream) decode to zero
+        // samples rather than underflowing.
+        const std::size_t begin = window * ws;
+        const std::size_t len =
+            begin < ch.numSamples
+                ? std::min(ws, ch.numSamples - begin)
+                : 0;
+        out.clear();
+        out.reserve(len);
+        for (std::size_t k = 0; k < len; ++k)
+            out.push_back(dsp::IntDct::dequantize(xbuf_[k]));
+    }
+
   private:
+    /** Expand one packed window and inverse-transform it into xbuf_
+     *  — the single definition of the window-decode step both the
+     *  channel and per-window paths share (their bit-exactness
+     *  contract depends on it). */
+    void
+    inverseToScratch(const CompressedWindow &w) const
+    {
+        COMPAQT_REQUIRE(w.icoeffs.size() + w.zeros == xform_.size(),
+                        "compressed window has wrong size");
+        std::copy(w.icoeffs.begin(), w.icoeffs.end(), ybuf_.begin());
+        std::fill(ybuf_.begin() +
+                      static_cast<std::ptrdiff_t>(w.icoeffs.size()),
+                  ybuf_.end(), 0);
+        xform_.inverse(ybuf_, xbuf_);
+    }
+
     dsp::IntDct xform_;
     mutable std::vector<std::int32_t> xbuf_;
     mutable std::vector<std::int32_t> ybuf_;

@@ -170,6 +170,13 @@ CompressedLibrary::contains(const waveform::GateId &id) const
     return entries_.contains(id);
 }
 
+const CompressedEntry *
+CompressedLibrary::find(const waveform::GateId &id) const
+{
+    const auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
 const CompressedEntry &
 CompressedLibrary::entry(const waveform::GateId &id) const
 {

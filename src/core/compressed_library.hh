@@ -52,6 +52,10 @@ class CompressedLibrary
 
     const CompressedEntry &entry(const waveform::GateId &id) const;
 
+    /** Entry pointer, or nullptr when absent — the single-lookup
+     *  variant the runtime playback and execute hot loops use. */
+    const CompressedEntry *find(const waveform::GateId &id) const;
+
     const std::map<waveform::GateId, CompressedEntry> &
     entries() const
     {

@@ -106,6 +106,15 @@ Decompressor::decompressChannel(const CompressedChannel &ch,
     codec(codec_name, ch.windowSize).decompressChannel(ch, out);
 }
 
+void
+Decompressor::decompressWindow(const CompressedChannel &ch,
+                               std::string_view codec_name,
+                               std::size_t window,
+                               std::vector<double> &out) const
+{
+    codec(codec_name, ch.windowSize).decompressWindow(ch, window, out);
+}
+
 waveform::IqWaveform
 Decompressor::decompress(const CompressedWaveform &cw) const
 {

@@ -52,6 +52,15 @@ class Decompressor
                            std::vector<double> &out) const;
 
     /**
+     * Reconstruct a single window of a windowed channel — the decode
+     * primitive runtime::DecodedWindowCache fills itself from. Output
+     * matches the corresponding slice of decompressChannel() exactly.
+     */
+    void decompressWindow(const CompressedChannel &ch,
+                          std::string_view codec, std::size_t window,
+                          std::vector<double> &out) const;
+
+    /**
      * Expand one compressed window back to windowSize transform
      * coefficients (integer path), i.e.\ the RLE-decode stage.
      */

@@ -1,0 +1,72 @@
+#include "runtime/decoded_cache.hh"
+
+namespace compaqt::runtime
+{
+
+DecodedWindowCache::DecodedWindowCache(std::size_t capacity_windows)
+    : capacity_(capacity_windows)
+{
+}
+
+DecodedWindowCache::Value
+DecodedWindowCache::probe(const DecodedWindowKey &key)
+{
+    std::lock_guard lock(mu_);
+    if (capacity_ > 0) {
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            return it->second->value;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+DecodedWindowCache::Value
+DecodedWindowCache::insert(const DecodedWindowKey &key, Value value)
+{
+    if (capacity_ == 0)
+        return value;
+    std::lock_guard lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Lost a decode race; keep the resident entry.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->value;
+    }
+    lru_.push_front(Entry{key, std::move(value)});
+    index_.emplace(key, lru_.begin());
+    evictToCapacity();
+    return lru_.front().value;
+}
+
+void
+DecodedWindowCache::evictToCapacity()
+{
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+DecodedCacheStats
+DecodedWindowCache::stats() const
+{
+    std::lock_guard lock(mu_);
+    DecodedCacheStats s = stats_;
+    s.entries = lru_.size();
+    return s;
+}
+
+void
+DecodedWindowCache::clear()
+{
+    std::lock_guard lock(mu_);
+    lru_.clear();
+    index_.clear();
+}
+
+} // namespace compaqt::runtime

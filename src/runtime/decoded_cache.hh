@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The rack-shared decoded-window cache: an LRU over
+ * (gate, channel, window)-keyed decode results that sits between
+ * core::Decompressor and the per-shard playback loops, so a hot gate
+ * pulse is expanded once per rack instead of once per play. Real
+ * control stacks hit the same few waveforms millions of times per
+ * second (every syndrome round replays the same CX/measure pulses),
+ * which makes this the rack's highest-leverage cache.
+ *
+ * Thread-safe: lookups and insertions take an internal mutex; decode
+ * work for a miss runs outside the lock, so concurrent workers never
+ * serialize on the transform. Two workers racing on the same cold key
+ * may both decode it — the loser's result is discarded — which trades
+ * a little duplicate work for zero lock-held decode time. Values are
+ * handed out as shared_ptr so an entry evicted mid-use stays alive
+ * for the holder.
+ */
+
+#ifndef COMPAQT_RUNTIME_DECODED_CACHE_HH
+#define COMPAQT_RUNTIME_DECODED_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "waveform/library.hh"
+
+namespace compaqt::runtime
+{
+
+/** Identifies one decoded window of one channel of one gate pulse. */
+struct DecodedWindowKey
+{
+    waveform::GateId gate;
+    /** 0 = I, 1 = Q. */
+    std::uint8_t channel = 0;
+    /** Window index within the channel. */
+    std::uint32_t window = 0;
+
+    auto operator<=>(const DecodedWindowKey &) const = default;
+};
+
+/** Counter snapshot of cache behavior. */
+struct DecodedCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /** Windows currently resident. */
+    std::size_t entries = 0;
+
+    double
+    hitRate() const
+    {
+        const auto total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(total);
+    }
+};
+
+/**
+ * Bounded LRU cache of decoded windows, shared by every shard of a
+ * Rack.
+ */
+class DecodedWindowCache
+{
+  public:
+    /** Decoded samples of one window. */
+    using Value = std::shared_ptr<const std::vector<double>>;
+
+    /**
+     * @param capacity_windows maximum resident windows; 0 disables
+     *        caching (a get() on a disabled cache always decodes and
+     *        counts a miss). Note the runtime playback loop never
+     *        calls get() on a disabled cache — it decodes into a
+     *        reused buffer with no locking, so the bench's uncached
+     *        baseline measures a real uncached decode loop and the
+     *        disabled cache's counters stay at zero there.
+     */
+    explicit DecodedWindowCache(std::size_t capacity_windows);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Return the decoded window for `key`, invoking
+     * `decode(std::vector<double>&)` to fill it on a miss. Templated
+     * on the callable so the hit path — the steady state of a warm
+     * rack — never materializes a std::function. The returned value
+     * is immutable and safe to hold across subsequent evictions.
+     */
+    template <typename Decode>
+    Value
+    get(const DecodedWindowKey &key, Decode &&decode)
+    {
+        if (Value hit = probe(key))
+            return hit;
+        // Decode outside the lock: a cold window costs one
+        // transform, not one transform per waiting worker held under
+        // the mutex.
+        auto decoded = std::make_shared<std::vector<double>>();
+        decode(*decoded);
+        return insert(key, std::move(decoded));
+    }
+
+    DecodedCacheStats stats() const;
+
+    /** Drop all entries (counters are kept). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        DecodedWindowKey key;
+        Value value;
+    };
+
+    /** Hit: refresh recency and return the value (counting the hit).
+     *  Miss: count it and return null. */
+    Value probe(const DecodedWindowKey &key);
+
+    /** Insert a freshly decoded value, evicting to capacity; if the
+     *  key became resident meanwhile (lost decode race) the resident
+     *  value wins. Pass-through when caching is disabled. */
+    Value insert(const DecodedWindowKey &key, Value value);
+
+    /** @pre mu_ held */
+    void evictToCapacity();
+
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    /** MRU at the front. */
+    std::list<Entry> lru_;
+    std::map<DecodedWindowKey, std::list<Entry>::iterator> index_;
+    DecodedCacheStats stats_;
+};
+
+} // namespace compaqt::runtime
+
+#endif // COMPAQT_RUNTIME_DECODED_CACHE_HH

@@ -1,0 +1,115 @@
+#include "runtime/executor.hh"
+
+#include "common/logging.hh"
+
+namespace compaqt::runtime
+{
+
+Executor::Executor(int workers)
+    : workers_(workers)
+{
+    COMPAQT_REQUIRE(workers >= 1, "executor needs at least one worker");
+    threads_.reserve(static_cast<std::size_t>(workers - 1));
+    for (int w = 1; w < workers; ++w)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+Executor::~Executor()
+{
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+Executor::drain(Batch &batch)
+{
+    std::size_t ran = 0;
+    for (;;) {
+        const std::size_t i = batch.next.fetch_add(1);
+        if (i >= batch.n)
+            break;
+        try {
+            (*batch.fn)(i);
+        } catch (...) {
+            std::lock_guard lock(mu_);
+            if (!batch.error)
+                batch.error = std::current_exception();
+        }
+        ++ran;
+    }
+    std::lock_guard lock(mu_);
+    batch.completed += ran;
+    if (batch.completed == batch.n)
+        done_.notify_all();
+}
+
+void
+Executor::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock lock(mu_);
+            wake_.wait(lock, [&] {
+                return stop_ || (current_ && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            batch = current_;
+        }
+        drain(*batch);
+    }
+}
+
+void
+Executor::forEach(std::size_t n,
+                  const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_ == 1) {
+        // Inline path: same semantics as the pool — every job runs,
+        // the first exception is rethrown after the batch drains.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+    auto batch = std::make_shared<Batch>();
+    batch->fn = &fn;
+    batch->n = n;
+    {
+        std::lock_guard lock(mu_);
+        current_ = batch;
+        ++generation_;
+    }
+    wake_.notify_all();
+    drain(*batch);
+    std::exception_ptr error;
+    {
+        std::unique_lock lock(mu_);
+        done_.wait(lock,
+                   [&] { return batch->completed == batch->n; });
+        current_.reset();
+        error = batch->error;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace compaqt::runtime

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A control rack: one large device sharded across many
+ * uarch::Controller instances (one per RFSoC), the way 1000-qubit
+ * machines are actually driven — a fleet of per-channel engines
+ * behind a shared scheduler (Khammassi et al., arXiv:2205.06851;
+ * Hornibrook et al., arXiv:1409.2202). The rack owns the qubit->shard
+ * plan, the per-shard controllers bound to one shared compressed
+ * library, and the fleet-wide decoded-window cache.
+ */
+
+#ifndef COMPAQT_RUNTIME_RACK_HH
+#define COMPAQT_RUNTIME_RACK_HH
+
+#include <vector>
+
+#include "core/compressed_library.hh"
+#include "runtime/decoded_cache.hh"
+#include "uarch/controller.hh"
+#include "waveform/device.hh"
+
+namespace compaqt::runtime
+{
+
+/** How qubits are assigned to shards. */
+enum class ShardPolicy
+{
+    /** Qubit q -> shard q mod N; spreads neighbors apart. */
+    RoundRobin,
+    /** BFS over the device coupling map, filling one shard with a
+     *  connected block before starting the next, so coupled qubits
+     *  (and their CX pulses) land on the same controller. */
+    LocalityAware,
+};
+
+/** Printable policy name. */
+const char *shardPolicyName(ShardPolicy p);
+
+/** A qubit->shard assignment and its inverse. */
+struct ShardPlan
+{
+    int numShards = 1;
+    /** qubit -> owning shard. */
+    std::vector<int> owner;
+    /** shard -> qubits, each list ascending. */
+    std::vector<std::vector<int>> shards;
+};
+
+/**
+ * Deterministically assign a device's qubits to `num_shards` shards.
+ * Both policies depend only on (device, num_shards, policy), never on
+ * execution order, so a plan is reproducible across runs and worker
+ * counts.
+ */
+ShardPlan makeShardPlan(const waveform::DeviceModel &dev,
+                        int num_shards, ShardPolicy policy);
+
+/** Static configuration of a rack. */
+struct RackConfig
+{
+    int numShards = 4;
+    ShardPolicy policy = ShardPolicy::LocalityAware;
+    /** Per-shard controller configuration (every RFSoC identical). */
+    uarch::ControllerConfig controller;
+    /** Decoded-window cache capacity in windows; 0 = uncached. */
+    std::size_t cacheWindows = 4096;
+};
+
+/**
+ * The sharded fleet: N identical controllers over one compressed
+ * library, plus the shared decoded-window cache. Immutable after
+ * construction except for the cache, so shards can execute
+ * concurrently.
+ */
+class Rack
+{
+  public:
+    /**
+     * @throws std::invalid_argument when the library violates the
+     *         controller contract (propagated from uarch::Controller)
+     *         or num_shards < 1
+     */
+    Rack(const waveform::DeviceModel &dev,
+         const core::CompressedLibrary &lib, const RackConfig &cfg);
+
+    const RackConfig &config() const { return cfg_; }
+    const ShardPlan &plan() const { return plan_; }
+    int numShards() const { return plan_.numShards; }
+
+    const core::CompressedLibrary &library() const { return lib_; }
+
+    /** The shard's controller. */
+    const uarch::Controller &controller(int shard) const;
+
+    /** The fleet-shared decoded-window cache. */
+    DecodedWindowCache &cache() const { return cache_; }
+
+    /** Fleet capacity: sum of per-shard concurrent-qubit capacity. */
+    std::size_t maxConcurrentQubits() const;
+
+  private:
+    RackConfig cfg_;
+    const core::CompressedLibrary &lib_;
+    ShardPlan plan_;
+    std::vector<uarch::Controller> controllers_;
+    mutable DecodedWindowCache cache_;
+};
+
+} // namespace compaqt::runtime
+
+#endif // COMPAQT_RUNTIME_RACK_HH

@@ -1,0 +1,193 @@
+#include "runtime/service.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "core/decompressor.hh"
+
+namespace compaqt::runtime
+{
+
+namespace
+{
+
+/** Result of one (circuit, shard) cell of the execution grid. */
+struct CellResult
+{
+    uarch::ExecutionStats demand;
+    std::uint64_t gates = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t samples = 0;
+};
+
+/**
+ * Play one shard's slice of one circuit: stats-only demand accounting
+ * on the shard's controller plus window-by-window decode of every
+ * gate pulse through the rack cache.
+ */
+CellResult
+playShard(const Rack &rack, int shard, const circuits::Schedule &part)
+{
+    CellResult cell;
+    cell.demand = rack.controller(shard).execute(part);
+
+    // Baseline (uncompressed) controllers stream raw samples with no
+    // decompression pipeline, so playback touches neither the
+    // compressed payload nor the cache.
+    const bool decode = rack.config().controller.compressed;
+    // An uncached rack decodes straight into a reused buffer — no
+    // lock, no shared_ptr — so the bench's cached/uncached ratio
+    // measures the cache, not overhead of a disabled cache object.
+    const bool cached = rack.cache().capacity() > 0;
+    const core::Decompressor dec;
+    DecodedWindowCache &cache = rack.cache();
+    std::vector<double> scratch;
+    for (const auto &e : part.events) {
+        const auto id = uarch::gateIdFor(e.gate);
+        if (!id)
+            continue; // virtual op
+        const core::CompressedEntry *entry = rack.library().find(*id);
+        if (!entry)
+            continue; // counted in demand.missingGates
+        const auto &cw = entry->cw;
+        ++cell.gates;
+        if (!decode) {
+            cell.samples += cw.stats().originalSamples;
+            continue;
+        }
+        const core::CompressedChannel *channels[2] = {&cw.i, &cw.q};
+        for (std::uint8_t ch = 0; ch < 2; ++ch) {
+            const auto &channel = *channels[ch];
+            for (std::uint32_t w = 0;
+                 w < channel.windows.size(); ++w) {
+                if (cached) {
+                    const DecodedWindowKey key{*id, ch, w};
+                    const auto value = cache.get(
+                        key, [&](std::vector<double> &out) {
+                            dec.decompressWindow(channel, cw.codec,
+                                                 w, out);
+                        });
+                    cell.samples += value->size();
+                } else {
+                    dec.decompressWindow(channel, cw.codec, w,
+                                         scratch);
+                    cell.samples += scratch.size();
+                }
+                ++cell.windows;
+            }
+        }
+    }
+    return cell;
+}
+
+} // namespace
+
+RuntimeService::RuntimeService(const Rack &rack,
+                               const ServiceConfig &cfg)
+    : rack_(rack), exec_(cfg.workers)
+{
+}
+
+RackStats
+RuntimeService::execute(const circuits::Schedule &sched)
+{
+    return executeBatch({sched});
+}
+
+RackStats
+RuntimeService::executeBatch(
+    const std::vector<circuits::Schedule> &batch)
+{
+    const int n_shards = rack_.numShards();
+    const auto n_cells =
+        batch.size() * static_cast<std::size_t>(n_shards);
+
+    // Partition every circuit up front (cheap, serial, deterministic).
+    std::uint64_t unowned = 0;
+    std::vector<std::vector<circuits::Schedule>> parts;
+    parts.reserve(batch.size());
+    for (const auto &sched : batch) {
+        parts.push_back(circuits::partitionByOwner(
+            sched, rack_.plan().owner, n_shards));
+        std::uint64_t kept = 0;
+        for (const auto &part : parts.back())
+            kept += part.events.size();
+        unowned += sched.events.size() - kept;
+    }
+
+    const auto cache_before = rack_.cache().stats();
+    std::vector<CellResult> cells(n_cells);
+    const auto t0 = std::chrono::steady_clock::now();
+    exec_.forEach(n_cells, [&](std::size_t i) {
+        const std::size_t c = i / static_cast<std::size_t>(n_shards);
+        const int s = static_cast<int>(
+            i % static_cast<std::size_t>(n_shards));
+        cells[i] = playShard(rack_, s, parts[c][static_cast<
+                                           std::size_t>(s)]);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto cache_after = rack_.cache().stats();
+
+    // Serial, fixed-order reduction: shard-level peaks are maxima
+    // over the batch, totals are sums — independent of how workers
+    // interleaved the cells.
+    RackStats stats;
+    stats.shards.resize(static_cast<std::size_t>(n_shards));
+    for (std::size_t c = 0; c < batch.size(); ++c) {
+        for (int s = 0; s < n_shards; ++s) {
+            const auto &cell =
+                cells[c * static_cast<std::size_t>(n_shards) +
+                      static_cast<std::size_t>(s)];
+            auto &sh = stats.shards[static_cast<std::size_t>(s)];
+            sh.demand.peakBanks = std::max(sh.demand.peakBanks,
+                                           cell.demand.peakBanks);
+            sh.demand.peakChannels =
+                std::max(sh.demand.peakChannels,
+                         cell.demand.peakChannels);
+            sh.demand.peakBandwidthBytesPerSec =
+                std::max(sh.demand.peakBandwidthBytesPerSec,
+                         cell.demand.peakBandwidthBytesPerSec);
+            sh.demand.feasible =
+                sh.demand.feasible && cell.demand.feasible;
+            sh.demand.totalSamples += cell.demand.totalSamples;
+            sh.demand.totalWordsRead += cell.demand.totalWordsRead;
+            sh.demand.missingGates += cell.demand.missingGates;
+            sh.gatesPlayed += cell.gates;
+            sh.windowsDecoded += cell.windows;
+            sh.samplesDecoded += cell.samples;
+        }
+    }
+    for (const auto &sh : stats.shards) {
+        stats.fleetPeakBanks += sh.demand.peakBanks;
+        stats.fleetPeakChannels += sh.demand.peakChannels;
+        stats.fleetPeakBandwidthBytesPerSec +=
+            sh.demand.peakBandwidthBytesPerSec;
+        stats.feasible = stats.feasible && sh.demand.feasible;
+        stats.totalGates += sh.gatesPlayed;
+        stats.totalWindows += sh.windowsDecoded;
+        stats.totalSamples += sh.samplesDecoded;
+        stats.missingGates += sh.demand.missingGates;
+    }
+    stats.unownedEvents = unowned;
+
+    stats.cache.hits = cache_after.hits - cache_before.hits;
+    stats.cache.misses = cache_after.misses - cache_before.misses;
+    stats.cache.evictions =
+        cache_after.evictions - cache_before.evictions;
+    stats.cache.entries = cache_after.entries;
+    stats.cacheHitRate = stats.cache.hitRate();
+
+    stats.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (stats.wallSeconds > 0.0) {
+        stats.gatesPerSec =
+            static_cast<double>(stats.totalGates) / stats.wallSeconds;
+        stats.samplesPerSec =
+            static_cast<double>(stats.totalSamples) /
+            stats.wallSeconds;
+    }
+    return stats;
+}
+
+} // namespace compaqt::runtime

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The rack's execution front end: accept a batch of scheduled
+ * circuits, split every schedule across the fleet by qubit ownership,
+ * execute the (circuit, shard) grid concurrently on a worker pool,
+ * and roll the per-shard ExecutionStats up into one RackStats record
+ * (fleet demand, cache behavior, wall-clock throughput).
+ *
+ * Playback is modelled as decoding every scheduled gate's I/Q
+ * channels window-by-window through the rack's DecodedWindowCache —
+ * the workload that makes the cache load-bearing: the first play of a
+ * gate pays the IDCT, every later play on any shard replays decoded
+ * windows.
+ */
+
+#ifndef COMPAQT_RUNTIME_SERVICE_HH
+#define COMPAQT_RUNTIME_SERVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/scheduler.hh"
+#include "runtime/executor.hh"
+#include "runtime/rack.hh"
+
+namespace compaqt::runtime
+{
+
+/** One shard's aggregate over a batch. */
+struct ShardStats
+{
+    /** Bank/bandwidth demand: peaks are maxima over the batch,
+     *  totals are sums. */
+    uarch::ExecutionStats demand;
+    /** Physical gate pulses played on this shard. */
+    std::uint64_t gatesPlayed = 0;
+    /** Compressed windows decoded (through the cache). */
+    std::uint64_t windowsDecoded = 0;
+    /** Samples reconstructed for the shard's DACs. */
+    std::uint64_t samplesDecoded = 0;
+};
+
+/** Fleet-level rollup of one batch execution. */
+struct RackStats
+{
+    std::vector<ShardStats> shards;
+
+    // Fleet demand: per-shard peaks summed (each shard is its own
+    // RFSoC, so the rack must provision the sum), feasible iff every
+    // shard fit its bank budget.
+    std::size_t fleetPeakBanks = 0;
+    int fleetPeakChannels = 0;
+    double fleetPeakBandwidthBytesPerSec = 0.0;
+    bool feasible = true;
+
+    std::uint64_t totalGates = 0;
+    std::uint64_t totalSamples = 0;
+    std::uint64_t totalWindows = 0;
+    std::uint64_t missingGates = 0;
+    /** Scheduled events no shard owns (a qubit outside the rack's
+     *  plan): dropped by partitioning, reported here so a
+     *  schedule/device size mismatch is visible, not silent. */
+    std::uint64_t unownedEvents = 0;
+
+    /** Cache counters over this batch — deltas of the rack-global
+     *  cache counters, so they attribute cleanly only while a single
+     *  service drives the rack; concurrent services on one Rack fold
+     *  each other's hits/misses into their deltas. */
+    DecodedCacheStats cache;
+    double cacheHitRate = 0.0;
+
+    // Wall-clock throughput of the batch execution.
+    double wallSeconds = 0.0;
+    double gatesPerSec = 0.0;
+    double samplesPerSec = 0.0;
+};
+
+/** Service tuning knobs. */
+struct ServiceConfig
+{
+    /** Worker threads (including the caller); >= 1. */
+    int workers = 1;
+};
+
+/**
+ * Executes batches of scheduled circuits on one Rack. The per-shard
+ * demand numbers in RackStats are bit-identical across worker counts:
+ * every (circuit, shard) cell is a pure function of its schedule
+ * slice, computed independently and reduced in a fixed order.
+ */
+class RuntimeService
+{
+  public:
+    RuntimeService(const Rack &rack, const ServiceConfig &cfg = {});
+
+    int workers() const { return exec_.workers(); }
+
+    /** Execute one scheduled circuit (a batch of one). */
+    RackStats execute(const circuits::Schedule &sched);
+
+    /** Execute a batch of scheduled circuits across the fleet. */
+    RackStats
+    executeBatch(const std::vector<circuits::Schedule> &batch);
+
+  private:
+    const Rack &rack_;
+    Executor exec_;
+};
+
+} // namespace compaqt::runtime
+
+#endif // COMPAQT_RUNTIME_SERVICE_HH

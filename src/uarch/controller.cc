@@ -2,21 +2,61 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
+#include "core/codec.hh"
 
 namespace compaqt::uarch
 {
+
+namespace
+{
+
+[[noreturn]] void
+rejectLibrary(const std::string &why)
+{
+    throw std::invalid_argument("uarch::Controller: " + why);
+}
+
+} // namespace
 
 Controller::Controller(const ControllerConfig &cfg,
                        const core::CompressedLibrary &lib)
     : cfg_(cfg), lib_(lib)
 {
-    if (cfg_.compressed) {
-        COMPAQT_REQUIRE(dsp::intDctSupported(cfg_.windowSize),
-                        "controller window size must be 4/8/16/32");
-        COMPAQT_REQUIRE(lib_.worstCaseWindowWords() <= cfg_.memoryWidth,
-                        "library exceeds compressed memory width");
+    if (!cfg_.compressed)
+        return;
+    if (!dsp::intDctSupported(cfg_.windowSize))
+        rejectLibrary("window size must be 4/8/16/32");
+    // A library compressed with the wrong codec or window size would
+    // stream garbage through the int-DCT pipeline; fail construction
+    // instead.
+    const auto &reg = core::CodecRegistry::instance();
+    for (const auto &[id, e] : lib_.entries()) {
+        const auto canonical = reg.canonicalName(e.cw.codec);
+        if (canonical != "int-dct") {
+            std::ostringstream ss;
+            ss << waveform::toString(id) << " was compressed with '"
+               << e.cw.codec
+               << "'; the hardware pipeline decodes int-dct only";
+            rejectLibrary(ss.str());
+        }
+        if (e.cw.windowSize != cfg_.windowSize) {
+            std::ostringstream ss;
+            ss << waveform::toString(id) << " uses window size "
+               << e.cw.windowSize << ", controller is configured for "
+               << cfg_.windowSize;
+            rejectLibrary(ss.str());
+        }
+    }
+    if (lib_.worstCaseWindowWords() > cfg_.memoryWidth) {
+        std::ostringstream ss;
+        ss << "library needs " << lib_.worstCaseWindowWords()
+           << " words/window but the compressed memory width is "
+           << cfg_.memoryWidth;
+        rejectLibrary(ss.str());
     }
 }
 
@@ -72,9 +112,11 @@ gateIdFor(const circuits::Gate &g)
 }
 
 ExecutionStats
-Controller::execute(const circuits::Schedule &sched)
+Controller::execute(const circuits::Schedule &sched) const
 {
     ExecutionStats stats;
+    if (sched.events.empty())
+        return stats; // zeroed, trivially feasible
     const std::size_t banks_per_channel = banksPerChannel();
     const double bytes_per_channel_per_sec =
         cfg_.dacRateHz * 2.0; // 16-bit samples per channel
@@ -85,14 +127,20 @@ Controller::execute(const circuits::Schedule &sched)
         const auto id = gateIdFor(e.gate);
         if (!id)
             continue;
+        const core::CompressedEntry *entry = lib_.find(*id);
+        if (!entry) {
+            // No waveform to play: skip the event but report it, so a
+            // schedule/library mismatch is visible instead of garbage.
+            ++stats.missingGates;
+            continue;
+        }
         // Every gate drives the I/Q pair of one qubit channel group
         // (the CR drive lives on the control qubit's channels).
         const int ch = cfg_.channelsPerQubit;
         deltas[e.start] += ch;
         deltas[e.start + e.duration] -= ch;
 
-        const core::CompressedEntry &entry = lib_.entry(*id);
-        const auto s = entry.cw.stats();
+        const auto s = entry->cw.stats();
         stats.totalSamples += s.originalSamples;
         stats.totalWordsRead += s.compressedWords;
     }

@@ -58,6 +58,9 @@ struct ExecutionStats
     std::uint64_t totalWordsRead = 0;
     /** Peak waveform-memory bandwidth demand, bytes/s. */
     double peakBandwidthBytesPerSec = 0.0;
+    /** Scheduled physical gates whose waveform is absent from the
+     *  library (skipped, not played). */
+    std::size_t missingGates = 0;
 };
 
 /**
@@ -69,6 +72,12 @@ class Controller
     /**
      * @param lib compressed library; must use the integer codec with
      *        the config's window size when compressed mode is on
+     * @throws std::invalid_argument when compressed mode is on and
+     *         the library does not match the config: a codec other
+     *         than the hardware int-DCT, a window size differing from
+     *         cfg.windowSize, or windows wider than cfg.memoryWidth.
+     *         A mismatched library would silently mis-stream, so the
+     *         contract is enforced loudly at construction.
      */
     Controller(const ControllerConfig &cfg,
                const core::CompressedLibrary &lib);
@@ -91,8 +100,16 @@ class Controller
     /**
      * Execute a scheduled circuit: sweep event boundaries, account
      * bank demand and bandwidth, and verify the budget.
+     *
+     * This is the stats-only fast path: no samples are produced, no
+     * controller state is mutated, and the method is safe to call
+     * concurrently from runtime worker threads. Edge cases are
+     * well-defined: an empty schedule returns zeroed feasible stats,
+     * gates absent from the library are counted in
+     * ExecutionStats::missingGates and skipped, and an exceeded bank
+     * budget reports feasible = false with the demand that broke it.
      */
-    ExecutionStats execute(const circuits::Schedule &sched);
+    ExecutionStats execute(const circuits::Schedule &sched) const;
 
   private:
     ControllerConfig cfg_;

@@ -1,0 +1,553 @@
+/**
+ * @file
+ * Tests for the sharded control-rack runtime: shard-plan determinism
+ * and locality, schedule partitioning, the decoded-window cache (LRU
+ * behavior and bit-exactness against the golden software decoder),
+ * the worker pool, and the headline concurrency contract — N-worker
+ * batch execution produces bit-identical per-shard demand to 1-worker
+ * execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/scheduler.hh"
+#include "circuits/surface_code.hh"
+#include "core/decompressor.hh"
+#include "core/pipeline.hh"
+#include "runtime/decoded_cache.hh"
+#include "runtime/executor.hh"
+#include "runtime/rack.hh"
+#include "runtime/service.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+namespace compaqt::runtime
+{
+namespace
+{
+
+core::CompressedLibrary
+buildCompressed(const waveform::PulseLibrary &lib, std::size_t ws = 16)
+{
+    return core::CompressionPipeline::with("int-dct")
+        .window(ws)
+        .mseTarget(1e-5)
+        .build()
+        .compressLibrary(lib);
+}
+
+uarch::ControllerConfig
+controllerConfig(const core::CompressedLibrary &clib)
+{
+    uarch::ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = clib.worstCaseWindowWords();
+    return cc;
+}
+
+// ----------------------------------------------------------- shard plans
+
+TEST(ShardPlan, RoundRobinAssignment)
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto plan =
+        makeShardPlan(dev, 4, ShardPolicy::RoundRobin);
+    ASSERT_EQ(plan.owner.size(), 16u);
+    for (std::size_t q = 0; q < plan.owner.size(); ++q)
+        EXPECT_EQ(plan.owner[q], static_cast<int>(q) % 4);
+    for (const auto &qs : plan.shards)
+        EXPECT_EQ(qs.size(), 4u);
+}
+
+TEST(ShardPlan, PlansAreDeterministic)
+{
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    for (const auto policy :
+         {ShardPolicy::RoundRobin, ShardPolicy::LocalityAware}) {
+        const auto a = makeShardPlan(dev, 3, policy);
+        const auto b = makeShardPlan(dev, 3, policy);
+        EXPECT_EQ(a.owner, b.owner) << shardPolicyName(policy);
+        EXPECT_EQ(a.shards, b.shards) << shardPolicyName(policy);
+    }
+}
+
+TEST(ShardPlan, LocalityCoversAndBalances)
+{
+    const auto dev = waveform::DeviceModel::ibm("toronto"); // 27 q
+    const auto plan =
+        makeShardPlan(dev, 4, ShardPolicy::LocalityAware);
+    std::set<int> seen;
+    std::size_t total = 0;
+    for (const auto &qs : plan.shards) {
+        // 27 over 4: blocks of 7/7/7/6.
+        EXPECT_GE(qs.size(), 6u);
+        EXPECT_LE(qs.size(), 7u);
+        total += qs.size();
+        seen.insert(qs.begin(), qs.end());
+        for (int q : qs)
+            EXPECT_EQ(plan.owner[static_cast<std::size_t>(q)],
+                      plan.owner[static_cast<std::size_t>(qs[0])]);
+    }
+    EXPECT_EQ(total, 27u);
+    EXPECT_EQ(seen.size(), 27u);
+}
+
+TEST(ShardPlan, LocalityKeepsMoreCouplingsLocal)
+{
+    const auto dev = waveform::DeviceModel::ibm("brooklyn"); // 65 q
+    const auto local =
+        makeShardPlan(dev, 4, ShardPolicy::LocalityAware);
+    const auto rr = makeShardPlan(dev, 4, ShardPolicy::RoundRobin);
+    auto intra = [&](const ShardPlan &p) {
+        int n = 0;
+        for (const auto &[a, b] : dev.coupling())
+            if (p.owner[static_cast<std::size_t>(a)] ==
+                p.owner[static_cast<std::size_t>(b)])
+                ++n;
+        return n;
+    };
+    EXPECT_GT(intra(local), intra(rr));
+}
+
+TEST(ShardPlan, RejectsZeroShards)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    EXPECT_THROW(makeShardPlan(dev, 0, ShardPolicy::RoundRobin),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------- partitioning
+
+TEST(Partition, SplitsByFirstQubitOwner)
+{
+    circuits::Circuit c(4);
+    c.x(0);
+    c.cx(1, 2); // owned by qubit 1's shard
+    c.x(3);
+    c.measureAll();
+    const auto sched = circuits::schedule(c, {});
+    const std::vector<int> owner = {0, 0, 1, 1};
+    const auto parts = circuits::partitionByOwner(sched, owner, 2);
+    ASSERT_EQ(parts.size(), 2u);
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+        for (const auto &e : parts[p].events) {
+            EXPECT_EQ(owner[static_cast<std::size_t>(
+                          e.gate.qubits[0])],
+                      static_cast<int>(p));
+            EXPECT_LE(e.start + e.duration, parts[p].makespan);
+        }
+        total += parts[p].events.size();
+    }
+    EXPECT_EQ(total, sched.events.size());
+    // The CX on (1, 2) crosses the cut and lands on qubit 1's shard.
+    EXPECT_EQ(parts[0].events.size(), 4u); // X0, CX(1,2), M0, M1
+    EXPECT_EQ(parts[1].events.size(), 3u); // X3, M2, M3
+}
+
+TEST(Partition, PreservesGlobalStartTimes)
+{
+    const auto sc = circuits::surface17();
+    const auto sched = circuits::schedule(sc.circuit, {});
+    std::vector<int> owner(sc.totalQubits());
+    for (std::size_t q = 0; q < owner.size(); ++q)
+        owner[q] = static_cast<int>(q) % 3;
+    const auto parts = circuits::partitionByOwner(sched, owner, 3);
+    for (const auto &part : parts) {
+        for (const auto &e : part.events)
+            EXPECT_LE(e.start + e.duration, sched.makespan);
+        EXPECT_LE(part.makespan, sched.makespan);
+    }
+}
+
+// ------------------------------------------------------------- LRU cache
+
+DecodedWindowKey
+key(int q, std::uint32_t w)
+{
+    return {waveform::GateId{waveform::GateType::X, q, -1}, 0, w};
+}
+
+TEST(DecodedCache, LruEvictionOrder)
+{
+    DecodedWindowCache cache(2);
+    int decodes = 0;
+    auto fill = [&](std::vector<double> &out) {
+        ++decodes;
+        out = {1.0};
+    };
+    cache.get(key(0, 0), fill); // miss
+    cache.get(key(1, 0), fill); // miss
+    cache.get(key(0, 0), fill); // hit, qubit 0 becomes MRU
+    cache.get(key(2, 0), fill); // miss, evicts qubit 1 (LRU)
+    cache.get(key(0, 0), fill); // still resident: hit
+    cache.get(key(1, 0), fill); // evicted above: miss again
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 4u);
+    EXPECT_EQ(s.evictions, 2u);
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(decodes, 4);
+    EXPECT_NEAR(s.hitRate(), 2.0 / 6.0, 1e-12);
+}
+
+TEST(DecodedCache, CapacityZeroDisablesCaching)
+{
+    DecodedWindowCache cache(0);
+    int decodes = 0;
+    auto fill = [&](std::vector<double> &out) {
+        ++decodes;
+        out = {1.0, 2.0};
+    };
+    for (int i = 0; i < 3; ++i) {
+        const auto v = cache.get(key(0, 0), fill);
+        ASSERT_EQ(v->size(), 2u);
+    }
+    const auto s = cache.stats();
+    EXPECT_EQ(decodes, 3);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(DecodedCache, EvictedValueStaysAliveForHolder)
+{
+    DecodedWindowCache cache(1);
+    auto a = cache.get(key(0, 0),
+                       [](std::vector<double> &out) { out = {7.0}; });
+    cache.get(key(1, 0),
+              [](std::vector<double> &out) { out = {8.0}; });
+    ASSERT_EQ(a->size(), 1u);
+    EXPECT_EQ((*a)[0], 7.0); // still valid after eviction
+}
+
+TEST(DecodedCache, BitExactVsGoldenDecoder)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+
+    DecodedWindowCache cache(1 << 14);
+    const core::Decompressor dec;
+    for (const auto &[id, e] : clib.entries()) {
+        const core::CompressedChannel *channels[2] = {&e.cw.i,
+                                                      &e.cw.q};
+        for (std::uint8_t ch = 0; ch < 2; ++ch) {
+            const auto &channel = *channels[ch];
+            // Assemble the channel from cached windows (run twice so
+            // the second pass replays from cache).
+            for (int pass = 0; pass < 2; ++pass) {
+                std::vector<double> assembled;
+                for (std::uint32_t w = 0;
+                     w < channel.windows.size(); ++w) {
+                    const auto v = cache.get(
+                        {id, ch, w},
+                        [&](std::vector<double> &out) {
+                            dec.decompressWindow(channel,
+                                                 e.cw.codec, w,
+                                                 out);
+                        });
+                    assembled.insert(assembled.end(), v->begin(),
+                                     v->end());
+                }
+                const auto golden =
+                    dec.decompressChannel(channel, e.cw.codec);
+                ASSERT_EQ(assembled, golden)
+                    << waveform::toString(id) << " ch "
+                    << static_cast<int>(ch) << " pass " << pass;
+            }
+        }
+    }
+    const auto s = cache.stats();
+    EXPECT_GT(s.hits, 0u);
+    EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(DecodedCache, DefaultWindowHookMatchesChannelSlice)
+{
+    // The base-class decompressWindow (decode-and-slice) must agree
+    // with decompressChannel for codecs that do not override it.
+    const auto wf = waveform::drag(144, 36.0, 0.2, 1.2);
+    const core::Compressor comp({"dct-w", 16, 1e-3});
+    const auto cw = comp.compress(wf);
+    const core::Decompressor dec;
+    const auto golden = dec.decompressChannel(cw.i, cw.codec);
+    std::vector<double> assembled;
+    std::vector<double> window;
+    for (std::uint32_t w = 0; w < cw.i.windows.size(); ++w) {
+        dec.decompressWindow(cw.i, cw.codec, w, window);
+        assembled.insert(assembled.end(), window.begin(),
+                         window.end());
+    }
+    EXPECT_EQ(assembled, golden);
+
+    // DCT-N's single whole-waveform window slices the same way.
+    const core::Compressor whole({"dct-n", 0, 1e-3});
+    const auto cwn = whole.compress(wf);
+    ASSERT_EQ(cwn.i.windows.size(), 1u);
+    dec.decompressWindow(cwn.i, cwn.codec, 0, window);
+    EXPECT_EQ(window, dec.decompressChannel(cwn.i, cwn.codec));
+}
+
+// --------------------------------------------------------------- executor
+
+TEST(Executor, RunsEveryJobExactlyOnce)
+{
+    for (const int workers : {1, 2, 8}) {
+        Executor exec(workers);
+        std::vector<int> counts(257, 0);
+        exec.forEach(counts.size(), [&](std::size_t i) {
+            // Each index is claimed by exactly one worker, so no
+            // synchronization is needed on counts[i].
+            counts[i] += 1;
+        });
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            ASSERT_EQ(counts[i], 1)
+                << "workers=" << workers << " i=" << i;
+    }
+}
+
+TEST(Executor, PropagatesFirstException)
+{
+    for (const int workers : {1, 4}) {
+        Executor exec(workers);
+        EXPECT_THROW(exec.forEach(16,
+                                  [](std::size_t i) {
+                                      if (i == 5)
+                                          throw std::runtime_error(
+                                              "job failed");
+                                  }),
+                     std::runtime_error)
+            << "workers=" << workers;
+    }
+}
+
+TEST(Executor, ReusableAcrossBatches)
+{
+    Executor exec(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> ran{0};
+        exec.forEach(32, [&](std::size_t) { ++ran; });
+        ASSERT_EQ(ran.load(), 32);
+    }
+}
+
+// ------------------------------------------- rack + service end to end
+
+/** Shared 49-qubit surface-code fixture (expensive to compress; built
+ *  once for the suite). */
+class RackSurface49 : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        const auto sc = circuits::makeSurfaceCode(
+            5, circuits::SurfaceLayout::Rotated, 1);
+        dev_ = new waveform::DeviceModel(
+            waveform::DeviceModel::synthetic(
+                "surface49-device", sc.totalQubits(),
+                sc.nativeCoupling().edges()));
+        lib_ = new waveform::PulseLibrary(
+            waveform::PulseLibrary::build(*dev_));
+        clib_ = new core::CompressedLibrary(buildCompressed(*lib_));
+        sched_ = new circuits::Schedule(
+            circuits::schedule(sc.circuit, {}));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete sched_;
+        delete clib_;
+        delete lib_;
+        delete dev_;
+        sched_ = nullptr;
+        clib_ = nullptr;
+        lib_ = nullptr;
+        dev_ = nullptr;
+    }
+
+    RackConfig
+    rackConfig(int shards, std::size_t cache_windows) const
+    {
+        RackConfig rc;
+        rc.numShards = shards;
+        rc.policy = ShardPolicy::LocalityAware;
+        rc.controller = controllerConfig(*clib_);
+        rc.cacheWindows = cache_windows;
+        return rc;
+    }
+
+    static waveform::DeviceModel *dev_;
+    static waveform::PulseLibrary *lib_;
+    static core::CompressedLibrary *clib_;
+    static circuits::Schedule *sched_;
+};
+
+waveform::DeviceModel *RackSurface49::dev_ = nullptr;
+waveform::PulseLibrary *RackSurface49::lib_ = nullptr;
+core::CompressedLibrary *RackSurface49::clib_ = nullptr;
+circuits::Schedule *RackSurface49::sched_ = nullptr;
+
+TEST_F(RackSurface49, StatsRollupIsConsistent)
+{
+    // Cache sized to the workload's unique-window working set, so
+    // the batch's second circuit replays from cache.
+    const Rack rack(*dev_, *clib_, rackConfig(4, 1 << 15));
+    RuntimeService svc(rack, {.workers = 1});
+    const auto stats = svc.executeBatch({*sched_, *sched_});
+
+    ASSERT_EQ(stats.shards.size(), 4u);
+    std::uint64_t gates = 0, samples = 0, windows = 0;
+    std::size_t banks = 0;
+    for (const auto &sh : stats.shards) {
+        gates += sh.gatesPlayed;
+        samples += sh.samplesDecoded;
+        windows += sh.windowsDecoded;
+        banks += sh.demand.peakBanks;
+        // Every sample the demand model charges is decoded by
+        // playback, and vice versa.
+        EXPECT_EQ(sh.samplesDecoded, sh.demand.totalSamples);
+        EXPECT_EQ(sh.demand.missingGates, 0u);
+    }
+    EXPECT_EQ(stats.totalGates, gates);
+    EXPECT_EQ(stats.totalSamples, samples);
+    EXPECT_EQ(stats.totalWindows, windows);
+    EXPECT_EQ(stats.fleetPeakBanks, banks);
+    EXPECT_GT(stats.totalGates, 0u);
+    EXPECT_TRUE(stats.feasible);
+    // Same schedule twice through a shared cache: plenty of hits.
+    EXPECT_GT(stats.cacheHitRate, 0.4);
+    EXPECT_EQ(stats.cache.hits + stats.cache.misses,
+              stats.totalWindows);
+}
+
+TEST_F(RackSurface49, WorkerCountDoesNotChangeDemand)
+{
+    // The acceptance contract: 8-worker execution of a 49-qubit
+    // surface-code batch is bit-identical, shard by shard, to
+    // 1-worker execution.
+    const std::vector<circuits::Schedule> batch = {*sched_, *sched_,
+                                                   *sched_};
+    std::vector<RackStats> runs;
+    for (const int workers : {1, 8}) {
+        const Rack rack(*dev_, *clib_, rackConfig(8, 4096));
+        RuntimeService svc(rack, {.workers = workers});
+        runs.push_back(svc.executeBatch(batch));
+    }
+    const auto &one = runs[0], &many = runs[1];
+    ASSERT_EQ(one.shards.size(), many.shards.size());
+    for (std::size_t s = 0; s < one.shards.size(); ++s) {
+        const auto &a = one.shards[s].demand;
+        const auto &b = many.shards[s].demand;
+        EXPECT_EQ(a.peakBanks, b.peakBanks) << "shard " << s;
+        EXPECT_EQ(a.peakChannels, b.peakChannels) << "shard " << s;
+        EXPECT_EQ(a.feasible, b.feasible) << "shard " << s;
+        EXPECT_EQ(a.totalSamples, b.totalSamples) << "shard " << s;
+        EXPECT_EQ(a.totalWordsRead, b.totalWordsRead)
+            << "shard " << s;
+        EXPECT_EQ(a.missingGates, b.missingGates) << "shard " << s;
+        // Bandwidth is a product of identical ints and doubles.
+        EXPECT_EQ(a.peakBandwidthBytesPerSec,
+                  b.peakBandwidthBytesPerSec)
+            << "shard " << s;
+        EXPECT_EQ(one.shards[s].gatesPlayed, many.shards[s].gatesPlayed);
+        EXPECT_EQ(one.shards[s].samplesDecoded,
+                  many.shards[s].samplesDecoded);
+        EXPECT_EQ(one.shards[s].windowsDecoded,
+                  many.shards[s].windowsDecoded);
+    }
+    EXPECT_EQ(one.fleetPeakBanks, many.fleetPeakBanks);
+    EXPECT_EQ(one.totalGates, many.totalGates);
+    EXPECT_EQ(one.totalSamples, many.totalSamples);
+}
+
+TEST_F(RackSurface49, HotBatchRunsAlmostEntirelyFromCache)
+{
+    const Rack rack(*dev_, *clib_, rackConfig(4, 1 << 15));
+    RuntimeService svc(rack, {.workers = 2});
+    svc.execute(*sched_); // cold pass fills the cache
+    const auto warm = svc.execute(*sched_);
+    EXPECT_GT(warm.cacheHitRate, 0.99);
+    EXPECT_EQ(warm.cache.evictions, 0u);
+}
+
+TEST(RackUncompressed, BaselineRackSkipsDecodeAndCache)
+{
+    // An uncompressed-baseline rack never touches the compressed
+    // payload, so even a non-windowed codec library executes fine
+    // and the cache stays untouched.
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = core::CompressionPipeline::with("dct-n")
+                          .mseTarget(1e-5)
+                          .build()
+                          .compressLibrary(lib);
+
+    RackConfig rc;
+    rc.numShards = 2;
+    rc.controller.compressed = false;
+    const Rack rack(dev, clib, rc);
+    RuntimeService svc(rack, {.workers = 2});
+
+    circuits::Circuit c(5);
+    for (int q = 0; q < 5; ++q)
+        c.x(q);
+    c.measureAll();
+    const auto stats = svc.execute(circuits::schedule(c, {}));
+    EXPECT_EQ(stats.totalGates, 10u);
+    EXPECT_GT(stats.totalSamples, 0u);
+    EXPECT_EQ(stats.totalWindows, 0u);
+    EXPECT_EQ(stats.cache.hits + stats.cache.misses, 0u);
+    for (const auto &sh : stats.shards)
+        EXPECT_EQ(sh.samplesDecoded, sh.demand.totalSamples);
+}
+
+TEST(RackMismatch, ReportsEventsNoShardOwns)
+{
+    // A schedule built for a larger machine than the rack's device:
+    // the out-of-range events are dropped by partitioning but
+    // reported, not silently lost.
+    const auto dev = waveform::DeviceModel::ibm("bogota"); // 5 qubits
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+
+    RackConfig rc;
+    rc.numShards = 2;
+    rc.controller = controllerConfig(clib);
+    const Rack rack(dev, clib, rc);
+    RuntimeService svc(rack);
+
+    circuits::Circuit c(8);
+    for (int q = 0; q < 8; ++q)
+        c.x(q); // qubits 5-7 do not exist on the rack's device
+    const auto stats = svc.execute(circuits::schedule(c, {}));
+    EXPECT_EQ(stats.unownedEvents, 3u);
+    EXPECT_EQ(stats.totalGates, 5u);
+}
+
+TEST_F(RackSurface49, ShardCountPreservesFleetWork)
+{
+    // Total decoded work is invariant under the shard count; only
+    // its distribution changes.
+    std::vector<std::uint64_t> totals;
+    for (const int shards : {1, 2, 8}) {
+        const Rack rack(*dev_, *clib_, rackConfig(shards, 0));
+        RuntimeService svc(rack, {.workers = 1});
+        const auto stats = svc.execute(*sched_);
+        totals.push_back(stats.totalSamples);
+        EXPECT_EQ(static_cast<int>(stats.shards.size()), shards);
+    }
+    EXPECT_EQ(totals[0], totals[1]);
+    EXPECT_EQ(totals[1], totals[2]);
+}
+
+} // namespace
+} // namespace compaqt::runtime

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "circuits/scheduler.hh"
 #include "circuits/surface_code.hh"
@@ -285,6 +286,111 @@ TEST_F(ControllerTest, PlayGateMatchesGoldenDecode)
     const auto golden = dec.decompressChannel(
         clib_.entry(id).cw.i, "int-dct");
     EXPECT_EQ(r.samples.size(), golden.size());
+}
+
+TEST_F(ControllerTest, RejectsWindowSizeMismatch)
+{
+    // Library compressed at WS=8, controller configured for WS=16: a
+    // silent mismatch would stream garbage, so construction throws.
+    core::FidelityAwareConfig fcfg;
+    fcfg.base.codec = "int-dct";
+    fcfg.base.windowSize = 8;
+    const auto clib8 = core::CompressedLibrary::build(lib_, fcfg);
+    ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = clib8.worstCaseWindowWords();
+    EXPECT_THROW(Controller(cc, clib8), std::invalid_argument);
+}
+
+TEST_F(ControllerTest, RejectsNonIntegerCodec)
+{
+    core::FidelityAwareConfig fcfg;
+    fcfg.base.codec = "dct-w";
+    fcfg.base.windowSize = 16;
+    const auto float_lib = core::CompressedLibrary::build(lib_, fcfg);
+    ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = 16;
+    EXPECT_THROW(Controller(cc, float_lib), std::invalid_argument);
+}
+
+TEST_F(ControllerTest, RejectsOverflowingMemoryWidth)
+{
+    ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = 1; // guadalupe needs more words per window
+    EXPECT_THROW(Controller(cc, clib_), std::invalid_argument);
+}
+
+TEST_F(ControllerTest, UncompressedModeSkipsLibraryValidation)
+{
+    // The baseline controller never touches the compressed payload,
+    // so a mismatched library is acceptable there.
+    core::FidelityAwareConfig fcfg;
+    fcfg.base.codec = "dct-w";
+    fcfg.base.windowSize = 8;
+    const auto float_lib = core::CompressedLibrary::build(lib_, fcfg);
+    ControllerConfig uc;
+    uc.compressed = false;
+    EXPECT_NO_THROW(Controller(uc, float_lib));
+}
+
+TEST_F(ControllerTest, ExecuteEmptyScheduleIsZeroAndFeasible)
+{
+    ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = clib_.worstCaseWindowWords();
+    const Controller ctl(cc, clib_);
+    const auto stats = ctl.execute(circuits::Schedule{});
+    EXPECT_EQ(stats.peakBanks, 0u);
+    EXPECT_EQ(stats.peakChannels, 0);
+    EXPECT_TRUE(stats.feasible);
+    EXPECT_EQ(stats.totalSamples, 0u);
+    EXPECT_EQ(stats.totalWordsRead, 0u);
+    EXPECT_EQ(stats.missingGates, 0u);
+    EXPECT_DOUBLE_EQ(stats.peakBandwidthBytesPerSec, 0.0);
+}
+
+TEST_F(ControllerTest, ExecuteCountsGatesMissingFromLibrary)
+{
+    ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = clib_.worstCaseWindowWords();
+    const Controller ctl(cc, clib_);
+
+    circuits::Circuit c(16);
+    c.x(0);
+    c.cx(0, 9); // (0, 9) is not a guadalupe coupler: no CX waveform
+    const auto stats = ctl.execute(circuits::schedule(c, {}));
+    EXPECT_EQ(stats.missingGates, 1u);
+    // The played X still contributes sane demand.
+    EXPECT_EQ(stats.peakChannels, cc.channelsPerQubit);
+    EXPECT_GT(stats.totalSamples, 0u);
+    EXPECT_TRUE(stats.feasible);
+}
+
+TEST_F(ControllerTest, ExecuteReportsInfeasibleBankBudget)
+{
+    ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = clib_.worstCaseWindowWords();
+    cc.totalBrams = 4; // below even one channel pair's banks
+    const Controller ctl(cc, clib_);
+
+    circuits::Circuit c(4);
+    for (int q = 0; q < 4; ++q)
+        c.x(q); // four concurrent drives
+    const auto stats = ctl.execute(circuits::schedule(c, {}));
+    EXPECT_FALSE(stats.feasible);
+    EXPECT_GT(stats.peakBanks, cc.totalBrams);
+    EXPECT_EQ(stats.peakChannels, 4 * cc.channelsPerQubit);
+    EXPECT_EQ(stats.missingGates, 0u);
 }
 
 TEST_F(ControllerTest, ExecuteSurfaceCodeSchedule)
