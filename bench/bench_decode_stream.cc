@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Streaming-decode throughput: the old vector decode plane vs the
+ * span-based zero-allocation decode plane, per codec x window size.
+ *
+ * The "vector" loop reproduces the PR-2 decode plane per codec,
+ * allocation pattern and algorithm alike:
+ *   - int-dct: RLE-expand to a full coefficient window, DENSE
+ *     inverse matrix product, samples pushed into a freshly
+ *     allocated shared vector (the DecodedWindowCache miss shape);
+ *   - dct-w:   the same O(ws) window decode it has today, but
+ *     through a freshly allocated shared vector per window;
+ *   - delta:   whole-channel decode-and-slice per window — delta had
+ *     no O(ws) window decode before this PR.
+ * The "span" loop is the new plane: one codec resolution per
+ * channel, decompressWindowInto() into arena-backed caller memory
+ * (prefix-sparse inverse for int-dct, checkpointed O(ws) decode for
+ * delta).
+ *
+ * The bench also instruments global operator new to count heap
+ * allocations inside the measured span loop — the acceptance
+ * criterion is exactly zero in steady state — and emits
+ * BENCH_decode_stream.json with samples/s for both paths plus the
+ * speedup and the allocation counter.
+ *
+ * Usage: bench_decode_stream [--tiny]
+ *   --tiny  CI smoke mode: fewer repetitions, same schema.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/arena.hh"
+#include "common/table.hh"
+#include "core/decompressor.hh"
+#include "core/pipeline.hh"
+#include "dsp/int_dct.hh"
+#include "waveform/shapes.hh"
+
+// ------------------------------------------------ allocation counter
+//
+// Replaces the global allocator for this binary only. The counter
+// makes "zero allocations in the steady-state decode loop" a measured
+// number instead of a claim.
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_heapAllocs{0};
+std::atomic<bool> g_countAllocs{false};
+
+void *
+countedAlloc(std::size_t n)
+{
+    if (g_countAllocs.load(std::memory_order_relaxed))
+        g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return countedAlloc(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace compaqt;
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct PathResult
+{
+    double samplesPerSec = 0.0;
+    std::uint64_t allocations = 0;
+};
+
+/** Best-of-N samples/s over `reps` timed passes of `loop`, which
+ *  decodes the whole channel once per call and returns the samples
+ *  produced. */
+template <typename Loop>
+PathResult
+measure(int reps, int passes_per_rep, Loop &&loop)
+{
+    PathResult r;
+    for (int rep = 0; rep < reps; ++rep) {
+        g_heapAllocs.store(0);
+        g_countAllocs.store(true);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::uint64_t samples = 0;
+        for (int p = 0; p < passes_per_rep; ++p)
+            samples += loop();
+        const auto t1 = std::chrono::steady_clock::now();
+        g_countAllocs.store(false);
+        const double dt = seconds(t0, t1);
+        if (dt > 0.0) {
+            r.samplesPerSec = std::max(
+                r.samplesPerSec,
+                static_cast<double>(samples) / dt);
+        }
+        // Steady state: every rep after the first runs with warm
+        // buffers; report the minimum so a warm-up allocation in rep
+        // 0 is visible separately from the steady state.
+        if (rep == 0 || g_heapAllocs.load() < r.allocations)
+            r.allocations = g_heapAllocs.load();
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool tiny =
+        argc > 1 && std::strcmp(argv[1], "--tiny") == 0;
+    const int reps = tiny ? 3 : 5;
+
+    bench::JsonReport report("decode_stream");
+
+    // A flat-top pulse long enough to hold many windows, trimmed to
+    // an odd length so every config exercises a clamped tail window.
+    const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.15);
+    waveform::IqWaveform odd = wf;
+    odd.i.resize(odd.i.size() - 3);
+    odd.q.resize(odd.q.size() - 3);
+
+    struct Config
+    {
+        const char *codec;
+        std::size_t ws;
+    };
+    const std::vector<Config> configs = {
+        {"int-dct", 8},  {"int-dct", 16}, {"int-dct", 32},
+        {"dct-w", 8},    {"dct-w", 16},   {"dct-w", 32},
+        {"delta", 16},   {"delta", 32},
+    };
+
+    Table t("streaming window decode: fresh-vector path vs span path"
+            " (samples/s, steady state)");
+    t.header({"codec", "ws", "windows", "vec Msamp/s", "span Msamp/s",
+              "speedup", "span allocs"});
+
+    double int_dct16_speedup = 0.0;
+    std::uint64_t worst_span_allocs = 0;
+    for (const auto &cfg : configs) {
+        const auto pipe = core::CompressionPipeline::with(cfg.codec)
+                              .window(cfg.ws)
+                              .threshold(1e-3)
+                              .build();
+        const auto cw = pipe.compress(odd);
+        const auto &channel = cw.i;
+        const std::size_t nwin = channel.numWindows();
+        const core::Decompressor dec;
+
+        // Scale passes so each rep runs a few milliseconds.
+        const int passes =
+            tiny ? 20 : static_cast<int>(40000 / (nwin + 1)) + 1;
+        const bool is_delta = std::string(cfg.codec) == "delta";
+        const bool is_int = std::string(cfg.codec) == "int-dct";
+
+        // Old plane, reproduced per codec (see file header).
+        PathResult vec;
+        if (is_int) {
+            const dsp::IntDct xform(cfg.ws);
+            std::vector<std::int32_t> ybuf(cfg.ws), xbuf(cfg.ws);
+            vec = measure(reps, passes, [&] {
+                std::uint64_t n = 0;
+                for (std::size_t w = 0; w < nwin; ++w) {
+                    auto out =
+                        std::make_shared<std::vector<double>>();
+                    core::Decompressor::expandWindowIntInto(
+                        channel.windows[w], ybuf);
+                    xform.inverse(ybuf, xbuf);
+                    const std::size_t len = channel.windowSamples(w);
+                    out->reserve(len);
+                    for (std::size_t k = 0; k < len; ++k)
+                        out->push_back(
+                            dsp::IntDct::dequantize(xbuf[k]));
+                    n += out->size();
+                }
+                return n;
+            });
+        } else if (is_delta) {
+            vec = measure(reps, passes, [&] {
+                std::uint64_t n = 0;
+                for (std::size_t w = 0; w < nwin; ++w) {
+                    // PR-2 delta: decode the whole channel, slice.
+                    std::vector<double> full;
+                    dec.decompressChannel(channel, cw.codec, full);
+                    const std::size_t begin = w * cfg.ws;
+                    std::vector<double> out(
+                        full.begin() +
+                            static_cast<std::ptrdiff_t>(begin),
+                        full.begin() + static_cast<std::ptrdiff_t>(
+                                           begin +
+                                           channel.windowSamples(w)));
+                    n += out.size();
+                }
+                return n;
+            });
+        } else {
+            vec = measure(reps, passes, [&] {
+                std::uint64_t n = 0;
+                for (std::size_t w = 0; w < nwin; ++w) {
+                    auto out =
+                        std::make_shared<std::vector<double>>();
+                    dec.decompressWindow(channel, cw.codec, w, *out);
+                    n += out->size();
+                }
+                return n;
+            });
+        }
+
+        // New plane: one codec resolution, one arena span, reused
+        // for every window.
+        const core::ICodec &codec = dec.resolve(cw.codec, cfg.ws);
+        auto &arena = ScratchArena::forThread();
+        const SampleSpan out = arena.samples(cfg.ws);
+        const auto span = measure(reps, passes, [&] {
+            std::uint64_t n = 0;
+            for (std::size_t w = 0; w < nwin; ++w)
+                n += codec.decompressWindowInto(channel, w, out);
+            return n;
+        });
+
+        const double speedup =
+            vec.samplesPerSec > 0.0
+                ? span.samplesPerSec / vec.samplesPerSec
+                : 0.0;
+        if (std::string(cfg.codec) == "int-dct" && cfg.ws == 16)
+            int_dct16_speedup = speedup;
+        worst_span_allocs =
+            std::max(worst_span_allocs, span.allocations);
+
+        t.row({cfg.codec, std::to_string(cfg.ws),
+               std::to_string(nwin),
+               Table::num(vec.samplesPerSec / 1e6, 2),
+               Table::num(span.samplesPerSec / 1e6, 2),
+               Table::num(speedup, 2),
+               std::to_string(span.allocations)});
+
+        const std::string prefix = std::string(cfg.codec) + "_ws" +
+                                   std::to_string(cfg.ws);
+        report.metric(prefix + "_vector_samples_per_sec",
+                      vec.samplesPerSec);
+        report.metric(prefix + "_span_samples_per_sec",
+                      span.samplesPerSec);
+        report.metric(prefix + "_speedup", speedup);
+    }
+    report.print(t);
+
+    std::cout << "\nint-dct ws=16 span-path speedup: "
+              << Table::num(int_dct16_speedup, 2)
+              << "x; steady-state heap allocations in the span "
+                 "decode loop: "
+              << worst_span_allocs << "\n";
+    report.metric("int_dct_span_speedup", int_dct16_speedup);
+    report.metric("span_loop_heap_allocations",
+                  static_cast<double>(worst_span_allocs));
+    report.metric("arena_block_allocations",
+                  static_cast<double>(
+                      ScratchArena::forThread().blockAllocations()));
+    return 0;
+}

@@ -112,10 +112,12 @@ main(int argc, char **argv)
     Table t("rack throughput: qubits x shards x cache"
             " (locality-aware sharding, steady state)");
     t.header({"qubits", "shards", "cache(win)", "gates/s",
-              "Msamples/s", "hit rate", "fleet banks", "feasible"});
+              "Msamples/s", "hit rate", "hits", "misses", "evict",
+              "fleet banks", "feasible"});
 
     double uncached_best = 0.0, cached_best = 0.0;
     double cached_samples_per_sec = 0.0, cached_hit_rate = 0.0;
+    runtime::DecodedCacheStats cached_best_counters;
     for (const int d : distances) {
         const auto w = makeWorkload(d, batch_size);
         for (const int shards : shard_counts) {
@@ -127,6 +129,9 @@ main(int argc, char **argv)
                        Table::num(stats.gatesPerSec, 0),
                        Table::num(stats.samplesPerSec / 1e6, 2),
                        Table::num(stats.cacheHitRate, 3),
+                       std::to_string(stats.cache.hits),
+                       std::to_string(stats.cache.misses),
+                       std::to_string(stats.cache.evictions),
                        std::to_string(stats.fleetPeakBanks),
                        stats.feasible ? "yes" : "NO"});
                 // Reference point for the speedup ratio: the largest
@@ -139,6 +144,7 @@ main(int argc, char **argv)
                         cached_best = stats.gatesPerSec;
                         cached_samples_per_sec = stats.samplesPerSec;
                         cached_hit_rate = stats.cacheHitRate;
+                        cached_best_counters = stats.cache;
                     }
                 }
             }
@@ -156,5 +162,16 @@ main(int argc, char **argv)
     report.metric("cached_gates_per_sec", cached_best);
     report.metric("cached_samples_per_sec", cached_samples_per_sec);
     report.metric("cached_hit_rate", cached_hit_rate);
+    // Per-batch cache counters of the winning cached configuration —
+    // collected by the rack since PR 2, now exported so hit/miss/
+    // eviction behavior is tracked across PRs alongside throughput.
+    report.metric("cached_hits",
+                  static_cast<double>(cached_best_counters.hits));
+    report.metric("cached_misses",
+                  static_cast<double>(cached_best_counters.misses));
+    report.metric("cached_evictions",
+                  static_cast<double>(cached_best_counters.evictions));
+    report.metric("cached_resident_windows",
+                  static_cast<double>(cached_best_counters.entries));
     return 0;
 }

@@ -1,0 +1,16 @@
+#include "common/arena.hh"
+
+namespace compaqt
+{
+
+ScratchArena &
+ScratchArena::forThread()
+{
+    // One arena per thread: decode hot paths share it through nested
+    // Frames, so worker threads never contend and never allocate in
+    // steady state.
+    static thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace compaqt

@@ -15,6 +15,7 @@
 #ifndef COMPAQT_COMPAQT_HH
 #define COMPAQT_COMPAQT_HH
 
+#include "common/arena.hh"
 #include "core/adaptive.hh"
 #include "core/codec.hh"
 #include "core/compressed_library.hh"
@@ -30,6 +31,10 @@
 
 namespace compaqt
 {
+
+// Streaming decode plane (SampleSpan, ConstSampleSpan, and
+// ScratchArena already live in namespace compaqt — see
+// common/arena.hh for span lifetime and arena ownership rules).
 
 // Codec layer
 using core::CodecRegistrar;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
 #include "core/codecs/builtin.hh"
@@ -13,8 +14,40 @@ namespace compaqt::core
 // --------------------------------------------------- compressed data types
 
 std::size_t
+CompressedChannel::numWindows() const
+{
+    if (!windows.empty())
+        return windows.size();
+    // Delta-coded channels carry no CompressedWindow records; their
+    // window structure is implied by the checkpoint stride.
+    if (windowSize == 0 || numSamples == 0)
+        return 0;
+    return (numSamples + windowSize - 1) / windowSize;
+}
+
+std::size_t
+CompressedChannel::windowSamples(std::size_t w) const
+{
+    // Clamp both ends: a channel whose window count is inconsistent
+    // with numSamples (corrupt stream) yields zero-length windows
+    // rather than underflowing.
+    const std::size_t begin = w * windowSize;
+    return begin < numSamples ? std::min(windowSize,
+                                         numSamples - begin)
+                              : 0;
+}
+
+std::size_t
 CompressedChannel::totalWords() const
 {
+    if (windows.empty() && delta.originalCount > 0) {
+        // Express the bit-level delta encoding in 16-bit sample-word
+        // equivalents so ratios are comparable across codecs.
+        const double bits =
+            static_cast<double>(dsp::deltaCompressedBits(delta));
+        return static_cast<std::size_t>(
+            std::ceil(bits / dsp::kDeltaSampleBits));
+    }
     std::size_t total = 0;
     for (const auto &w : windows)
         total += w.words();
@@ -30,18 +63,6 @@ CompressedChannel::stats() const
 dsp::CompressionStats
 CompressedWaveform::stats() const
 {
-    if (codec == kDeltaCodecName) {
-        // Express the bit-level delta encoding in 16-bit sample-word
-        // equivalents so ratios are comparable across codecs.
-        const double bits =
-            static_cast<double>(dsp::deltaCompressedBits(deltaI)) +
-            static_cast<double>(dsp::deltaCompressedBits(deltaQ));
-        dsp::CompressionStats s;
-        s.originalSamples = deltaI.originalCount + deltaQ.originalCount;
-        s.compressedWords = static_cast<std::size_t>(
-            std::ceil(bits / dsp::kDeltaSampleBits));
-        return s;
-    }
     dsp::CompressionStats s = i.stats();
     s += q.stats();
     return s;
@@ -92,10 +113,8 @@ ICodec::compress(const waveform::IqWaveform &wf, double threshold,
                     "I/Q channel length mismatch");
     COMPAQT_REQUIRE(threshold >= 0.0, "negative threshold");
     out.codec.assign(name());
-    out.deltaI = {};
-    out.deltaQ = {};
-    compressChannel(wf.i, threshold, out.i);
-    compressChannel(wf.q, threshold, out.q);
+    encodeInto(wf.i, threshold, out.i);
+    encodeInto(wf.q, threshold, out.q);
     out.windowSize = out.i.windowSize;
     equalizeChannels(out.i, out.q, isInteger());
 }
@@ -109,27 +128,53 @@ ICodec::decompress(const CompressedWaveform &cw,
 }
 
 void
+ICodec::decompressChannel(const CompressedChannel &ch,
+                          std::vector<double> &out) const
+{
+    out.resize(ch.numSamples);
+    decodeInto(ch, out);
+}
+
+void
 ICodec::decompressWindow(const CompressedChannel &ch,
                          std::size_t window,
                          std::vector<double> &out) const
 {
+    out.resize(ch.windowSamples(window));
+    decompressWindowInto(ch, window, out);
+}
+
+std::size_t
+ICodec::decompressWindowInto(const CompressedChannel &ch,
+                             std::size_t window, SampleSpan out) const
+{
     // Any channel with window structure qualifies — including DCT-N,
-    // whose single "window" spans the whole waveform.
-    COMPAQT_REQUIRE(ch.windowSize > 0,
-                    "per-window decode needs a windowed channel");
-    COMPAQT_REQUIRE(window < ch.windows.size(),
+    // whose single "window" spans the whole waveform. A channel with
+    // none cannot be sliced, and pretending otherwise would silently
+    // mis-stream; name the codec so the wiring error is attributable.
+    if (ch.windowSize == 0) {
+        throw std::logic_error(
+            "codec '" + std::string(name()) +
+            "' cannot decode per-window: the channel has no window "
+            "structure");
+    }
+    COMPAQT_REQUIRE(window < ch.numWindows(),
                     "window index out of range");
-    std::vector<double> full;
-    decompressChannel(ch, full);
-    // Clamp both bounds: a channel whose window count is inconsistent
-    // with numSamples (corrupt stream) must not form out-of-range
-    // iterators.
-    const std::size_t begin =
-        std::min(window * ch.windowSize, full.size());
-    const std::size_t end =
-        std::min(begin + ch.windowSize, full.size());
-    out.assign(full.begin() + static_cast<std::ptrdiff_t>(begin),
-               full.begin() + static_cast<std::ptrdiff_t>(end));
+    const std::size_t len = ch.windowSamples(window);
+    COMPAQT_REQUIRE(out.size() >= len,
+                    "window output span too small");
+
+    // Decode-and-slice fallback, staged through the per-thread arena
+    // so codecs without an O(windowSize) override still allocate
+    // nothing in steady state.
+    auto &arena = ScratchArena::forThread();
+    const ScratchArena::Frame frame(arena);
+    SampleSpan full = arena.samples(ch.numSamples);
+    decodeInto(ch, full);
+    const std::size_t begin = window * ch.windowSize;
+    std::copy_n(full.begin() + static_cast<std::ptrdiff_t>(begin),
+                len, out.begin());
+    return len;
 }
 
 // ---------------------------------------------------------- codec registry

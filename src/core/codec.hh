@@ -21,6 +21,13 @@
  * all codecs (the integer path converts through the transform's
  * coefficientScale), so a given threshold trades distortion for
  * compression comparably across codecs.
+ *
+ * Streaming decode plane: the decode primitives are span-based —
+ * encodeInto / decodeInto / decompressWindowInto operate on
+ * caller-owned memory (SampleSpan) and perform no allocation in
+ * steady state. The historical std::vector entry points remain as
+ * thin shims over the span path; new codecs implement only the span
+ * primitives.
  */
 
 #ifndef COMPAQT_CORE_CODEC_HH
@@ -36,6 +43,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/arena.hh"
 #include "dsp/delta.hh"
 #include "dsp/metrics.hh"
 #include "waveform/shapes.hh"
@@ -43,7 +51,7 @@
 namespace compaqt::core
 {
 
-/** Registry key of the delta baseline (the one non-windowed codec). */
+/** Registry key of the delta baseline codec. */
 inline constexpr std::string_view kDeltaCodecName = "delta";
 
 /**
@@ -72,16 +80,33 @@ struct CompressedWindow
     }
 };
 
-/** One compressed channel (I or Q) of a waveform. */
+/**
+ * One compressed channel (I or Q) of a waveform. Transform codecs
+ * fill `windows`; the delta codec fills `delta` (checkpointed when
+ * the codec was configured with a window size, which is what makes
+ * its per-window decode O(windowSize)).
+ */
 struct CompressedChannel
 {
     /** Original sample count before padding. */
     std::size_t numSamples = 0;
-    /** Transform window size (== padded length for DCT-N). */
+    /** Transform window size (== padded length for DCT-N; the
+     *  checkpoint stride for windowed delta; 0 = no windows). */
     std::size_t windowSize = 0;
     std::vector<CompressedWindow> windows;
+    /** Delta-coded payload ("delta" codec only). */
+    dsp::DeltaEncoded delta;
 
-    /** Total memory words across windows. */
+    /** Number of decodable windows (derived from numSamples for
+     *  delta-coded channels, which store no CompressedWindow). */
+    std::size_t numWindows() const;
+
+    /** Decoded sample count of window `w` — windowSize except for
+     *  the clamped tail window. @pre w < numWindows() */
+    std::size_t windowSamples(std::size_t w) const;
+
+    /** Total memory words across windows (sample-word equivalents of
+     *  the bit-level encoding for delta channels). */
     std::size_t totalWords() const;
 
     dsp::CompressionStats stats() const;
@@ -89,8 +114,7 @@ struct CompressedChannel
 
 /**
  * A fully compressed I/Q waveform, tagged with the registry name of
- * the codec that produced it. For the delta codec the channels hold
- * no windows and delta bookkeeping is carried separately.
+ * the codec that produced it.
  */
 struct CompressedWaveform
 {
@@ -99,9 +123,6 @@ struct CompressedWaveform
     std::size_t windowSize = 0;
     CompressedChannel i;
     CompressedChannel q;
-    /** Lossless delta encodings ("delta" codec only). */
-    dsp::DeltaEncoded deltaI;
-    dsp::DeltaEncoded deltaQ;
 
     /** Combined old-size/new-size stats over both channels. */
     dsp::CompressionStats stats() const;
@@ -156,9 +177,14 @@ void equalizeChannels(CompressedChannel &a, CompressedChannel &b,
  *
  * Instances are created by the CodecRegistry and may cache transform
  * plans and scratch buffers between calls, so the per-window hot
- * paths do no allocation in steady state when callers reuse output
- * objects. Because of that scratch state an instance is NOT safe to
- * share between threads; create one per thread.
+ * paths do no allocation in steady state. Because of that scratch
+ * state an instance is NOT safe to share between threads; create one
+ * per thread.
+ *
+ * Implementations provide the three span primitives (encodeInto,
+ * decodeInto, and — for an O(windowSize) random-access path —
+ * decompressWindowInto); the vector-based channel entry points are
+ * non-virtual shims over them.
  */
 class ICodec
 {
@@ -181,38 +207,73 @@ class ICodec
      *  waveform). */
     virtual std::size_t windowSize() const = 0;
 
+    // ------------------------------------------- span primitives
+
     /**
-     * Compress one channel into `out`, reusing its buffers.
+     * Compress one channel from caller-owned samples into `out`,
+     * reusing its buffers and overwriting every payload field.
      * @param threshold coefficient-zeroing threshold, normalized
      *        amplitude units
      */
-    virtual void compressChannel(std::span<const double> x,
-                                 double threshold,
-                                 CompressedChannel &out) const = 0;
-
-    /** Reconstruct one channel into `out`, reusing its capacity. */
-    virtual void decompressChannel(const CompressedChannel &ch,
-                                   std::vector<double> &out) const = 0;
+    virtual void encodeInto(ConstSampleSpan x, double threshold,
+                            CompressedChannel &out) const = 0;
 
     /**
-     * Reconstruct one window of a channel into `out` — the hook the
-     * runtime decoded-window cache decodes through, so hot gates are
-     * expanded once and replayed from cache. `out` receives the same
-     * samples decompressChannel() would produce for positions
-     * [window * windowSize, min((window + 1) * windowSize,
-     * numSamples)). The default decodes the whole channel and slices;
-     * windowed codecs override with an O(windowSize) path. Only
-     * meaningful for windowed codecs.
+     * Reconstruct one whole channel into caller-owned memory with no
+     * allocation in steady state. @pre out.size() == ch.numSamples
      */
-    virtual void decompressWindow(const CompressedChannel &ch,
-                                  std::size_t window,
-                                  std::vector<double> &out) const;
+    virtual void decodeInto(const CompressedChannel &ch,
+                            SampleSpan out) const = 0;
+
+    /**
+     * Reconstruct one window of a channel into caller-owned memory —
+     * the primitive the runtime decoded-window cache fills its slabs
+     * through. Writes the same samples decodeInto() would produce for
+     * positions [window * windowSize, min((window + 1) * windowSize,
+     * numSamples)) and returns the count written (the clamped tail
+     * length for the last window).
+     *
+     * The default decodes the whole channel into per-thread arena
+     * scratch and copies the slice; windowed codecs override with an
+     * O(windowSize) path. A channel with no window structure
+     * (ch.windowSize == 0) cannot be window-decoded: the default
+     * throws std::logic_error naming the codec, so a caller that
+     * wired up a non-windowed codec fails loudly instead of silently
+     * mis-streaming.
+     *
+     * @pre out.size() >= ch.windowSamples(window)
+     * @throws std::logic_error when ch has no window structure
+     */
+    virtual std::size_t
+    decompressWindowInto(const CompressedChannel &ch,
+                         std::size_t window, SampleSpan out) const;
+
+    // ------------------------- vector shims over the span path
+
+    /** Shim: encodeInto with a std::span input. */
+    void
+    compressChannel(std::span<const double> x, double threshold,
+                    CompressedChannel &out) const
+    {
+        encodeInto(x, threshold, out);
+    }
+
+    /** Shim: size `out` to the channel and decodeInto it. */
+    void decompressChannel(const CompressedChannel &ch,
+                           std::vector<double> &out) const;
+
+    /** Shim: size `out` to the window and decompressWindowInto it. */
+    void decompressWindow(const CompressedChannel &ch,
+                          std::size_t window,
+                          std::vector<double> &out) const;
+
+    // --------------------------------------- waveform-level API
 
     /**
      * Compress both channels into `out`. The default implementation
      * compresses each channel and equalizes per-window prefixes
-     * between I and Q as Section IV-C requires; waveform-level codecs
-     * (delta) override.
+     * between I and Q as Section IV-C requires (a no-op for codecs
+     * that produce no windows).
      */
     virtual void compress(const waveform::IqWaveform &wf,
                           double threshold,

@@ -7,8 +7,8 @@
  * stays bounded.
  *
  * Instances cache the transform plan and per-window scratch buffers,
- * so compressing into a reused CompressedChannel does no allocation
- * in steady state.
+ * so encoding into a reused CompressedChannel and decoding into
+ * caller-owned spans do no allocation in steady state.
  */
 
 #include <algorithm>
@@ -61,8 +61,8 @@ class FloatDctCodec final : public ICodec
     std::size_t windowSize() const override { return ws_; }
 
     void
-    compressChannel(std::span<const double> x, double threshold,
-                    CompressedChannel &out) const override
+    encodeInto(ConstSampleSpan x, double threshold,
+               CompressedChannel &out) const override
     {
         const std::size_t ws = whole_ ? x.size() : ws_;
         COMPAQT_REQUIRE(ws > 0, "cannot compress an empty waveform");
@@ -70,6 +70,7 @@ class FloatDctCodec final : public ICodec
 
         out.numSamples = x.size();
         out.windowSize = ws;
+        out.delta = {};
         const std::size_t nwin = (x.size() + ws - 1) / ws;
         out.windows.resize(nwin);
 
@@ -89,49 +90,49 @@ class FloatDctCodec final : public ICodec
     }
 
     void
-    decompressChannel(const CompressedChannel &ch,
-                      std::vector<double> &out) const override
+    decodeInto(const CompressedChannel &ch,
+               SampleSpan out) const override
     {
         const std::size_t ws = ch.windowSize;
         COMPAQT_REQUIRE(ws > 0, "compressed channel has no window size");
-        ensurePlan(ws);
-
-        out.clear();
-        out.reserve(ch.windows.size() * ws);
-        for (const auto &w : ch.windows) {
-            inverseToScratch(w);
-            out.insert(out.end(), xbuf_.begin(), xbuf_.end());
-        }
-        COMPAQT_REQUIRE(out.size() >= ch.numSamples,
+        COMPAQT_REQUIRE(out.size() == ch.numSamples,
+                        "channel output span has wrong size");
+        COMPAQT_REQUIRE(ch.windows.size() * ws >= ch.numSamples,
                         "decoded fewer samples than stored");
-        out.resize(ch.numSamples);
+        ensurePlan(ws);
+        for (std::size_t w = 0; w < ch.windows.size(); ++w) {
+            const std::size_t len = ch.windowSamples(w);
+            if (len == 0)
+                break;
+            inverseToScratch(ch.windows[w]);
+            std::copy_n(xbuf_.begin(), len,
+                        out.begin() +
+                            static_cast<std::ptrdiff_t>(w * ws));
+        }
     }
 
-    void
-    decompressWindow(const CompressedChannel &ch, std::size_t window,
-                     std::vector<double> &out) const override
+    std::size_t
+    decompressWindowInto(const CompressedChannel &ch,
+                         std::size_t window,
+                         SampleSpan out) const override
     {
         // DCT-N's single whole-waveform window goes through the
         // base-class decode-and-slice path.
-        if (whole_) {
-            ICodec::decompressWindow(ch, window, out);
-            return;
-        }
+        if (whole_)
+            return ICodec::decompressWindowInto(ch, window, out);
         const std::size_t ws = ch.windowSize;
         COMPAQT_REQUIRE(ws > 0, "compressed channel has no window size");
         COMPAQT_REQUIRE(window < ch.windows.size(),
                         "window index out of range");
+        // Clamp as decodeInto's trim does; a window entirely past
+        // numSamples decodes to zero samples, not underflow.
+        const std::size_t len = ch.windowSamples(window);
+        COMPAQT_REQUIRE(out.size() >= len,
+                        "window output span too small");
         ensurePlan(ws);
         inverseToScratch(ch.windows[window]);
-        // Clamp as decompressChannel's trim does; a window entirely
-        // past numSamples decodes to zero samples, not underflow.
-        const std::size_t begin = window * ws;
-        const std::size_t len =
-            begin < ch.numSamples
-                ? std::min(ws, ch.numSamples - begin)
-                : 0;
-        out.assign(xbuf_.begin(),
-                   xbuf_.begin() + static_cast<std::ptrdiff_t>(len));
+        std::copy_n(xbuf_.begin(), len, out.begin());
+        return len;
     }
 
   private:

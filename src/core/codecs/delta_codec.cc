@@ -2,9 +2,16 @@
  * @file
  * "delta" — the base-delta compression baseline of Section IV-B,
  * adapting dsp::deltaEncode/deltaDecode to the ICodec interface. The
- * codec is lossless (up to sample quantization) and waveform-level:
- * it has no window structure, so the channel-level entry points are
- * not defined for it.
+ * codec is lossless (up to sample quantization) and channel-level:
+ * each channel's payload is a delta stream in CompressedChannel::delta
+ * rather than transform windows.
+ *
+ * A delta stream is sequential by nature — sample k depends on the
+ * running pattern — so random access needs a side index. When the
+ * codec is configured with a window size the encoder stores a pattern
+ * checkpoint at every window boundary, giving decompressWindowInto a
+ * real O(windowSize) path; configured without one (window size 0),
+ * per-window decode throws std::logic_error via the base class.
  */
 
 #include <memory>
@@ -23,48 +30,55 @@ namespace
 class DeltaCodec final : public ICodec
 {
   public:
+    explicit DeltaCodec(std::size_t ws)
+        : ws_(ws)
+    {
+    }
+
     std::string_view name() const override { return kDeltaCodecName; }
     std::string_view label() const override { return "Delta"; }
     bool isInteger() const override { return false; }
-    bool isWindowed() const override { return false; }
-    std::size_t windowSize() const override { return 0; }
+    bool isWindowed() const override { return ws_ > 0; }
+    std::size_t windowSize() const override { return ws_; }
 
     void
-    compressChannel(std::span<const double>, double,
-                    CompressedChannel &) const override
+    encodeInto(ConstSampleSpan x, double /*threshold*/,
+               CompressedChannel &out) const override
     {
-        COMPAQT_PANIC("compressChannel not defined for the delta codec");
+        // Lossless: the threshold has no coefficient domain to act on.
+        out.numSamples = x.size();
+        out.windowSize = ws_;
+        out.windows.clear();
+        out.delta = dsp::deltaEncode(x, ws_);
     }
 
     void
-    decompressChannel(const CompressedChannel &,
-                      std::vector<double> &) const override
+    decodeInto(const CompressedChannel &ch,
+               SampleSpan out) const override
     {
-        COMPAQT_PANIC(
-            "decompressChannel not defined for the delta codec");
+        COMPAQT_REQUIRE(ch.delta.originalCount == ch.numSamples,
+                        "delta payload size mismatch");
+        dsp::deltaDecodeInto(ch.delta, out);
     }
 
-    void
-    compress(const waveform::IqWaveform &wf, double /*threshold*/,
-             CompressedWaveform &out) const override
+    std::size_t
+    decompressWindowInto(const CompressedChannel &ch,
+                         std::size_t window,
+                         SampleSpan out) const override
     {
-        COMPAQT_REQUIRE(wf.i.size() == wf.q.size(),
-                        "I/Q channel length mismatch");
-        out.codec.assign(name());
-        out.windowSize = 0;
-        out.i = {};
-        out.q = {};
-        out.deltaI = dsp::deltaEncode(wf.i);
-        out.deltaQ = dsp::deltaEncode(wf.q);
+        // Without checkpoints there is no O(ws) entry into the delta
+        // stream; the base class throws std::logic_error with the
+        // codec name.
+        if (ch.windowSize == 0 ||
+            ch.delta.checkpointStride != ch.windowSize)
+            return ICodec::decompressWindowInto(ch, window, out);
+        COMPAQT_REQUIRE(window < ch.numWindows(),
+                        "window index out of range");
+        return dsp::deltaDecodeWindowInto(ch.delta, window, out);
     }
 
-    void
-    decompress(const CompressedWaveform &cw,
-               waveform::IqWaveform &out) const override
-    {
-        out.i = dsp::deltaDecode(cw.deltaI);
-        out.q = dsp::deltaDecode(cw.deltaQ);
-    }
+  private:
+    std::size_t ws_;
 };
 
 } // namespace
@@ -72,8 +86,8 @@ class DeltaCodec final : public ICodec
 void
 registerDeltaCodec(CodecRegistry &reg)
 {
-    reg.add(std::string(kDeltaCodecName), [](std::size_t) {
-        return std::make_unique<DeltaCodec>();
+    reg.add(std::string(kDeltaCodecName), [](std::size_t ws) {
+        return std::make_unique<DeltaCodec>(ws);
     });
 }
 

@@ -6,6 +6,11 @@
  * thresholded in integer coefficient units (the normalized-amplitude
  * threshold is converted through the transform's coefficientScale so
  * thresholds are comparable across codecs).
+ *
+ * The decode side is span-native: decodeInto streams the channel
+ * window-by-window through member scratch into caller-owned memory,
+ * and decompressWindowInto is the O(windowSize) primitive the runtime
+ * decoded-window cache fills its slabs through. Neither allocates.
  */
 
 #include <algorithm>
@@ -37,8 +42,8 @@ class IntDctCodec final : public ICodec
     std::size_t windowSize() const override { return xform_.size(); }
 
     void
-    compressChannel(std::span<const double> x, double threshold,
-                    CompressedChannel &out) const override
+    encodeInto(ConstSampleSpan x, double threshold,
+               CompressedChannel &out) const override
     {
         const std::size_t ws = xform_.size();
         const auto thr = static_cast<std::int32_t>(
@@ -46,6 +51,7 @@ class IntDctCodec final : public ICodec
 
         out.numSamples = x.size();
         out.windowSize = ws;
+        out.delta = {};
         const std::size_t nwin = (x.size() + ws - 1) / ws;
         out.windows.resize(nwin);
 
@@ -65,65 +71,64 @@ class IntDctCodec final : public ICodec
     }
 
     void
-    decompressChannel(const CompressedChannel &ch,
-                      std::vector<double> &out) const override
+    decodeInto(const CompressedChannel &ch,
+               SampleSpan out) const override
     {
         const std::size_t ws = xform_.size();
         COMPAQT_REQUIRE(ch.windowSize == ws,
                         "channel window size does not match codec");
-
-        out.clear();
-        out.reserve(ch.windows.size() * ws);
-        for (const auto &w : ch.windows) {
-            inverseToScratch(w);
-            for (std::int32_t v : xbuf_)
-                out.push_back(dsp::IntDct::dequantize(v));
-        }
-        COMPAQT_REQUIRE(out.size() >= ch.numSamples,
+        COMPAQT_REQUIRE(out.size() == ch.numSamples,
+                        "channel output span has wrong size");
+        COMPAQT_REQUIRE(ch.windows.size() * ws >= ch.numSamples,
                         "decoded fewer samples than stored");
-        out.resize(ch.numSamples);
+        for (std::size_t w = 0; w < ch.windows.size(); ++w) {
+            const std::size_t len = ch.windowSamples(w);
+            if (len == 0)
+                break;
+            inverseToScratch(ch.windows[w]);
+            const std::size_t begin = w * ws;
+            for (std::size_t k = 0; k < len; ++k)
+                out[begin + k] = dsp::IntDct::dequantize(xbuf_[k]);
+        }
     }
 
-    void
-    decompressWindow(const CompressedChannel &ch, std::size_t window,
-                     std::vector<double> &out) const override
+    std::size_t
+    decompressWindowInto(const CompressedChannel &ch,
+                         std::size_t window,
+                         SampleSpan out) const override
     {
         const std::size_t ws = xform_.size();
         COMPAQT_REQUIRE(ch.windowSize == ws,
                         "channel window size does not match codec");
         COMPAQT_REQUIRE(window < ch.windows.size(),
                         "window index out of range");
+        // The tail window is trimmed to numSamples exactly as
+        // decodeInto() trims the assembled channel; windows entirely
+        // past numSamples (corrupt stream) decode to zero samples
+        // rather than underflowing.
+        const std::size_t len = ch.windowSamples(window);
+        COMPAQT_REQUIRE(out.size() >= len,
+                        "window output span too small");
         inverseToScratch(ch.windows[window]);
-        // The channel's tail window is trimmed to numSamples, exactly
-        // as decompressChannel() trims the assembled channel; windows
-        // entirely past numSamples (corrupt stream) decode to zero
-        // samples rather than underflowing.
-        const std::size_t begin = window * ws;
-        const std::size_t len =
-            begin < ch.numSamples
-                ? std::min(ws, ch.numSamples - begin)
-                : 0;
-        out.clear();
-        out.reserve(len);
         for (std::size_t k = 0; k < len; ++k)
-            out.push_back(dsp::IntDct::dequantize(xbuf_[k]));
+            out[k] = dsp::IntDct::dequantize(xbuf_[k]);
+        return len;
     }
 
   private:
-    /** Expand one packed window and inverse-transform it into xbuf_
-     *  — the single definition of the window-decode step both the
-     *  channel and per-window paths share (their bit-exactness
-     *  contract depends on it). */
+    /** Inverse-transform one packed window into xbuf_ — the single
+     *  definition of the window-decode step both the channel and
+     *  per-window paths share (their bit-exactness contract depends
+     *  on it). The trailing-zero run never gets expanded: the
+     *  prefix-sparse inverse consumes the packed coefficients
+     *  directly, bit-exact with the dense product on the
+     *  zero-extended window. */
     void
     inverseToScratch(const CompressedWindow &w) const
     {
         COMPAQT_REQUIRE(w.icoeffs.size() + w.zeros == xform_.size(),
                         "compressed window has wrong size");
-        std::copy(w.icoeffs.begin(), w.icoeffs.end(), ybuf_.begin());
-        std::fill(ybuf_.begin() +
-                      static_cast<std::ptrdiff_t>(w.icoeffs.size()),
-                  ybuf_.end(), 0);
-        xform_.inverse(ybuf_, xbuf_);
+        xform_.inversePrefix(w.icoeffs, xbuf_);
     }
 
     dsp::IntDct xform_;

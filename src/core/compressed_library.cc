@@ -19,7 +19,10 @@ constexpr std::uint32_t kMagic = 0x43505154; // "CPQT"
 //       readable; mapped to registry names on load)
 //   2 — codec stored as its CodecRegistry name; load rejects names
 //       that are not registered in this process
-constexpr std::uint32_t kVersion = 2;
+//   3 — delta payload lives inside each channel record (with its
+//       checkpoint side index) instead of two waveform-level fields;
+//       v1/v2 delta fields are migrated into the channels on load
+constexpr std::uint32_t kVersion = 3;
 
 /** Registry names of the closed v1 codec enum, in enum order. */
 constexpr const char *kV1CodecNames[] = {"delta", "dct-n", "dct-w",
@@ -91,6 +94,46 @@ readString(std::istream &is)
 }
 
 void
+writeDelta(std::ostream &os, const dsp::DeltaEncoded &d)
+{
+    writePod<std::uint16_t>(os, d.base);
+    writePod<std::int32_t>(os, d.deltaWidth);
+    writePod<std::uint64_t>(os, d.originalCount);
+    writePod<std::uint8_t>(os, d.hasZeroCrossing ? 1 : 0);
+    writeVector(os, d.deltas);
+}
+
+/** v1/v2 delta record: no checkpoint side index. */
+dsp::DeltaEncoded
+readDeltaLegacy(std::istream &is)
+{
+    dsp::DeltaEncoded d;
+    d.base = readPod<std::uint16_t>(is);
+    d.deltaWidth = readPod<std::int32_t>(is);
+    d.originalCount = readPod<std::uint64_t>(is);
+    d.hasZeroCrossing = readPod<std::uint8_t>(is) != 0;
+    d.deltas = readVector<std::int32_t>(is);
+    return d;
+}
+
+void
+writeDeltaV3(std::ostream &os, const dsp::DeltaEncoded &d)
+{
+    writeDelta(os, d);
+    writePod<std::uint64_t>(os, d.checkpointStride);
+    writeVector(os, d.checkpoints);
+}
+
+dsp::DeltaEncoded
+readDeltaV3(std::istream &is)
+{
+    dsp::DeltaEncoded d = readDeltaLegacy(is);
+    d.checkpointStride = readPod<std::uint64_t>(is);
+    d.checkpoints = readVector<std::uint16_t>(is);
+    return d;
+}
+
+void
 writeChannel(std::ostream &os, const CompressedChannel &ch)
 {
     writePod<std::uint64_t>(os, ch.numSamples);
@@ -101,10 +144,11 @@ writeChannel(std::ostream &os, const CompressedChannel &ch)
         writeVector(os, w.icoeffs);
         writePod<std::uint32_t>(os, w.zeros);
     }
+    writeDeltaV3(os, ch.delta);
 }
 
 CompressedChannel
-readChannel(std::istream &is)
+readChannel(std::istream &is, std::uint32_t version)
 {
     CompressedChannel ch;
     ch.numSamples = readPod<std::uint64_t>(is);
@@ -116,29 +160,9 @@ readChannel(std::istream &is)
         w.icoeffs = readVector<std::int32_t>(is);
         w.zeros = readPod<std::uint32_t>(is);
     }
+    if (version >= 3)
+        ch.delta = readDeltaV3(is);
     return ch;
-}
-
-void
-writeDelta(std::ostream &os, const dsp::DeltaEncoded &d)
-{
-    writePod<std::uint16_t>(os, d.base);
-    writePod<std::int32_t>(os, d.deltaWidth);
-    writePod<std::uint64_t>(os, d.originalCount);
-    writePod<std::uint8_t>(os, d.hasZeroCrossing ? 1 : 0);
-    writeVector(os, d.deltas);
-}
-
-dsp::DeltaEncoded
-readDelta(std::istream &is)
-{
-    dsp::DeltaEncoded d;
-    d.base = readPod<std::uint16_t>(is);
-    d.deltaWidth = readPod<std::int32_t>(is);
-    d.originalCount = readPod<std::uint64_t>(is);
-    d.hasZeroCrossing = readPod<std::uint8_t>(is) != 0;
-    d.deltas = readVector<std::int32_t>(is);
-    return d;
 }
 
 } // namespace
@@ -237,8 +261,6 @@ CompressedLibrary::save(std::ostream &os) const
         writePod<std::uint64_t>(os, e.cw.windowSize);
         writeChannel(os, e.cw.i);
         writeChannel(os, e.cw.q);
-        writeDelta(os, e.cw.deltaI);
-        writeDelta(os, e.cw.deltaQ);
     }
 }
 
@@ -249,7 +271,7 @@ CompressedLibrary::load(std::istream &is)
                     "bad compressed library magic "
                     "(not a COMPAQT library stream)");
     const auto version = readPod<std::uint32_t>(is);
-    COMPAQT_REQUIRE(version == 1 || version == kVersion,
+    COMPAQT_REQUIRE(version >= 1 && version <= kVersion,
                     "unsupported compressed library version "
                     "(newer than this build understands)");
     CompressedLibrary out;
@@ -276,10 +298,22 @@ CompressedLibrary::load(std::istream &is)
                         "compressed library names a codec that is not "
                         "registered in this process");
         e.cw.windowSize = readPod<std::uint64_t>(is);
-        e.cw.i = readChannel(is);
-        e.cw.q = readChannel(is);
-        e.cw.deltaI = readDelta(is);
-        e.cw.deltaQ = readDelta(is);
+        e.cw.i = readChannel(is, version);
+        e.cw.q = readChannel(is, version);
+        if (version < 3) {
+            // v1/v2 carried the delta payload as two waveform-level
+            // trailer fields; migrate them into the channels (old
+            // delta entries stored empty channels, so numSamples is
+            // recovered from the payload).
+            e.cw.i.delta = readDeltaLegacy(is);
+            e.cw.q.delta = readDeltaLegacy(is);
+            if (e.cw.i.delta.originalCount > 0 &&
+                e.cw.i.numSamples == 0)
+                e.cw.i.numSamples = e.cw.i.delta.originalCount;
+            if (e.cw.q.delta.originalCount > 0 &&
+                e.cw.q.numSamples == 0)
+                e.cw.q.numSamples = e.cw.q.delta.originalCount;
+        }
         out.entries_[id] = std::move(e);
     }
     return out;

@@ -8,14 +8,36 @@
 namespace compaqt::core
 {
 
+void
+Decompressor::expandWindowIntInto(const CompressedWindow &w,
+                                  std::span<std::int32_t> out)
+{
+    COMPAQT_REQUIRE(w.icoeffs.size() + w.zeros == out.size(),
+                    "expanded window has wrong size");
+    std::copy(w.icoeffs.begin(), w.icoeffs.end(), out.begin());
+    std::fill(out.begin() +
+                  static_cast<std::ptrdiff_t>(w.icoeffs.size()),
+              out.end(), 0);
+}
+
+void
+Decompressor::expandWindowFloatInto(const CompressedWindow &w,
+                                    SampleSpan out)
+{
+    COMPAQT_REQUIRE(w.fcoeffs.size() + w.zeros == out.size(),
+                    "expanded window has wrong size");
+    std::copy(w.fcoeffs.begin(), w.fcoeffs.end(), out.begin());
+    std::fill(out.begin() +
+                  static_cast<std::ptrdiff_t>(w.fcoeffs.size()),
+              out.end(), 0.0);
+}
+
 std::vector<std::int32_t>
 Decompressor::expandWindowInt(const CompressedWindow &w,
                               std::size_t window_size)
 {
-    std::vector<std::int32_t> out(w.icoeffs.begin(), w.icoeffs.end());
-    out.resize(out.size() + w.zeros, 0);
-    COMPAQT_REQUIRE(out.size() == window_size,
-                    "expanded window has wrong size");
+    std::vector<std::int32_t> out(window_size);
+    expandWindowIntInto(w, out);
     return out;
 }
 
@@ -23,10 +45,8 @@ std::vector<double>
 Decompressor::expandWindowFloat(const CompressedWindow &w,
                                 std::size_t window_size)
 {
-    std::vector<double> out(w.fcoeffs.begin(), w.fcoeffs.end());
-    out.resize(out.size() + w.zeros, 0.0);
-    COMPAQT_REQUIRE(out.size() == window_size,
-                    "expanded window has wrong size");
+    std::vector<double> out(window_size);
+    expandWindowFloatInto(w, out);
     return out;
 }
 
@@ -64,29 +84,36 @@ Decompressor::codec(std::string_view alias, std::size_t ws)
     // decoding waveforms of many distinct lengths keeps the cache
     // bounded by the number of codecs.
     static thread_local std::map<std::pair<std::string, std::size_t>,
-                                 std::unique_ptr<ICodec>, CodecKeyLess>
+                                 std::shared_ptr<ICodec>, CodecKeyLess>
         cache;
 
     const std::string_view name =
         CodecRegistry::instance().canonicalName(alias);
-    auto it = cache.find(std::make_pair(name, std::size_t{0}));
+    auto it = cache.find(std::make_pair(name, ws));
     if (it != cache.end())
         return *it->second;
-    it = cache.find(std::make_pair(name, ws));
-    if (it == cache.end()) {
-        auto codec = CodecRegistry::instance().create(name, ws);
-        // Key windowed codecs by the window size the instance
-        // actually configured (a factory may default a 0 request),
-        // so key 0 stays reserved for non-windowed codecs and can
-        // never hijack lookups at other window sizes.
-        const std::size_t key_ws =
-            codec->isWindowed() ? codec->windowSize() : 0;
-        it = cache
-                 .emplace(std::make_pair(std::string(name), key_ws),
-                          std::move(codec))
-                 .first;
-    }
-    return *it->second;
+    // Instances are owned under the window size they actually
+    // configured. A codec that ignores the requested size and
+    // configures itself without a window (dct-n, ws-0 delta) dedupes
+    // onto its key-0 entry — while a codec that honors the size
+    // (delta with checkpoints) always gets a correctly configured
+    // instance, never a key-0 one created for a different request.
+    // The requested key is memoized as an alias to the same instance
+    // so repeated dct-n dispatches at one waveform length hit the
+    // cache instead of re-creating a codec per call; the cache stays
+    // bounded by codecs x distinct requested sizes.
+    std::shared_ptr<ICodec> codec =
+        CodecRegistry::instance().create(name, ws);
+    const std::size_t key_ws = codec->windowSize();
+    const auto owner = cache.find(std::make_pair(name, key_ws));
+    if (owner != cache.end())
+        codec = owner->second;
+    else
+        cache.emplace(std::make_pair(std::string(name), key_ws),
+                      codec);
+    if (key_ws != ws)
+        cache.emplace(std::make_pair(std::string(name), ws), codec);
+    return *codec;
 }
 
 std::vector<double>
@@ -104,6 +131,24 @@ Decompressor::decompressChannel(const CompressedChannel &ch,
                                 std::vector<double> &out) const
 {
     codec(codec_name, ch.windowSize).decompressChannel(ch, out);
+}
+
+void
+Decompressor::decodeChannelInto(const CompressedChannel &ch,
+                                std::string_view codec_name,
+                                SampleSpan out) const
+{
+    codec(codec_name, ch.windowSize).decodeInto(ch, out);
+}
+
+std::size_t
+Decompressor::decompressWindowInto(const CompressedChannel &ch,
+                                   std::string_view codec_name,
+                                   std::size_t window,
+                                   SampleSpan out) const
+{
+    return codec(codec_name, ch.windowSize)
+        .decompressWindowInto(ch, window, out);
 }
 
 void

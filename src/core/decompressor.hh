@@ -7,7 +7,11 @@
  *
  * Decoding dispatches through the CodecRegistry on the codec name a
  * CompressedWaveform carries, so any registered codec decodes here
- * without changes.
+ * without changes. The span entry points (decodeChannelInto,
+ * decompressWindowInto, the expandWindow*Into RLE primitives) write
+ * into caller-owned memory and allocate nothing in steady state; the
+ * vector overloads remain as shims for callers that want owned
+ * output.
  */
 
 #ifndef COMPAQT_CORE_DECOMPRESSOR_HH
@@ -16,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/arena.hh"
 #include "core/compressor.hh"
 
 namespace compaqt::core
@@ -52,22 +57,63 @@ class Decompressor
                            std::vector<double> &out) const;
 
     /**
-     * Reconstruct a single window of a windowed channel — the decode
-     * primitive runtime::DecodedWindowCache fills itself from. Output
-     * matches the corresponding slice of decompressChannel() exactly.
+     * Zero-allocation channel decode into caller-owned memory.
+     * @pre out.size() == ch.numSamples
      */
+    void decodeChannelInto(const CompressedChannel &ch,
+                           std::string_view codec,
+                           SampleSpan out) const;
+
+    /**
+     * Reconstruct a single window of a windowed channel — the decode
+     * primitive runtime::DecodedWindowCache fills its slabs from.
+     * Output matches the corresponding slice of decodeChannelInto()
+     * exactly; returns the samples written (the clamped tail length
+     * for the last window).
+     * @pre out.size() >= ch.windowSamples(window)
+     * @throws std::logic_error when the codec cannot window-decode
+     */
+    std::size_t decompressWindowInto(const CompressedChannel &ch,
+                                     std::string_view codec,
+                                     std::size_t window,
+                                     SampleSpan out) const;
+
+    /** Vector shim over decompressWindowInto(). */
     void decompressWindow(const CompressedChannel &ch,
                           std::string_view codec, std::size_t window,
                           std::vector<double> &out) const;
 
     /**
-     * Expand one compressed window back to windowSize transform
-     * coefficients (integer path), i.e.\ the RLE-decode stage.
+     * Resolve the calling thread's codec instance for (name, window
+     * size) once, so a per-window hot loop dispatches straight to
+     * the span primitives instead of re-probing the instance cache
+     * every window. The reference stays valid for the thread's
+     * lifetime and must not be shared across threads (instances
+     * carry scratch state).
      */
+    const ICodec &resolve(std::string_view codec,
+                          std::size_t window_size) const
+    {
+        return Decompressor::codec(codec, window_size);
+    }
+
+    /**
+     * Expand one compressed window back to windowSize transform
+     * coefficients (integer path), i.e.\ the RLE-decode stage,
+     * writing into caller memory. @pre out.size() == window_size
+     */
+    static void expandWindowIntInto(const CompressedWindow &w,
+                                    std::span<std::int32_t> out);
+
+    /** Float-path window expansion into caller memory. */
+    static void expandWindowFloatInto(const CompressedWindow &w,
+                                      SampleSpan out);
+
+    /** Allocating shim over expandWindowIntInto(). */
     static std::vector<std::int32_t>
     expandWindowInt(const CompressedWindow &w, std::size_t window_size);
 
-    /** Float-path window expansion. */
+    /** Allocating shim over expandWindowFloatInto(). */
     static std::vector<double>
     expandWindowFloat(const CompressedWindow &w,
                       std::size_t window_size);

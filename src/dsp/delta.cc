@@ -39,18 +39,33 @@ bitsForSigned(std::int32_t v)
     return w;
 }
 
+/** Running pattern at the first sample of `window` — the base for
+ *  window 0, a stored checkpoint otherwise. */
+std::uint16_t
+windowBasePattern(const DeltaEncoded &enc, std::size_t window)
+{
+    if (window == 0)
+        return enc.base;
+    COMPAQT_REQUIRE(window - 1 < enc.checkpoints.size(),
+                    "delta window index past last checkpoint");
+    return enc.checkpoints[window - 1];
+}
+
 } // namespace
 
 DeltaEncoded
-deltaEncode(std::span<const double> x)
+deltaEncode(std::span<const double> x, std::size_t checkpoint_stride)
 {
     DeltaEncoded enc;
     enc.originalCount = x.size();
+    enc.checkpointStride = checkpoint_stride;
     if (x.empty())
         return enc;
 
     enc.base = toSignMagnitude(x[0]);
     enc.deltas.reserve(x.size() - 1);
+    if (checkpoint_stride > 0)
+        enc.checkpoints.reserve(x.size() / checkpoint_stride);
     std::uint16_t prev = enc.base;
     bool prev_neg = x[0] < 0.0;
     for (std::size_t i = 1; i < x.size(); ++i) {
@@ -65,6 +80,8 @@ deltaEncode(std::span<const double> x)
         if ((cur & 0x7fffu) != 0)
             prev_neg = neg;
         prev = cur;
+        if (checkpoint_stride > 0 && i % checkpoint_stride == 0)
+            enc.checkpoints.push_back(cur);
     }
 
     int width = 1;
@@ -77,20 +94,62 @@ deltaEncode(std::span<const double> x)
 std::vector<double>
 deltaDecode(const DeltaEncoded &enc)
 {
-    std::vector<double> out;
-    out.reserve(enc.originalCount);
+    std::vector<double> out(enc.originalCount);
+    deltaDecodeInto(enc, out);
+    return out;
+}
+
+void
+deltaDecodeInto(const DeltaEncoded &enc, SampleSpan out)
+{
+    COMPAQT_REQUIRE(out.size() == enc.originalCount,
+                    "delta decode output span has wrong size");
     if (enc.originalCount == 0)
-        return out;
+        return;
+    // A corrupt stream whose delta count disagrees with the sample
+    // count must fail loudly, not emit garbage or read out of range.
+    COMPAQT_REQUIRE(enc.deltas.size() + 1 == enc.originalCount,
+                    "delta stream length disagrees with sample count");
     std::int32_t pattern = enc.base;
-    out.push_back(fromSignMagnitude(static_cast<std::uint16_t>(pattern)));
-    for (std::int32_t d : enc.deltas) {
-        pattern += d;
+    out[0] = fromSignMagnitude(static_cast<std::uint16_t>(pattern));
+    for (std::size_t i = 0; i < enc.deltas.size(); ++i) {
+        pattern += enc.deltas[i];
         COMPAQT_REQUIRE(pattern >= 0 && pattern <= 0xffff,
                         "delta decode pattern out of range");
-        out.push_back(
-            fromSignMagnitude(static_cast<std::uint16_t>(pattern)));
+        out[i + 1] =
+            fromSignMagnitude(static_cast<std::uint16_t>(pattern));
     }
-    return out;
+}
+
+std::size_t
+deltaDecodeWindowInto(const DeltaEncoded &enc, std::size_t window,
+                      SampleSpan out)
+{
+    const std::size_t stride = enc.checkpointStride;
+    COMPAQT_REQUIRE(stride > 0,
+                    "delta stream was encoded without checkpoints");
+    COMPAQT_REQUIRE(enc.originalCount == 0 ||
+                        enc.deltas.size() + 1 == enc.originalCount,
+                    "delta stream length disagrees with sample count");
+    const std::size_t begin = window * stride;
+    COMPAQT_REQUIRE(begin < enc.originalCount,
+                    "delta window index out of range");
+    const std::size_t len =
+        std::min(stride, enc.originalCount - begin);
+    COMPAQT_REQUIRE(out.size() >= len,
+                    "delta window output span too small");
+
+    std::int32_t pattern = windowBasePattern(enc, window);
+    out[0] = fromSignMagnitude(static_cast<std::uint16_t>(pattern));
+    for (std::size_t k = 1; k < len; ++k) {
+        // deltas[i] carries pattern(i) -> pattern(i+1).
+        pattern += enc.deltas[begin + k - 1];
+        COMPAQT_REQUIRE(pattern >= 0 && pattern <= 0xffff,
+                        "delta decode pattern out of range");
+        out[k] =
+            fromSignMagnitude(static_cast<std::uint16_t>(pattern));
+    }
+    return len;
 }
 
 std::size_t
@@ -98,9 +157,14 @@ deltaCompressedBits(const DeltaEncoded &enc)
 {
     if (enc.originalCount == 0)
         return 0;
-    // Base sample + 5-bit delta-width field + fixed-width deltas.
+    // Base sample + 5-bit delta-width field + fixed-width deltas,
+    // plus one full pattern per checkpoint when windowed decode was
+    // requested (the random-access side index is not free).
     return kDeltaSampleBits + 5 +
-           enc.deltas.size() * static_cast<std::size_t>(enc.deltaWidth);
+           enc.deltas.size() *
+               static_cast<std::size_t>(enc.deltaWidth) +
+           enc.checkpoints.size() *
+               static_cast<std::size_t>(kDeltaSampleBits);
 }
 
 double

@@ -10,6 +10,13 @@
  * crossing flips the sign bit, producing a delta that occupies the
  * full bit-field, so such waveforms see no compression (R ~ 1) — the
  * behaviour shown in Fig 7(a).
+ *
+ * Windowed decode: a plain delta stream can only be decoded from the
+ * front (every sample depends on the running pattern), which would
+ * make per-window random access O(n). Encoding with a checkpoint
+ * stride stores the running pattern at each window boundary, so
+ * deltaDecodeWindowInto() reconstructs any window in O(stride) — the
+ * property the decoded-window cache needs from every windowed codec.
  */
 
 #ifndef COMPAQT_DSP_DELTA_HH
@@ -18,6 +25,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "common/arena.hh"
 
 namespace compaqt::dsp
 {
@@ -38,15 +47,39 @@ struct DeltaEncoded
     std::size_t originalCount = 0;
     /** True if the waveform changes sign anywhere. */
     bool hasZeroCrossing = false;
+    /** Samples between pattern checkpoints; 0 = no checkpoints. */
+    std::size_t checkpointStride = 0;
+    /** Running pattern at samples stride, 2*stride, ... (base covers
+     *  sample 0). Present only when checkpointStride > 0. */
+    std::vector<std::uint16_t> checkpoints;
 };
 
-/** Encode a normalized waveform ([-1, 1] doubles) channel. */
-DeltaEncoded deltaEncode(std::span<const double> x);
+/**
+ * Encode a normalized waveform ([-1, 1] doubles) channel.
+ * @param checkpoint_stride store a pattern checkpoint every this many
+ *        samples (0 = none), enabling O(stride) windowed decode
+ */
+DeltaEncoded deltaEncode(std::span<const double> x,
+                         std::size_t checkpoint_stride = 0);
 
 /** Exact inverse of deltaEncode at the quantized resolution. */
 std::vector<double> deltaDecode(const DeltaEncoded &enc);
 
-/** Size of the encoding in bits (base + width field + deltas). */
+/** Zero-allocation decode into caller-owned memory.
+ *  @pre out.size() == enc.originalCount */
+void deltaDecodeInto(const DeltaEncoded &enc, SampleSpan out);
+
+/**
+ * Decode window `window` (samples [window*stride, min((window+1)*
+ * stride, originalCount))) in O(stride) from the nearest checkpoint.
+ * @pre enc.checkpointStride > 0, out.size() >= window length
+ * @return samples written
+ */
+std::size_t deltaDecodeWindowInto(const DeltaEncoded &enc,
+                                  std::size_t window, SampleSpan out);
+
+/** Size of the encoding in bits (base + width field + deltas +
+ *  checkpoints). */
 std::size_t deltaCompressedBits(const DeltaEncoded &enc);
 
 /** Compression ratio vs the uncompressed 16-bit layout. */

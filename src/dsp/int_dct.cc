@@ -163,6 +163,24 @@ IntDct::inverse(std::span<const std::int32_t> y,
 }
 
 void
+IntDct::inversePrefix(std::span<const std::int32_t> prefix,
+                      std::span<std::int32_t> x) const
+{
+    COMPAQT_REQUIRE(prefix.size() <= n_ && x.size() == n_,
+                    "IntDct::inversePrefix size mismatch");
+    const std::size_t p = prefix.size();
+    const std::int64_t round = std::int64_t{1} << (ishift_ - 1);
+    for (std::size_t i = 0; i < n_; ++i) {
+        std::int64_t acc = 0;
+        // Column-major walk of the same terms inverse() accumulates;
+        // the k >= p terms are zero and drop out exactly.
+        for (std::size_t k = 0; k < p; ++k)
+            acc += std::int64_t{m_[k * n_ + i]} * prefix[k];
+        x[i] = static_cast<std::int32_t>((acc + round) >> ishift_);
+    }
+}
+
+void
 IntDct::butterflyCore(std::span<const std::int64_t> y,
                       std::span<std::int64_t> x, std::size_t n,
                       OpCounter *counter, int id_base) const

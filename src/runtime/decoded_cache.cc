@@ -1,14 +1,27 @@
 #include "runtime/decoded_cache.hh"
 
+#include <algorithm>
+
+#include "common/logging.hh"
+
 namespace compaqt::runtime
 {
+
+namespace
+{
+
+/** Windows carved per slab: large enough to amortize the allocation,
+ *  small enough that a tiny cache does not over-reserve. */
+constexpr std::size_t kWindowsPerSlab = 64;
+
+} // namespace
 
 DecodedWindowCache::DecodedWindowCache(std::size_t capacity_windows)
     : capacity_(capacity_windows)
 {
 }
 
-DecodedWindowCache::Value
+DecodedWindowCache::Handle
 DecodedWindowCache::probe(const DecodedWindowKey &key)
 {
     std::lock_guard lock(mu_);
@@ -17,39 +30,169 @@ DecodedWindowCache::probe(const DecodedWindowKey &key)
         if (it != index_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second);
             ++stats_.hits;
-            return it->second->value;
+            Slot *slot = it->second->slot;
+            slot->refs.fetch_add(1, std::memory_order_relaxed);
+            return Handle(this, slot);
         }
     }
     ++stats_.misses;
-    return nullptr;
+    return {};
 }
 
-DecodedWindowCache::Value
-DecodedWindowCache::insert(const DecodedWindowKey &key, Value value)
+DecodedWindowCache::Slot *
+DecodedWindowCache::acquireSlot(std::size_t window_size)
 {
-    if (capacity_ == 0)
-        return value;
+    COMPAQT_REQUIRE(window_size > 0,
+                    "decoded-window slot needs a positive size");
+    // Slab allocation happens outside the lock (the same rule decode
+    // work follows): carve under the lock, and when the bucket is
+    // dry, release the lock, allocate, re-lock, and install — a slab
+    // another thread installed meanwhile just gets used first and
+    // ours joins the bucket's region list.
+    std::unique_ptr<double[]> fresh;
+    std::size_t fresh_windows = 0;
+    for (;;) {
+        {
+            std::lock_guard lock(mu_);
+            Bucket &bucket = buckets_[window_size];
+            if (!bucket.freeSlots.empty()) {
+                Slot *slot = bucket.freeSlots.back();
+                bucket.freeSlots.pop_back();
+                slot->pooled = false;
+                slot->detached = true;
+                slot->size = 0;
+                // The in-flight decode holds a reference from here
+                // on, so a stale releaseSlot (one that decremented
+                // to zero before an evictor pooled this slot) can
+                // never re-pool it under the new owner.
+                slot->refs.store(1, std::memory_order_relaxed);
+                return slot;
+            }
+            if (fresh) {
+                bucket.regions.emplace_back(
+                    fresh.get(),
+                    fresh.get() + fresh_windows * window_size);
+                slabs_.push_back(std::move(fresh));
+            }
+            while (!bucket.regions.empty()) {
+                auto &region = bucket.regions.back();
+                if (region.first == region.second) {
+                    bucket.regions.pop_back();
+                    continue;
+                }
+                Slot &slot = slots_.emplace_back();
+                slot.data = region.first;
+                region.first += window_size;
+                slot.bucket = window_size;
+                slot.refs.store(1, std::memory_order_relaxed);
+                ++stats_.slotsAllocated;
+                return &slot;
+            }
+            // Grow: a small first slab (buckets holding a single
+            // whole-waveform window stay small), kWindowsPerSlab
+            // afterwards, never far past the configured capacity.
+            fresh_windows = std::min(
+                bucket.nextSlabWindows,
+                std::max<std::size_t>(capacity_, 1) + 1);
+            bucket.nextSlabWindows = kWindowsPerSlab;
+        }
+        fresh =
+            std::make_unique<double[]>(fresh_windows * window_size);
+    }
+}
+
+DecodedWindowCache::Handle
+DecodedWindowCache::insert(const DecodedWindowKey &key, Slot *slot)
+{
+    // The slot arrives holding one reference (taken in acquireSlot),
+    // which becomes the returned Handle's reference.
+    if (capacity_ == 0) {
+        // Disabled cache: hand the decoded slot straight back; the
+        // final Handle release recycles it into the pool.
+        return Handle(this, slot);
+    }
     std::lock_guard lock(mu_);
     const auto it = index_.find(key);
     if (it != index_.end()) {
-        // Lost a decode race; keep the resident entry.
+        // Lost a decode race; keep the resident entry, pool ours.
         lru_.splice(lru_.begin(), lru_, it->second);
-        return it->second->value;
+        Slot *resident = it->second->slot;
+        resident->refs.fetch_add(1, std::memory_order_relaxed);
+        slot->refs.store(0, std::memory_order_relaxed);
+        recycleLocked(slot);
+        return Handle(this, resident);
     }
-    lru_.push_front(Entry{key, std::move(value)});
-    index_.emplace(key, lru_.begin());
+    slot->detached = false;
+    if (!spares_.empty()) {
+        spares_.front() = Entry{key, slot};
+        lru_.splice(lru_.begin(), spares_, spares_.begin());
+    } else {
+        lru_.push_front(Entry{key, slot});
+    }
+    if (!spareNodes_.empty()) {
+        auto nh = std::move(spareNodes_.back());
+        spareNodes_.pop_back();
+        nh.key() = key;
+        nh.mapped() = lru_.begin();
+        index_.insert(std::move(nh));
+    } else {
+        index_.emplace(key, lru_.begin());
+    }
     evictToCapacity();
-    return lru_.front().value;
+    return Handle(this, slot);
 }
 
 void
 DecodedWindowCache::evictToCapacity()
 {
     while (lru_.size() > capacity_) {
-        index_.erase(lru_.back().key);
-        lru_.pop_back();
+        Entry &victim = lru_.back();
+        spareNodes_.push_back(index_.extract(victim.key));
+        detachLocked(victim.slot);
+        spares_.splice(spares_.begin(), lru_,
+                       std::prev(lru_.end()));
         ++stats_.evictions;
     }
+}
+
+void
+DecodedWindowCache::detachLocked(Slot *slot)
+{
+    slot->detached = true;
+    if (slot->refs.load(std::memory_order_acquire) == 0)
+        recycleLocked(slot);
+}
+
+void
+DecodedWindowCache::recycleLocked(Slot *slot)
+{
+    slot->pooled = true;
+    buckets_[slot->bucket].freeSlots.push_back(slot);
+}
+
+void
+DecodedWindowCache::releaseSlot(Slot *slot)
+{
+    if (slot->refs.fetch_sub(1, std::memory_order_acq_rel) != 1)
+        return;
+    // Dropped the last reference: if the slot was evicted (or never
+    // inserted) it is ours to pool. A re-check under the lock guards
+    // the race with an evictor that pooled it between our decrement
+    // and here.
+    std::lock_guard lock(mu_);
+    if (slot->detached && !slot->pooled &&
+        slot->refs.load(std::memory_order_relaxed) == 0)
+        recycleLocked(slot);
+}
+
+void
+DecodedWindowCache::Handle::release()
+{
+    if (!slot_)
+        return;
+    cache_->releaseSlot(slot_);
+    cache_ = nullptr;
+    slot_ = nullptr;
 }
 
 DecodedCacheStats
@@ -65,8 +208,11 @@ void
 DecodedWindowCache::clear()
 {
     std::lock_guard lock(mu_);
-    lru_.clear();
-    index_.clear();
+    for (auto &entry : lru_) {
+        spareNodes_.push_back(index_.extract(entry.key));
+        detachLocked(entry.slot);
+    }
+    spares_.splice(spares_.begin(), lru_);
 }
 
 } // namespace compaqt::runtime

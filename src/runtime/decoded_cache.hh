@@ -8,25 +8,37 @@
  * second (every syndrome round replays the same CX/measure pulses),
  * which makes this the rack's highest-leverage cache.
  *
+ * Storage is pooled: decoded samples live in fixed-size slots carved
+ * from slabs the cache allocates once per window size and never
+ * frees, handed out to readers as ConstSampleSpan views through a
+ * ref-counted Handle. A hit therefore touches no allocator at all,
+ * and a miss after warm-up recycles a slot (plus LRU/index nodes)
+ * from free lists — the steady state of a warm rack allocates
+ * nothing.
+ *
  * Thread-safe: lookups and insertions take an internal mutex; decode
  * work for a miss runs outside the lock, so concurrent workers never
  * serialize on the transform. Two workers racing on the same cold key
- * may both decode it — the loser's result is discarded — which trades
- * a little duplicate work for zero lock-held decode time. Values are
- * handed out as shared_ptr so an entry evicted mid-use stays alive
- * for the holder.
+ * may both decode it — the loser's slot returns to the pool — which
+ * trades a little duplicate work for zero lock-held decode time. A
+ * slot evicted mid-use stays pinned by its Handle's reference and is
+ * recycled only when the last reader releases it.
  */
 
 #ifndef COMPAQT_RUNTIME_DECODED_CACHE_HH
 #define COMPAQT_RUNTIME_DECODED_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "common/arena.hh"
 #include "waveform/library.hh"
 
 namespace compaqt::runtime
@@ -52,6 +64,8 @@ struct DecodedCacheStats
     std::uint64_t evictions = 0;
     /** Windows currently resident. */
     std::size_t entries = 0;
+    /** Sample slots ever carved from slabs (pool footprint). */
+    std::size_t slotsAllocated = 0;
 
     double
     hitRate() const
@@ -70,10 +84,31 @@ struct DecodedCacheStats
  */
 class DecodedWindowCache
 {
-  public:
-    /** Decoded samples of one window. */
-    using Value = std::shared_ptr<const std::vector<double>>;
+  private:
+    /**
+     * One pooled window buffer. `data` points into a slab owned by
+     * the cache (never freed before the cache), so spans handed out
+     * through Handles stay valid for the cache's lifetime; `refs`
+     * pins the slot against recycling while readers hold it.
+     */
+    struct Slot
+    {
+        double *data = nullptr;
+        /** Slab bucket (capacity in samples) this slot recycles
+         *  into. */
+        std::size_t bucket = 0;
+        /** Decoded sample count (<= bucket). */
+        std::size_t size = 0;
+        std::atomic<std::uint32_t> refs{0};
+        /** True once removed from the index (evicted/cleared); a
+         *  detached slot with refs == 0 belongs to the free list. */
+        bool detached = true;
+        /** True while resting in the free list (guards the recycle
+         *  race between an evictor and the last Handle release). */
+        bool pooled = false;
+    };
 
+  public:
     /**
      * @param capacity_windows maximum resident windows; 0 disables
      *        caching (a get() on a disabled cache always decodes and
@@ -88,55 +123,184 @@ class DecodedWindowCache
     std::size_t capacity() const { return capacity_; }
 
     /**
+     * A ref-counted, read-only view of one cached window. Copyable;
+     * the underlying slot cannot be recycled while any Handle to it
+     * exists. Must not outlive the cache.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        Handle(const Handle &o)
+            : cache_(o.cache_), slot_(o.slot_)
+        {
+            if (slot_)
+                slot_->refs.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        Handle &
+        operator=(const Handle &o)
+        {
+            Handle copy(o);
+            swap(copy);
+            return *this;
+        }
+
+        Handle(Handle &&o) noexcept
+            : cache_(o.cache_), slot_(o.slot_)
+        {
+            o.cache_ = nullptr;
+            o.slot_ = nullptr;
+        }
+
+        Handle &
+        operator=(Handle &&o) noexcept
+        {
+            Handle moved(std::move(o));
+            swap(moved);
+            return *this;
+        }
+
+        ~Handle() { release(); }
+
+        /** The decoded samples (empty for a null handle). */
+        ConstSampleSpan
+        samples() const
+        {
+            return slot_ ? ConstSampleSpan(slot_->data, slot_->size)
+                         : ConstSampleSpan{};
+        }
+
+        std::size_t size() const { return slot_ ? slot_->size : 0; }
+
+        explicit operator bool() const { return slot_ != nullptr; }
+
+      private:
+        friend class DecodedWindowCache;
+
+        /** @pre slot's refcount already counts this handle */
+        Handle(DecodedWindowCache *cache, Slot *slot)
+            : cache_(cache), slot_(slot)
+        {
+        }
+
+        void
+        swap(Handle &o)
+        {
+            std::swap(cache_, o.cache_);
+            std::swap(slot_, o.slot_);
+        }
+
+        void release();
+
+        DecodedWindowCache *cache_ = nullptr;
+        Slot *slot_ = nullptr;
+    };
+
+    /**
      * Return the decoded window for `key`, invoking
-     * `decode(std::vector<double>&)` to fill it on a miss. Templated
-     * on the callable so the hit path — the steady state of a warm
-     * rack — never materializes a std::function. The returned value
-     * is immutable and safe to hold across subsequent evictions.
+     * `decode(SampleSpan) -> std::size_t` to fill a pooled slot of
+     * `window_size` samples on a miss (the callable writes the
+     * decoded samples and returns the count, which may be shorter
+     * for a tail window). Templated on the callable so the hit path
+     * — the steady state of a warm rack — never materializes a
+     * std::function. The returned Handle's samples are immutable and
+     * stay valid across subsequent evictions for as long as the
+     * Handle (and the cache) live.
      */
     template <typename Decode>
-    Value
-    get(const DecodedWindowKey &key, Decode &&decode)
+    Handle
+    get(const DecodedWindowKey &key, std::size_t window_size,
+        Decode &&decode)
     {
-        if (Value hit = probe(key))
+        if (Handle hit = probe(key))
             return hit;
         // Decode outside the lock: a cold window costs one
         // transform, not one transform per waiting worker held under
-        // the mutex.
-        auto decoded = std::make_shared<std::vector<double>>();
-        decode(*decoded);
-        return insert(key, std::move(decoded));
+        // the mutex. The acquired slot carries a reference for the
+        // in-flight decode; if the decode throws (corrupt channel,
+        // non-windowed codec) the slot goes back to the pool before
+        // the exception escapes.
+        Slot *slot = acquireSlot(window_size);
+        try {
+            slot->size = decode(SampleSpan(slot->data, window_size));
+        } catch (...) {
+            releaseSlot(slot);
+            throw;
+        }
+        return insert(key, slot);
     }
 
     DecodedCacheStats stats() const;
 
-    /** Drop all entries (counters are kept). */
+    /** Drop all entries (counters are kept; pinned slots are
+     *  recycled when their last Handle releases). */
     void clear();
 
   private:
     struct Entry
     {
         DecodedWindowKey key;
-        Value value;
+        Slot *slot = nullptr;
     };
 
-    /** Hit: refresh recency and return the value (counting the hit).
-     *  Miss: count it and return null. */
-    Value probe(const DecodedWindowKey &key);
+    /** Hit: refresh recency, pin the slot, return a handle (counting
+     *  the hit). Miss: count it and return a null handle. */
+    Handle probe(const DecodedWindowKey &key);
 
-    /** Insert a freshly decoded value, evicting to capacity; if the
+    /** Insert a freshly decoded slot, evicting to capacity; if the
      *  key became resident meanwhile (lost decode race) the resident
-     *  value wins. Pass-through when caching is disabled. */
-    Value insert(const DecodedWindowKey &key, Value value);
+     *  slot wins and ours returns to the pool. Pass-through (no
+     *  insertion) when caching is disabled. */
+    Handle insert(const DecodedWindowKey &key, Slot *slot);
+
+    /** Carve or recycle a slot with room for `window_size` samples
+     *  (its slab bucket). */
+    Slot *acquireSlot(std::size_t window_size);
+
+    /** Called by Handle: unpin; recycles a detached slot whose last
+     *  reference this was. */
+    void releaseSlot(Slot *slot);
 
     /** @pre mu_ held */
     void evictToCapacity();
 
+    /** @pre mu_ held; slot already detached with refs == 0 */
+    void recycleLocked(Slot *slot);
+
+    /** Detach an entry's slot from the index side (@pre mu_ held). */
+    void detachLocked(Slot *slot);
+
     std::size_t capacity_;
     mutable std::mutex mu_;
-    /** MRU at the front. */
+    /** MRU at the front. Spare nodes are recycled through spares_ /
+     *  spareNodes_ so a warm evict/insert cycle allocates no list or
+     *  map nodes. */
     std::list<Entry> lru_;
-    std::map<DecodedWindowKey, std::list<Entry>::iterator> index_;
+    std::list<Entry> spares_;
+    using Index =
+        std::map<DecodedWindowKey, std::list<Entry>::iterator>;
+    Index index_;
+    std::vector<Index::node_type> spareNodes_;
+    /** Per-window-size slab pool: free slots plus unfinished slab
+     *  regions to carve new slots from (back = active). Slab sizes
+     *  grow from a few windows to kWindowsPerSlab so buckets that
+     *  only ever hold one window (whole-waveform channels) do not
+     *  over-reserve. */
+    struct Bucket
+    {
+        std::vector<Slot *> freeSlots;
+        std::vector<std::pair<double *, double *>> regions;
+        std::size_t nextSlabWindows = kFirstSlabWindows;
+    };
+
+    static constexpr std::size_t kFirstSlabWindows = 8;
+
+    /** Slot records (deque: stable addresses) + slab ownership. */
+    std::deque<Slot> slots_;
+    std::vector<std::unique_ptr<double[]>> slabs_;
+    std::map<std::size_t, Bucket> buckets_;
     DecodedCacheStats stats_;
 };
 

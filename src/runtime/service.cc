@@ -36,8 +36,8 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
     // decompression pipeline, so playback touches neither the
     // compressed payload nor the cache.
     const bool decode = rack.config().controller.compressed;
-    // An uncached rack decodes straight into a reused buffer — no
-    // lock, no shared_ptr — so the bench's cached/uncached ratio
+    // An uncached rack decodes straight into a reused span — no
+    // lock, no refcount — so the bench's cached/uncached ratio
     // measures the cache, not overhead of a disabled cache object.
     const bool cached = rack.cache().capacity() > 0;
     const core::Decompressor dec;
@@ -59,20 +59,28 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
         const core::CompressedChannel *channels[2] = {&cw.i, &cw.q};
         for (std::uint8_t ch = 0; ch < 2; ++ch) {
             const auto &channel = *channels[ch];
-            for (std::uint32_t w = 0;
-                 w < channel.windows.size(); ++w) {
+            const std::size_t ws = channel.windowSize;
+            // One codec-instance resolution per channel; the window
+            // loop below dispatches straight to the span primitive.
+            const core::ICodec &codec =
+                dec.resolve(cw.codec, ws);
+            const auto nwin =
+                static_cast<std::uint32_t>(channel.numWindows());
+            if (!cached && scratch.size() < ws)
+                scratch.resize(ws);
+            for (std::uint32_t w = 0; w < nwin; ++w) {
                 if (cached) {
                     const DecodedWindowKey key{*id, ch, w};
-                    const auto value = cache.get(
-                        key, [&](std::vector<double> &out) {
-                            dec.decompressWindow(channel, cw.codec,
-                                                 w, out);
+                    const auto handle = cache.get(
+                        key, ws, [&](SampleSpan out) {
+                            return codec.decompressWindowInto(
+                                channel, w, out);
                         });
-                    cell.samples += value->size();
+                    cell.samples += handle.size();
                 } else {
-                    dec.decompressWindow(channel, cw.codec, w,
-                                         scratch);
-                    cell.samples += scratch.size();
+                    cell.samples += codec.decompressWindowInto(
+                        channel, w,
+                        SampleSpan(scratch.data(), ws));
                 }
                 ++cell.windows;
             }

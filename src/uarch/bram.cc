@@ -28,17 +28,28 @@ BankedWaveform::appendWindow(const std::vector<Word> &words)
     ++numWindows_;
 }
 
-std::vector<Word>
-BankedWaveform::fetchWindow(std::size_t w) const
+std::size_t
+BankedWaveform::fetchWindowInto(std::size_t w,
+                                std::span<Word> out) const
 {
     COMPAQT_REQUIRE(w < numWindows_, "window index out of range");
-    std::vector<Word> out;
+    COMPAQT_REQUIRE(out.size() >= width_,
+                    "fetch output span narrower than the bank group");
+    std::size_t n = 0;
     for (std::size_t j = 0; j < width_; ++j) {
         if (valid_[j][w]) {
-            out.push_back(banks_[j][w]);
+            out[n++] = banks_[j][w];
             ++accesses_;
         }
     }
+    return n;
+}
+
+std::vector<Word>
+BankedWaveform::fetchWindow(std::size_t w) const
+{
+    std::vector<Word> out(width_);
+    out.resize(fetchWindowInto(w, out));
     return out;
 }
 

@@ -11,6 +11,7 @@
 #define COMPAQT_UARCH_BRAM_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dsp/rle.hh"
@@ -45,8 +46,14 @@ class BankedWaveform
     void appendWindow(const std::vector<Word> &words);
 
     /**
-     * Fetch window w: one fabric cycle, one access per occupied bank.
+     * Fetch window w into caller-owned memory: one fabric cycle, one
+     * access per occupied bank. Returns the word count written.
+     * @pre out.size() >= width()
      */
+    std::size_t fetchWindowInto(std::size_t w,
+                                std::span<Word> out) const;
+
+    /** Allocating shim over fetchWindowInto(). */
     std::vector<Word> fetchWindow(std::size_t w) const;
 
     /** Total accesses performed by fetchWindow so far. */

@@ -79,16 +79,34 @@ Controller::maxConcurrentQubits() const
             static_cast<std::size_t>(cfg_.channelsPerQubit));
 }
 
-StreamResult
-Controller::playGate(const waveform::GateId &id)
+StreamStats
+Controller::playEntryInto(const core::CompressedEntry &e,
+                          std::span<std::int32_t> out)
 {
     COMPAQT_REQUIRE(cfg_.compressed,
                     "playGate models the compressed datapath");
-    const core::CompressedEntry &e = lib_.entry(id);
     DecompressionPipeline pipe(EngineKind::IntDctW, cfg_.windowSize,
                                cfg_.memoryWidth);
     pipe.load(e.cw.i);
-    return pipe.stream();
+    return pipe.streamInto(out);
+}
+
+StreamStats
+Controller::playGateInto(const waveform::GateId &id,
+                         std::span<std::int32_t> out)
+{
+    return playEntryInto(lib_.entry(id), out);
+}
+
+StreamResult
+Controller::playGate(const waveform::GateId &id)
+{
+    const core::CompressedEntry &e = lib_.entry(id);
+    StreamResult r;
+    r.samples.resize(e.cw.i.windows.size() * cfg_.windowSize);
+    r.stats = playEntryInto(e, r.samples);
+    r.samples.resize(e.cw.i.numSamples);
+    return r;
 }
 
 std::optional<waveform::GateId>

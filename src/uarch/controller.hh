@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "circuits/scheduler.hh"
 #include "core/compressed_library.hh"
@@ -92,9 +93,15 @@ class Controller
 
     /**
      * Stream one gate's I channel through the decompression pipeline
-     * (compressed mode). Samples are bit-exact with the software
-     * decoder.
+     * into caller-owned memory (compressed mode). Samples are
+     * bit-exact with the software decoder.
+     * @pre out.size() >= numWindows * windowSize of the gate's I
+     *      channel (use playGate() when the size is not known)
      */
+    StreamStats playGateInto(const waveform::GateId &id,
+                             std::span<std::int32_t> out);
+
+    /** Allocating shim over playGateInto(). */
     StreamResult playGate(const waveform::GateId &id);
 
     /**
@@ -112,6 +119,11 @@ class Controller
     ExecutionStats execute(const circuits::Schedule &sched) const;
 
   private:
+    /** The shared playback body: one pipeline over the entry's I
+     *  channel, streamed into caller memory. */
+    StreamStats playEntryInto(const core::CompressedEntry &e,
+                              std::span<std::int32_t> out);
+
     ControllerConfig cfg_;
     const core::CompressedLibrary &lib_;
 };

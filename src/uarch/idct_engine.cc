@@ -18,12 +18,14 @@ IdctEngine::latency() const
     return kind_ == EngineKind::IntDctW ? 1 : 4;
 }
 
-std::vector<std::int32_t>
-IdctEngine::transform(const std::vector<std::int32_t> &coeffs)
+void
+IdctEngine::transformInto(std::span<const std::int32_t> coeffs,
+                          std::span<std::int32_t> out)
 {
     COMPAQT_REQUIRE(coeffs.size() == ws_,
                     "IDCT engine fed wrong window size");
-    std::vector<std::int32_t> out(ws_);
+    COMPAQT_REQUIRE(out.size() == ws_,
+                    "IDCT engine output span has wrong size");
     if (kind_ == EngineKind::IntDctW) {
         // Count the datapath once; it is instantiated, not re-built,
         // per window.
@@ -38,6 +40,13 @@ IdctEngine::transform(const std::vector<std::int32_t> &coeffs)
         xform_.inverse(coeffs, out);
     }
     ++invocations_;
+}
+
+std::vector<std::int32_t>
+IdctEngine::transform(const std::vector<std::int32_t> &coeffs)
+{
+    std::vector<std::int32_t> out(ws_);
+    transformInto(coeffs, out);
     return out;
 }
 

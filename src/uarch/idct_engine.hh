@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dsp/int_dct.hh"
@@ -41,7 +42,15 @@ class IdctEngine
     /** Pipeline latency in fabric cycles. */
     int latency() const;
 
-    /** Transform one expanded coefficient window to samples. */
+    /**
+     * Transform one expanded coefficient window into caller-owned
+     * memory — the zero-allocation primitive the streaming pipeline
+     * drives. @pre coeffs.size() == out.size() == windowSize()
+     */
+    void transformInto(std::span<const std::int32_t> coeffs,
+                       std::span<std::int32_t> out);
+
+    /** Allocating shim over transformInto(). */
     std::vector<std::int32_t>
     transform(const std::vector<std::int32_t> &coeffs);
 

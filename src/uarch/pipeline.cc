@@ -27,7 +27,8 @@ DecompressionPipeline::DecompressionPipeline(EngineKind kind,
                                              std::size_t window_size,
                                              std::size_t memory_width)
     : ws_(window_size), memWidth_(memory_width), rle_(window_size),
-      engine_(kind, window_size), memory_(memory_width)
+      engine_(kind, window_size), memory_(memory_width),
+      wbuf_(memory_width), cbuf_(window_size)
 {
 }
 
@@ -45,29 +46,42 @@ DecompressionPipeline::load(const core::CompressedChannel &ch)
     loadedSamples_ = ch.numSamples;
 }
 
-StreamResult
-DecompressionPipeline::stream()
+StreamStats
+DecompressionPipeline::streamInto(std::span<std::int32_t> out)
 {
     COMPAQT_REQUIRE(memory_.numWindows() > 0, "no waveform loaded");
-    StreamResult r;
+    COMPAQT_REQUIRE(out.size() >= memory_.numWindows() * ws_,
+                    "stream output span too small");
+    StreamStats stats;
     const std::uint64_t reads_before = memory_.accesses();
 
     for (std::size_t w = 0; w < memory_.numWindows(); ++w) {
-        const auto words = memory_.fetchWindow(w); // cycle: fetch
-        const auto coeffs = rle_.decode(words);    // cycle: expand
-        const auto samples = engine_.transform(coeffs); // cycle: IDCT
-        r.samples.insert(r.samples.end(), samples.begin(),
-                         samples.end());
+        // cycle: fetch -> cycle: expand -> cycle: IDCT, each stage
+        // writing the next stage's register (reused scratch), the
+        // last one landing directly in the caller's DAC buffer.
+        const std::size_t nwords =
+            memory_.fetchWindowInto(w, wbuf_);
+        rle_.decodeInto({wbuf_.data(), nwords}, cbuf_);
+        engine_.transformInto(cbuf_, out.subspan(w * ws_, ws_));
     }
-    r.samples.resize(loadedSamples_);
 
     // Pipelined stages: one window per cycle in steady state, plus
     // fill latency (fetch + RLE + IDCT latency).
-    r.stats.cycles = memory_.numWindows() + 2 +
-                     static_cast<std::uint64_t>(engine_.latency());
-    r.stats.wordsRead = memory_.accesses() - reads_before;
-    r.stats.samplesOut = r.samples.size();
-    r.stats.idctWindows = memory_.numWindows();
+    stats.cycles = memory_.numWindows() + 2 +
+                   static_cast<std::uint64_t>(engine_.latency());
+    stats.wordsRead = memory_.accesses() - reads_before;
+    stats.samplesOut = loadedSamples_;
+    stats.idctWindows = memory_.numWindows();
+    return stats;
+}
+
+StreamResult
+DecompressionPipeline::stream()
+{
+    StreamResult r;
+    r.samples.resize(memory_.numWindows() * ws_);
+    r.stats = streamInto(r.samples);
+    r.samples.resize(loadedSamples_);
     return r;
 }
 
@@ -93,12 +107,14 @@ DecompressionPipeline::streamAdaptive(const core::AdaptiveChannel &ch)
             continue;
         }
         load(seg.windows);
-        StreamResult part = stream();
-        r.samples.insert(r.samples.end(), part.samples.begin(),
-                         part.samples.end());
-        r.stats.wordsRead += part.stats.wordsRead;
-        r.stats.idctWindows += part.stats.idctWindows;
-        cycles += part.stats.idctWindows; // steady-state pipelining
+        const std::size_t base = r.samples.size();
+        r.samples.resize(base + memory_.numWindows() * ws_);
+        const StreamStats part = streamInto(
+            {r.samples.data() + base, memory_.numWindows() * ws_});
+        r.samples.resize(base + loadedSamples_);
+        r.stats.wordsRead += part.wordsRead;
+        r.stats.idctWindows += part.idctWindows;
+        cycles += part.idctWindows; // steady-state pipelining
     }
     r.samples.resize(ch.numSamples);
     r.stats.cycles = cycles;

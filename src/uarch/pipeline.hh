@@ -15,6 +15,7 @@
 #define COMPAQT_UARCH_PIPELINE_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/adaptive.hh"
@@ -78,10 +79,25 @@ class DecompressionPipeline
      */
     void load(const core::CompressedChannel &ch);
 
+    /** Samples the loaded waveform decodes to (pre-trim capacity is
+     *  numWindows * windowSize; the stream trims to this). */
+    std::size_t loadedSamples() const { return loadedSamples_; }
+
+    /** Windows resident in banked memory. */
+    std::size_t numWindows() const { return memory_.numWindows(); }
+
     /**
-     * Stream the loaded waveform once; samples are bit-exact with
-     * core::Decompressor (the golden model).
+     * Stream the loaded waveform into caller-owned memory, one
+     * window per fabric cycle through fetch -> RLE -> IDCT scratch
+     * that is reused across calls (no steady-state allocation).
+     * Samples are bit-exact with core::Decompressor (the golden
+     * model). @pre out.size() >= numWindows() * windowSize
+     * @return the statistics of the playback (samplesOut ==
+     *         loadedSamples())
      */
+    StreamStats streamInto(std::span<std::int32_t> out);
+
+    /** Allocating shim over streamInto(). */
     StreamResult stream();
 
     /**
@@ -100,6 +116,10 @@ class DecompressionPipeline
     IdctEngine engine_;
     BankedWaveform memory_;
     std::size_t loadedSamples_ = 0;
+    /** Reused per-window scratch: fetched words and expanded
+     *  coefficients (the Fig 10 inter-stage registers). */
+    std::vector<Word> wbuf_;
+    std::vector<std::int32_t> cbuf_;
 };
 
 } // namespace compaqt::uarch

@@ -11,24 +11,39 @@ RleDecoder::RleDecoder(std::size_t window_size)
     COMPAQT_REQUIRE(window_size > 0, "window size must be positive");
 }
 
-std::vector<std::int32_t>
-RleDecoder::decode(const std::vector<Word> &words)
+void
+RleDecoder::decodeInto(std::span<const Word> words,
+                       std::span<std::int32_t> out)
 {
-    std::vector<std::int32_t> out;
-    out.reserve(windowSize_);
+    COMPAQT_REQUIRE(out.size() == windowSize_,
+                    "RLE decode output span has wrong size");
+    std::size_t n = 0;
     for (const Word &w : words) {
         if (w.isRle) {
             // The signature identifies the codeword; the last cn
             // inputs of the IDCT stage are forced to zero.
+            COMPAQT_REQUIRE(n + w.count <= windowSize_,
+                            "RLE decode produced wrong coefficient "
+                            "count");
             for (std::uint32_t i = 0; i < w.count; ++i)
-                out.push_back(0);
+                out[n++] = 0;
         } else {
-            out.push_back(w.value);
+            COMPAQT_REQUIRE(n < windowSize_,
+                            "RLE decode produced wrong coefficient "
+                            "count");
+            out[n++] = w.value;
         }
     }
-    COMPAQT_REQUIRE(out.size() == windowSize_,
+    COMPAQT_REQUIRE(n == windowSize_,
                     "RLE decode produced wrong coefficient count");
     ++cycles_;
+}
+
+std::vector<std::int32_t>
+RleDecoder::decode(const std::vector<Word> &words)
+{
+    std::vector<std::int32_t> out(windowSize_);
+    decodeInto(words, out);
     return out;
 }
 

@@ -9,6 +9,7 @@
 #define COMPAQT_UARCH_RLE_DECODER_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "uarch/bram.hh"
@@ -28,10 +29,17 @@ class RleDecoder
     std::size_t windowSize() const { return windowSize_; }
 
     /**
-     * Decode one fetched window. The codeword's zero count plus the
-     * prefix must fill the window exactly (zero-padded fetches with
-     * fewer words than the memory width are legal, Fig 12c).
+     * Decode one fetched window into caller-owned memory — the
+     * zero-allocation primitive the streaming pipeline expands
+     * through. The codeword's zero count plus the prefix must fill
+     * the window exactly (zero-padded fetches with fewer words than
+     * the memory width are legal, Fig 12c).
+     * @pre out.size() == windowSize()
      */
+    void decodeInto(std::span<const Word> words,
+                    std::span<std::int32_t> out);
+
+    /** Allocating shim over decodeInto(). */
     std::vector<std::int32_t> decode(const std::vector<Word> &words);
 
     /** Windows decoded (== cycles spent in this stage). */

@@ -29,7 +29,10 @@ namespace
 //
 // "unit-raw": stores every window's samples verbatim (identity
 // transform + trailing-zero RLE). Registered from this translation
-// unit only — none of the core entry points know about it.
+// unit only — none of the core entry points know about it. It
+// implements only the two required span primitives, so it also
+// exercises the base-class decode-and-slice fallback for
+// decompressWindowInto.
 
 class RawCodec final : public ICodec
 {
@@ -45,11 +48,12 @@ class RawCodec final : public ICodec
     std::size_t windowSize() const override { return ws_; }
 
     void
-    compressChannel(std::span<const double> x, double threshold,
-                    CompressedChannel &out) const override
+    encodeInto(ConstSampleSpan x, double threshold,
+               CompressedChannel &out) const override
     {
         out.numSamples = x.size();
         out.windowSize = ws_;
+        out.delta = {};
         const std::size_t nwin = (x.size() + ws_ - 1) / ws_;
         out.windows.resize(nwin);
         for (std::size_t w = 0; w < nwin; ++w) {
@@ -65,15 +69,23 @@ class RawCodec final : public ICodec
     }
 
     void
-    decompressChannel(const CompressedChannel &ch,
-                      std::vector<double> &out) const override
+    decodeInto(const CompressedChannel &ch,
+               SampleSpan out) const override
     {
-        out.clear();
+        ASSERT_EQ(out.size(), ch.numSamples);
+        std::size_t n = 0;
         for (const auto &w : ch.windows) {
-            out.insert(out.end(), w.fcoeffs.begin(), w.fcoeffs.end());
-            out.insert(out.end(), w.zeros, 0.0);
+            for (double c : w.fcoeffs) {
+                if (n >= ch.numSamples)
+                    return;
+                out[n++] = c;
+            }
+            for (std::uint32_t z = 0; z < w.zeros; ++z) {
+                if (n >= ch.numSamples)
+                    return;
+                out[n++] = 0.0;
+            }
         }
-        out.resize(ch.numSamples);
     }
 
   private:
@@ -202,6 +214,129 @@ INSTANTIATE_TEST_SUITE_P(
         std::replace(name.begin(), name.end(), '-', '_');
         return name + "_ws" + std::to_string(std::get<1>(info.param));
     });
+
+// -------------------------- span decode plane vs legacy vector path
+
+class SpanPathEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::size_t>>
+{
+};
+
+/**
+ * Registry-driven property test: for every registered codec x window
+ * size x pulse shape (trimmed to an odd length so every windowed
+ * config has a clamped tail window), the span-based decode plane —
+ * decodeInto and per-window decompressWindowInto — must be
+ * bit-identical to the legacy vector path.
+ */
+TEST_P(SpanPathEquivalence, SpanDecodeBitIdenticalToVectorPath)
+{
+    const auto [codec_name, ws] = GetParam();
+    if (codec_name == "int-dct" && !dsp::intDctSupported(ws))
+        GTEST_SKIP() << "unsupported int-dct window";
+
+    const auto codec =
+        CodecRegistry::instance().create(codec_name, ws);
+    for (const auto &shape : testShapes()) {
+        // Odd-length trim: make numSamples % ws nonzero for every ws
+        // under test (all are even), so the tail window is clamped.
+        waveform::IqWaveform wf = shape.wf;
+        ASSERT_GT(wf.i.size(), 1u);
+        wf.i.resize(wf.i.size() - (wf.i.size() % 2 ? 2 : 1));
+        wf.q.resize(wf.i.size());
+
+        CompressedWaveform cw;
+        codec->compress(wf, 1e-3, cw);
+
+        for (const CompressedChannel *ch : {&cw.i, &cw.q}) {
+            // Whole-channel: decodeInto == decompressChannel.
+            std::vector<double> golden;
+            codec->decompressChannel(*ch, golden);
+            ASSERT_EQ(golden.size(), ch->numSamples);
+            std::vector<double> span_out(ch->numSamples, -7.0);
+            codec->decodeInto(*ch, span_out);
+            ASSERT_EQ(span_out, golden)
+                << codec_name << " ws=" << ws << " " << shape.name;
+
+            // Per-window: the assembled windows reproduce the
+            // channel exactly, including the odd-length tail.
+            if (ch->windowSize == 0)
+                continue;
+            std::vector<double> assembled;
+            std::vector<double> win(ch->windowSize, -7.0);
+            std::vector<double> legacy;
+            for (std::size_t w = 0; w < ch->numWindows(); ++w) {
+                const std::size_t n =
+                    codec->decompressWindowInto(*ch, w, win);
+                ASSERT_EQ(n, ch->windowSamples(w));
+                assembled.insert(
+                    assembled.end(), win.begin(),
+                    win.begin() + static_cast<std::ptrdiff_t>(n));
+                // The vector shim agrees with the span primitive.
+                codec->decompressWindow(*ch, w, legacy);
+                ASSERT_EQ(legacy,
+                          std::vector<double>(
+                              win.begin(),
+                              win.begin() +
+                                  static_cast<std::ptrdiff_t>(n)))
+                    << codec_name << " ws=" << ws << " w=" << w;
+            }
+            ASSERT_EQ(assembled, golden)
+                << codec_name << " ws=" << ws << " " << shape.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredCodecs, SpanPathEquivalence,
+    ::testing::Combine(
+        ::testing::ValuesIn(CodecRegistry::instance().names()),
+        ::testing::Values(std::size_t{4}, std::size_t{8},
+                          std::size_t{16}, std::size_t{32})),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name + "_ws" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SpanPath, NonWindowedChannelThrowsLogicErrorNamingTheCodec)
+{
+    // A delta stream encoded without a window size has no random-
+    // access structure: per-window decode must fail loudly with the
+    // codec's name, not silently mis-stream.
+    const auto codec = CodecRegistry::instance().create("delta", 0);
+    const auto wf = waveform::drag(144, 36.0, 0.2, 1.2);
+    CompressedWaveform cw;
+    codec->compress(wf, 0.0, cw);
+    ASSERT_EQ(cw.i.windowSize, 0u);
+    std::vector<double> out(16);
+    try {
+        codec->decompressWindowInto(cw.i, 0, SampleSpan(out));
+        FAIL() << "expected std::logic_error";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("delta"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpanPath, DeltaWindowDecodeIsCheckpointed)
+{
+    // Windowed delta stores one pattern checkpoint per boundary, so
+    // window w decodes in O(ws) without replaying deltas 0..w*ws.
+    const auto codec = CodecRegistry::instance().create("delta", 16);
+    const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.15);
+    CompressedWaveform cw;
+    codec->compress(wf, 0.0, cw);
+    ASSERT_EQ(cw.i.windowSize, 16u);
+    ASSERT_EQ(cw.i.delta.checkpointStride, 16u);
+    EXPECT_EQ(cw.i.delta.checkpoints.size(),
+              (wf.i.size() - 1) / 16);
+    // The side index is accounted in the compressed size.
+    EXPECT_GT(dsp::deltaCompressedBits(cw.i.delta),
+              dsp::deltaCompressedBits(dsp::deltaEncode(wf.i)));
+}
 
 // ------------------------------------------------- pipeline facade
 

@@ -296,6 +296,34 @@ TEST_P(IntDctSizes, ButterflyMatchesDenseInverse)
     }
 }
 
+TEST_P(IntDctSizes, PrefixInverseMatchesDenseInverse)
+{
+    // The prefix-sparse inverse (the decode-plane hot kernel) must be
+    // bit-exact with the dense product on the zero-extended window,
+    // at every possible prefix length including 0 and n.
+    const std::size_t n = GetParam();
+    Rng rng(300 + n);
+    IntDct xform(n);
+    std::vector<std::int32_t> y(n), a(n), b(n);
+    for (std::size_t prefix = 0; prefix <= n; ++prefix) {
+        for (int trial = 0; trial < 10; ++trial) {
+            for (std::size_t k = 0; k < n; ++k)
+                y[k] = k < prefix
+                           ? static_cast<std::int32_t>(
+                                 rng.uniformInt(65536)) -
+                                 32768
+                           : 0;
+            xform.inverse(y, a);
+            xform.inversePrefix(
+                std::span<const std::int32_t>(y).first(prefix), b);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(a[i], b[i])
+                    << "n=" << n << " prefix=" << prefix
+                    << " i=" << i;
+        }
+    }
+}
+
 TEST_P(IntDctSizes, CoefficientScaleMapsAmplitudes)
 {
     const std::size_t n = GetParam();
@@ -437,6 +465,46 @@ TEST(Delta, EmptyAndSingleSample)
     const auto dec = deltaDecode(enc);
     ASSERT_EQ(dec.size(), 1u);
     EXPECT_NEAR(dec[0], 0.25, 1e-4);
+}
+
+TEST(Delta, CheckpointedWindowDecodeMatchesFullDecode)
+{
+    Rng rng(77);
+    std::vector<double> x(203); // odd length: clamped tail window
+    for (auto &v : x)
+        v = rng.uniform(-0.9, 0.9);
+    const std::size_t stride = 16;
+    const auto enc = deltaEncode(x, stride);
+    EXPECT_EQ(enc.checkpointStride, stride);
+    EXPECT_EQ(enc.checkpoints.size(), (x.size() - 1) / stride);
+
+    const auto full = deltaDecode(enc);
+    std::vector<double> win(stride, -9.0);
+    const std::size_t nwin = (x.size() + stride - 1) / stride;
+    for (std::size_t w = 0; w < nwin; ++w) {
+        const std::size_t n = deltaDecodeWindowInto(enc, w, win);
+        const std::size_t begin = w * stride;
+        ASSERT_EQ(n, std::min(stride, x.size() - begin)) << w;
+        for (std::size_t k = 0; k < n; ++k)
+            EXPECT_EQ(win[k], full[begin + k])
+                << "w=" << w << " k=" << k;
+    }
+}
+
+TEST(Delta, SpanDecodeMatchesVectorDecode)
+{
+    Rng rng(78);
+    std::vector<double> x(120);
+    for (auto &v : x)
+        v = rng.uniform(-0.9, 0.9);
+    const auto enc = deltaEncode(x, 8);
+    const auto golden = deltaDecode(enc);
+    std::vector<double> out(x.size(), -9.0);
+    deltaDecodeInto(enc, out);
+    EXPECT_EQ(out, golden);
+    // The checkpoint side index is charged to the compressed size.
+    EXPECT_GT(deltaCompressedBits(enc),
+              deltaCompressedBits(deltaEncode(x)));
 }
 
 // -------------------------------------------------------------- metrics

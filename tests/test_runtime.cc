@@ -177,16 +177,17 @@ TEST(DecodedCache, LruEvictionOrder)
 {
     DecodedWindowCache cache(2);
     int decodes = 0;
-    auto fill = [&](std::vector<double> &out) {
+    auto fill = [&](SampleSpan out) -> std::size_t {
         ++decodes;
-        out = {1.0};
+        out[0] = 1.0;
+        return 1;
     };
-    cache.get(key(0, 0), fill); // miss
-    cache.get(key(1, 0), fill); // miss
-    cache.get(key(0, 0), fill); // hit, qubit 0 becomes MRU
-    cache.get(key(2, 0), fill); // miss, evicts qubit 1 (LRU)
-    cache.get(key(0, 0), fill); // still resident: hit
-    cache.get(key(1, 0), fill); // evicted above: miss again
+    cache.get(key(0, 0), 1, fill); // miss
+    cache.get(key(1, 0), 1, fill); // miss
+    cache.get(key(0, 0), 1, fill); // hit, qubit 0 becomes MRU
+    cache.get(key(2, 0), 1, fill); // miss, evicts qubit 1 (LRU)
+    cache.get(key(0, 0), 1, fill); // still resident: hit
+    cache.get(key(1, 0), 1, fill); // evicted above: miss again
 
     const auto s = cache.stats();
     EXPECT_EQ(s.hits, 2u);
@@ -201,13 +202,16 @@ TEST(DecodedCache, CapacityZeroDisablesCaching)
 {
     DecodedWindowCache cache(0);
     int decodes = 0;
-    auto fill = [&](std::vector<double> &out) {
+    auto fill = [&](SampleSpan out) -> std::size_t {
         ++decodes;
-        out = {1.0, 2.0};
+        out[0] = 1.0;
+        out[1] = 2.0;
+        return 2;
     };
     for (int i = 0; i < 3; ++i) {
-        const auto v = cache.get(key(0, 0), fill);
-        ASSERT_EQ(v->size(), 2u);
+        const auto v = cache.get(key(0, 0), 2, fill);
+        ASSERT_EQ(v.size(), 2u);
+        EXPECT_EQ(v.samples()[1], 2.0);
     }
     const auto s = cache.stats();
     EXPECT_EQ(decodes, 3);
@@ -219,12 +223,65 @@ TEST(DecodedCache, CapacityZeroDisablesCaching)
 TEST(DecodedCache, EvictedValueStaysAliveForHolder)
 {
     DecodedWindowCache cache(1);
-    auto a = cache.get(key(0, 0),
-                       [](std::vector<double> &out) { out = {7.0}; });
-    cache.get(key(1, 0),
-              [](std::vector<double> &out) { out = {8.0}; });
-    ASSERT_EQ(a->size(), 1u);
-    EXPECT_EQ((*a)[0], 7.0); // still valid after eviction
+    auto a = cache.get(key(0, 0), 1, [](SampleSpan out) {
+        out[0] = 7.0;
+        return std::size_t{1};
+    });
+    cache.get(key(1, 0), 1, [](SampleSpan out) {
+        out[0] = 8.0;
+        return std::size_t{1};
+    });
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a.samples()[0], 7.0); // still valid after eviction
+}
+
+TEST(DecodedCache, ReleasedSlotsRecycleThroughTheSlabPool)
+{
+    // A cache under LRU churn reuses pooled slots instead of
+    // allocating one per miss: with capacity 1 and no held handles,
+    // any number of distinct keys needs at most two slots (the
+    // resident window plus the one being decoded).
+    DecodedWindowCache cache(1);
+    for (int q = 0; q < 32; ++q)
+        cache.get(key(q, 0), 8, [](SampleSpan out) {
+            out[0] = 1.0;
+            return std::size_t{1};
+        });
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, 32u);
+    EXPECT_LE(s.slotsAllocated, 2u);
+
+    // Holding a handle across eviction pins exactly one extra slot.
+    auto held = cache.get(key(100, 0), 8, [](SampleSpan out) {
+        out[0] = 5.0;
+        return std::size_t{1};
+    });
+    for (int q = 0; q < 16; ++q)
+        cache.get(key(q, 1), 8, [](SampleSpan out) {
+            out[0] = 2.0;
+            return std::size_t{1};
+        });
+    EXPECT_EQ(held.samples()[0], 5.0);
+    EXPECT_LE(cache.stats().slotsAllocated, 3u);
+}
+
+TEST(DecodedCache, DecodeExceptionReturnsSlotToPool)
+{
+    // A throwing decode (corrupt channel, non-windowed codec) must
+    // not drain the slab pool: the acquired slot goes back before
+    // the exception escapes.
+    DecodedWindowCache cache(4);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_THROW(
+            cache.get(key(0, 0), 8,
+                      [](SampleSpan) -> std::size_t {
+                          throw std::runtime_error("bad gate");
+                      }),
+            std::runtime_error);
+    }
+    const auto s = cache.stats();
+    EXPECT_LE(s.slotsAllocated, 1u);
+    EXPECT_EQ(s.entries, 0u);
 }
 
 TEST(DecodedCache, BitExactVsGoldenDecoder)
@@ -247,14 +304,14 @@ TEST(DecodedCache, BitExactVsGoldenDecoder)
                 for (std::uint32_t w = 0;
                      w < channel.windows.size(); ++w) {
                     const auto v = cache.get(
-                        {id, ch, w},
-                        [&](std::vector<double> &out) {
-                            dec.decompressWindow(channel,
-                                                 e.cw.codec, w,
-                                                 out);
+                        {id, ch, w}, channel.windowSize,
+                        [&](SampleSpan out) {
+                            return dec.decompressWindowInto(
+                                channel, e.cw.codec, w, out);
                         });
-                    assembled.insert(assembled.end(), v->begin(),
-                                     v->end());
+                    const auto s = v.samples();
+                    assembled.insert(assembled.end(), s.begin(),
+                                     s.end());
                 }
                 const auto golden =
                     dec.decompressChannel(channel, e.cw.codec);
