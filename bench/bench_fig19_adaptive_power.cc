@@ -33,6 +33,9 @@ main()
     const double words =
         static_cast<double>(ac.i.totalWords() + ac.q.totalWords()) /
         static_cast<double>(ac.i.numSamples + ac.q.numSamples) * 16.0;
+    report.metric("idct_fraction", frac);
+    report.metric("bypass_samples",
+                  static_cast<double>(ac.i.bypassSamples()));
 
     std::cout << "flat-top pulse: " << wf.size() << " samples, "
               << ac.i.bypassSamples()

@@ -108,6 +108,7 @@ main(int argc, char **argv)
              : std::vector<std::size_t>{0, 4096, 1u << 15};
     const int batch_size = tiny ? 2 : 4;
     const int workers = tiny ? 2 : 4;
+    report.setWorkers(workers);
 
     Table t("rack throughput: qubits x shards x cache"
             " (locality-aware sharding, steady state)");

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,12 @@ qft4GateSet(const waveform::DeviceModel &dev)
  *     ...
  *     report.print(my_table);        // stdout table + JSON record
  *     report.metric("ratio", 8.0);   // scalar series
+ *
+ * Every report carries an "env" header with the machine's hardware
+ * concurrency and the worker count the bench ran with (setWorkers(),
+ * default 1), so BENCH trajectories are comparable across machines —
+ * a scaling number measured on a 1-core CI box is meaningless
+ * without it.
  */
 class JsonReport
 {
@@ -83,6 +90,9 @@ class JsonReport
         : name_(std::move(name))
     {
     }
+
+    /** Record the worker count this bench ran with (JSON header). */
+    void setWorkers(int workers) { workers_ = workers; }
 
     JsonReport(const JsonReport &) = delete;
     JsonReport &operator=(const JsonReport &) = delete;
@@ -130,7 +140,10 @@ class JsonReport
             std::cerr << "warning: cannot write " << path << '\n';
             return;
         }
-        os << "{\"bench\": \"" << name_ << "\",\n \"metrics\": {";
+        os << "{\"bench\": \"" << name_ << "\",\n \"env\": {"
+           << "\"hardware_concurrency\": "
+           << std::thread::hardware_concurrency()
+           << ", \"workers\": " << workers_ << "},\n \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i)
             os << (i ? ", " : "") << metrics_[i];
         os << "},\n \"tables\": [";
@@ -140,6 +153,7 @@ class JsonReport
     }
 
     std::string name_;
+    int workers_ = 1;
     std::vector<std::string> tables_;
     std::vector<std::string> metrics_;
 };

@@ -1,13 +1,13 @@
 /**
  * @file
- * Adaptive decompression on flat-top waveforms (Section V-D): the
- * long constant section of a cross-resonance pulse is stored as one
- * repeat codeword and replayed through the IDCT bypass, cutting both
- * memory traffic and engine activity. This example compresses a CR
- * pulse both ways, streams both through the pipeline, and prints the
- * power impact for a cryogenic ASIC.
+ * Adaptive decompression on flat-top waveforms (Section V-D) through
+ * the library compile plane: the compiler runs Algorithm 1 per gate,
+ * then plans per channel whether the flat-top segmentation (one
+ * repeat codeword for the constant middle, IDCT bypassed) beats the
+ * plain window codec in memory words at the same fidelity target. No
+ * adaptive structure is built by hand — the planner decides.
  *
- * Build & run:  ./build/examples/adaptive_flattop
+ * Build & run:  ./build/adaptive_flattop
  */
 
 #include <iostream>
@@ -24,43 +24,55 @@ using namespace compaqt;
 int
 main()
 {
-    // An echoed-CR style flat-top: 300 ns, 100+ ns constant section.
-    const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.12);
-    core::CompressorConfig cfg{"int-dct", 16, 2e-3};
+    // A two-gate library: an echoed-CR style flat-top (300 ns, 100+
+    // ns constant section) and a DRAG X with nothing to bypass.
+    const waveform::GateId cr{waveform::GateType::CX, 0, 1};
+    const waveform::GateId x{waveform::GateType::X, 0, -1};
+    PulseLibrary lib;
+    lib.insert(cr, waveform::gaussianSquare(1360, 200, 0.12, 0.12));
+    lib.insert(x, waveform::drag(160, 40, 0.18, 0.2));
 
-    // Plain windowed compression.
-    const core::Compressor plain(cfg);
-    const auto cw = plain.compress(wf);
+    // Single-codec compile vs the per-channel planning compile.
+    const auto plain = Pipeline::with("int-dct")
+                           .window(16)
+                           .mseTarget(1e-5)
+                           .build()
+                           .compileLibrary(lib);
+    const auto planned = Pipeline::with("int-dct")
+                             .window(16)
+                             .mseTarget(1e-5)
+                             .planAdaptive()
+                             .workers(2)
+                             .build()
+                             .compileLibrary(lib);
 
-    // Adaptive compression.
-    const core::AdaptiveCompressor adaptive(cfg);
-    const auto ac = adaptive.compress(wf);
-    const auto rt = core::AdaptiveCompressor::decompress(ac);
-
-    Table t("flat-top compression");
-    t.header({"scheme", "memory words", "R", "max error"});
-    core::Decompressor dec;
-    const auto rt_plain = dec.decompress(cw);
-    t.row({"int-DCT-W", std::to_string(cw.stats().compressedWords),
-           Table::num(cw.ratio(), 2),
-           Table::sci(dsp::maxAbsError(wf.i, rt_plain.i))});
-    t.row({"adaptive", std::to_string(ac.stats().compressedWords),
-           Table::num(ac.ratio(), 2),
-           Table::sci(dsp::maxAbsError(wf.i, rt.i))});
+    Table t("flat-top library compile");
+    t.header({"plan", "memory words", "adaptive channels", "R"});
+    t.row({"int-DCT-W only",
+           std::to_string(plain.stats.plannedWords),
+           std::to_string(plain.stats.adaptiveChannels),
+           Table::num(plain.library.ratio(), 2)});
+    t.row({"per-channel", std::to_string(planned.stats.plannedWords),
+           std::to_string(planned.stats.adaptiveChannels),
+           Table::num(planned.library.ratio(), 2)});
     t.print(std::cout);
 
-    // Stream adaptively: the bypass path serves the flat section.
+    // The planner put the CR channels on the adaptive path; stream
+    // one through the hardware pipeline — the flat section is served
+    // by the bypass, the IDCT engine only runs for the ramps.
+    const core::CompressedEntry &e = planned.library.entry(cr);
     uarch::DecompressionPipeline pipe(uarch::EngineKind::IntDctW, 16,
                                       16);
-    const auto stream = pipe.streamAdaptive(ac.i);
-    std::cout << "\nstream: " << stream.stats.samplesOut
-              << " samples, " << stream.stats.bypassSamples
-              << " via bypass, " << stream.stats.idctWindows
-              << " IDCT windows, " << stream.stats.wordsRead
-              << " words read\n";
+    const auto stream = pipe.streamAdaptive(e.cw.i);
+    std::cout << "\nCX(q0,q1) I channel: adaptive="
+              << (e.cw.i.isAdaptive() ? "yes" : "no") << ", "
+              << stream.stats.samplesOut << " samples, "
+              << stream.stats.bypassSamples << " via bypass, "
+              << stream.stats.idctWindows << " IDCT windows, "
+              << stream.stats.wordsRead << " words read\n";
 
-    // Power: Fig 19's comparison.
-    const double frac = power::idctFraction(ac.i);
+    // Power: Fig 19's comparison, driven by the shipped channel.
+    const double frac = power::idctFraction(e.cw.i);
     const auto base = power::uncompressedPower();
     const auto padapt = power::adaptivePower(16, 2.5, frac);
     std::cout << "\ncryo-ASIC power (per channel pair):\n"

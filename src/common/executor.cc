@@ -1,8 +1,8 @@
-#include "runtime/executor.hh"
+#include "common/executor.hh"
 
 #include "common/logging.hh"
 
-namespace compaqt::runtime
+namespace compaqt::common
 {
 
 Executor::Executor(int workers)
@@ -11,7 +11,8 @@ Executor::Executor(int workers)
     COMPAQT_REQUIRE(workers >= 1, "executor needs at least one worker");
     threads_.reserve(static_cast<std::size_t>(workers - 1));
     for (int w = 1; w < workers; ++w)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back(
+            [this, w] { workerLoop(static_cast<std::size_t>(w)); });
 }
 
 Executor::~Executor()
@@ -26,7 +27,7 @@ Executor::~Executor()
 }
 
 void
-Executor::drain(Batch &batch)
+Executor::drain(Batch &batch, std::size_t worker)
 {
     std::size_t ran = 0;
     for (;;) {
@@ -34,7 +35,7 @@ Executor::drain(Batch &batch)
         if (i >= batch.n)
             break;
         try {
-            (*batch.fn)(i);
+            (*batch.fn)(worker, i);
         } catch (...) {
             std::lock_guard lock(mu_);
             if (!batch.error)
@@ -49,7 +50,7 @@ Executor::drain(Batch &batch)
 }
 
 void
-Executor::workerLoop()
+Executor::workerLoop(std::size_t worker)
 {
     std::uint64_t seen = 0;
     for (;;) {
@@ -64,13 +65,22 @@ Executor::workerLoop()
             seen = generation_;
             batch = current_;
         }
-        drain(*batch);
+        drain(*batch, worker);
     }
 }
 
 void
 Executor::forEach(std::size_t n,
                   const std::function<void(std::size_t)> &fn)
+{
+    forEachWorker(n,
+                  [&fn](std::size_t, std::size_t i) { fn(i); });
+}
+
+void
+Executor::forEachWorker(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)> &fn)
 {
     if (n == 0)
         return;
@@ -80,7 +90,7 @@ Executor::forEach(std::size_t n,
         std::exception_ptr first;
         for (std::size_t i = 0; i < n; ++i) {
             try {
-                fn(i);
+                fn(0, i);
             } catch (...) {
                 if (!first)
                     first = std::current_exception();
@@ -99,7 +109,7 @@ Executor::forEach(std::size_t n,
         ++generation_;
     }
     wake_.notify_all();
-    drain(*batch);
+    drain(*batch, 0);
     std::exception_ptr error;
     {
         std::unique_lock lock(mu_);
@@ -112,4 +122,4 @@ Executor::forEach(std::size_t n,
         std::rethrow_exception(error);
 }
 
-} // namespace compaqt::runtime
+} // namespace compaqt::common

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small persistent worker pool shared by every layer that fans
+ * indexed work out — the runtime's shard-execution grid and the core
+ * library compile plane both run on it. The pool owns workers-1
+ * threads; the calling thread participates in every run, so an
+ * Executor(1) executes inline with zero threads and zero locking
+ * surprises — the degenerate case the determinism tests compare
+ * against.
+ *
+ * The only primitive is an indexed parallel-for: jobs are claimed
+ * from an atomic counter, results are written by index into
+ * caller-owned storage, and aggregation happens serially afterwards —
+ * which is what makes N-worker execution bit-identical to 1-worker
+ * execution no matter how the OS schedules the claims.
+ *
+ * forEachWorker() additionally hands each job the stable id of the
+ * worker running it (caller = 0, pool threads = 1..workers-1), so a
+ * caller can keep one scratch object — a codec instance, a
+ * compression pipeline — per worker and honor single-owner scratch
+ * contracts without thread_local state or per-job construction.
+ *
+ * Each run publishes a fresh heap-allocated batch (function, size,
+ * claim counter) that workers capture by shared_ptr, so a worker
+ * waking late from a previous batch can never claim indices from the
+ * current one.
+ */
+
+#ifndef COMPAQT_COMMON_EXECUTOR_HH
+#define COMPAQT_COMMON_EXECUTOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace compaqt::common
+{
+
+/**
+ * Fixed-size worker pool. Any single thread may own and drive an
+ * Executor; runs must not be nested or issued concurrently from
+ * multiple threads (the claim counter is per-batch, not per-caller).
+ */
+class Executor
+{
+  public:
+    /** @param workers total workers including the caller; >= 1 */
+    explicit Executor(int workers);
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    int workers() const { return workers_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), spread across the pool; blocks
+     * until all jobs finish. If any job throws, the first exception
+     * recorded is rethrown here after the batch drains — including
+     * exceptions thrown on pool threads, never just the caller's.
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Like forEach(), but fn(worker, i) also receives the id of the
+     * worker running job i: 0 for the calling thread, 1..workers()-1
+     * for pool threads. A given worker id is live on at most one job
+     * at a time, so per-worker state indexed by it needs no locking.
+     */
+    void forEachWorker(
+        std::size_t n,
+        const std::function<void(std::size_t, std::size_t)> &fn);
+
+  private:
+    /** One run's jobs and claim state. */
+    struct Batch
+    {
+        const std::function<void(std::size_t, std::size_t)> *fn =
+            nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        /** Finished jobs; guarded by the pool mutex. */
+        std::size_t completed = 0;
+        /** First exception thrown; guarded by the pool mutex. */
+        std::exception_ptr error;
+    };
+
+    void workerLoop(std::size_t worker);
+    /** Claim and run jobs of `batch` until exhausted. */
+    void drain(Batch &batch, std::size_t worker);
+
+    int workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Incremented per run; workers join each batch once. */
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::shared_ptr<Batch> current_;
+};
+
+} // namespace compaqt::common
+
+#endif // COMPAQT_COMMON_EXECUTOR_HH

@@ -22,6 +22,7 @@
 #include "core/compressor.hh"
 #include "core/decompressor.hh"
 #include "core/fidelity_aware.hh"
+#include "core/library_compiler.hh"
 #include "core/pipeline.hh"
 #include "runtime/rack.hh"
 #include "runtime/service.hh"
@@ -56,9 +57,15 @@ using core::compressFidelityAware;
 using core::FidelityAwareConfig;
 using core::FidelityAwareResult;
 
-// Library compilation
+// Library compile plane
+using core::AdaptiveCompressor;
+using core::AdaptiveSegment;
 using core::CompressedEntry;
 using core::CompressedLibrary;
+using core::LibraryCompiler;
+using core::LibraryCompilerConfig;
+using core::LibraryCompileResult;
+using core::LibraryCompileStats;
 
 // Waveforms
 using waveform::IqWaveform;

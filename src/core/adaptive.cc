@@ -4,54 +4,11 @@
 #include <cmath>
 
 #include "common/logging.hh"
-#include "core/decompressor.hh"
 #include "dsp/int_dct.hh"
 #include "waveform/shapes.hh"
 
 namespace compaqt::core
 {
-
-std::size_t
-AdaptiveChannel::totalWords() const
-{
-    std::size_t total = 0;
-    for (const auto &seg : segments) {
-        if (seg.isFlat)
-            total += 1;
-        else
-            total += seg.windows.totalWords();
-    }
-    return total;
-}
-
-std::size_t
-AdaptiveChannel::idctSamples() const
-{
-    std::size_t total = 0;
-    for (const auto &seg : segments)
-        if (!seg.isFlat)
-            total += seg.windows.windows.size() * windowSize;
-    return total;
-}
-
-std::size_t
-AdaptiveChannel::bypassSamples() const
-{
-    std::size_t total = 0;
-    for (const auto &seg : segments)
-        if (seg.isFlat)
-            total += seg.count;
-    return total;
-}
-
-dsp::CompressionStats
-AdaptiveCompressed::stats() const
-{
-    dsp::CompressionStats s;
-    s.originalSamples = i.numSamples + q.numSamples;
-    s.compressedWords = i.totalWords() + q.totalWords();
-    return s;
-}
 
 AdaptiveCompressor::AdaptiveCompressor(const CompressorConfig &cfg,
                                        std::size_t min_flat_windows)
@@ -63,31 +20,24 @@ AdaptiveCompressor::AdaptiveCompressor(const CompressorConfig &cfg,
     COMPAQT_REQUIRE(min_flat_windows >= 1, "min_flat_windows must be >=1");
 }
 
-AdaptiveChannel
+CompressedChannel
 AdaptiveCompressor::compressChannel(std::span<const double> x) const
 {
+    return compressChannel(x, ramps_.config().threshold);
+}
+
+CompressedChannel
+AdaptiveCompressor::compressChannel(std::span<const double> x,
+                                    double threshold) const
+{
     const std::size_t ws = ramps_.config().windowSize;
-    AdaptiveChannel ch;
-    ch.codec = ramps_.config().codec;
-    ch.numSamples = x.size();
-    ch.windowSize = ws;
+    const ICodec &codec = ramps_.codec();
 
     // Find the longest flat run at the quantized resolution, then
     // shrink it to window-aligned boundaries.
-    const std::vector<double> vx(x.begin(), x.end());
     const auto run =
-        waveform::findFlatRun(vx, minFlatWindows_ * ws,
+        waveform::findFlatRun(x, minFlatWindows_ * ws,
                               1.0 / (1 << dsp::IntDct::kInputFractionBits));
-
-    auto pushDct = [&](std::size_t begin, std::size_t end) {
-        if (begin >= end)
-            return;
-        AdaptiveSegment seg;
-        seg.isFlat = false;
-        seg.windows = ramps_.compressChannel(
-            std::span<const double>(vx).subspan(begin, end - begin));
-        ch.segments.push_back(std::move(seg));
-    };
 
     std::size_t flat_begin = 0, flat_end = 0;
     if (run.length >= minFlatWindows_ * ws) {
@@ -98,60 +48,50 @@ AdaptiveCompressor::compressChannel(std::span<const double> x) const
         }
     }
 
-    if (flat_end > flat_begin) {
-        pushDct(0, flat_begin);
-        AdaptiveSegment flat;
-        flat.isFlat = true;
-        flat.count = flat_end - flat_begin;
-        // Store the value at the quantized resolution the bypass path
-        // would emit.
-        flat.value = dsp::IntDct::dequantize(
-            dsp::IntDct::quantize(vx[flat_begin]));
-        ch.segments.push_back(flat);
-        pushDct(flat_end, vx.size());
-    } else {
-        pushDct(0, vx.size());
+    if (flat_end <= flat_begin) {
+        // No bypassable run: the plain windowed representation IS the
+        // result, so planners see isAdaptive() == false.
+        CompressedChannel plain;
+        codec.encodeInto(x, threshold, plain);
+        return plain;
     }
+
+    CompressedChannel ch;
+    ch.numSamples = x.size();
+    ch.windowSize = ws;
+
+    auto pushDct = [&](std::size_t begin, std::size_t end) {
+        if (begin >= end)
+            return;
+        AdaptiveSegment seg;
+        seg.isFlat = false;
+        codec.encodeInto(x.subspan(begin, end - begin), threshold,
+                         seg.windows);
+        ch.segments.push_back(std::move(seg));
+    };
+
+    pushDct(0, flat_begin);
+    AdaptiveSegment flat;
+    flat.isFlat = true;
+    flat.count = flat_end - flat_begin;
+    // Store the value at the quantized resolution the bypass path
+    // would emit.
+    flat.value =
+        dsp::IntDct::dequantize(dsp::IntDct::quantize(x[flat_begin]));
+    ch.segments.push_back(std::move(flat));
+    pushDct(flat_end, x.size());
     return ch;
 }
 
-AdaptiveCompressed
+CompressedWaveform
 AdaptiveCompressor::compress(const waveform::IqWaveform &wf) const
 {
-    AdaptiveCompressed out;
+    CompressedWaveform out;
+    out.codec.assign(ramps_.codec().name());
+    out.windowSize = ramps_.config().windowSize;
     out.i = compressChannel(wf.i);
     out.q = compressChannel(wf.q);
     return out;
-}
-
-std::vector<double>
-AdaptiveCompressor::decompressChannel(const AdaptiveChannel &ch)
-{
-    Decompressor dec;
-    std::vector<double> out;
-    out.reserve(ch.numSamples);
-    for (const auto &seg : ch.segments) {
-        if (seg.isFlat) {
-            out.insert(out.end(), seg.count, seg.value);
-        } else {
-            const auto part =
-                dec.decompressChannel(seg.windows, ch.codec);
-            out.insert(out.end(), part.begin(), part.end());
-        }
-    }
-    COMPAQT_REQUIRE(out.size() >= ch.numSamples,
-                    "adaptive decode produced too few samples");
-    out.resize(ch.numSamples);
-    return out;
-}
-
-waveform::IqWaveform
-AdaptiveCompressor::decompress(const AdaptiveCompressed &ac)
-{
-    waveform::IqWaveform wf;
-    wf.i = decompressChannel(ac.i);
-    wf.q = decompressChannel(ac.q);
-    return wf;
 }
 
 } // namespace compaqt::core

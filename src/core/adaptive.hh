@@ -10,6 +10,15 @@
  * The constant period is treated as one segment (not divided into
  * windows); segment boundaries are aligned to the window grid so the
  * surrounding DCT windows stay well-formed.
+ *
+ * The output is the first-class adaptive variant of
+ * core::CompressedChannel (segments non-empty): it serializes with
+ * the library, decodes through core::Decompressor, and streams
+ * through the uarch pipeline like any other channel. Callers normally
+ * reach this through the library compile plane
+ * (core::LibraryCompiler), which plans per channel whether the
+ * adaptive or the plain windowed representation is cheaper —
+ * AdaptiveCompressor is the segmentation engine underneath.
  */
 
 #ifndef COMPAQT_CORE_ADAPTIVE_HH
@@ -23,52 +32,13 @@
 namespace compaqt::core
 {
 
-/** One segment of an adaptively compressed channel. */
-struct AdaptiveSegment
-{
-    /** True: `count` copies of `value` (IDCT bypass). */
-    bool isFlat = false;
-    /** Repeated sample value (flat segments). */
-    double value = 0.0;
-    /** Number of repeated samples (flat segments). */
-    std::size_t count = 0;
-    /** DCT-compressed windows (non-flat segments). */
-    CompressedChannel windows;
-};
-
-/** An adaptively compressed channel: ramp / flat / ramp segments. */
-struct AdaptiveChannel
-{
-    /** CodecRegistry key of the ramp-segment codec. */
-    std::string codec = "int-dct";
-    std::size_t numSamples = 0;
-    std::size_t windowSize = 0;
-    std::vector<AdaptiveSegment> segments;
-
-    /** Memory words: DCT words plus one codeword per flat segment. */
-    std::size_t totalWords() const;
-
-    /** Samples reconstructed through the IDCT (ramp samples). */
-    std::size_t idctSamples() const;
-
-    /** Samples reconstructed via the bypass path (flat samples). */
-    std::size_t bypassSamples() const;
-};
-
-/** Both channels of an adaptively compressed waveform. */
-struct AdaptiveCompressed
-{
-    AdaptiveChannel i;
-    AdaptiveChannel q;
-
-    dsp::CompressionStats stats() const;
-    double ratio() const { return stats().ratio(); }
-};
-
 /**
  * Adaptive compressor: detects the window-aligned flat run of each
  * channel and encodes it as a repeat codeword; everything else goes
- * through the regular int-DCT-W path.
+ * through the regular int-DCT-W path. When no qualifying flat run
+ * exists the plain windowed representation is returned unchanged
+ * (segments empty), so `isAdaptive()` on the result tells a planner
+ * whether segmentation found anything to bypass.
  *
  * Holds a configured Compressor (whose codec carries scratch
  * buffers), so like it an AdaptiveCompressor is move-only and must
@@ -86,19 +56,31 @@ class AdaptiveCompressor
     explicit AdaptiveCompressor(const CompressorConfig &cfg,
                                 std::size_t min_flat_windows = 2);
 
-    AdaptiveCompressed
+    const CompressorConfig &config() const
+    {
+        return ramps_.config();
+    }
+
+    /** Compress both channels (configured threshold). The result's
+     *  codec field names the ramp codec; channels are adaptive only
+     *  where a qualifying flat run exists. Channels are NOT prefix-
+     *  equalized: adaptive channels have no uniform window list to
+     *  equalize against. */
+    CompressedWaveform
     compress(const waveform::IqWaveform &wf) const;
 
-    AdaptiveChannel
+    /** Compress one channel at the configured threshold. */
+    CompressedChannel
     compressChannel(std::span<const double> x) const;
 
-    /** Reconstruct a channel (bypass segments emit the raw value). */
-    static std::vector<double>
-    decompressChannel(const AdaptiveChannel &ch);
-
-    /** Reconstruct both channels. */
-    static waveform::IqWaveform
-    decompress(const AdaptiveCompressed &ac);
+    /**
+     * Compress one channel at an explicit threshold — the entry point
+     * the library compile plane uses so adaptive candidates are built
+     * at the exact threshold Algorithm 1 settled on for the gate.
+     */
+    CompressedChannel
+    compressChannel(std::span<const double> x,
+                    double threshold) const;
 
   private:
     Compressor ramps_;

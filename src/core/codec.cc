@@ -40,6 +40,12 @@ CompressedChannel::windowSamples(std::size_t w) const
 std::size_t
 CompressedChannel::totalWords() const
 {
+    if (isAdaptive()) {
+        std::size_t total = 0;
+        for (const auto &seg : segments)
+            total += seg.isFlat ? 1 : seg.windows.totalWords();
+        return total;
+    }
     if (windows.empty() && delta.originalCount > 0) {
         // Express the bit-level delta encoding in 16-bit sample-word
         // equivalents so ratios are comparable across codecs.
@@ -52,6 +58,51 @@ CompressedChannel::totalWords() const
     for (const auto &w : windows)
         total += w.words();
     return total;
+}
+
+std::size_t
+CompressedChannel::idctSamples() const
+{
+    if (!isAdaptive())
+        return numSamples;
+    std::size_t total = 0;
+    for (const auto &seg : segments)
+        if (!seg.isFlat)
+            total += seg.windows.numWindows() * windowSize;
+    return total;
+}
+
+std::size_t
+CompressedChannel::bypassSamples() const
+{
+    std::size_t total = 0;
+    for (const auto &seg : segments)
+        if (seg.isFlat)
+            total += seg.count;
+    return total;
+}
+
+const AdaptiveSegment &
+CompressedChannel::segmentForWindow(std::size_t w,
+                                    std::size_t &local) const
+{
+    COMPAQT_REQUIRE(isAdaptive() && windowSize > 0,
+                    "segmentForWindow needs an adaptive channel");
+    COMPAQT_REQUIRE(w < numWindows(), "window index out of range");
+    std::size_t begin = 0; // first global window of the segment
+    for (const auto &seg : segments) {
+        // Every segment but the last covers a whole number of
+        // windows (boundaries are window-aligned by construction).
+        const std::size_t span =
+            (seg.samples() + windowSize - 1) / windowSize;
+        if (w < begin + span) {
+            local = w - begin;
+            return seg;
+        }
+        begin += span;
+    }
+    COMPAQT_PANIC("adaptive segments cover fewer windows than "
+                  "numSamples implies");
 }
 
 dsp::CompressionStats
@@ -72,9 +123,20 @@ std::size_t
 CompressedWaveform::worstCaseWindowWords() const
 {
     std::size_t worst = 0;
-    for (const auto *ch : {&i, &q})
+    for (const auto *ch : {&i, &q}) {
         for (const auto &w : ch->windows)
             worst = std::max(worst, w.words());
+        // Adaptive channels: ramp windows count as usual; a flat
+        // segment occupies one codeword, which any width holds.
+        for (const auto &seg : ch->segments) {
+            if (seg.isFlat) {
+                worst = std::max<std::size_t>(worst, 1);
+                continue;
+            }
+            for (const auto &w : seg.windows.windows)
+                worst = std::max(worst, w.words());
+        }
+    }
     return worst;
 }
 

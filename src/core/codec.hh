@@ -80,11 +80,23 @@ struct CompressedWindow
     }
 };
 
+struct AdaptiveSegment;
+
 /**
  * One compressed channel (I or Q) of a waveform. Transform codecs
  * fill `windows`; the delta codec fills `delta` (checkpointed when
  * the codec was configured with a window size, which is what makes
  * its per-window decode O(windowSize)).
+ *
+ * A channel may instead carry the adaptive flat-top representation of
+ * Section V-D: `segments` non-empty means the samples are a sequence
+ * of window-aligned ramp segments (each a plain windowed sub-channel)
+ * and flat segments (one repeat codeword each, decoded through the
+ * IDCT bypass). `windows` and `delta` are empty then; numSamples and
+ * windowSize stay authoritative, so the global window grid
+ * (numWindows / windowSamples) is identical to the plain
+ * representation's and window-level consumers address both the same
+ * way.
  */
 struct CompressedChannel
 {
@@ -96,9 +108,16 @@ struct CompressedChannel
     std::vector<CompressedWindow> windows;
     /** Delta-coded payload ("delta" codec only). */
     dsp::DeltaEncoded delta;
+    /** Adaptive flat-top segmentation (empty = plain channel). */
+    std::vector<AdaptiveSegment> segments;
+
+    /** True when this channel carries the adaptive flat-top
+     *  representation. */
+    bool isAdaptive() const { return !segments.empty(); }
 
     /** Number of decodable windows (derived from numSamples for
-     *  delta-coded channels, which store no CompressedWindow). */
+     *  delta-coded and adaptive channels, which store no top-level
+     *  CompressedWindow). */
     std::size_t numWindows() const;
 
     /** Decoded sample count of window `w` — windowSize except for
@@ -106,10 +125,56 @@ struct CompressedChannel
     std::size_t windowSamples(std::size_t w) const;
 
     /** Total memory words across windows (sample-word equivalents of
-     *  the bit-level encoding for delta channels). */
+     *  the bit-level encoding for delta channels; one codeword per
+     *  flat segment for adaptive channels). */
     std::size_t totalWords() const;
 
+    /** Samples reconstructed through the IDCT (all of them for a
+     *  plain transform channel; ramp samples only when adaptive). */
+    std::size_t idctSamples() const;
+
+    /** Samples served by the IDCT-bypass path (flat-segment samples;
+     *  0 for a plain channel). */
+    std::size_t bypassSamples() const;
+
+    /**
+     * The segment covering global window `w` of an adaptive channel,
+     * plus the window index local to that segment's sub-channel
+     * (meaningful for ramp segments). Segment boundaries are
+     * window-aligned by construction, so every global window maps
+     * into exactly one segment.
+     * @pre isAdaptive() && w < numWindows()
+     */
+    const AdaptiveSegment &segmentForWindow(std::size_t w,
+                                            std::size_t &local) const;
+
     dsp::CompressionStats stats() const;
+};
+
+/**
+ * One segment of an adaptively compressed channel (Section V-D,
+ * Fig 13): either `count` repeats of `value` served through the IDCT
+ * bypass, or a plain windowed sub-channel for a ramp. Ramp
+ * sub-channels never nest further segments.
+ */
+struct AdaptiveSegment
+{
+    /** True: `count` copies of `value` (IDCT bypass). */
+    bool isFlat = false;
+    /** Repeated sample value (flat segments), stored at the
+     *  quantized resolution the bypass DAC path emits. */
+    double value = 0.0;
+    /** Number of repeated samples (flat segments). */
+    std::size_t count = 0;
+    /** DCT-compressed windows (ramp segments). */
+    CompressedChannel windows;
+
+    /** Decoded samples this segment contributes. */
+    std::size_t
+    samples() const
+    {
+        return isFlat ? count : windows.numSamples;
+    }
 };
 
 /**

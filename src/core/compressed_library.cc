@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "core/library_compiler.hh"
 
 namespace compaqt::core
 {
@@ -22,7 +23,11 @@ constexpr std::uint32_t kMagic = 0x43505154; // "CPQT"
 //   3 — delta payload lives inside each channel record (with its
 //       checkpoint side index) instead of two waveform-level fields;
 //       v1/v2 delta fields are migrated into the channels on load
-constexpr std::uint32_t kVersion = 3;
+//   4 — each channel record carries its adaptive flat-top segment
+//       list (Section V-D): flat segments as (value, count) repeat
+//       codewords, ramp segments as nested plain channel records.
+//       v1-v3 channels load with no segments (plain representation)
+constexpr std::uint32_t kVersion = 4;
 
 /** Registry names of the closed v1 codec enum, in enum order. */
 constexpr const char *kV1CodecNames[] = {"delta", "dct-n", "dct-w",
@@ -134,7 +139,7 @@ readDeltaV3(std::istream &is)
 }
 
 void
-writeChannel(std::ostream &os, const CompressedChannel &ch)
+writeChannelBody(std::ostream &os, const CompressedChannel &ch)
 {
     writePod<std::uint64_t>(os, ch.numSamples);
     writePod<std::uint64_t>(os, ch.windowSize);
@@ -147,8 +152,25 @@ writeChannel(std::ostream &os, const CompressedChannel &ch)
     writeDeltaV3(os, ch.delta);
 }
 
+void
+writeChannel(std::ostream &os, const CompressedChannel &ch)
+{
+    writeChannelBody(os, ch);
+    // v4 trailer: the adaptive segment list. Ramp sub-channels are
+    // plain by construction (one level of nesting only).
+    writePod<std::uint64_t>(os, ch.segments.size());
+    for (const auto &seg : ch.segments) {
+        writePod<std::uint8_t>(os, seg.isFlat ? 1 : 0);
+        writePod<double>(os, seg.value);
+        writePod<std::uint64_t>(os, seg.count);
+        COMPAQT_REQUIRE(seg.windows.segments.empty(),
+                        "adaptive ramp sub-channels must be plain");
+        writeChannelBody(os, seg.windows);
+    }
+}
+
 CompressedChannel
-readChannel(std::istream &is, std::uint32_t version)
+readChannelBody(std::istream &is, std::uint32_t version)
 {
     CompressedChannel ch;
     ch.numSamples = readPod<std::uint64_t>(is);
@@ -165,27 +187,61 @@ readChannel(std::istream &is, std::uint32_t version)
     return ch;
 }
 
+CompressedChannel
+readChannel(std::istream &is, std::uint32_t version)
+{
+    CompressedChannel ch = readChannelBody(is, version);
+    if (version < 4)
+        return ch; // pre-adaptive formats: always plain
+    const auto nsegs = readPod<std::uint64_t>(is);
+    ch.segments.resize(nsegs);
+    for (auto &seg : ch.segments) {
+        seg.isFlat = readPod<std::uint8_t>(is) != 0;
+        seg.value = readPod<double>(is);
+        seg.count = readPod<std::uint64_t>(is);
+        seg.windows = readChannelBody(is, version);
+    }
+    // Validate the segment structure the decode planes rely on — a
+    // corrupt or hostile stream must die here, not as an out-of-
+    // bounds write during playback: segments decode to exactly
+    // numSamples, and every boundary but the last is window-aligned.
+    if (!ch.segments.empty()) {
+        COMPAQT_REQUIRE(ch.windowSize > 0 && ch.windows.empty(),
+                        "adaptive channel record with no window "
+                        "grid (corrupt library stream)");
+        std::size_t pos = 0;
+        for (const auto &seg : ch.segments) {
+            COMPAQT_REQUIRE(pos % ch.windowSize == 0,
+                            "adaptive segment boundary is not "
+                            "window-aligned (corrupt library stream)");
+            const std::size_t n =
+                seg.isFlat ? seg.count : seg.windows.numSamples;
+            COMPAQT_REQUIRE(n > 0 && n <= ch.numSamples - pos,
+                            "adaptive segments overrun numSamples "
+                            "(corrupt library stream)");
+            pos += n;
+        }
+        COMPAQT_REQUIRE(pos == ch.numSamples,
+                        "adaptive segments decode to fewer samples "
+                        "than numSamples (corrupt library stream)");
+    }
+    return ch;
+}
+
 } // namespace
 
 CompressedLibrary
 CompressedLibrary::build(const waveform::PulseLibrary &lib,
                          const FidelityAwareConfig &cfg)
 {
-    // One codec instance (and its plans/scratch) shared across the
-    // whole library, not re-created per pulse.
-    const auto codec = CodecRegistry::instance().create(
-        cfg.base.codec, cfg.base.windowSize);
-    CompressedLibrary out;
-    for (const auto &[id, wf] : lib.entries()) {
-        FidelityAwareResult r = compressFidelityAware(*codec, wf, cfg);
-        CompressedEntry e;
-        e.cw = std::move(r.compressed);
-        e.threshold = r.threshold;
-        e.mse = r.mse;
-        e.converged = r.converged;
-        out.entries_[id] = std::move(e);
-    }
-    return out;
+    // The historical serial single-codec build: one worker, no
+    // per-channel planning. LibraryCompiler is the full compile
+    // plane (parallel fan-out + adaptive planning).
+    LibraryCompilerConfig c;
+    c.fidelity = cfg;
+    c.workers = 1;
+    c.planPerChannel = false;
+    return LibraryCompiler(c).compile(lib).library;
 }
 
 bool

@@ -41,7 +41,11 @@ class CompressedLibrary
   public:
     /**
      * Compress every waveform of a pulse library with per-gate
-     * fidelity-aware thresholding.
+     * fidelity-aware thresholding — the historical serial,
+     * single-codec entry point. The full compile plane (parallel
+     * gate fan-out, per-channel adaptive planning) is
+     * core::LibraryCompiler; this forwards to it with one worker and
+     * planning off.
      */
     static CompressedLibrary build(const waveform::PulseLibrary &lib,
                                    const FidelityAwareConfig &cfg);
@@ -77,10 +81,14 @@ class CompressedLibrary
     /** Per-gate compression ratios in entry order. */
     std::vector<double> ratios() const;
 
-    /** Serialize to a binary stream. */
+    /** Serialize to a binary stream (format v4: per-channel adaptive
+     *  segment lists ride along with the windowed payload). */
     void save(std::ostream &os) const;
 
-    /** Deserialize; exact inverse of save(). */
+    /** Deserialize; exact inverse of save(). Streams written by
+     *  older builds (v1-v3) load too and migrate in place: legacy
+     *  delta trailers move into the channels, pre-adaptive channels
+     *  load as plain. */
     static CompressedLibrary load(std::istream &is);
 
     /** Insert or replace an entry (for custom pulses). */

@@ -130,7 +130,8 @@ Decompressor::decompressChannel(const CompressedChannel &ch,
                                 std::string_view codec_name,
                                 std::vector<double> &out) const
 {
-    codec(codec_name, ch.windowSize).decompressChannel(ch, out);
+    out.resize(ch.numSamples);
+    decodeChannelInto(ch, codec_name, out);
 }
 
 void
@@ -138,7 +139,30 @@ Decompressor::decodeChannelInto(const CompressedChannel &ch,
                                 std::string_view codec_name,
                                 SampleSpan out) const
 {
-    codec(codec_name, ch.windowSize).decodeInto(ch, out);
+    if (!ch.isAdaptive()) {
+        codec(codec_name, ch.windowSize).decodeInto(ch, out);
+        return;
+    }
+    // Adaptive flat-top channel: ramp sub-channels decode through the
+    // codec; flat segments are constant fills that never touch the
+    // transform (the software image of the hardware IDCT bypass).
+    COMPAQT_REQUIRE(out.size() == ch.numSamples,
+                    "adaptive channel output span has wrong size");
+    const ICodec &c = codec(codec_name, ch.windowSize);
+    std::size_t pos = 0;
+    for (const auto &seg : ch.segments) {
+        const std::size_t n = seg.samples();
+        COMPAQT_REQUIRE(pos + n <= ch.numSamples,
+                        "adaptive segments exceed numSamples");
+        if (seg.isFlat)
+            std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                        n, seg.value);
+        else
+            c.decodeInto(seg.windows, out.subspan(pos, n));
+        pos += n;
+    }
+    COMPAQT_REQUIRE(pos == ch.numSamples,
+                    "adaptive segments decode to wrong length");
 }
 
 std::size_t
@@ -147,8 +171,22 @@ Decompressor::decompressWindowInto(const CompressedChannel &ch,
                                    std::size_t window,
                                    SampleSpan out) const
 {
+    if (!ch.isAdaptive()) {
+        return codec(codec_name, ch.windowSize)
+            .decompressWindowInto(ch, window, out);
+    }
+    // Segment boundaries are window-aligned, so a global window maps
+    // into exactly one segment; flat windows are constant fills.
+    const std::size_t len = ch.windowSamples(window);
+    COMPAQT_REQUIRE(out.size() >= len, "window output span too small");
+    std::size_t local = 0;
+    const AdaptiveSegment &seg = ch.segmentForWindow(window, local);
+    if (seg.isFlat) {
+        std::fill_n(out.begin(), len, seg.value);
+        return len;
+    }
     return codec(codec_name, ch.windowSize)
-        .decompressWindowInto(ch, window, out);
+        .decompressWindowInto(seg.windows, local, out);
 }
 
 void
@@ -172,6 +210,11 @@ void
 Decompressor::decompress(const CompressedWaveform &cw,
                          waveform::IqWaveform &out) const
 {
+    if (cw.i.isAdaptive() || cw.q.isAdaptive()) {
+        decompressChannel(cw.i, cw.codec, out.i);
+        decompressChannel(cw.q, cw.codec, out.q);
+        return;
+    }
     codec(cw.codec, cw.windowSize).decompress(cw, out);
 }
 

@@ -58,6 +58,9 @@ class Decompressor
 
     /**
      * Zero-allocation channel decode into caller-owned memory.
+     * Adaptive flat-top channels decode here too: ramp segments go
+     * through the codec, flat segments become constant fills that
+     * never touch the transform.
      * @pre out.size() == ch.numSamples
      */
     void decodeChannelInto(const CompressedChannel &ch,
@@ -69,7 +72,10 @@ class Decompressor
      * primitive runtime::DecodedWindowCache fills its slabs from.
      * Output matches the corresponding slice of decodeChannelInto()
      * exactly; returns the samples written (the clamped tail length
-     * for the last window).
+     * for the last window). Windows of adaptive channels resolve
+     * through the window-aligned segment map: a flat window is a
+     * constant fill (IDCT bypass), a ramp window decodes from its
+     * segment's sub-channel.
      * @pre out.size() >= ch.windowSamples(window)
      * @throws std::logic_error when the codec cannot window-decode
      */

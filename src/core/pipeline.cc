@@ -11,6 +11,9 @@ namespace compaqt::core
 CompressionPipeline::Builder::Builder(std::string codec)
 {
     cfg_.base.codec = std::move(codec);
+    // The facade keeps the historical single-codec behavior unless
+    // planAdaptive() opts in.
+    plan_.planPerChannel = false;
 }
 
 CompressionPipeline::Builder &
@@ -49,10 +52,25 @@ CompressionPipeline::Builder::minThreshold(double t)
     return *this;
 }
 
+CompressionPipeline::Builder &
+CompressionPipeline::Builder::workers(int n)
+{
+    plan_.workers = n;
+    return *this;
+}
+
+CompressionPipeline::Builder &
+CompressionPipeline::Builder::planAdaptive(std::size_t min_flat_windows)
+{
+    plan_.planPerChannel = true;
+    plan_.minFlatWindows = min_flat_windows;
+    return *this;
+}
+
 CompressionPipeline
 CompressionPipeline::Builder::build() const
 {
-    return CompressionPipeline(cfg_, hasTarget_);
+    return CompressionPipeline(cfg_, hasTarget_, plan_);
 }
 
 CompressionPipeline::Builder
@@ -62,12 +80,15 @@ CompressionPipeline::with(std::string_view codec)
 }
 
 CompressionPipeline::CompressionPipeline(FidelityAwareConfig cfg,
-                                         bool has_target)
+                                         bool has_target,
+                                         LibraryCompilerConfig plan)
     : cfg_(std::move(cfg)), hasTarget_(has_target),
+      plan_(std::move(plan)),
       codec_(CodecRegistry::instance().create(cfg_.base.codec,
                                               cfg_.base.windowSize))
 {
     COMPAQT_REQUIRE(cfg_.base.threshold >= 0.0, "negative threshold");
+    COMPAQT_REQUIRE(plan_.workers >= 1, "pipeline needs >= 1 worker");
 }
 
 CompressedWaveform
@@ -123,12 +144,23 @@ CompressionPipeline::roundTripMse(const waveform::IqWaveform &wf) const
     return std::max(dsp::mse(wf.i, rt.i), dsp::mse(wf.q, rt.q));
 }
 
+LibraryCompileResult
+CompressionPipeline::compileLibrary(
+    const waveform::PulseLibrary &lib) const
+{
+    COMPAQT_REQUIRE(hasTarget_,
+                    "compileLibrary needs mseTarget() configured");
+    LibraryCompilerConfig c = plan_;
+    c.fidelity = cfg_;
+    return LibraryCompiler(c).compile(lib);
+}
+
 CompressedLibrary
 CompressionPipeline::compressLibrary(
     const waveform::PulseLibrary &lib) const
 {
     if (hasTarget_)
-        return CompressedLibrary::build(lib, cfg_);
+        return compileLibrary(lib).library;
 
     // Fixed-threshold mode: same library shape, no threshold search.
     CompressedLibrary out;

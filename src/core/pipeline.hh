@@ -28,6 +28,7 @@
 
 #include "core/compressed_library.hh"
 #include "core/fidelity_aware.hh"
+#include "core/library_compiler.hh"
 
 namespace compaqt::core
 {
@@ -60,12 +61,32 @@ class CompressionPipeline
         /** Algorithm 1 give-up floor (default 1e-6). */
         Builder &minThreshold(double t);
 
+        /**
+         * Worker threads (including the caller) library compiles fan
+         * out across (default 1). Any worker count produces a
+         * bit-identical library.
+         */
+        Builder &workers(int n);
+
+        /**
+         * Enable per-channel adaptive planning for library compiles:
+         * each channel ships the flat-top segmentation of Section
+         * V-D instead of the window codec when that costs fewer
+         * memory words at the same MSE target. Requires mseTarget()
+         * and a windowed integer codec to have any effect.
+         */
+        Builder &planAdaptive(std::size_t min_flat_windows = 2);
+
         /** Resolve the codec and build; fatal on unknown codec. */
         CompressionPipeline build() const;
 
       private:
         FidelityAwareConfig cfg_;
         bool hasTarget_ = false;
+        /** Compile-plane knobs (fidelity field filled at compile
+         *  time from cfg_). planPerChannel defaults off here: the
+         *  facade opts in through planAdaptive(). */
+        LibraryCompilerConfig plan_;
     };
 
     /** Start building a pipeline for a registry codec name. */
@@ -122,16 +143,28 @@ class CompressionPipeline
 
     /**
      * Compress a whole pulse library: Algorithm 1 per gate when an
-     * MSE target is configured, the fixed threshold otherwise.
+     * MSE target is configured (fanned out on the library compile
+     * plane with the configured worker count and planning mode), the
+     * fixed threshold otherwise (serial).
      */
     CompressedLibrary
     compressLibrary(const waveform::PulseLibrary &lib) const;
 
+    /**
+     * Same compile, returning the compile-plane statistics (words
+     * saved by planning, wall-clock, adaptive channel count).
+     * @pre hasMseTarget()
+     */
+    LibraryCompileResult
+    compileLibrary(const waveform::PulseLibrary &lib) const;
+
   private:
-    CompressionPipeline(FidelityAwareConfig cfg, bool has_target);
+    CompressionPipeline(FidelityAwareConfig cfg, bool has_target,
+                        LibraryCompilerConfig plan);
 
     FidelityAwareConfig cfg_;
     bool hasTarget_ = false;
+    LibraryCompilerConfig plan_;
     std::unique_ptr<const ICodec> codec_;
 };
 

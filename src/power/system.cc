@@ -51,13 +51,25 @@ adaptivePower(std::size_t ws, double avg_words_per_window,
 }
 
 double
-idctFraction(const core::AdaptiveChannel &ch)
+idctFraction(const core::CompressedChannel &ch)
 {
     const double total = static_cast<double>(ch.idctSamples()) +
                          static_cast<double>(ch.bypassSamples());
     if (total == 0.0)
         return 1.0;
     return static_cast<double>(ch.idctSamples()) / total;
+}
+
+double
+idctFraction(std::uint64_t bypass_samples,
+             std::uint64_t total_samples)
+{
+    COMPAQT_REQUIRE(bypass_samples <= total_samples,
+                    "bypass samples exceed total samples");
+    if (total_samples == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(bypass_samples) /
+                     static_cast<double>(total_samples);
 }
 
 } // namespace compaqt::power

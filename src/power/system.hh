@@ -8,7 +8,9 @@
 #ifndef COMPAQT_POWER_SYSTEM_HH
 #define COMPAQT_POWER_SYSTEM_HH
 
-#include "core/adaptive.hh"
+#include <cstdint>
+
+#include "core/codec.hh"
 #include "power/idct_power.hh"
 #include "power/sram.hh"
 
@@ -67,8 +69,19 @@ PowerBreakdown adaptivePower(std::size_t ws,
                              double idct_fraction,
                              const SystemParams &p = {});
 
-/** Fraction of samples an adaptive channel pushes through the IDCT. */
-double idctFraction(const core::AdaptiveChannel &ch);
+/** Fraction of samples a (possibly adaptive) compressed channel
+ *  pushes through the IDCT: 1.0 for a plain channel, the ramp share
+ *  for an adaptively segmented one. */
+double idctFraction(const core::CompressedChannel &ch);
+
+/**
+ * Same fraction from execution counters — feed it
+ * uarch::ExecutionStats::{bypassSamples, totalSamples} (or the
+ * runtime rack rollup) so a whole schedule's measured bypass share
+ * drives the power model directly.
+ */
+double idctFraction(std::uint64_t bypass_samples,
+                    std::uint64_t total_samples);
 
 } // namespace compaqt::power
 

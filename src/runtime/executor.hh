@@ -1,92 +1,20 @@
 /**
  * @file
- * A small persistent worker pool for shard execution. The pool owns
- * workers-1 threads; the calling thread participates in every run, so
- * an Executor(1) executes inline with zero threads and zero locking
- * surprises — the degenerate case the determinism tests compare
- * against.
- *
- * The only primitive is an indexed parallel-for: jobs are claimed
- * from an atomic counter, results are written by index into
- * caller-owned storage, and aggregation happens serially afterwards —
- * which is what makes N-worker execution bit-identical to 1-worker
- * execution no matter how the OS schedules the claims.
- *
- * Each forEach() publishes a fresh heap-allocated batch (function,
- * size, claim counter) that workers capture by shared_ptr, so a
- * worker waking late from a previous batch can never claim indices
- * from the current one.
+ * Compatibility shim: the worker pool was promoted to
+ * common::Executor (src/common/executor.hh) so the core library
+ * compile plane can fan work out on it without depending on the
+ * runtime layer. Runtime code keeps its historical spelling.
  */
 
 #ifndef COMPAQT_RUNTIME_EXECUTOR_HH
 #define COMPAQT_RUNTIME_EXECUTOR_HH
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <exception>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/executor.hh"
 
 namespace compaqt::runtime
 {
 
-/**
- * Fixed-size worker pool. forEach() calls must not be nested or
- * issued concurrently from multiple threads; one RuntimeService owns
- * one Executor.
- */
-class Executor
-{
-  public:
-    /** @param workers total workers including the caller; >= 1 */
-    explicit Executor(int workers);
-    ~Executor();
-
-    Executor(const Executor &) = delete;
-    Executor &operator=(const Executor &) = delete;
-
-    int workers() const { return workers_; }
-
-    /**
-     * Run fn(i) for every i in [0, n), spread across the pool; blocks
-     * until all jobs finish. If any job throws, the first exception
-     * is rethrown here after the batch drains.
-     */
-    void forEach(std::size_t n,
-                 const std::function<void(std::size_t)> &fn);
-
-  private:
-    /** One forEach invocation's jobs and claim state. */
-    struct Batch
-    {
-        const std::function<void(std::size_t)> *fn = nullptr;
-        std::size_t n = 0;
-        std::atomic<std::size_t> next{0};
-        /** Finished jobs; guarded by the pool mutex. */
-        std::size_t completed = 0;
-        /** First exception thrown; guarded by the pool mutex. */
-        std::exception_ptr error;
-    };
-
-    void workerLoop();
-    /** Claim and run jobs of `batch` until exhausted. */
-    void drain(Batch &batch);
-
-    int workers_;
-    std::vector<std::thread> threads_;
-
-    std::mutex mu_;
-    std::condition_variable wake_;
-    std::condition_variable done_;
-    /** Incremented per forEach; workers join each batch once. */
-    std::uint64_t generation_ = 0;
-    bool stop_ = false;
-    std::shared_ptr<Batch> current_;
-};
+using Executor = common::Executor;
 
 } // namespace compaqt::runtime
 

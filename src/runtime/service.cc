@@ -19,6 +19,7 @@ struct CellResult
     std::uint64_t gates = 0;
     std::uint64_t windows = 0;
     std::uint64_t samples = 0;
+    std::uint64_t bypassed = 0;
 };
 
 /**
@@ -66,20 +67,43 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
                 dec.resolve(cw.codec, ws);
             const auto nwin =
                 static_cast<std::uint32_t>(channel.numWindows());
-            if (!cached && scratch.size() < ws)
+            const bool adaptive = channel.isAdaptive();
+            if ((!cached || adaptive) && scratch.size() < ws)
                 scratch.resize(ws);
             for (std::uint32_t w = 0; w < nwin; ++w) {
+                // Flat windows of an adaptive channel are served as
+                // constant-fill spans straight from the repeat
+                // codeword: no IDCT, and no cache slot burned on a
+                // value the codeword already encodes in one word.
+                const core::CompressedChannel *winChannel = &channel;
+                std::size_t winIndex = w;
+                if (adaptive) {
+                    std::size_t local = 0;
+                    const core::AdaptiveSegment &seg =
+                        channel.segmentForWindow(w, local);
+                    if (seg.isFlat) {
+                        const std::size_t len =
+                            channel.windowSamples(w);
+                        std::fill_n(scratch.begin(), len, seg.value);
+                        cell.samples += len;
+                        cell.bypassed += len;
+                        ++cell.windows;
+                        continue;
+                    }
+                    winChannel = &seg.windows;
+                    winIndex = local;
+                }
                 if (cached) {
                     const DecodedWindowKey key{*id, ch, w};
                     const auto handle = cache.get(
                         key, ws, [&](SampleSpan out) {
                             return codec.decompressWindowInto(
-                                channel, w, out);
+                                *winChannel, winIndex, out);
                         });
                     cell.samples += handle.size();
                 } else {
                     cell.samples += codec.decompressWindowInto(
-                        channel, w,
+                        *winChannel, winIndex,
                         SampleSpan(scratch.data(), ws));
                 }
                 ++cell.windows;
@@ -161,9 +185,11 @@ RuntimeService::executeBatch(
             sh.demand.totalSamples += cell.demand.totalSamples;
             sh.demand.totalWordsRead += cell.demand.totalWordsRead;
             sh.demand.missingGates += cell.demand.missingGates;
+            sh.demand.bypassSamples += cell.demand.bypassSamples;
             sh.gatesPlayed += cell.gates;
             sh.windowsDecoded += cell.windows;
             sh.samplesDecoded += cell.samples;
+            sh.samplesBypassed += cell.bypassed;
         }
     }
     for (const auto &sh : stats.shards) {
@@ -175,6 +201,7 @@ RuntimeService::executeBatch(
         stats.totalGates += sh.gatesPlayed;
         stats.totalWindows += sh.windowsDecoded;
         stats.totalSamples += sh.samplesDecoded;
+        stats.totalBypassSamples += sh.samplesBypassed;
         stats.missingGates += sh.demand.missingGates;
     }
     stats.unownedEvents = unowned;

@@ -38,6 +38,9 @@ struct ShardStats
     std::uint64_t windowsDecoded = 0;
     /** Samples reconstructed for the shard's DACs. */
     std::uint64_t samplesDecoded = 0;
+    /** Of samplesDecoded, samples served by the adaptive IDCT
+     *  bypass as constant fills (never decoded, never cached). */
+    std::uint64_t samplesBypassed = 0;
 };
 
 /** Fleet-level rollup of one batch execution. */
@@ -55,6 +58,7 @@ struct RackStats
 
     std::uint64_t totalGates = 0;
     std::uint64_t totalSamples = 0;
+    std::uint64_t totalBypassSamples = 0;
     std::uint64_t totalWindows = 0;
     std::uint64_t missingGates = 0;
     /** Scheduled events no shard owns (a qubit outside the rack's

@@ -87,8 +87,9 @@ Controller::playEntryInto(const core::CompressedEntry &e,
                     "playGate models the compressed datapath");
     DecompressionPipeline pipe(EngineKind::IntDctW, cfg_.windowSize,
                                cfg_.memoryWidth);
-    pipe.load(e.cw.i);
-    return pipe.streamInto(out);
+    // streamAdaptiveInto degrades to load() + streamInto() for plain
+    // channels, so one call covers both library representations.
+    return pipe.streamAdaptiveInto(e.cw.i, out);
 }
 
 StreamStats
@@ -103,7 +104,7 @@ Controller::playGate(const waveform::GateId &id)
 {
     const core::CompressedEntry &e = lib_.entry(id);
     StreamResult r;
-    r.samples.resize(e.cw.i.windows.size() * cfg_.windowSize);
+    r.samples.resize(e.cw.i.numWindows() * cfg_.windowSize);
     r.stats = playEntryInto(e, r.samples);
     r.samples.resize(e.cw.i.numSamples);
     return r;
@@ -161,6 +162,10 @@ Controller::execute(const circuits::Schedule &sched) const
         const auto s = entry->cw.stats();
         stats.totalSamples += s.originalSamples;
         stats.totalWordsRead += s.compressedWords;
+        // Flat segments of adaptive channels are served through the
+        // IDCT bypass; charge them so the power split is visible.
+        stats.bypassSamples += entry->cw.i.bypassSamples() +
+                               entry->cw.q.bypassSamples();
     }
     int chan = 0;
     for (const auto &[t, d] : deltas) {

@@ -55,6 +55,11 @@ struct ExecutionStats
     bool feasible = true;
     /** Total samples streamed to DACs. */
     std::uint64_t totalSamples = 0;
+    /** Samples served through the adaptive IDCT bypass (flat
+     *  segments of adaptively compressed channels, Section V-D);
+     *  the rest of totalSamples went through the IDCT engine. The
+     *  power model reads this split (power::idctFraction). */
+    std::uint64_t bypassSamples = 0;
     /** Total memory words fetched. */
     std::uint64_t totalWordsRead = 0;
     /** Peak waveform-memory bandwidth demand, bytes/s. */

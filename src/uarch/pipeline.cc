@@ -85,40 +85,69 @@ DecompressionPipeline::stream()
     return r;
 }
 
-StreamResult
-DecompressionPipeline::streamAdaptive(const core::AdaptiveChannel &ch)
+StreamStats
+DecompressionPipeline::streamAdaptiveInto(
+    const core::CompressedChannel &ch, std::span<std::int32_t> out)
 {
     COMPAQT_REQUIRE(ch.windowSize == ws_,
                     "adaptive channel window size mismatch");
-    StreamResult r;
+    if (!ch.isAdaptive()) {
+        load(ch);
+        return streamInto(out);
+    }
+    COMPAQT_REQUIRE(out.size() >= ch.numWindows() * ws_,
+                    "stream output span too small");
+    StreamStats stats;
     std::uint64_t cycles = 2 + static_cast<std::uint64_t>(
         engine_.latency()); // pipeline fill
 
+    // Segment boundaries are window-aligned, so every segment but the
+    // final one starts and ends on a window boundary of `out`; only
+    // the final ramp segment may pad past numSamples (within the
+    // numWindows * ws capacity the caller provisioned).
+    std::size_t pos = 0;
     for (const auto &seg : ch.segments) {
         if (seg.isFlat) {
             // One codeword read; the decoded value feeds the DAC
             // buffer directly, bypassing memory and the IDCT
             // (Fig 13b). One cycle to issue the codeword.
+            COMPAQT_REQUIRE(seg.count <= out.size() - pos,
+                            "adaptive flat segment overruns the "
+                            "stream buffer");
             const auto v = dsp::IntDct::quantize(seg.value);
-            r.samples.insert(r.samples.end(), seg.count, v);
-            r.stats.wordsRead += 1;
-            r.stats.bypassSamples += seg.count;
+            std::fill_n(out.begin() +
+                            static_cast<std::ptrdiff_t>(pos),
+                        seg.count, v);
+            pos += seg.count;
+            stats.wordsRead += 1;
+            stats.bypassSamples += seg.count;
             cycles += 1;
             continue;
         }
         load(seg.windows);
-        const std::size_t base = r.samples.size();
-        r.samples.resize(base + memory_.numWindows() * ws_);
+        COMPAQT_REQUIRE(memory_.numWindows() * ws_ <=
+                            out.size() - pos,
+                        "adaptive ramp segment overruns the stream "
+                        "buffer");
         const StreamStats part = streamInto(
-            {r.samples.data() + base, memory_.numWindows() * ws_});
-        r.samples.resize(base + loadedSamples_);
-        r.stats.wordsRead += part.wordsRead;
-        r.stats.idctWindows += part.idctWindows;
+            out.subspan(pos, memory_.numWindows() * ws_));
+        pos += loadedSamples_;
+        stats.wordsRead += part.wordsRead;
+        stats.idctWindows += part.idctWindows;
         cycles += part.idctWindows; // steady-state pipelining
     }
+    stats.cycles = cycles;
+    stats.samplesOut = ch.numSamples;
+    return stats;
+}
+
+StreamResult
+DecompressionPipeline::streamAdaptive(const core::CompressedChannel &ch)
+{
+    StreamResult r;
+    r.samples.resize(ch.numWindows() * ws_);
+    r.stats = streamAdaptiveInto(ch, r.samples);
     r.samples.resize(ch.numSamples);
-    r.stats.cycles = cycles;
-    r.stats.samplesOut = r.samples.size();
     return r;
 }
 

@@ -18,7 +18,6 @@
 #include <span>
 #include <vector>
 
-#include "core/adaptive.hh"
 #include "core/compressor.hh"
 #include "uarch/bram.hh"
 #include "uarch/idct_engine.hh"
@@ -101,11 +100,21 @@ class DecompressionPipeline
     StreamResult stream();
 
     /**
-     * Stream an adaptively compressed channel: flat segments take the
-     * bypass path (one cycle per codeword, no memory/IDCT activity
-     * beyond it).
+     * Stream a channel that may carry the adaptive flat-top
+     * representation into caller-owned memory: ramp segments load
+     * and stream through the full fetch -> RLE -> IDCT pipeline,
+     * flat segments take the bypass path (one cycle per repeat
+     * codeword, no memory or IDCT activity beyond it — Fig 13b).
+     * A plain channel degenerates to load() + streamInto().
+     * @pre out.size() >= ch.numWindows() * windowSize
+     * @return playback statistics (samplesOut == ch.numSamples,
+     *         bypassSamples == ch.bypassSamples())
      */
-    StreamResult streamAdaptive(const core::AdaptiveChannel &ch);
+    StreamStats streamAdaptiveInto(const core::CompressedChannel &ch,
+                                   std::span<std::int32_t> out);
+
+    /** Allocating shim over streamAdaptiveInto(). */
+    StreamResult streamAdaptive(const core::CompressedChannel &ch);
 
     const IdctEngine &engine() const { return engine_; }
 

@@ -92,7 +92,7 @@ raisedCosine(std::size_t n, double amp)
 }
 
 FlatRun
-findFlatRun(const std::vector<double> &x, std::size_t min_run,
+findFlatRun(std::span<const double> x, std::size_t min_run,
             double tolerance)
 {
     FlatRun best;

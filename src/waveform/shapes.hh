@@ -19,6 +19,7 @@
 #define COMPAQT_WAVEFORM_SHAPES_HH
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace compaqt::waveform
@@ -81,7 +82,7 @@ struct FlatRun
     std::size_t length = 0;
 };
 
-FlatRun findFlatRun(const std::vector<double> &x, std::size_t min_run,
+FlatRun findFlatRun(std::span<const double> x, std::size_t min_run,
                     double tolerance = 1e-12);
 
 } // namespace compaqt::waveform

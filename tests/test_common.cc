@@ -1,15 +1,21 @@
 /**
  * @file
  * Unit tests for common utilities: RNG determinism and distributions,
- * statistics, histogram, decay fitting, table formatting.
+ * statistics, histogram, decay fitting, table formatting, and the
+ * shared worker pool (common::Executor).
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <barrier>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/executor.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -192,6 +198,69 @@ TEST(Units, Conversions)
     EXPECT_DOUBLE_EQ(units::toGBs(2e9), 2.0);
     EXPECT_DOUBLE_EQ(units::toMB(5e6), 5.0);
     EXPECT_DOUBLE_EQ(units::toMW(0.003), 3.0);
+}
+
+// ------------------------------------------------- shared worker pool
+
+TEST(Executor, WorkerIdsAreStableAndInRange)
+{
+    common::Executor exec(4);
+    const auto main_id = std::this_thread::get_id();
+    std::vector<int> worker_of_job(64, -1);
+    std::atomic<bool> caller_participated{false};
+    exec.forEachWorker(worker_of_job.size(),
+                       [&](std::size_t worker, std::size_t i) {
+                           worker_of_job[i] =
+                               static_cast<int>(worker);
+                           if (std::this_thread::get_id() == main_id)
+                               caller_participated = worker == 0;
+                       });
+    for (const int w : worker_of_job) {
+        ASSERT_GE(w, 0);
+        ASSERT_LT(w, 4);
+    }
+    // The calling thread drains jobs too, always as worker 0.
+    EXPECT_TRUE(caller_participated.load());
+}
+
+TEST(Executor, PoolThreadExceptionPropagatesToCaller)
+{
+    // Regression guard for the promoted contract: an exception
+    // thrown by a job running on a *pool thread* (not the caller)
+    // must reach the forEach caller, not vanish into the pool. A
+    // barrier of all 4 workers guarantees every worker claims
+    // exactly one of the 4 jobs, then everyone but the caller
+    // throws.
+    common::Executor exec(4);
+    const auto main_id = std::this_thread::get_id();
+    std::barrier sync(4);
+    EXPECT_THROW(
+        exec.forEach(4,
+                     [&](std::size_t) {
+                         sync.arrive_and_wait();
+                         if (std::this_thread::get_id() != main_id)
+                             throw std::runtime_error(
+                                 "pool worker failed");
+                     }),
+        std::runtime_error);
+}
+
+TEST(Executor, WorkerExceptionDoesNotAbandonRemainingJobs)
+{
+    // The batch drains fully even when a job throws: every index
+    // still runs exactly once (first error is rethrown afterwards).
+    common::Executor exec(3);
+    std::vector<std::atomic<int>> runs(97);
+    EXPECT_THROW(exec.forEach(runs.size(),
+                              [&](std::size_t i) {
+                                  runs[i].fetch_add(1);
+                                  if (i % 10 == 0)
+                                      throw std::runtime_error(
+                                          "sporadic");
+                              }),
+                 std::runtime_error);
+    for (auto &r : runs)
+        ASSERT_EQ(r.load(), 1);
 }
 
 } // namespace

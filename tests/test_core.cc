@@ -16,6 +16,7 @@
 #include "core/compressor.hh"
 #include "core/decompressor.hh"
 #include "core/fidelity_aware.hh"
+#include "core/library_compiler.hh"
 #include "dsp/metrics.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
@@ -255,10 +256,33 @@ TEST(Adaptive, RoundTripMatchesOriginal)
     const AdaptiveCompressor comp(cfg);
     const auto wf = testFlatTop();
     const auto ac = comp.compress(wf);
-    const auto rt = AdaptiveCompressor::decompress(ac);
+    const Decompressor dec;
+    const auto rt = dec.decompress(ac);
     EXPECT_LT(dsp::mse(wf.i, rt.i), 1e-5);
     EXPECT_LT(dsp::mse(wf.q, rt.q), 1e-5);
     EXPECT_EQ(rt.i.size(), wf.i.size());
+}
+
+TEST(Adaptive, WindowDecodeMatchesChannelDecode)
+{
+    // The window-level adaptive path (what the runtime cache uses)
+    // must slice exactly like the whole-channel decode.
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
+    const AdaptiveCompressor comp(cfg);
+    const auto ac = comp.compress(testFlatTop());
+    ASSERT_TRUE(ac.i.isAdaptive());
+    const Decompressor dec;
+    const auto golden = dec.decompressChannel(ac.i, ac.codec);
+    std::vector<double> window(16);
+    std::vector<double> assembled;
+    for (std::size_t w = 0; w < ac.i.numWindows(); ++w) {
+        const auto n = dec.decompressWindowInto(ac.i, ac.codec, w,
+                                                window);
+        assembled.insert(assembled.end(), window.begin(),
+                         window.begin() +
+                             static_cast<std::ptrdiff_t>(n));
+    }
+    EXPECT_EQ(assembled, golden);
 }
 
 TEST(Adaptive, BypassCoversTheFlatRegion)
@@ -284,14 +308,17 @@ TEST(Adaptive, BeatsPlainCompressionOnFlatTops)
               comp.compress(wf).ratio());
 }
 
-TEST(Adaptive, PureGaussianHasNoFlatSegment)
+TEST(Adaptive, PureGaussianStaysPlain)
 {
+    // No qualifying flat run: the plain windowed representation is
+    // returned unchanged, so planners can test isAdaptive().
     CompressorConfig cfg{"int-dct", 16, 1e-3};
     const AdaptiveCompressor comp(cfg);
     const auto ac = comp.compress(testDrag());
-    ASSERT_EQ(ac.i.segments.size(), 1u);
-    EXPECT_FALSE(ac.i.segments[0].isFlat);
+    EXPECT_FALSE(ac.i.isAdaptive());
+    EXPECT_FALSE(ac.q.isAdaptive());
     EXPECT_EQ(ac.i.bypassSamples(), 0u);
+    EXPECT_FALSE(ac.i.windows.empty());
 }
 
 // ---------------------------------------------------- compressed library
@@ -363,6 +390,411 @@ TEST(CompressedLibrary, LoadRejectsGarbage)
     std::stringstream ss;
     ss << "not a compressed library";
     EXPECT_DEATH({ auto l = CompressedLibrary::load(ss); }, "magic");
+}
+
+// -------------------------------------------------- library compile plane
+
+/** A small flat-top-heavy device library: CR-style CX pulses with a
+ *  long constant middle plus DRAG 1Q gates. */
+waveform::PulseLibrary
+flatTopHeavyLibrary()
+{
+    waveform::PulseLibrary lib;
+    for (int q = 0; q < 3; ++q) {
+        lib.insert({waveform::GateType::X, q, -1},
+                   waveform::drag(160, 40.0, 0.15 + 0.01 * q, 0.8));
+        lib.insert({waveform::GateType::CX, q, q + 1},
+                   waveform::gaussianSquare(1360, 200,
+                                            0.10 + 0.01 * q, 0.12));
+    }
+    // A mixed-representation gate: flat-top I, Hann Q with no flat
+    // run — the planner must be able to ship I adaptive and Q plain.
+    waveform::IqWaveform mixed =
+        waveform::gaussianSquare(1360, 200, 0.11, 0.0);
+    mixed.q = waveform::raisedCosine(1360, 0.08);
+    lib.insert({waveform::GateType::Measure, 0, -1},
+               std::move(mixed));
+    return lib;
+}
+
+LibraryCompilerConfig
+compilerConfig(bool plan, int workers)
+{
+    LibraryCompilerConfig cfg;
+    cfg.fidelity.base.codec = "int-dct";
+    cfg.fidelity.base.windowSize = 16;
+    cfg.planPerChannel = plan;
+    cfg.workers = workers;
+    return cfg;
+}
+
+std::string
+serialized(const CompressedLibrary &lib)
+{
+    std::stringstream ss;
+    lib.save(ss);
+    return ss.str();
+}
+
+TEST(LibraryCompiler, WorkerCountDoesNotChangeTheLibrary)
+{
+    const auto lib = flatTopHeavyLibrary();
+    const auto one =
+        LibraryCompiler(compilerConfig(true, 1)).compile(lib);
+    const auto eight =
+        LibraryCompiler(compilerConfig(true, 8)).compile(lib);
+    // Bit-identical serialized bytes, not just equal stats.
+    EXPECT_EQ(serialized(one.library), serialized(eight.library));
+    EXPECT_EQ(one.stats.plannedWords, eight.stats.plannedWords);
+    EXPECT_EQ(one.stats.adaptiveChannels,
+              eight.stats.adaptiveChannels);
+    EXPECT_EQ(eight.stats.workers, 8);
+}
+
+TEST(LibraryCompiler, PerChannelPlanningSavesWordsOnFlatTops)
+{
+    const auto lib = flatTopHeavyLibrary();
+    const auto plain =
+        LibraryCompiler(compilerConfig(false, 1)).compile(lib);
+    const auto planned =
+        LibraryCompiler(compilerConfig(true, 2)).compile(lib);
+
+    // Planning never runs when disabled...
+    EXPECT_EQ(plain.stats.adaptiveChannels, 0u);
+    EXPECT_EQ(plain.stats.plannedWords, plain.stats.windowCodecWords);
+    // ...and on a flat-top-heavy library it ships adaptive channels
+    // that cost strictly fewer memory words.
+    EXPECT_GT(planned.stats.adaptiveChannels, 0u);
+    EXPECT_LT(planned.stats.plannedWords,
+              plain.stats.plannedWords);
+    EXPECT_GT(planned.stats.wordsSavedFraction(), 0.0);
+
+    // Every shipped representation still meets the MSE target.
+    Decompressor dec;
+    for (const auto &[id, e] : planned.library.entries()) {
+        const auto &wf = lib.waveform(id);
+        const auto rt = dec.decompress(e.cw);
+        const double worst =
+            std::max(dsp::mse(wf.i, rt.i), dsp::mse(wf.q, rt.q));
+        EXPECT_LE(worst, compilerConfig(true, 1).fidelity.targetMse)
+            << waveform::toString(id);
+        EXPECT_NEAR(e.mse, worst, 1e-12);
+        // When exactly one channel ships adaptively, the surviving
+        // plain channel must have shed its equalization padding:
+        // no explicit trailing zeros left in any window prefix.
+        if (e.cw.i.isAdaptive() != e.cw.q.isAdaptive()) {
+            const auto &plainCh =
+                e.cw.i.isAdaptive() ? e.cw.q : e.cw.i;
+            for (const auto &w : plainCh.windows)
+                if (!w.icoeffs.empty())
+                    EXPECT_NE(w.icoeffs.back(), 0)
+                        << waveform::toString(id);
+        }
+    }
+    // The fixture's Measure gate exists to pin the mixed case down.
+    const auto &mixed =
+        planned.library.entry({waveform::GateType::Measure, 0, -1});
+    EXPECT_TRUE(mixed.cw.i.isAdaptive());
+    EXPECT_FALSE(mixed.cw.q.isAdaptive());
+}
+
+TEST(LibraryCompiler, PlanningIsANoOpForNonIntegerCodecs)
+{
+    auto cfg = compilerConfig(true, 2);
+    cfg.fidelity.base.codec = "dct-w";
+    const auto r = LibraryCompiler(cfg).compile(flatTopHeavyLibrary());
+    EXPECT_EQ(r.stats.adaptiveChannels, 0u);
+    EXPECT_EQ(r.stats.plannedWords, r.stats.windowCodecWords);
+}
+
+TEST(LibraryCompiler, PlannedLibrarySerializationRoundTrips)
+{
+    const auto lib = flatTopHeavyLibrary();
+    const auto planned =
+        LibraryCompiler(compilerConfig(true, 2)).compile(lib);
+    ASSERT_GT(planned.stats.adaptiveChannels, 0u);
+
+    std::stringstream ss;
+    planned.library.save(ss);
+    const auto loaded = CompressedLibrary::load(ss);
+    ASSERT_EQ(loaded.size(), planned.library.size());
+    // A second save produces the same bytes (stable v4 encoding)...
+    EXPECT_EQ(serialized(loaded), serialized(planned.library));
+    // ...and adaptive channels decode bit-identically after the trip.
+    Decompressor dec;
+    for (const auto &[id, e] : planned.library.entries()) {
+        const auto a = dec.decompress(e.cw);
+        const auto b = dec.decompress(loaded.entry(id).cw);
+        EXPECT_EQ(a.i, b.i);
+        EXPECT_EQ(a.q, b.q);
+    }
+}
+
+// ------------------------------------- golden-bytes format migration
+
+/** Byte-level writers replicating the historical v1-v3 encoders. */
+template <typename T>
+void
+put(std::string &s, T v)
+{
+    s.append(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+void
+putVector(std::string &s, const std::vector<T> &v)
+{
+    put<std::uint64_t>(s, v.size());
+    if (!v.empty())
+        s.append(reinterpret_cast<const char *>(v.data()),
+                 v.size() * sizeof(T));
+}
+
+void
+putLegacyDelta(std::string &s, std::uint16_t base,
+               std::int32_t width, std::uint64_t count,
+               const std::vector<std::int32_t> &deltas)
+{
+    put<std::uint16_t>(s, base);
+    put<std::int32_t>(s, width);
+    put<std::uint64_t>(s, count);
+    put<std::uint8_t>(s, 0); // hasZeroCrossing
+    putVector(s, deltas);
+}
+
+/** A plain one-window int-dct channel body as v1-v3 wrote it. */
+void
+putIntChannel(std::string &s, std::uint64_t num_samples,
+              const std::vector<std::int32_t> &icoeffs,
+              std::uint32_t zeros, bool with_v3_delta)
+{
+    put<std::uint64_t>(s, num_samples);
+    put<std::uint64_t>(s, 4); // windowSize
+    put<std::uint64_t>(s, 1); // one window
+    putVector<double>(s, {}); // fcoeffs
+    putVector(s, icoeffs);
+    put<std::uint32_t>(s, zeros);
+    if (with_v3_delta) {
+        putLegacyDelta(s, 0, 0, 0, {});
+        put<std::uint64_t>(s, 0);   // checkpointStride
+        putVector<std::uint16_t>(s, {}); // checkpoints
+    }
+}
+
+void
+putEntryHeader(std::string &s, std::uint8_t gate_type,
+               std::int32_t q0, std::int32_t q1, double threshold,
+               double mse)
+{
+    put<std::uint8_t>(s, gate_type);
+    put<std::int32_t>(s, q0);
+    put<std::int32_t>(s, q1);
+    put<double>(s, threshold);
+    put<double>(s, mse);
+    put<std::uint8_t>(s, 1); // converged
+}
+
+constexpr std::uint32_t kGoldenMagic = 0x43505154;
+
+/** Field-level equality of two libraries (CompressedChannel has no
+ *  operator==; compare what serialization preserves). */
+void
+expectSameLibrary(const CompressedLibrary &a,
+                  const CompressedLibrary &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    auto ia = a.entries().begin();
+    for (const auto &[id, eb] : b.entries()) {
+        const auto &[ida, ea] = *ia++;
+        EXPECT_EQ(ida, id);
+        EXPECT_DOUBLE_EQ(ea.threshold, eb.threshold);
+        EXPECT_DOUBLE_EQ(ea.mse, eb.mse);
+        EXPECT_EQ(ea.cw.codec, eb.cw.codec);
+        EXPECT_EQ(ea.cw.windowSize, eb.cw.windowSize);
+        const CompressedChannel *chans[2][2] = {{&ea.cw.i, &eb.cw.i},
+                                                {&ea.cw.q, &eb.cw.q}};
+        for (const auto &pair : chans) {
+            const auto &ca = *pair[0];
+            const auto &cb = *pair[1];
+            EXPECT_EQ(ca.numSamples, cb.numSamples);
+            EXPECT_EQ(ca.windowSize, cb.windowSize);
+            ASSERT_EQ(ca.windows.size(), cb.windows.size());
+            for (std::size_t w = 0; w < ca.windows.size(); ++w) {
+                EXPECT_EQ(ca.windows[w].icoeffs,
+                          cb.windows[w].icoeffs);
+                EXPECT_EQ(ca.windows[w].fcoeffs,
+                          cb.windows[w].fcoeffs);
+                EXPECT_EQ(ca.windows[w].zeros, cb.windows[w].zeros);
+            }
+            EXPECT_EQ(ca.delta.base, cb.delta.base);
+            EXPECT_EQ(ca.delta.originalCount,
+                      cb.delta.originalCount);
+            EXPECT_EQ(ca.delta.deltas, cb.delta.deltas);
+            EXPECT_EQ(ca.segments.size(), cb.segments.size());
+        }
+    }
+}
+
+/** Load a hand-crafted legacy blob, re-save (v4), reload: the
+ *  migrated library must survive the v4 round trip unchanged. */
+void
+expectMigratesToV4(const std::string &blob)
+{
+    std::stringstream in(blob);
+    const auto loaded = CompressedLibrary::load(in);
+    std::stringstream out;
+    loaded.save(out);
+    const auto again = CompressedLibrary::load(out);
+    expectSameLibrary(loaded, again);
+}
+
+TEST(LibraryMigration, GoldenV1BlobLoadsAndRoundTripsIntoV4)
+{
+    std::string s;
+    put<std::uint32_t>(s, kGoldenMagic);
+    put<std::uint32_t>(s, 1); // version
+    put<std::uint64_t>(s, 1); // one entry
+    putEntryHeader(s, 0 /* X */, 0, -1, 0.0125, 3.1e-6);
+    put<std::uint8_t>(s, 3); // v1 codec enum: int-dct
+    put<std::uint64_t>(s, 4); // waveform windowSize
+    putIntChannel(s, 4, {812, -44}, 2, false);
+    putIntChannel(s, 4, {37}, 3, false);
+    // v1 trailer: waveform-level legacy delta pair (empty).
+    putLegacyDelta(s, 0, 0, 0, {});
+    putLegacyDelta(s, 0, 0, 0, {});
+
+    std::stringstream in(s);
+    const auto lib = CompressedLibrary::load(in);
+    ASSERT_EQ(lib.size(), 1u);
+    const auto &e =
+        lib.entry({waveform::GateType::X, 0, -1});
+    EXPECT_EQ(e.cw.codec, "int-dct"); // enum index migrated to name
+    EXPECT_DOUBLE_EQ(e.threshold, 0.0125);
+    ASSERT_EQ(e.cw.i.windows.size(), 1u);
+    EXPECT_EQ(e.cw.i.windows[0].icoeffs,
+              (std::vector<std::int32_t>{812, -44}));
+    EXPECT_FALSE(e.cw.i.isAdaptive());
+    expectMigratesToV4(s);
+}
+
+TEST(LibraryMigration, GoldenV1DeltaBlobRecoversNumSamples)
+{
+    std::string s;
+    put<std::uint32_t>(s, kGoldenMagic);
+    put<std::uint32_t>(s, 1);
+    put<std::uint64_t>(s, 1);
+    putEntryHeader(s, 1 /* SX */, 2, -1, 0.05, 1.2e-7);
+    put<std::uint8_t>(s, 0); // v1 codec enum: delta
+    put<std::uint64_t>(s, 0); // windowSize
+    // Empty channel bodies (delta entries stored no windows)...
+    putIntChannel(s, 0, {}, 0, false);
+    putIntChannel(s, 0, {}, 0, false);
+    // ...with the payload in the waveform-level trailer.
+    putLegacyDelta(s, 16384, 6, 5, {3, -2, 1, 0});
+    putLegacyDelta(s, 8192, 4, 5, {1, 1, -1, 2});
+
+    std::stringstream in(s);
+    const auto lib = CompressedLibrary::load(in);
+    const auto &e = lib.entry({waveform::GateType::SX, 2, -1});
+    EXPECT_EQ(e.cw.codec, "delta");
+    // The waveform-level trailer migrated into the channels and
+    // numSamples was recovered from the payload.
+    EXPECT_EQ(e.cw.i.delta.originalCount, 5u);
+    EXPECT_EQ(e.cw.i.numSamples, 5u);
+    EXPECT_EQ(e.cw.i.delta.deltas,
+              (std::vector<std::int32_t>{3, -2, 1, 0}));
+    expectMigratesToV4(s);
+}
+
+TEST(LibraryMigration, GoldenV2BlobLoadsAndRoundTripsIntoV4)
+{
+    std::string s;
+    put<std::uint32_t>(s, kGoldenMagic);
+    put<std::uint32_t>(s, 2); // version: codec stored by name
+    put<std::uint64_t>(s, 1);
+    putEntryHeader(s, 2 /* CX */, 1, 4, 0.025, 9.9e-6);
+    put<std::uint8_t>(s, 7); // name length
+    s.append("int-dct");
+    put<std::uint64_t>(s, 4);
+    putIntChannel(s, 7, {301, 12, -9}, 1, false);
+    putIntChannel(s, 7, {-45, 3}, 2, false);
+    putLegacyDelta(s, 0, 0, 0, {});
+    putLegacyDelta(s, 0, 0, 0, {});
+
+    std::stringstream in(s);
+    const auto lib = CompressedLibrary::load(in);
+    const auto &e = lib.entry({waveform::GateType::CX, 1, 4});
+    EXPECT_EQ(e.cw.codec, "int-dct");
+    EXPECT_EQ(e.cw.q.windows[0].icoeffs,
+              (std::vector<std::int32_t>{-45, 3}));
+    // Stored window records win over the derived count; the single
+    // window clamps to ws, numSamples stays authoritative.
+    EXPECT_EQ(e.cw.i.numWindows(), 1u);
+    EXPECT_EQ(e.cw.i.numSamples, 7u);
+    EXPECT_EQ(e.cw.i.windowSamples(0), 4u);
+    expectMigratesToV4(s);
+}
+
+TEST(LibraryMigration, CorruptV4SegmentTrailerDiesLoudly)
+{
+    // A hostile v4 stream whose flat segment claims a million
+    // samples against a 32-sample channel must die at load — not as
+    // an out-of-bounds write during playback.
+    std::string s;
+    put<std::uint32_t>(s, kGoldenMagic);
+    put<std::uint32_t>(s, 4);
+    put<std::uint64_t>(s, 1);
+    putEntryHeader(s, 0 /* X */, 0, -1, 0.01, 1e-6);
+    put<std::uint8_t>(s, 7);
+    s.append("int-dct");
+    put<std::uint64_t>(s, 16); // waveform windowSize
+    // I channel body: adaptive (no top-level windows).
+    put<std::uint64_t>(s, 32); // numSamples
+    put<std::uint64_t>(s, 16); // windowSize
+    put<std::uint64_t>(s, 0);  // no windows
+    putLegacyDelta(s, 0, 0, 0, {});
+    put<std::uint64_t>(s, 0);            // checkpointStride
+    putVector<std::uint16_t>(s, {});     // checkpoints
+    // Segment trailer: one flat segment with a hostile count.
+    put<std::uint64_t>(s, 1);
+    put<std::uint8_t>(s, 1);
+    put<double>(s, 0.5);
+    put<std::uint64_t>(s, 1000000);
+    // Nested (empty) ramp body.
+    put<std::uint64_t>(s, 0);
+    put<std::uint64_t>(s, 0);
+    put<std::uint64_t>(s, 0);
+    putLegacyDelta(s, 0, 0, 0, {});
+    put<std::uint64_t>(s, 0);
+    putVector<std::uint16_t>(s, {});
+
+    std::stringstream in(s);
+    EXPECT_DEATH({ auto l = CompressedLibrary::load(in); },
+                 "overrun");
+}
+
+TEST(LibraryMigration, GoldenV3BlobLoadsAndRoundTripsIntoV4)
+{
+    std::string s;
+    put<std::uint32_t>(s, kGoldenMagic);
+    put<std::uint32_t>(s, 3); // version: per-channel delta records
+    put<std::uint64_t>(s, 1);
+    putEntryHeader(s, 3 /* Measure */, 5, -1, 0.00625, 4.4e-8);
+    put<std::uint8_t>(s, 7);
+    s.append("int-dct");
+    put<std::uint64_t>(s, 4);
+    putIntChannel(s, 4, {650}, 3, true);
+    putIntChannel(s, 4, {649, -1}, 2, true);
+
+    std::stringstream in(s);
+    const auto lib = CompressedLibrary::load(in);
+    const auto &e = lib.entry({waveform::GateType::Measure, 5, -1});
+    ASSERT_EQ(e.cw.i.windows.size(), 1u);
+    EXPECT_EQ(e.cw.i.windows[0].zeros, 3u);
+    // v3 predates the adaptive variant: channels load plain.
+    EXPECT_FALSE(e.cw.i.isAdaptive());
+    EXPECT_FALSE(e.cw.q.isAdaptive());
+    expectMigratesToV4(s);
 }
 
 } // namespace

@@ -119,6 +119,24 @@ TEST(System, IdctFractionFromAdaptiveChannel)
     EXPECT_LT(f, 0.6); // most of the flat-top bypasses the IDCT
 }
 
+TEST(System, IdctFractionFromExecutionCounters)
+{
+    // The counter overload lets measured ExecutionStats drive the
+    // power model: fraction = 1 - bypass/total.
+    EXPECT_DOUBLE_EQ(idctFraction(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(idctFraction(0, 100), 1.0);
+    EXPECT_DOUBLE_EQ(idctFraction(75, 100), 0.25);
+    EXPECT_DEATH(idctFraction(101, 100), "bypass");
+}
+
+TEST(System, IdctFractionOfPlainChannelIsOne)
+{
+    core::CompressorConfig cfg{"int-dct", 16, 1e-3};
+    const core::Compressor comp(cfg);
+    const auto cw = comp.compress(waveform::drag(144, 36.0, 0.2, 1.2));
+    EXPECT_DOUBLE_EQ(idctFraction(cw.i), 1.0);
+}
+
 TEST(System, AdaptiveFractionBounds)
 {
     EXPECT_DEATH(adaptivePower(16, 2.5, 1.5), "fraction");

@@ -18,6 +18,7 @@
 #include "circuits/surface_code.hh"
 #include "core/decompressor.hh"
 #include "core/pipeline.hh"
+#include "dsp/int_dct.hh"
 #include "runtime/decoded_cache.hh"
 #include "runtime/executor.hh"
 #include "runtime/rack.hh"
@@ -604,6 +605,143 @@ TEST_F(RackSurface49, ShardCountPreservesFleetWork)
     }
     EXPECT_EQ(totals[0], totals[1]);
     EXPECT_EQ(totals[1], totals[2]);
+}
+
+// ------------------------------- adaptive playback through the rack
+
+/** A bogota rack whose library was compiled with per-channel
+ *  planning, plus a CX-heavy schedule that exercises the adaptive
+ *  flat-top entries. */
+struct AdaptiveRackFixture
+{
+    waveform::DeviceModel dev = waveform::DeviceModel::ibm("bogota");
+    core::LibraryCompileResult compiled;
+    circuits::Schedule sched;
+
+    AdaptiveRackFixture()
+    {
+        const auto lib = waveform::PulseLibrary::build(dev);
+        compiled = core::CompressionPipeline::with("int-dct")
+                       .window(16)
+                       .mseTarget(1e-5)
+                       .planAdaptive()
+                       .workers(2)
+                       .build()
+                       .compileLibrary(lib);
+        circuits::Circuit c(5);
+        for (const auto &[a, b] : dev.coupling())
+            c.add(circuits::Op::CX, {a, b});
+        for (int q = 0; q < 5; ++q)
+            c.add(circuits::Op::X, {q});
+        sched = circuits::schedule(c, {});
+    }
+
+    Rack
+    makeRack(std::size_t cache_windows) const
+    {
+        RackConfig rc;
+        rc.numShards = 2;
+        rc.controller = controllerConfig(compiled.library);
+        rc.cacheWindows = cache_windows;
+        return Rack(dev, compiled.library, rc);
+    }
+};
+
+TEST(RackAdaptive, FlatSegmentsBypassTheIdctDuringPlayback)
+{
+    const AdaptiveRackFixture fx;
+    // The CR flat-tops went adaptive at compile time.
+    ASSERT_GT(fx.compiled.stats.adaptiveChannels, 0u);
+
+    const Rack rack = fx.makeRack(4096);
+    RuntimeService svc(rack, {.workers = 2});
+    const auto stats = svc.execute(fx.sched);
+
+    // Expected bypass volume: the flat samples of every played gate.
+    std::uint64_t expect_bypass = 0, expect_samples = 0;
+    for (const auto &e : fx.sched.events) {
+        const auto id = uarch::gateIdFor(e.gate);
+        if (!id)
+            continue;
+        const auto &cw = fx.compiled.library.entry(*id).cw;
+        expect_bypass +=
+            cw.i.bypassSamples() + cw.q.bypassSamples();
+        expect_samples += cw.stats().originalSamples;
+    }
+    ASSERT_GT(expect_bypass, 0u);
+    EXPECT_EQ(stats.totalBypassSamples, expect_bypass);
+    EXPECT_EQ(stats.totalSamples, expect_samples);
+    // The demand model charges the same bypass the playback served.
+    std::uint64_t demand_bypass = 0;
+    for (const auto &sh : stats.shards)
+        demand_bypass += sh.demand.bypassSamples;
+    EXPECT_EQ(demand_bypass, expect_bypass);
+    // Flat windows never enter the cache, so cache traffic covers
+    // only the ramp windows.
+    EXPECT_LT(stats.cache.hits + stats.cache.misses,
+              stats.totalWindows);
+}
+
+TEST(RackAdaptive, CachedAndUncachedPlaybackAgree)
+{
+    const AdaptiveRackFixture fx;
+    const Rack cachedRack = fx.makeRack(4096);
+    const Rack uncachedRack = fx.makeRack(0);
+    RuntimeService cached(cachedRack, {.workers = 1});
+    RuntimeService uncached(uncachedRack, {.workers = 1});
+    const auto a = cached.execute(fx.sched);
+    const auto b = uncached.execute(fx.sched);
+    EXPECT_EQ(a.totalSamples, b.totalSamples);
+    EXPECT_EQ(a.totalBypassSamples, b.totalBypassSamples);
+    EXPECT_EQ(a.totalWindows, b.totalWindows);
+}
+
+TEST(RackAdaptive, WorkerCountDoesNotChangeAdaptivePlayback)
+{
+    const AdaptiveRackFixture fx;
+    std::vector<RackStats> runs;
+    for (const int workers : {1, 8}) {
+        const Rack rack = fx.makeRack(4096);
+        RuntimeService svc(rack, {.workers = workers});
+        runs.push_back(
+            svc.executeBatch({fx.sched, fx.sched}));
+    }
+    EXPECT_EQ(runs[0].totalSamples, runs[1].totalSamples);
+    EXPECT_EQ(runs[0].totalBypassSamples,
+              runs[1].totalBypassSamples);
+    EXPECT_EQ(runs[0].totalWindows, runs[1].totalWindows);
+    for (std::size_t s = 0; s < runs[0].shards.size(); ++s) {
+        EXPECT_EQ(runs[0].shards[s].samplesBypassed,
+                  runs[1].shards[s].samplesBypassed);
+        EXPECT_EQ(runs[0].shards[s].demand.bypassSamples,
+                  runs[1].shards[s].demand.bypassSamples);
+    }
+}
+
+TEST(RackAdaptive, ControllerPlaybackMatchesGoldenDecoder)
+{
+    // The acceptance contract: an adaptive entry plays back through
+    // the hardware pipeline bit-exact with the software decoder,
+    // with the IDCT engine bypassed on the flat segments.
+    const AdaptiveRackFixture fx;
+    uarch::Controller ctrl(controllerConfig(fx.compiled.library),
+                           fx.compiled.library);
+    const core::Decompressor dec;
+    bool sawAdaptive = false;
+    for (const auto &[id, e] : fx.compiled.library.entries()) {
+        if (!e.cw.i.isAdaptive())
+            continue;
+        sawAdaptive = true;
+        const auto played = ctrl.playGate(id);
+        EXPECT_GT(played.stats.bypassSamples, 0u);
+        const auto golden = dec.decompressChannel(e.cw.i, e.cw.codec);
+        ASSERT_EQ(played.samples.size(), golden.size());
+        for (std::size_t k = 0; k < golden.size(); ++k)
+            ASSERT_EQ(played.samples[k],
+                      dsp::IntDct::quantize(golden[k]))
+                << waveform::toString(id) << " sample " << k;
+    }
+    EXPECT_TRUE(sawAdaptive);
 }
 
 } // namespace

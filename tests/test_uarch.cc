@@ -219,18 +219,40 @@ TEST(Pipeline, AdaptiveBypassSkipsIdct)
     const core::AdaptiveCompressor acomp(cfg);
     const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.0);
     const auto ac = acomp.compress(wf);
+    ASSERT_TRUE(ac.i.isAdaptive());
 
     // Generous width: the fixed-threshold ramps may exceed 3 words.
     DecompressionPipeline pipe(EngineKind::IntDctW, 16, 16);
     const auto result = pipe.streamAdaptive(ac.i);
     EXPECT_GT(result.stats.bypassSamples, 800u);
-    // Decoded samples match the software adaptive decoder.
-    const auto golden = core::AdaptiveCompressor::decompressChannel(
-        ac.i);
+    EXPECT_EQ(result.stats.bypassSamples, ac.i.bypassSamples());
+    // Only ramp windows touched the IDCT engine.
+    EXPECT_LT(result.stats.idctWindows, ac.i.numWindows());
+    // Decoded samples match the software decoder (the golden model).
+    const core::Decompressor dec;
+    const auto golden = dec.decompressChannel(ac.i, ac.codec);
     ASSERT_EQ(result.samples.size(), golden.size());
     for (std::size_t k = 0; k < golden.size(); ++k)
         EXPECT_NEAR(dsp::IntDct::dequantize(result.samples[k]),
                     golden[k], 1e-12);
+}
+
+TEST(Pipeline, StreamAdaptiveHandlesPlainChannels)
+{
+    // A channel the segmenter left plain streams identically through
+    // streamAdaptive and the load()+stream() path.
+    core::CompressorConfig cfg{"int-dct", 16, 1e-3};
+    const core::Compressor comp(cfg);
+    const auto cw = comp.compress(waveform::drag(144, 36.0, 0.2, 1.2));
+    DecompressionPipeline a(EngineKind::IntDctW, 16, 16);
+    DecompressionPipeline b(EngineKind::IntDctW, 16, 16);
+    const auto viaAdaptive = a.streamAdaptive(cw.i);
+    b.load(cw.i);
+    const auto direct = b.stream();
+    EXPECT_EQ(viaAdaptive.samples, direct.samples);
+    EXPECT_EQ(viaAdaptive.stats.bypassSamples, 0u);
+    EXPECT_EQ(viaAdaptive.stats.idctWindows,
+              direct.stats.idctWindows);
 }
 
 // ------------------------------------------------------------ controller
