@@ -10,15 +10,17 @@
 #define COMPAQT_BENCH_BENCH_UTIL_HH
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/executor.hh"
+#include "common/json.hh"
 #include "common/table.hh"
 #include "core/compressed_library.hh"
 #include "core/pipeline.hh"
@@ -122,7 +124,8 @@ class JsonReport
     metric(const std::string &key, double value)
     {
         std::ostringstream ss;
-        ss << "\"" << key << "\": ";
+        jsonQuote(ss, key);
+        ss << ": ";
         if (std::isfinite(value))
             ss << std::setprecision(15) << value;
         else
@@ -131,18 +134,31 @@ class JsonReport
     }
 
   private:
+    /**
+     * Atomic best-effort write (runs from the destructor): emit to
+     * BENCH_<name>.json.tmp, verify the stream after flushing, and
+     * only then rename over the final path — a full disk or write
+     * error leaves the previous report intact instead of a truncated
+     * file downstream tooling would read as valid-but-partial.
+     */
     void
     write() const
     {
         const std::string path = "BENCH_" + name_ + ".json";
-        std::ofstream os(path);
+        const std::string tmp = path + ".tmp";
+        std::ofstream os(tmp);
         if (!os) {
-            std::cerr << "warning: cannot write " << path << '\n';
+            std::cerr << "warning: cannot write " << tmp << '\n';
             return;
         }
-        os << "{\"bench\": \"" << name_ << "\",\n \"env\": {"
+        os << "{\"bench\": ";
+        jsonQuote(os, name_);
+        os << ",\n \"env\": {"
            << "\"hardware_concurrency\": "
-           << std::thread::hardware_concurrency()
+           // defaultWorkerCount() is hardware_concurrency() clamped
+           // to >= 1 — the standard permits a raw 0, which would
+           // poison every scaling trajectory reading this header.
+           << common::Executor::defaultWorkerCount()
            << ", \"workers\": " << workers_ << "},\n \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i)
             os << (i ? ", " : "") << metrics_[i];
@@ -150,6 +166,21 @@ class JsonReport
         for (std::size_t i = 0; i < tables_.size(); ++i)
             os << (i ? ",\n  " : "") << tables_[i];
         os << "]}\n";
+        os.flush();
+        if (!os.good()) {
+            std::cerr << "warning: failed writing " << tmp
+                      << " (disk full?); keeping any previous "
+                      << path << '\n';
+            os.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+        os.close();
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            std::cerr << "warning: cannot rename " << tmp << " to "
+                      << path << '\n';
+            std::remove(tmp.c_str());
+        }
     }
 
     std::string name_;

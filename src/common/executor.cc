@@ -15,6 +15,13 @@ Executor::Executor(int workers)
             [this, w] { workerLoop(static_cast<std::size_t>(w)); });
 }
 
+int
+Executor::defaultWorkerCount()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
 Executor::~Executor()
 {
     {

@@ -60,6 +60,14 @@ class Executor
     int workers() const { return workers_; }
 
     /**
+     * std::thread::hardware_concurrency() clamped to >= 1 — the
+     * standard permits a 0 return, which would otherwise turn into a
+     * zero-worker pool. The default worker count for runtime::Server
+     * and the value the bench env headers record.
+     */
+    static int defaultWorkerCount();
+
+    /**
      * Run fn(i) for every i in [0, n), spread across the pool; blocks
      * until all jobs finish. If any job throws, the first exception
      * recorded is rethrown here after the batch drains — including

@@ -1,0 +1,58 @@
+#include "common/json.hh"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace compaqt
+{
+
+void
+jsonEscapeTo(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::ostringstream ss;
+    jsonEscapeTo(ss, s);
+    return ss.str();
+}
+
+void
+jsonQuote(std::ostream &os, std::string_view s)
+{
+    os << '"';
+    jsonEscapeTo(os, s);
+    os << '"';
+}
+
+} // namespace compaqt

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared JSON string escaping for every place the project emits JSON
+ * by hand (common::Table::json, bench::JsonReport). Keeping one
+ * escaper is the fix for a class of silent corruption: a bench name,
+ * metric key, or codec key containing a quote or backslash used to be
+ * written raw, producing a BENCH_*.json no strict parser accepts.
+ */
+
+#ifndef COMPAQT_COMMON_JSON_HH
+#define COMPAQT_COMMON_JSON_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace compaqt
+{
+
+/**
+ * Append the RFC 8259 escaping of `s` to `os` (no surrounding
+ * quotes): ", \, and all control characters below 0x20 are escaped
+ * (\n, \t, \r get their short forms, the rest \u00XX).
+ */
+void jsonEscapeTo(std::ostream &os, std::string_view s);
+
+/** The RFC 8259 escaping of `s` (no surrounding quotes). */
+std::string jsonEscape(std::string_view s);
+
+/** Write `s` as a quoted JSON string literal. */
+void jsonQuote(std::ostream &os, std::string_view s);
+
+} // namespace compaqt
+
+#endif // COMPAQT_COMMON_JSON_HH

@@ -32,6 +32,51 @@ summarize(std::span<const double> xs)
     return s;
 }
 
+namespace
+{
+
+/** Nearest-rank pick from an ascending-sorted sample. */
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
+    const auto idx = static_cast<std::size_t>(
+        std::clamp(rank - 1.0, 0.0,
+                   static_cast<double>(sorted.size() - 1)));
+    return sorted[idx];
+}
+
+} // namespace
+
+double
+percentile(std::span<const double> xs, double q)
+{
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    return percentileSorted(sorted, q);
+}
+
+Percentiles
+percentiles(std::span<const double> xs)
+{
+    Percentiles p;
+    if (xs.empty())
+        return p;
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    p.count = sorted.size();
+    p.min = sorted.front();
+    p.max = sorted.back();
+    p.mean = mean(sorted);
+    p.p50 = percentileSorted(sorted, 50.0);
+    p.p95 = percentileSorted(sorted, 95.0);
+    p.p99 = percentileSorted(sorted, 99.0);
+    return p;
+}
+
 double
 mean(std::span<const double> xs)
 {

@@ -29,6 +29,27 @@ struct Summary
 /** Compute min/max/mean/stddev of a sample. Empty input yields zeros. */
 Summary summarize(std::span<const double> xs);
 
+/** Latency-distribution rollup used by the serving plane. */
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+};
+
+/**
+ * Nearest-rank percentile of an unsorted sample; q in [0, 100].
+ * Empty input yields 0.
+ */
+double percentile(std::span<const double> xs, double q);
+
+/** p50/p95/p99 plus min/max/mean of an unsorted sample. */
+Percentiles percentiles(std::span<const double> xs);
+
 /** Arithmetic mean; 0 for empty input. */
 double mean(std::span<const double> xs);
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+
+#include "common/json.hh"
 
 namespace compaqt
 {
@@ -85,42 +86,6 @@ Table::print(std::ostream &os) const
 namespace
 {
 
-/** JSON string literal; escapes quotes, backslashes, and all control
- *  characters (RFC 8259 forbids raw chars below 0x20). */
-void
-jsonString(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            os << "\\\"";
-            break;
-          case '\\':
-            os << "\\\\";
-            break;
-          case '\n':
-            os << "\\n";
-            break;
-          case '\t':
-            os << "\\t";
-            break;
-          case '\r':
-            os << "\\r";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
 /**
  * True when s is a valid JSON number literal:
  * -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. Stricter than
@@ -166,7 +131,7 @@ jsonCell(std::ostream &os, const std::string &s)
     if (isJsonNumber(s))
         os << s;
     else
-        jsonString(os, s);
+        jsonQuote(os, s);
 }
 
 void
@@ -187,7 +152,7 @@ void
 Table::json(std::ostream &os) const
 {
     os << "{\"title\": ";
-    jsonString(os, title_);
+    jsonQuote(os, title_);
     os << ", \"header\": ";
     jsonCells(os, header_);
     os << ", \"rows\": [";

@@ -25,6 +25,7 @@
 #include "core/library_compiler.hh"
 #include "core/pipeline.hh"
 #include "runtime/rack.hh"
+#include "runtime/server.hh"
 #include "runtime/service.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
@@ -78,6 +79,14 @@ using runtime::RackConfig;
 using runtime::RackStats;
 using runtime::RuntimeService;
 using runtime::ShardPolicy;
+
+// Serving plane (async multi-tenant front end)
+using runtime::JobResult;
+using runtime::JobStatus;
+using runtime::ScheduledCircuit;
+using runtime::Server;
+using runtime::ServerConfig;
+using runtime::ServerStats;
 
 } // namespace compaqt
 

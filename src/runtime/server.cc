@@ -1,0 +1,355 @@
+#include "runtime/server.hh"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/executor.hh"
+
+namespace compaqt::runtime
+{
+
+namespace
+{
+
+double
+seconds(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+} // namespace
+
+const char *
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Completed:
+        return "completed";
+      case JobStatus::Rejected:
+        return "rejected";
+      case JobStatus::Cancelled:
+        return "cancelled";
+      case JobStatus::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+Server::Server(const Rack &rack, const ServerConfig &cfg)
+    : cfg_(cfg),
+      svc_(rack,
+           {.workers = cfg.workers >= 1
+                           ? cfg.workers
+                           : common::Executor::defaultWorkerCount()})
+{
+    cfg_.queueDepth = std::max<std::size_t>(1, cfg_.queueDepth);
+    cfg_.maxBatch = std::max<std::size_t>(1, cfg_.maxBatch);
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+std::future<JobResult>
+Server::readyResult(JobStatus status, std::string tenant,
+                    std::string error)
+{
+    std::promise<JobResult> pr;
+    JobResult r;
+    r.status = status;
+    r.tenant = std::move(tenant);
+    r.error = std::move(error);
+    pr.set_value(std::move(r));
+    return pr.get_future();
+}
+
+std::future<JobResult>
+Server::submit(ScheduledCircuit job)
+{
+    std::lock_guard lock(mu_);
+    ++submitted_;
+    if (stop_ || queue_.size() >= cfg_.queueDepth) {
+        ++rejected_;
+        // Attribute the rejection to tenants we already know, but a
+        // rejected submission must not grow the tenant map: a retry
+        // storm of never-admitted names (request-scoped ids hammering
+        // a shut-down server) would otherwise accumulate accounting
+        // state forever in a component whose admission control exists
+        // to bound resource use.
+        if (auto it = tenants_.find(job.tenant);
+            it != tenants_.end()) {
+            ++it->second.counters.submitted;
+            ++it->second.counters.rejected;
+        }
+        return readyResult(JobStatus::Rejected, std::move(job.tenant),
+                           stop_ ? "server is shut down"
+                                 : "submission queue is full");
+    }
+    ++tenants_[job.tenant].counters.submitted;
+    Pending p;
+    p.job = std::move(job);
+    p.enqueued = Clock::now();
+    auto fut = p.promise.get_future();
+    queue_.push_back(std::move(p));
+    work_.notify_one();
+    return fut;
+}
+
+void
+Server::pause()
+{
+    std::lock_guard lock(mu_);
+    paused_ = true;
+}
+
+void
+Server::resume()
+{
+    {
+        std::lock_guard lock(mu_);
+        paused_ = false;
+    }
+    work_.notify_one();
+}
+
+void
+Server::drain()
+{
+    std::unique_lock lock(mu_);
+    idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+void
+Server::shutdown()
+{
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    work_.notify_all();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+bool
+Server::stopped() const
+{
+    std::lock_guard lock(mu_);
+    return stop_;
+}
+
+std::size_t
+Server::queued() const
+{
+    std::lock_guard lock(mu_);
+    return queue_.size();
+}
+
+std::deque<Server::Pending>
+Server::cancelQueued()
+{
+    std::deque<Pending> doomed;
+    {
+        std::lock_guard lock(mu_);
+        doomed.swap(queue_);
+        cancelled_ += doomed.size();
+        for (const auto &p : doomed)
+            ++tenants_[p.job.tenant].counters.cancelled;
+        idle_.notify_all();
+    }
+    return doomed;
+}
+
+void
+Server::dispatchLoop()
+{
+    for (;;) {
+        std::vector<Pending> taken;
+        {
+            std::unique_lock lock(mu_);
+            work_.wait(lock, [&] {
+                return stop_ || (!paused_ && !queue_.empty());
+            });
+            if (stop_)
+                break;
+            const std::size_t take =
+                std::min(cfg_.maxBatch, queue_.size());
+            taken.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                taken.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            busy_ = true;
+        }
+
+        // Execute the coalesced batch outside the lock: tenants keep
+        // submitting (and hitting admission control) while the rack
+        // runs. The executor inside RuntimeService provides all the
+        // execution parallelism — this thread only marshals.
+        const auto dispatched = Clock::now();
+        std::vector<circuits::Schedule> scheds;
+        scheds.reserve(taken.size());
+        for (auto &p : taken)
+            scheds.push_back(std::move(p.job.schedule));
+        BatchExecution exec;
+        std::vector<std::string> errors(taken.size());
+        bool batch_ok = true;
+        try {
+            exec = svc_.executeBatchPerJob(scheds);
+        } catch (...) {
+            batch_ok = false;
+        }
+        if (!batch_ok) {
+            // Failure isolation: one job's throwing schedule must not
+            // poison the up-to-maxBatch-1 unrelated jobs coalesced
+            // into its batch. Re-execute one job at a time so each
+            // fails or completes on its own schedule only — the slow
+            // path costs nothing unless an execution actually threw.
+            exec.total = RackStats{};
+            exec.jobs.assign(taken.size(), RackStats{});
+            for (std::size_t i = 0; i < taken.size(); ++i) {
+                try {
+                    auto single = svc_.executeBatchPerJob(
+                        {scheds[i]});
+                    exec.jobs[i] = std::move(single.jobs[0]);
+                    exec.total.cache.hits +=
+                        single.total.cache.hits;
+                    exec.total.cache.misses +=
+                        single.total.cache.misses;
+                    exec.total.cache.evictions +=
+                        single.total.cache.evictions;
+                    exec.total.cache.entries =
+                        single.total.cache.entries;
+                } catch (const std::exception &e) {
+                    errors[i] = e.what();
+                } catch (...) {
+                    errors[i] = "unknown execution error";
+                }
+            }
+        }
+        const auto completed = Clock::now();
+
+        std::vector<JobResult> results(taken.size());
+        for (std::size_t i = 0; i < taken.size(); ++i) {
+            JobResult &r = results[i];
+            r.tenant = taken[i].job.tenant;
+            r.timing.queueSeconds =
+                seconds(dispatched - taken[i].enqueued);
+            r.timing.executeSeconds = seconds(completed - dispatched);
+            r.timing.totalSeconds =
+                seconds(completed - taken[i].enqueued);
+            if (batch_ok || errors[i].empty()) {
+                r.status = JobStatus::Completed;
+                r.stats = std::move(exec.jobs[i]);
+            } else {
+                r.status = JobStatus::Failed;
+                r.error = errors[i];
+            }
+        }
+
+        {
+            std::lock_guard lock(mu_);
+            busy_ = false;
+            ++batches_;
+            batchJobs_ += taken.size();
+            cacheAccum_.hits += exec.total.cache.hits;
+            cacheAccum_.misses += exec.total.cache.misses;
+            cacheAccum_.evictions += exec.total.cache.evictions;
+            if (exec.total.cache.entries != 0)
+                cacheAccum_.entries = exec.total.cache.entries;
+            for (const JobResult &r : results) {
+                auto &tenant = tenants_[r.tenant];
+                if (r.status == JobStatus::Completed) {
+                    ++completed_;
+                    ++tenant.counters.completed;
+                    gates_ += r.stats.totalGates;
+                    samples_ += r.stats.totalSamples;
+                    tenant.counters.gatesPlayed += r.stats.totalGates;
+                    tenant.counters.samplesDecoded +=
+                        r.stats.totalSamples;
+                    queueLat_.add(r.timing.queueSeconds,
+                                  kFleetLatencyWindow);
+                    execLat_.add(r.timing.executeSeconds,
+                                 kFleetLatencyWindow);
+                    totalLat_.add(r.timing.totalSeconds,
+                                  kFleetLatencyWindow);
+                    tenant.totalLat.add(r.timing.totalSeconds,
+                                        kTenantLatencyWindow);
+                } else {
+                    ++failed_;
+                    ++tenant.counters.failed;
+                }
+            }
+            idle_.notify_all();
+        }
+
+        // Resolve futures outside the lock so a waiter continuing
+        // straight into submit()/stats() never contends with us.
+        for (std::size_t i = 0; i < taken.size(); ++i)
+            taken[i].promise.set_value(std::move(results[i]));
+    }
+
+    // Stop path: the in-flight batch (if any) already completed
+    // above; everything still queued fails deterministically, in
+    // FIFO order.
+    auto doomed = cancelQueued();
+    const auto now = Clock::now();
+    for (auto &p : doomed) {
+        JobResult r;
+        r.status = JobStatus::Cancelled;
+        r.tenant = p.job.tenant;
+        r.timing.queueSeconds = seconds(now - p.enqueued);
+        r.timing.totalSeconds = r.timing.queueSeconds;
+        r.error = "server shut down before dispatch";
+        p.promise.set_value(std::move(r));
+    }
+}
+
+ServerStats
+Server::stats() const
+{
+    // Copy the (bounded) sample rings under the lock; sort/rank
+    // outside it so a stats() poll never stalls submitters or the
+    // dispatcher on O(n log n) work.
+    ServerStats s;
+    std::vector<double> queue_lat, exec_lat, total_lat;
+    std::vector<std::pair<std::string, std::vector<double>>>
+        tenant_lat;
+    {
+        std::lock_guard lock(mu_);
+        s.submitted = submitted_;
+        s.completed = completed_;
+        s.rejected = rejected_;
+        s.cancelled = cancelled_;
+        s.failed = failed_;
+        s.queuedNow = queue_.size();
+        s.batchesDispatched = batches_;
+        s.meanBatchFill =
+            batches_ == 0 ? 0.0
+                          : static_cast<double>(batchJobs_) /
+                                static_cast<double>(batches_);
+        s.gatesPlayed = gates_;
+        s.samplesDecoded = samples_;
+        s.cache = cacheAccum_;
+        s.cacheHitRate = cacheAccum_.hitRate();
+        queue_lat = queueLat_.data;
+        exec_lat = execLat_.data;
+        total_lat = totalLat_.data;
+        tenant_lat.reserve(tenants_.size());
+        for (const auto &[name, accum] : tenants_) {
+            s.tenants.emplace(name, accum.counters);
+            tenant_lat.emplace_back(name, accum.totalLat.data);
+        }
+    }
+    s.queueLatency = percentiles(queue_lat);
+    s.executeLatency = percentiles(exec_lat);
+    s.totalLatency = percentiles(total_lat);
+    for (const auto &[name, lat] : tenant_lat)
+        s.tenants.at(name).totalLatency = percentiles(lat);
+    return s;
+}
+
+} // namespace compaqt::runtime

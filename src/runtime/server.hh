@@ -1,0 +1,325 @@
+/**
+ * @file
+ * The serving plane: an asynchronous multi-tenant front end above
+ * RuntimeService, the shape a production control stack takes when a
+ * continuous stream of circuit batches from many tenants hammers the
+ * same rack (the queued instruction-driven front end of Khammassi et
+ * al., arXiv:2205.06851, scaled out to COMPAQT's compressed-memory
+ * fleet).
+ *
+ * Submission is a bounded queue with admission control: submit()
+ * returns a std::future<JobResult> immediately and never blocks the
+ * caller unboundedly — when the queue is full (or the server is shut
+ * down) the future is already satisfied with a Rejected status. One
+ * dispatcher thread pops queued jobs in FIFO order, coalesces jobs
+ * from different tenants into rack batches of up to maxBatch, and
+ * executes them through RuntimeService on the shared common::Executor
+ * worker pool — the serving plane adds exactly one thread, never a
+ * second pool.
+ *
+ * Every job carries enqueue -> dispatch -> complete timestamps;
+ * ServerStats rolls queue/execute/total latency into p50/p95/p99 both
+ * fleet-wide and per tenant. Because RuntimeService attributes each
+ * job its own cells of the execution grid (BatchExecution), a job's
+ * RackStats is a pure function of (rack, schedule): identical for any
+ * worker count, any submission interleaving, and any batch
+ * composition the coalescer happened to pick.
+ *
+ * Shutdown is graceful and deterministic: the in-flight batch
+ * completes normally, every job still queued fails with Cancelled,
+ * and later submissions are Rejected. pause()/resume() hold dispatch
+ * (a calibration-swap window) while admission control keeps applying.
+ */
+
+#ifndef COMPAQT_RUNTIME_SERVER_HH
+#define COMPAQT_RUNTIME_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/scheduler.hh"
+#include "common/stats.hh"
+#include "runtime/service.hh"
+
+namespace compaqt::runtime
+{
+
+/** Terminal state of a submitted job. */
+enum class JobStatus
+{
+    /** Executed on the rack; stats/timing are populated. */
+    Completed,
+    /** Refused at admission (queue full or server shut down); the
+     *  job never entered the queue. */
+    Rejected,
+    /** Accepted but still queued when the server shut down. */
+    Cancelled,
+    /** Dispatched, but executing this job's schedule threw; error
+     *  holds the reason. Failure is isolated per job: when a
+     *  coalesced batch throws, the dispatcher re-executes it one job
+     *  at a time, so only jobs whose own schedule throws fail. */
+    Failed,
+};
+
+/** Printable status name. */
+const char *jobStatusName(JobStatus s);
+
+/** One tenant's unit of submission: a scheduled circuit. */
+struct ScheduledCircuit
+{
+    std::string tenant = "default";
+    circuits::Schedule schedule;
+};
+
+/** Wall-clock life of one job through the queue. */
+struct JobTiming
+{
+    /** enqueue -> dispatch (time spent queued). */
+    double queueSeconds = 0.0;
+    /** dispatch -> complete (time in the rack batch). */
+    double executeSeconds = 0.0;
+    /** enqueue -> complete. */
+    double totalSeconds = 0.0;
+};
+
+/** What a submitted job's future resolves to. */
+struct JobResult
+{
+    JobStatus status = JobStatus::Rejected;
+    std::string tenant;
+    /**
+     * The job's own rollup (only its cells of the execution grid).
+     * Demand/volume fields are pure functions of (rack, schedule) —
+     * bit-identical across worker counts and submission
+     * interleavings; cache counters and wall-clock attribute to the
+     * whole coalesced batch and stay zero here (see ServerStats).
+     * Populated only for Completed jobs.
+     */
+    RackStats stats;
+    JobTiming timing;
+    /** Failure reason for Rejected/Cancelled/Failed. */
+    std::string error;
+};
+
+/** Serving-plane tuning knobs. */
+struct ServerConfig
+{
+    /** Rack-execution workers; <= 0 picks
+     *  common::Executor::defaultWorkerCount() (hardware concurrency
+     *  clamped to >= 1). */
+    int workers = 0;
+    /** Maximum queued (not yet dispatched) jobs; a submit beyond
+     *  this is Rejected immediately. Clamped to >= 1. */
+    std::size_t queueDepth = 256;
+    /** Maximum jobs coalesced into one rack batch. Clamped to
+     *  >= 1. */
+    std::size_t maxBatch = 32;
+};
+
+/** One tenant's slice of the serving statistics. A tenant appears
+ *  here once a job of theirs is admitted; rejected submissions from
+ *  a never-admitted tenant count only in the fleet-wide totals (so
+ *  a rejection storm of fresh names cannot grow this map). */
+struct TenantStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+    /** Totals over the tenant's completed jobs. */
+    std::uint64_t gatesPlayed = 0;
+    std::uint64_t samplesDecoded = 0;
+    /** enqueue -> complete latency over the tenant's most recent
+     *  completed jobs (bounded window; see ServerStats). */
+    Percentiles totalLatency;
+};
+
+/** Fleet-wide serving statistics since construction. */
+struct ServerStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+    /** Jobs queued right now (admission-control headroom). */
+    std::size_t queuedNow = 0;
+    /** Rack batches the dispatcher executed. */
+    std::uint64_t batchesDispatched = 0;
+    /** Mean jobs coalesced per dispatched batch. */
+    double meanBatchFill = 0.0;
+    /** Totals over completed jobs. */
+    std::uint64_t gatesPlayed = 0;
+    std::uint64_t samplesDecoded = 0;
+    /** Latency rollups over the most recent completed jobs (a
+     *  bounded ring of samples, so a long-lived server's stats stay
+     *  O(1) in memory; `count` reports the window's fill, not the
+     *  lifetime completion count — that is `completed`). */
+    Percentiles queueLatency;
+    Percentiles executeLatency;
+    Percentiles totalLatency;
+    /** Decoded-window cache deltas summed over dispatched batches
+     *  (mixed-tenant traffic shares one rack cache). */
+    DecodedCacheStats cache;
+    double cacheHitRate = 0.0;
+    /** Per-tenant slices, keyed by tenant name. */
+    std::map<std::string, TenantStats> tenants;
+};
+
+/**
+ * Asynchronous multi-tenant serving front end over one Rack. All
+ * public members are thread-safe; any number of tenant threads may
+ * submit concurrently. Lifecycle calls (pause/resume/drain/shutdown)
+ * are expected from one owning thread.
+ */
+class Server
+{
+  public:
+    /** Starts the dispatcher; the rack must outlive the server. */
+    explicit Server(const Rack &rack, const ServerConfig &cfg = {});
+
+    /** Graceful shutdown (see shutdown()). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    int workers() const { return svc_.workers(); }
+    std::size_t queueDepth() const { return cfg_.queueDepth; }
+    std::size_t maxBatch() const { return cfg_.maxBatch; }
+
+    /**
+     * Submit one job. Returns immediately; the future resolves when
+     * the job completes, fails, or is cancelled at shutdown. When the
+     * queue is at queueDepth (backpressure) or the server is shut
+     * down, the returned future is already satisfied with
+     * JobStatus::Rejected — the caller is never blocked.
+     */
+    std::future<JobResult> submit(ScheduledCircuit job);
+
+    /** Hold dispatching: queued jobs stay queued (admission control
+     *  still applies); the in-flight batch completes. */
+    void pause();
+
+    /** Resume dispatching after pause(). */
+    void resume();
+
+    /**
+     * Block until the queue is empty and no batch is in flight.
+     * Jobs submitted concurrently with drain() may extend the wait;
+     * a paused server drains only once resumed.
+     */
+    void drain();
+
+    /**
+     * Graceful shutdown: stop admission, let the in-flight batch
+     * complete, fail every still-queued job with JobStatus::Cancelled
+     * (in FIFO order), and join the dispatcher. Idempotent.
+     */
+    void shutdown();
+
+    /** True once shutdown() has begun. */
+    bool stopped() const;
+
+    /** Jobs currently queued (not yet dispatched). */
+    std::size_t queued() const;
+
+    ServerStats stats() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One accepted, not-yet-dispatched job. */
+    struct Pending
+    {
+        ScheduledCircuit job;
+        std::promise<JobResult> promise;
+        Clock::time_point enqueued;
+    };
+
+    /**
+     * Bounded latency-sample ring: keeps the most recent `cap`
+     * observations so percentile state never grows with server
+     * lifetime. Order inside the ring is irrelevant — percentiles()
+     * sorts a copy.
+     */
+    struct LatencyRing
+    {
+        std::vector<double> data;
+        std::size_t next = 0;
+
+        void
+        add(double v, std::size_t cap)
+        {
+            if (data.size() < cap) {
+                data.push_back(v);
+            } else {
+                data[next] = v;
+                next = (next + 1) % cap;
+            }
+        }
+    };
+
+    /** Fleet-wide latency window (3 rings of this many doubles). */
+    static constexpr std::size_t kFleetLatencyWindow = 1u << 14;
+    /** Per-tenant latency window. */
+    static constexpr std::size_t kTenantLatencyWindow = 1u << 12;
+
+    /** Mutable per-tenant accumulator behind TenantStats. */
+    struct TenantAccum
+    {
+        TenantStats counters;
+        LatencyRing totalLat;
+    };
+
+    void dispatchLoop();
+    /** Cancel every queued job (stop path); returns them for
+     *  promise completion outside the lock. */
+    std::deque<Pending> cancelQueued();
+
+    static std::future<JobResult>
+    readyResult(JobStatus status, std::string tenant,
+                std::string error);
+
+    ServerConfig cfg_;
+    RuntimeService svc_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_; //< dispatcher wakeup
+    std::condition_variable idle_; //< drain() wakeup
+    std::deque<Pending> queue_;
+    bool stop_ = false;
+    bool paused_ = false;
+    bool busy_ = false; //< dispatcher executing a batch
+
+    // Accumulators, guarded by mu_.
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batchJobs_ = 0;
+    std::uint64_t gates_ = 0;
+    std::uint64_t samples_ = 0;
+    LatencyRing queueLat_;
+    LatencyRing execLat_;
+    LatencyRing totalLat_;
+    DecodedCacheStats cacheAccum_;
+    std::map<std::string, TenantAccum> tenants_;
+
+    std::thread dispatcher_;
+};
+
+} // namespace compaqt::runtime
+
+#endif // COMPAQT_RUNTIME_SERVER_HH

@@ -113,6 +113,47 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
     return cell;
 }
 
+/** Fold one grid cell into its shard's rollup: peaks are maxima,
+ *  totals are sums. */
+void
+accumulateCell(ShardStats &sh, const CellResult &cell)
+{
+    sh.demand.peakBanks =
+        std::max(sh.demand.peakBanks, cell.demand.peakBanks);
+    sh.demand.peakChannels =
+        std::max(sh.demand.peakChannels, cell.demand.peakChannels);
+    sh.demand.peakBandwidthBytesPerSec =
+        std::max(sh.demand.peakBandwidthBytesPerSec,
+                 cell.demand.peakBandwidthBytesPerSec);
+    sh.demand.feasible = sh.demand.feasible && cell.demand.feasible;
+    sh.demand.totalSamples += cell.demand.totalSamples;
+    sh.demand.totalWordsRead += cell.demand.totalWordsRead;
+    sh.demand.missingGates += cell.demand.missingGates;
+    sh.demand.bypassSamples += cell.demand.bypassSamples;
+    sh.gatesPlayed += cell.gates;
+    sh.windowsDecoded += cell.windows;
+    sh.samplesDecoded += cell.samples;
+    sh.samplesBypassed += cell.bypassed;
+}
+
+/** Sum per-shard rollups into the fleet-level fields. */
+void
+finalizeFleet(RackStats &stats)
+{
+    for (const auto &sh : stats.shards) {
+        stats.fleetPeakBanks += sh.demand.peakBanks;
+        stats.fleetPeakChannels += sh.demand.peakChannels;
+        stats.fleetPeakBandwidthBytesPerSec +=
+            sh.demand.peakBandwidthBytesPerSec;
+        stats.feasible = stats.feasible && sh.demand.feasible;
+        stats.totalGates += sh.gatesPlayed;
+        stats.totalWindows += sh.windowsDecoded;
+        stats.totalSamples += sh.samplesDecoded;
+        stats.totalBypassSamples += sh.samplesBypassed;
+        stats.missingGates += sh.demand.missingGates;
+    }
+}
+
 } // namespace
 
 RuntimeService::RuntimeService(const Rack &rack,
@@ -131,21 +172,28 @@ RackStats
 RuntimeService::executeBatch(
     const std::vector<circuits::Schedule> &batch)
 {
+    return executeBatchPerJob(batch).total;
+}
+
+BatchExecution
+RuntimeService::executeBatchPerJob(
+    const std::vector<circuits::Schedule> &batch)
+{
     const int n_shards = rack_.numShards();
     const auto n_cells =
         batch.size() * static_cast<std::size_t>(n_shards);
 
     // Partition every circuit up front (cheap, serial, deterministic).
-    std::uint64_t unowned = 0;
+    std::vector<std::uint64_t> unowned(batch.size(), 0);
     std::vector<std::vector<circuits::Schedule>> parts;
     parts.reserve(batch.size());
-    for (const auto &sched : batch) {
+    for (std::size_t c = 0; c < batch.size(); ++c) {
         parts.push_back(circuits::partitionByOwner(
-            sched, rack_.plan().owner, n_shards));
+            batch[c], rack_.plan().owner, n_shards));
         std::uint64_t kept = 0;
         for (const auto &part : parts.back())
             kept += part.events.size();
-        unowned += sched.events.size() - kept;
+        unowned[c] = batch[c].events.size() - kept;
     }
 
     const auto cache_before = rack_.cache().stats();
@@ -163,48 +211,30 @@ RuntimeService::executeBatch(
 
     // Serial, fixed-order reduction: shard-level peaks are maxima
     // over the batch, totals are sums — independent of how workers
-    // interleaved the cells.
-    RackStats stats;
+    // interleaved the cells. Each schedule's own rollup folds only
+    // its row of the grid, so a job's numbers do not depend on which
+    // other jobs shared its batch.
+    BatchExecution result;
+    RackStats &stats = result.total;
     stats.shards.resize(static_cast<std::size_t>(n_shards));
+    result.jobs.resize(batch.size());
     for (std::size_t c = 0; c < batch.size(); ++c) {
+        RackStats &job = result.jobs[c];
+        job.shards.resize(static_cast<std::size_t>(n_shards));
         for (int s = 0; s < n_shards; ++s) {
             const auto &cell =
                 cells[c * static_cast<std::size_t>(n_shards) +
                       static_cast<std::size_t>(s)];
-            auto &sh = stats.shards[static_cast<std::size_t>(s)];
-            sh.demand.peakBanks = std::max(sh.demand.peakBanks,
-                                           cell.demand.peakBanks);
-            sh.demand.peakChannels =
-                std::max(sh.demand.peakChannels,
-                         cell.demand.peakChannels);
-            sh.demand.peakBandwidthBytesPerSec =
-                std::max(sh.demand.peakBandwidthBytesPerSec,
-                         cell.demand.peakBandwidthBytesPerSec);
-            sh.demand.feasible =
-                sh.demand.feasible && cell.demand.feasible;
-            sh.demand.totalSamples += cell.demand.totalSamples;
-            sh.demand.totalWordsRead += cell.demand.totalWordsRead;
-            sh.demand.missingGates += cell.demand.missingGates;
-            sh.demand.bypassSamples += cell.demand.bypassSamples;
-            sh.gatesPlayed += cell.gates;
-            sh.windowsDecoded += cell.windows;
-            sh.samplesDecoded += cell.samples;
-            sh.samplesBypassed += cell.bypassed;
+            accumulateCell(
+                stats.shards[static_cast<std::size_t>(s)], cell);
+            accumulateCell(
+                job.shards[static_cast<std::size_t>(s)], cell);
         }
+        finalizeFleet(job);
+        job.unownedEvents = unowned[c];
+        stats.unownedEvents += unowned[c];
     }
-    for (const auto &sh : stats.shards) {
-        stats.fleetPeakBanks += sh.demand.peakBanks;
-        stats.fleetPeakChannels += sh.demand.peakChannels;
-        stats.fleetPeakBandwidthBytesPerSec +=
-            sh.demand.peakBandwidthBytesPerSec;
-        stats.feasible = stats.feasible && sh.demand.feasible;
-        stats.totalGates += sh.gatesPlayed;
-        stats.totalWindows += sh.windowsDecoded;
-        stats.totalSamples += sh.samplesDecoded;
-        stats.totalBypassSamples += sh.samplesBypassed;
-        stats.missingGates += sh.demand.missingGates;
-    }
-    stats.unownedEvents = unowned;
+    finalizeFleet(stats);
 
     stats.cache.hits = cache_after.hits - cache_before.hits;
     stats.cache.misses = cache_after.misses - cache_before.misses;
@@ -222,7 +252,7 @@ RuntimeService::executeBatch(
             static_cast<double>(stats.totalSamples) /
             stats.wallSeconds;
     }
-    return stats;
+    return result;
 }
 
 } // namespace compaqt::runtime

@@ -87,6 +87,26 @@ struct ServiceConfig
 };
 
 /**
+ * One batch execution with per-schedule attribution — the serving
+ * plane's hook: runtime::Server coalesces jobs from many tenants into
+ * one rack batch but must report each job its own result.
+ */
+struct BatchExecution
+{
+    /** Whole-batch rollup, identical to executeBatch()'s return. */
+    RackStats total;
+    /**
+     * Per-schedule rollups: jobs[j] covers only batch[j]'s cells of
+     * the execution grid. Every field is a pure function of
+     * (rack, batch[j]) — independent of batch composition, submission
+     * interleaving, and worker count — except the cache counters and
+     * wall-clock throughput, which attribute only to the whole batch
+     * and stay zero here.
+     */
+    std::vector<RackStats> jobs;
+};
+
+/**
  * Executes batches of scheduled circuits on one Rack. The per-shard
  * demand numbers in RackStats are bit-identical across worker counts:
  * every (circuit, shard) cell is a pure function of its schedule
@@ -105,6 +125,11 @@ class RuntimeService
     /** Execute a batch of scheduled circuits across the fleet. */
     RackStats
     executeBatch(const std::vector<circuits::Schedule> &batch);
+
+    /** Execute a batch and additionally roll up each schedule's own
+     *  cells (see BatchExecution). */
+    BatchExecution
+    executeBatchPerJob(const std::vector<circuits::Schedule> &batch);
 
   private:
     const Rack &rack_;

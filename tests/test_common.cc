@@ -10,12 +10,15 @@
 #include <atomic>
 #include <barrier>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/executor.hh"
+#include "common/json.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -193,6 +196,149 @@ TEST(Table, NumberFormatting)
     EXPECT_EQ(Table::sci(0.000123, 1), "1.2e-04");
 }
 
+// ------------------------------------------------- JSON escaping
+
+/**
+ * Minimal strict JSON string-literal parser for the round-trip
+ * checks: rejects raw control characters, unescaped quotes, and
+ * unknown escapes — everything RFC 8259 rejects.
+ */
+std::optional<std::string>
+parseJsonString(const std::string &lit)
+{
+    if (lit.size() < 2 || lit.front() != '"' || lit.back() != '"')
+        return std::nullopt;
+    std::string out;
+    std::size_t i = 1;
+    const std::size_t end = lit.size() - 1;
+    while (i < end) {
+        const char c = lit[i];
+        if (static_cast<unsigned char>(c) < 0x20 || c == '"')
+            return std::nullopt;
+        if (c != '\\') {
+            out += c;
+            ++i;
+            continue;
+        }
+        if (++i >= end)
+            return std::nullopt;
+        const char e = lit[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (i + 4 > end)
+                return std::nullopt;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+                const char h = lit[i + static_cast<std::size_t>(k)];
+                v <<= 4;
+                if (h >= '0' && h <= '9')
+                    v += static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    v += static_cast<unsigned>(10 + h - 'a');
+                else if (h >= 'A' && h <= 'F')
+                    v += static_cast<unsigned>(10 + h - 'A');
+                else
+                    return std::nullopt;
+            }
+            i += 4;
+            if (v > 0xff) // the escaper only emits \u00XX
+                return std::nullopt;
+            out += static_cast<char>(v);
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+TEST(Json, EscapeRoundTripsHostileKeys)
+{
+    // The bug this guards: bench names / metric keys / codec keys
+    // containing quotes, backslashes, or newlines used to be written
+    // raw into BENCH_*.json, producing unparseable output.
+    const std::vector<std::string> keys = {
+        "plain",
+        "quote\"in\"key",
+        "back\\slash",
+        "line\nbreak",
+        "tab\tand\rret",
+        std::string("nul\x01byte"),
+        "mixed \"q\" \\ \n \x02 end",
+    };
+    for (const auto &k : keys) {
+        std::ostringstream ss;
+        jsonQuote(ss, k);
+        const auto parsed = parseJsonString(ss.str());
+        ASSERT_TRUE(parsed.has_value()) << ss.str();
+        EXPECT_EQ(*parsed, k);
+        EXPECT_EQ(jsonEscape(k),
+                  ss.str().substr(1, ss.str().size() - 2));
+    }
+}
+
+TEST(Json, TableJsonEscapesTitleHeaderAndCells)
+{
+    Table t("nasty \"title\" \\ with\nnewline");
+    t.header({"key \"h\"", "v"});
+    t.row({"cell\\with\"stuff", "1.5"});
+    std::ostringstream ss;
+    t.json(ss);
+    const std::string out = ss.str();
+    // A strict parser must accept it: no raw control characters, and
+    // the hostile strings appear escaped.
+    for (const char c : out)
+        ASSERT_GE(static_cast<unsigned char>(c), 0x20u) << out;
+    EXPECT_NE(out.find("nasty \\\"title\\\""), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+    EXPECT_NE(out.find("cell\\\\with\\\"stuff"), std::string::npos);
+}
+
+// ------------------------------------------------- percentiles
+
+TEST(Stats, PercentilesNearestRank)
+{
+    std::vector<double> xs;
+    for (int i = 100; i >= 1; --i)
+        xs.push_back(i); // unsorted on purpose
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+
+    const Percentiles p = percentiles(xs);
+    EXPECT_DOUBLE_EQ(p.p50, 50.0);
+    EXPECT_DOUBLE_EQ(p.p95, 95.0);
+    EXPECT_DOUBLE_EQ(p.p99, 99.0);
+    EXPECT_DOUBLE_EQ(p.min, 1.0);
+    EXPECT_DOUBLE_EQ(p.max, 100.0);
+    EXPECT_DOUBLE_EQ(p.mean, 50.5);
+    EXPECT_EQ(p.count, 100u);
+}
+
+TEST(Stats, PercentilesSmallAndEmptySamples)
+{
+    EXPECT_EQ(percentiles({}).count, 0u);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    const std::vector<double> one = {7.0};
+    const Percentiles p = percentiles(one);
+    EXPECT_DOUBLE_EQ(p.p50, 7.0);
+    EXPECT_DOUBLE_EQ(p.p99, 7.0);
+    EXPECT_DOUBLE_EQ(p.min, 7.0);
+    EXPECT_DOUBLE_EQ(p.max, 7.0);
+    EXPECT_EQ(p.count, 1u);
+}
+
 TEST(Units, Conversions)
 {
     EXPECT_DOUBLE_EQ(units::toGBs(2e9), 2.0);
@@ -202,25 +348,48 @@ TEST(Units, Conversions)
 
 // ------------------------------------------------- shared worker pool
 
+TEST(Executor, DefaultWorkerCountIsClampedPositive)
+{
+    // hardware_concurrency() may legally return 0; the default must
+    // never produce a zero-worker pool (or a 0 in bench env headers).
+    EXPECT_GE(common::Executor::defaultWorkerCount(), 1);
+}
+
 TEST(Executor, WorkerIdsAreStableAndInRange)
 {
     common::Executor exec(4);
     const auto main_id = std::this_thread::get_id();
+    // A barrier of all 4 workers forces each of the 4 jobs onto a
+    // distinct worker — the caller included — so every worker id is
+    // observed deterministically instead of depending on who wins
+    // the claim race (fast pool threads can otherwise drain a batch
+    // of trivial jobs before the caller claims one).
+    std::barrier sync(4);
+    std::vector<std::atomic<int>> claims(4);
+    std::atomic<int> caller_worker{-1};
+    exec.forEachWorker(4, [&](std::size_t worker, std::size_t) {
+        sync.arrive_and_wait();
+        ASSERT_LT(worker, 4u);
+        claims[worker].fetch_add(1);
+        if (std::this_thread::get_id() == main_id)
+            caller_worker = static_cast<int>(worker);
+    });
+    // One job per worker id, and the calling thread is worker 0.
+    for (auto &c : claims)
+        EXPECT_EQ(c.load(), 1);
+    EXPECT_EQ(caller_worker.load(), 0);
+
+    // Larger batch: ids stay in range whoever claims.
     std::vector<int> worker_of_job(64, -1);
-    std::atomic<bool> caller_participated{false};
     exec.forEachWorker(worker_of_job.size(),
                        [&](std::size_t worker, std::size_t i) {
                            worker_of_job[i] =
                                static_cast<int>(worker);
-                           if (std::this_thread::get_id() == main_id)
-                               caller_participated = worker == 0;
                        });
     for (const int w : worker_of_job) {
         ASSERT_GE(w, 0);
         ASSERT_LT(w, 4);
     }
-    // The calling thread drains jobs too, always as worker 0.
-    EXPECT_TRUE(caller_participated.load());
 }
 
 TEST(Executor, PoolThreadExceptionPropagatesToCaller)

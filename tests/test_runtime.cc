@@ -591,6 +591,61 @@ TEST(RackMismatch, ReportsEventsNoShardOwns)
     EXPECT_EQ(stats.totalGates, 5u);
 }
 
+TEST_F(RackSurface49, PerJobRollupsSumToBatchTotal)
+{
+    const Rack rack(*dev_, *clib_, rackConfig(4, 4096));
+    RuntimeService svc(rack, {.workers = 2});
+    const auto exec =
+        svc.executeBatchPerJob({*sched_, *sched_, *sched_});
+    ASSERT_EQ(exec.jobs.size(), 3u);
+    std::uint64_t gates = 0, samples = 0, windows = 0;
+    for (const auto &job : exec.jobs) {
+        gates += job.totalGates;
+        samples += job.totalSamples;
+        windows += job.totalWindows;
+        // Cache counters and wall-clock attribute to the whole
+        // batch, never to a job.
+        EXPECT_EQ(job.cache.hits + job.cache.misses, 0u);
+        EXPECT_EQ(job.wallSeconds, 0.0);
+        ASSERT_EQ(job.shards.size(), exec.total.shards.size());
+    }
+    EXPECT_EQ(gates, exec.total.totalGates);
+    EXPECT_EQ(samples, exec.total.totalSamples);
+    EXPECT_EQ(windows, exec.total.totalWindows);
+    // The batch-level rollup is the executeBatch() contract.
+    EXPECT_GT(exec.total.cache.hits + exec.total.cache.misses, 0u);
+    EXPECT_GT(exec.total.wallSeconds, 0.0);
+}
+
+TEST_F(RackSurface49, PerJobStatsIndependentOfBatchComposition)
+{
+    // A job's rollup is a pure function of (rack, schedule): the same
+    // schedule reports identical per-job numbers alone and riding in
+    // a larger coalesced batch — what makes serving-plane attribution
+    // deterministic.
+    const Rack rack(*dev_, *clib_, rackConfig(4, 1 << 15));
+    RuntimeService svc(rack, {.workers = 4});
+    const auto alone = svc.executeBatchPerJob({*sched_}).jobs[0];
+    const auto mixed =
+        svc.executeBatchPerJob({*sched_, *sched_, *sched_}).jobs[1];
+    ASSERT_EQ(alone.shards.size(), mixed.shards.size());
+    for (std::size_t s = 0; s < alone.shards.size(); ++s) {
+        const auto &a = alone.shards[s];
+        const auto &b = mixed.shards[s];
+        EXPECT_EQ(a.demand.peakBanks, b.demand.peakBanks) << s;
+        EXPECT_EQ(a.demand.totalSamples, b.demand.totalSamples) << s;
+        EXPECT_EQ(a.demand.totalWordsRead, b.demand.totalWordsRead)
+            << s;
+        EXPECT_EQ(a.gatesPlayed, b.gatesPlayed) << s;
+        EXPECT_EQ(a.windowsDecoded, b.windowsDecoded) << s;
+        EXPECT_EQ(a.samplesDecoded, b.samplesDecoded) << s;
+    }
+    EXPECT_EQ(alone.totalGates, mixed.totalGates);
+    EXPECT_EQ(alone.totalSamples, mixed.totalSamples);
+    EXPECT_EQ(alone.fleetPeakBanks, mixed.fleetPeakBanks);
+    EXPECT_EQ(alone.unownedEvents, mixed.unownedEvents);
+}
+
 TEST_F(RackSurface49, ShardCountPreservesFleetWork)
 {
     // Total decoded work is invariant under the shard count; only

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Tests for the serving plane (runtime::Server): submission and
+ * completion, admission control / backpressure, graceful shutdown
+ * semantics, per-tenant accounting, and the headline determinism
+ * contract — a job's RackStats is a pure function of (rack, schedule),
+ * identical for 1 vs N workers and for any submission interleaving or
+ * batch coalescing of the same job set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "circuits/scheduler.hh"
+#include "core/pipeline.hh"
+#include "runtime/rack.hh"
+#include "runtime/server.hh"
+#include "runtime/service.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+namespace compaqt::runtime
+{
+namespace
+{
+
+/** Small bogota workload: two distinct schedules and a compressed
+ *  library shared by every test. */
+struct ServerFixture
+{
+    waveform::DeviceModel dev = waveform::DeviceModel::ibm("bogota");
+    core::CompressedLibrary clib;
+    circuits::Schedule schedA;
+    circuits::Schedule schedB;
+
+    ServerFixture()
+    {
+        const auto lib = waveform::PulseLibrary::build(dev);
+        clib = core::CompressionPipeline::with("int-dct")
+                   .window(16)
+                   .mseTarget(1e-5)
+                   .build()
+                   .compressLibrary(lib);
+
+        circuits::Circuit a(5);
+        for (int q = 0; q < 5; ++q)
+            a.x(q);
+        a.measureAll();
+        schedA = circuits::schedule(a, {});
+
+        circuits::Circuit b(5);
+        for (const auto &[x, y] : dev.coupling())
+            b.cx(x, y);
+        schedB = circuits::schedule(b, {});
+    }
+
+    RackConfig
+    rackConfig(std::size_t cache_windows = 4096) const
+    {
+        RackConfig rc;
+        rc.numShards = 2;
+        rc.controller.compressed = true;
+        rc.controller.windowSize = 16;
+        rc.controller.memoryWidth = clib.worstCaseWindowWords();
+        rc.cacheWindows = cache_windows;
+        return rc;
+    }
+};
+
+/** Every deterministic field of a job rollup (everything except the
+ *  batch-scoped cache counters and wall-clock throughput). */
+void
+expectSameDemand(const RackStats &a, const RackStats &b)
+{
+    ASSERT_EQ(a.shards.size(), b.shards.size());
+    for (std::size_t s = 0; s < a.shards.size(); ++s) {
+        const auto &x = a.shards[s];
+        const auto &y = b.shards[s];
+        EXPECT_EQ(x.demand.peakBanks, y.demand.peakBanks) << s;
+        EXPECT_EQ(x.demand.peakChannels, y.demand.peakChannels) << s;
+        EXPECT_EQ(x.demand.peakBandwidthBytesPerSec,
+                  y.demand.peakBandwidthBytesPerSec)
+            << s;
+        EXPECT_EQ(x.demand.feasible, y.demand.feasible) << s;
+        EXPECT_EQ(x.demand.totalSamples, y.demand.totalSamples) << s;
+        EXPECT_EQ(x.demand.totalWordsRead, y.demand.totalWordsRead)
+            << s;
+        EXPECT_EQ(x.demand.missingGates, y.demand.missingGates) << s;
+        EXPECT_EQ(x.demand.bypassSamples, y.demand.bypassSamples)
+            << s;
+        EXPECT_EQ(x.gatesPlayed, y.gatesPlayed) << s;
+        EXPECT_EQ(x.windowsDecoded, y.windowsDecoded) << s;
+        EXPECT_EQ(x.samplesDecoded, y.samplesDecoded) << s;
+        EXPECT_EQ(x.samplesBypassed, y.samplesBypassed) << s;
+    }
+    EXPECT_EQ(a.fleetPeakBanks, b.fleetPeakBanks);
+    EXPECT_EQ(a.fleetPeakChannels, b.fleetPeakChannels);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.totalGates, b.totalGates);
+    EXPECT_EQ(a.totalSamples, b.totalSamples);
+    EXPECT_EQ(a.totalBypassSamples, b.totalBypassSamples);
+    EXPECT_EQ(a.totalWindows, b.totalWindows);
+    EXPECT_EQ(a.missingGates, b.missingGates);
+    EXPECT_EQ(a.unownedEvents, b.unownedEvents);
+}
+
+TEST(Server, CompletesSubmittedJobsWithTimingAndTenantStats)
+{
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    Server server(rack,
+                  {.workers = 2, .queueDepth = 64, .maxBatch = 8});
+
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 10; ++i)
+        futs.push_back(server.submit(
+            {i % 2 ? "alice" : "bob", i % 2 ? fx.schedA : fx.schedB}));
+    for (auto &f : futs) {
+        const auto r = f.get();
+        EXPECT_EQ(r.status, JobStatus::Completed)
+            << jobStatusName(r.status) << " " << r.error;
+        EXPECT_GT(r.stats.totalGates, 0u);
+        EXPECT_GE(r.timing.queueSeconds, 0.0);
+        EXPECT_GE(r.timing.executeSeconds, 0.0);
+        EXPECT_GE(r.timing.totalSeconds, r.timing.executeSeconds);
+    }
+    server.drain();
+
+    const auto s = server.stats();
+    EXPECT_EQ(s.submitted, 10u);
+    EXPECT_EQ(s.completed, 10u);
+    EXPECT_EQ(s.rejected, 0u);
+    EXPECT_EQ(s.cancelled, 0u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.queuedNow, 0u);
+    EXPECT_GE(s.batchesDispatched, 1u);
+    EXPECT_GE(s.meanBatchFill, 1.0);
+    EXPECT_EQ(s.totalLatency.count, 10u);
+    EXPECT_GE(s.totalLatency.p95, s.totalLatency.p50);
+    EXPECT_GE(s.totalLatency.p99, s.totalLatency.p95);
+    EXPECT_GE(s.totalLatency.max, s.totalLatency.p99);
+    // Mixed tenants share the rack cache; traffic was recorded.
+    EXPECT_GT(s.cache.hits + s.cache.misses, 0u);
+    ASSERT_EQ(s.tenants.size(), 2u);
+    EXPECT_EQ(s.tenants.at("alice").completed, 5u);
+    EXPECT_EQ(s.tenants.at("bob").completed, 5u);
+    EXPECT_EQ(s.tenants.at("alice").totalLatency.count, 5u);
+    EXPECT_GT(s.tenants.at("bob").gatesPlayed, 0u);
+    EXPECT_EQ(s.gatesPlayed,
+              s.tenants.at("alice").gatesPlayed +
+                  s.tenants.at("bob").gatesPlayed);
+}
+
+TEST(Server, RejectsWhenQueueFullAndRecovers)
+{
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    Server server(rack,
+                  {.workers = 1, .queueDepth = 3, .maxBatch = 2});
+
+    // Hold dispatch so the queue fills deterministically.
+    server.pause();
+    std::vector<std::future<JobResult>> accepted;
+    for (int i = 0; i < 3; ++i)
+        accepted.push_back(server.submit({"t", fx.schedA}));
+    EXPECT_EQ(server.queued(), 3u);
+
+    // The queue is at depth: the next submit is rejected with a
+    // status, immediately — the caller is never blocked.
+    auto over = server.submit({"t", fx.schedA});
+    ASSERT_EQ(over.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const auto r = over.get();
+    EXPECT_EQ(r.status, JobStatus::Rejected);
+    EXPECT_FALSE(r.error.empty());
+
+    // Backpressure clears once the dispatcher catches up.
+    server.resume();
+    server.drain();
+    for (auto &f : accepted)
+        EXPECT_EQ(f.get().status, JobStatus::Completed);
+    auto retry = server.submit({"t", fx.schedA});
+    EXPECT_EQ(retry.get().status, JobStatus::Completed);
+
+    const auto s = server.stats();
+    EXPECT_EQ(s.submitted, 5u);
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.completed, 4u);
+    EXPECT_EQ(s.tenants.at("t").rejected, 1u);
+}
+
+TEST(Server, ShutdownCancelsQueuedJobsDeterministically)
+{
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    Server server(rack,
+                  {.workers = 1, .queueDepth = 8, .maxBatch = 4});
+
+    server.pause(); // nothing dispatches: all 5 jobs are queued
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 5; ++i)
+        futs.push_back(server.submit({"t", fx.schedA}));
+    server.shutdown();
+
+    for (auto &f : futs) {
+        const auto r = f.get();
+        EXPECT_EQ(r.status, JobStatus::Cancelled);
+        EXPECT_GE(r.timing.queueSeconds, 0.0);
+        EXPECT_FALSE(r.error.empty());
+    }
+    EXPECT_TRUE(server.stopped());
+
+    // Admission after shutdown rejects immediately.
+    auto late = server.submit({"t", fx.schedA});
+    ASSERT_EQ(late.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(late.get().status, JobStatus::Rejected);
+
+    const auto s = server.stats();
+    EXPECT_EQ(s.cancelled, 5u);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.rejected, 1u);
+    EXPECT_EQ(s.tenants.at("t").cancelled, 5u);
+}
+
+TEST(Server, ShutdownCompletesInFlightJobs)
+{
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    std::vector<std::future<JobResult>> futs;
+    {
+        Server server(
+            rack, {.workers = 2, .queueDepth = 16, .maxBatch = 4});
+        for (int i = 0; i < 8; ++i)
+            futs.push_back(server.submit({"t", fx.schedB}));
+        // Destructor shutdown: whatever was dispatched completes,
+        // the rest is cancelled — never dropped, never blocked.
+    }
+    std::size_t completed = 0, cancelled = 0;
+    for (auto &f : futs) {
+        const auto r = f.get();
+        ASSERT_TRUE(r.status == JobStatus::Completed ||
+                    r.status == JobStatus::Cancelled)
+            << jobStatusName(r.status);
+        completed += r.status == JobStatus::Completed;
+        cancelled += r.status == JobStatus::Cancelled;
+    }
+    EXPECT_EQ(completed + cancelled, 8u);
+}
+
+TEST(Server, ConfigDefaultsAreClamped)
+{
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    // workers <= 0 resolves to the clamped hardware default;
+    // queueDepth/maxBatch 0 clamp to 1 instead of wedging the queue.
+    Server server(rack, {.workers = 0, .queueDepth = 0, .maxBatch = 0});
+    EXPECT_GE(server.workers(), 1);
+    EXPECT_EQ(server.queueDepth(), 1u);
+    EXPECT_EQ(server.maxBatch(), 1u);
+    auto f = server.submit({"t", fx.schedA});
+    EXPECT_EQ(f.get().status, JobStatus::Completed);
+}
+
+TEST(Server, DrainOnIdleServerReturnsImmediately)
+{
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    Server server(rack, {.workers = 1});
+    server.drain();
+    EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(Server, PerJobStatsMatchSynchronousExecution)
+{
+    const ServerFixture fx;
+    // Reference: each schedule alone through the synchronous service.
+    const Rack refRack(fx.dev, fx.clib, fx.rackConfig());
+    RuntimeService ref(refRack, {.workers = 1});
+    const auto refA = ref.executeBatchPerJob({fx.schedA}).jobs[0];
+    const auto refB = ref.executeBatchPerJob({fx.schedB}).jobs[0];
+
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+    Server server(rack,
+                  {.workers = 2, .queueDepth = 32, .maxBatch = 8});
+    auto fa = server.submit({"a", fx.schedA});
+    auto fb = server.submit({"b", fx.schedB});
+    const auto ra = fa.get();
+    const auto rb = fb.get();
+    ASSERT_EQ(ra.status, JobStatus::Completed);
+    ASSERT_EQ(rb.status, JobStatus::Completed);
+    expectSameDemand(ra.stats, refA);
+    expectSameDemand(rb.stats, refB);
+}
+
+TEST(Server, ResultsIdenticalAcrossWorkersAndInterleavings)
+{
+    // The serving determinism contract (mirrors the PR 4
+    // compile-plane identity test): the same job set submitted in any
+    // order, from any number of threads, against any worker count
+    // yields bit-identical per-job RackStats and identical ServerStats
+    // volume rollups.
+    const ServerFixture fx;
+    const Rack refRack(fx.dev, fx.clib, fx.rackConfig());
+    RuntimeService ref(refRack, {.workers = 1});
+    const auto refA = ref.executeBatchPerJob({fx.schedA}).jobs[0];
+    const auto refB = ref.executeBatchPerJob({fx.schedB}).jobs[0];
+    constexpr int kPerTenant = 4;
+
+    for (const int workers : {1, 4}) {
+        for (const bool threaded : {false, true}) {
+            const Rack rack(fx.dev, fx.clib, fx.rackConfig());
+            // maxBatch 3 with 8 jobs: coalesced batch boundaries
+            // never align with job boundaries, so attribution is
+            // genuinely exercised across compositions.
+            Server server(
+                rack,
+                {.workers = workers, .queueDepth = 64, .maxBatch = 3});
+            std::vector<std::future<JobResult>> futsA, futsB;
+            futsA.reserve(kPerTenant);
+            futsB.reserve(kPerTenant);
+            auto submitA = [&] {
+                for (int i = 0; i < kPerTenant; ++i)
+                    futsA.push_back(server.submit({"a", fx.schedA}));
+            };
+            auto submitB = [&] {
+                for (int i = 0; i < kPerTenant; ++i)
+                    futsB.push_back(server.submit({"b", fx.schedB}));
+            };
+            if (threaded) {
+                std::thread ta(submitA), tb(submitB);
+                ta.join();
+                tb.join();
+            } else {
+                submitB(); // reversed order vs the threaded case
+                submitA();
+            }
+            for (auto &f : futsA) {
+                const auto r = f.get();
+                ASSERT_EQ(r.status, JobStatus::Completed);
+                expectSameDemand(r.stats, refA);
+            }
+            for (auto &f : futsB) {
+                const auto r = f.get();
+                ASSERT_EQ(r.status, JobStatus::Completed);
+                expectSameDemand(r.stats, refB);
+            }
+            server.drain();
+            const auto s = server.stats();
+            EXPECT_EQ(s.completed, 2u * kPerTenant);
+            EXPECT_EQ(s.gatesPlayed,
+                      kPerTenant *
+                          (refA.totalGates + refB.totalGates));
+            EXPECT_EQ(s.samplesDecoded,
+                      kPerTenant *
+                          (refA.totalSamples + refB.totalSamples));
+            EXPECT_EQ(s.tenants.at("a").gatesPlayed,
+                      kPerTenant * refA.totalGates);
+            EXPECT_EQ(s.tenants.at("b").samplesDecoded,
+                      kPerTenant * refB.totalSamples);
+        }
+    }
+}
+
+TEST(Server, ConcurrentMixedTenantsKeepCacheLoadBearing)
+{
+    // Many tenants hammering the same hot pulses through one rack:
+    // after the cold pass, the shared decoded-window cache serves the
+    // fleet — the serving-plane workload it exists for.
+    const ServerFixture fx;
+    const Rack rack(fx.dev, fx.clib, fx.rackConfig(1 << 14));
+    Server server(rack,
+                  {.workers = 4, .queueDepth = 256, .maxBatch = 8});
+    std::vector<std::thread> tenants;
+    for (int t = 0; t < 4; ++t)
+        tenants.emplace_back([&, t] {
+            std::vector<std::future<JobResult>> futs;
+            for (int i = 0; i < 8; ++i)
+                futs.push_back(server.submit(
+                    {"tenant-" + std::to_string(t),
+                     i % 2 ? fx.schedA : fx.schedB}));
+            for (auto &f : futs)
+                ASSERT_EQ(f.get().status, JobStatus::Completed);
+        });
+    for (auto &t : tenants)
+        t.join();
+    server.drain();
+    const auto s = server.stats();
+    EXPECT_EQ(s.completed, 32u);
+    EXPECT_EQ(s.tenants.size(), 4u);
+    // 32 replays of two schedules: overwhelmingly cache hits.
+    EXPECT_GT(s.cacheHitRate, 0.9);
+    EXPECT_GT(s.cache.hits, s.cache.misses);
+}
+
+} // namespace
+} // namespace compaqt::runtime
