@@ -174,5 +174,16 @@ main(int argc, char **argv)
                   static_cast<double>(cached_best_counters.evictions));
     report.metric("cached_resident_windows",
                   static_cast<double>(cached_best_counters.entries));
+    // Prefetch counters: the direct path never prefetches, so these
+    // are a zero baseline here — the instruction-stream back end's
+    // numbers live in BENCH_istream_compile.json for comparison.
+    report.metric("cached_prefetches",
+                  static_cast<double>(cached_best_counters.prefetches));
+    report.metric(
+        "cached_prefetch_hits",
+        static_cast<double>(cached_best_counters.prefetchHits));
+    report.metric(
+        "cached_prefetch_wasted",
+        static_cast<double>(cached_best_counters.prefetchWasted));
     return 0;
 }

@@ -406,6 +406,12 @@ main(int argc, char **argv)
                   cmp.queuedStats.cacheHitRate);
     report.metric("cache_hits_mixed_tenants",
                   static_cast<double>(cmp.queuedStats.cache.hits));
+    report.metric(
+        "cache_prefetches_mixed_tenants",
+        static_cast<double>(cmp.queuedStats.cache.prefetches));
+    report.metric(
+        "cache_prefetch_hits_mixed_tenants",
+        static_cast<double>(cmp.queuedStats.cache.prefetchHits));
 
     // Deterministic backpressure segment: hold dispatch, fill the
     // queue to depth, and verify the overflow submissions are

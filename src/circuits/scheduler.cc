@@ -60,6 +60,20 @@ schedule(const Circuit &c, const Durations &dur)
     return s;
 }
 
+std::vector<std::size_t>
+eventOrderByStart(const Schedule &s)
+{
+    std::vector<std::size_t> order(s.events.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return s.events[a].start <
+                                s.events[b].start;
+                     });
+    return order;
+}
+
 namespace
 {
 

@@ -50,6 +50,17 @@ struct Schedule
  */
 Schedule schedule(const Circuit &c, const Durations &dur);
 
+/**
+ * Event indices of `s` in deterministic time order: ascending start,
+ * ties broken by position in the event list. Schedules produced by
+ * schedule() are already nearly sorted (ASAP emits in circuit order),
+ * but partitioned slices and hand-built schedules are not guaranteed
+ * to be — consumers that lower a schedule to a linear instruction
+ * stream (isa::Compiler) need one canonical issue order that is a
+ * pure function of the schedule.
+ */
+std::vector<std::size_t> eventOrderByStart(const Schedule &s);
+
 /** Channel-occupancy statistics of a schedule. */
 struct ConcurrencyProfile
 {

@@ -24,6 +24,9 @@
 #include "core/fidelity_aware.hh"
 #include "core/library_compiler.hh"
 #include "core/pipeline.hh"
+#include "isa/compiler.hh"
+#include "isa/interpreter.hh"
+#include "isa/isa.hh"
 #include "runtime/rack.hh"
 #include "runtime/server.hh"
 #include "runtime/service.hh"
@@ -79,6 +82,17 @@ using runtime::RackConfig;
 using runtime::RackStats;
 using runtime::RuntimeService;
 using runtime::ShardPolicy;
+
+// Instruction-stream backend (compile schedules to per-shard
+// PLAY/WAIT/PREFETCH programs; executeBatchCompiled drives them)
+using IsaCompiler = isa::Compiler;
+using IsaInterpreter = isa::Interpreter;
+using isa::CompiledSchedule;
+using isa::CompilerConfig;
+using isa::Instruction;
+using isa::InstructionProgram;
+using isa::Opcode;
+using isa::ProgramStats;
 
 // Serving plane (async multi-tenant front end)
 using runtime::JobResult;

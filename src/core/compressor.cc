@@ -41,55 +41,4 @@ Compressor::compressChannel(std::span<const double> x,
     codec_->compressChannel(x, cfg_.threshold, out);
 }
 
-// ------------------------------------------------- deprecated enum shim
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::string_view
-codecKey(Codec c)
-{
-    switch (c) {
-      case Codec::Delta:
-        return "delta";
-      case Codec::DctN:
-        return "dct-n";
-      case Codec::DctW:
-        return "dct-w";
-      case Codec::IntDctW:
-        return "int-dct";
-    }
-    COMPAQT_PANIC("unknown legacy codec enum value");
-}
-
-const char *
-codecName(Codec c)
-{
-    switch (c) {
-      case Codec::Delta:
-        return "Delta";
-      case Codec::DctN:
-        return "DCT-N";
-      case Codec::DctW:
-        return "DCT-W";
-      case Codec::IntDctW:
-        return "int-DCT-W";
-    }
-    return "?";
-}
-
-bool
-codecIsInteger(Codec c)
-{
-    return c == Codec::IntDctW;
-}
-
-CompressorConfig
-legacyConfig(Codec c, std::size_t window_size, double threshold)
-{
-    return {std::string(codecKey(c)), window_size, threshold};
-}
-
-#pragma GCC diagnostic pop
-
 } // namespace compaqt::core

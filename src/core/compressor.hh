@@ -10,9 +10,10 @@
  * instance; new codecs registered anywhere are usable here without
  * changes.
  *
- * The old `enum class Codec` selector survives below as a deprecated
- * shim over the registry names; new code should use the string keys
- * or the CompressionPipeline facade.
+ * The pre-registry `enum class Codec` selector has been removed; use
+ * the registry string keys or the CompressionPipeline facade. (The
+ * serialization loaders still read v1 archives that stored the old
+ * enum bytes — the mapping lives with the loader, not here.)
  */
 
 #ifndef COMPAQT_CORE_COMPRESSOR_HH
@@ -82,43 +83,6 @@ class Compressor
     CompressorConfig cfg_;
     std::unique_ptr<const ICodec> codec_;
 };
-
-// ------------------------------------------------- deprecated enum shim
-//
-// The pre-registry API: a closed enum of the four paper codecs. Kept
-// so downstream code migrates incrementally; everything here forwards
-// to the registry names.
-
-/** Compression algorithm selector (Table II + delta baseline).
- *  @deprecated Use CodecRegistry string keys instead. */
-enum class Codec
-{
-    Delta,
-    DctN,
-    DctW,
-    IntDctW,
-};
-
-/** Registry key for a legacy enum value, e.g. "int-dct".
- *  @deprecated */
-[[deprecated("use CodecRegistry string keys")]]
-std::string_view codecKey(Codec c);
-
-/** Printable codec name (display label), e.g. "int-DCT-W".
- *  @deprecated Use ICodec::label(). */
-[[deprecated("use ICodec::label()")]]
-const char *codecName(Codec c);
-
-/** True for codecs whose coefficients are integers.
- *  @deprecated Use ICodec::isInteger(). */
-[[deprecated("use ICodec::isInteger()")]]
-bool codecIsInteger(Codec c);
-
-/** Build a CompressorConfig from the legacy enum selector.
- *  @deprecated Construct CompressorConfig with a registry key. */
-[[deprecated("construct CompressorConfig with a registry key")]]
-CompressorConfig legacyConfig(Codec c, std::size_t window_size = 16,
-                              double threshold = 1e-3);
 
 } // namespace compaqt::core
 

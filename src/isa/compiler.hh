@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The schedule-to-instruction-stream compiler: lower a
+ * circuits::Schedule onto a runtime::Rack's shard plan as one
+ * InstructionProgram per shard, the way OpenQL lowers circuits to
+ * eQASM under explicit resource constraints.
+ *
+ * The core is a resource-constrained list scheduler. Per-channel
+ * busy intervals are the resources: events are issued in canonical
+ * time order, each no earlier than its scheduled start and no
+ * earlier than the release of every drive channel it occupies, so a
+ * shard slice that lost its cross-shard context still serializes
+ * correctly on its own channels. Repeated gate fetches dedupe
+ * through the program's gate table, and — where the stream has idle
+ * slack — PREFETCH ops for each first-use window are hoisted at
+ * least `prefetchLeadCycles` ahead of their consuming PLAY, warming
+ * the rack's DecodedWindowCache before playback demands the window.
+ *
+ * Every program is bounded: the mandatory stream (gate table, PLAYs,
+ * WAITs, BARRIER, HALT) must fit `instructionMemoryWords` or the
+ * compile throws, and prefetch hints are emitted only while they
+ * still fit — instruction memory is budgeted per shard the same way
+ * the paper budgets waveform memory per controller.
+ */
+
+#ifndef COMPAQT_ISA_COMPILER_HH
+#define COMPAQT_ISA_COMPILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/scheduler.hh"
+#include "isa/isa.hh"
+#include "runtime/rack.hh"
+
+namespace compaqt::isa
+{
+
+/** Compiler knobs. */
+struct CompilerConfig
+{
+    /**
+     * Per-shard instruction-memory budget in 32-bit words. The
+     * mandatory stream must fit (std::invalid_argument otherwise);
+     * prefetch hints are dropped first when the budget runs out.
+     */
+    std::size_t instructionMemoryWords = 1u << 16;
+    /** Minimum cycles of lead a PREFETCH must have over its
+     *  consuming PLAY; first uses with less slack are not hoisted. */
+    std::uint32_t prefetchLeadCycles = 8;
+    /** Cap on prefetched-but-not-yet-consumed windows, bounding how
+     *  many cache slots prefetch pins can hold at once. */
+    std::size_t maxOutstandingPrefetches = 256;
+    /** Master switch for PREFETCH emission. */
+    bool emitPrefetch = true;
+};
+
+/** Per-shard compile outcome. */
+struct ProgramStats
+{
+    std::size_t instructions = 0;
+    /** Program footprint in instruction-memory words. */
+    std::size_t memoryWords = 0;
+    /** The budget the program was compiled against. */
+    std::size_t memoryBoundWords = 0;
+    /** Always true on a successful compile (the mandatory stream
+     *  throws otherwise); asserted by benches. */
+    bool fitsMemoryBound = true;
+    std::size_t playInstructions = 0;
+    std::size_t waitInstructions = 0;
+    std::size_t prefetchInstructions = 0;
+    /** Gate-table entries (unique gates fetched). */
+    std::size_t uniqueGates = 0;
+    /** Scheduled events lowered to PLAY pairs. */
+    std::uint64_t playedEvents = 0;
+    /** Gate fetches the table deduped: played events beyond each
+     *  gate's first. */
+    std::uint64_t dedupedFetches = 0;
+    /** First-use windows not hoisted because the instruction-memory
+     *  budget ran out. */
+    std::uint64_t prefetchDroppedBudget = 0;
+    /** First-use windows not hoisted because the stream had no gap
+     *  of at least prefetchLeadCycles ahead of their PLAY. */
+    std::uint64_t prefetchSkippedNoSlack = 0;
+    /** Modeled end-of-program fabric cycle. */
+    std::uint64_t programCycles = 0;
+};
+
+/** A schedule lowered onto every shard of a rack. */
+struct CompiledSchedule
+{
+    /** One program per shard, indexed like the rack's shard plan. */
+    std::vector<InstructionProgram> programs;
+    std::vector<ProgramStats> stats;
+    /** Events owned by no shard (dropped, mirroring
+     *  RackStats::unownedEvents). */
+    std::uint64_t unownedEvents = 0;
+};
+
+/**
+ * Compiles schedules against one rack's shard plan, library, and
+ * controller clock. Stateless between calls; safe to share across
+ * threads.
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(const runtime::Rack &rack,
+                      const CompilerConfig &cfg = {});
+
+    const CompilerConfig &config() const { return cfg_; }
+
+    /** Lower a full schedule: partition by qubit ownership, then
+     *  compile each shard's slice. */
+    CompiledSchedule compile(const circuits::Schedule &sched) const;
+
+    /**
+     * Lower one shard's already-partitioned slice. This is the entry
+     * point RuntimeService uses, since batch execution partitions
+     * schedules itself.
+     * @throws std::invalid_argument when the mandatory stream
+     *         exceeds the instruction-memory budget
+     */
+    InstructionProgram
+    compileShard(const circuits::Schedule &part,
+                 ProgramStats *stats = nullptr) const;
+
+  private:
+    const runtime::Rack &rack_;
+    CompilerConfig cfg_;
+};
+
+} // namespace compaqt::isa
+
+#endif // COMPAQT_ISA_COMPILER_HH

@@ -1,0 +1,102 @@
+#include "isa/interpreter.hh"
+
+#include <map>
+#include <stdexcept>
+
+#include "runtime/decoded_cache.hh"
+
+namespace compaqt::isa
+{
+
+namespace
+{
+
+const core::CompressedEntry &
+resolveGate(const runtime::Rack &rack, const InstructionProgram &prog,
+            std::uint16_t ref)
+{
+    const waveform::GateId &id = prog.gate(ref);
+    const core::CompressedEntry *entry = rack.library().find(id);
+    if (!entry)
+        throw std::invalid_argument(
+            "isa: program references a gate the rack library does"
+            " not hold");
+    return *entry;
+}
+
+} // namespace
+
+InterpreterResult
+Interpreter::run(const InstructionProgram &prog)
+{
+    InterpreterResult res;
+    // Prefetch pins, keyed like the cache: a pinned window cannot be
+    // recycled out from under its pending PLAY, and dropping the pin
+    // at consumption returns the slot to normal LRU life.
+    std::map<runtime::DecodedWindowKey, runtime::DecodedWindowCache::Handle>
+        pins;
+    const std::size_t n = prog.numInstructions();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instruction in = prog.at(i);
+        ++res.stats.instructions;
+        switch (in.op) {
+        case Opcode::Play: {
+            ++res.stats.plays;
+            const waveform::GateId &id = prog.gate(in.gateRef);
+            const core::CompressedEntry &entry =
+                resolveGate(rack_, prog, in.gateRef);
+            const std::uint32_t first = in.playFirst();
+            const std::uint32_t count = in.playCount();
+            // The event's I-channel PLAY (first chunk) carries the
+            // per-gate accounting, mirroring the direct path's one
+            // tally per schedule event.
+            if (in.channel == 0 && first == 0) {
+                ++res.play.gates;
+                if (!player_.decodes())
+                    res.play.samples +=
+                        entry.cw.stats().originalSamples;
+            }
+            if (player_.decodes() && count > 0)
+                player_.playWindows(id, entry, in.channel, first,
+                                    count, res.play);
+            // Retire prefetch pins this range consumed.
+            auto it = pins.lower_bound(
+                runtime::DecodedWindowKey{id, in.channel, first});
+            while (it != pins.end() && it->first.gate == id &&
+                   it->first.channel == in.channel &&
+                   it->first.window < first + count)
+                it = pins.erase(it);
+            break;
+        }
+        case Opcode::Wait:
+            ++res.stats.waits;
+            res.stats.idleCycles += in.arg;
+            break;
+        case Opcode::Prefetch: {
+            const waveform::GateId &id = prog.gate(in.gateRef);
+            const core::CompressedEntry &entry =
+                resolveGate(rack_, prog, in.gateRef);
+            auto handle =
+                player_.prefetchWindow(id, entry, in.channel, in.arg);
+            if (handle) {
+                ++res.stats.prefetchesIssued;
+                pins.insert_or_assign(
+                    runtime::DecodedWindowKey{id, in.channel, in.arg},
+                    std::move(handle));
+            } else {
+                ++res.stats.prefetchesSkipped;
+            }
+            break;
+        }
+        case Opcode::Barrier:
+            ++res.stats.barriers;
+            break;
+        case Opcode::Halt:
+            pins.clear();
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace compaqt::isa

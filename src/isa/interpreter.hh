@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The instruction-stream execution back end: walk one shard's
+ * InstructionProgram and drive playback through the shared
+ * runtime::WindowPlayer, so the stats it produces are bit-identical
+ * to the direct schedule-walking path by construction.
+ *
+ * PREFETCH ops warm the rack's DecodedWindowCache and pin the warmed
+ * window through its ref-counted Handle; the pin is dropped when the
+ * consuming PLAY retires the window range, so an eviction burst
+ * between a prefetch and its use cannot undo the warming.
+ */
+
+#ifndef COMPAQT_ISA_INTERPRETER_HH
+#define COMPAQT_ISA_INTERPRETER_HH
+
+#include <cstdint>
+
+#include "isa/isa.hh"
+#include "runtime/playback.hh"
+#include "runtime/rack.hh"
+
+namespace compaqt::isa
+{
+
+/** Instruction-level execution tallies (interpreter-only view;
+ *  playback totals live in the PlaybackCounters next to this). */
+struct InterpreterStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t plays = 0;
+    std::uint64_t waits = 0;
+    /** WAIT cycles the modeled sequencer idled. */
+    std::uint64_t idleCycles = 0;
+    /** PREFETCH ops that decoded-and-pinned a cold window. */
+    std::uint64_t prefetchesIssued = 0;
+    /** PREFETCH ops that were no-ops: window already resident, flat
+     *  bypass window, or the cache is disabled. */
+    std::uint64_t prefetchesSkipped = 0;
+    std::uint64_t barriers = 0;
+};
+
+/** Outcome of running one program. */
+struct InterpreterResult
+{
+    /** Exactly the gates/windows/samples/bypassed the direct path
+     *  tallies for the same shard slice. */
+    runtime::PlaybackCounters play;
+    InterpreterStats stats;
+};
+
+/**
+ * Executes per-shard programs against one rack. Holds one
+ * WindowPlayer (codec instances + scratch), so like the player it is
+ * not thread-safe: build one per worker cell.
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const runtime::Rack &rack)
+        : rack_(rack), player_(rack)
+    {
+    }
+
+    /**
+     * Run `prog` to its HALT (or the end of the code stream).
+     * @throws std::invalid_argument when a PLAY/PREFETCH references a
+     *         gate the rack's library does not hold — programs are
+     *         compiled against a concrete library, so a mismatch is a
+     *         corrupt or misrouted program, not a soft miss
+     */
+    InterpreterResult run(const InstructionProgram &prog);
+
+  private:
+    const runtime::Rack &rack_;
+    runtime::WindowPlayer player_;
+};
+
+} // namespace compaqt::isa
+
+#endif // COMPAQT_ISA_INTERPRETER_HH

@@ -1,0 +1,222 @@
+#include "isa/isa.hh"
+
+#include <stdexcept>
+#include <string>
+
+namespace compaqt::isa
+{
+
+namespace
+{
+
+/** 12-bit qubit operand field of a gate-table word. */
+constexpr std::uint32_t kQubitMask = 0xFFFu;
+/** Encoding of "no second qubit" (GateId::q1 == -1). */
+constexpr std::uint32_t kNoQubit = kQubitMask;
+
+std::uint32_t
+encodeGateWord(const waveform::GateId &id)
+{
+    const auto q0 = static_cast<std::uint32_t>(id.q0);
+    const auto q1 = id.q1 < 0 ? kNoQubit
+                              : static_cast<std::uint32_t>(id.q1);
+    return static_cast<std::uint32_t>(id.type) << 24 | q0 << 12 | q1;
+}
+
+waveform::GateId
+decodeGateWord(std::uint32_t word)
+{
+    waveform::GateId id;
+    id.type = static_cast<waveform::GateType>(word >> 24);
+    id.q0 = static_cast<int>(word >> 12 & kQubitMask);
+    const std::uint32_t q1 = word & kQubitMask;
+    id.q1 = q1 == kNoQubit ? -1 : static_cast<int>(q1);
+    return id;
+}
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Play:
+        return "PLAY";
+      case Opcode::Wait:
+        return "WAIT";
+      case Opcode::Prefetch:
+        return "PREFETCH";
+      case Opcode::Barrier:
+        return "BARRIER";
+      case Opcode::Halt:
+        return "HALT";
+    }
+    return "?";
+}
+
+Instruction
+Instruction::play(std::uint16_t gate_ref, std::uint8_t channel,
+                  std::uint16_t first_window,
+                  std::uint16_t window_count)
+{
+    return {Opcode::Play, channel, gate_ref,
+            static_cast<std::uint32_t>(first_window) << 16 |
+                window_count};
+}
+
+Instruction
+Instruction::wait(std::uint32_t cycles)
+{
+    return {Opcode::Wait, 0, 0, cycles};
+}
+
+Instruction
+Instruction::prefetch(std::uint16_t gate_ref, std::uint8_t channel,
+                      std::uint32_t window)
+{
+    return {Opcode::Prefetch, channel, gate_ref, window};
+}
+
+Instruction
+Instruction::barrier()
+{
+    return {Opcode::Barrier, 0, 0, 0};
+}
+
+Instruction
+Instruction::halt()
+{
+    return {Opcode::Halt, 0, 0, 0};
+}
+
+EncodedInstruction
+encode(const Instruction &in)
+{
+    return {static_cast<std::uint32_t>(in.op) << 24 |
+                static_cast<std::uint32_t>(in.channel) << 16 |
+                in.gateRef,
+            in.arg};
+}
+
+Instruction
+decode(std::uint32_t word0, std::uint32_t word1)
+{
+    Instruction in;
+    const auto op = word0 >> 24;
+    if (op > static_cast<std::uint32_t>(Opcode::Halt))
+        throw std::invalid_argument(
+            "isa: unknown opcode " + std::to_string(op) +
+            " in instruction word");
+    in.op = static_cast<Opcode>(op);
+    in.channel = static_cast<std::uint8_t>(word0 >> 16 & 0xFFu);
+    in.gateRef = static_cast<std::uint16_t>(word0 & 0xFFFFu);
+    in.arg = word1;
+    const bool has_gate =
+        in.op == Opcode::Play || in.op == Opcode::Prefetch;
+    if (!has_gate && (in.channel != 0 || in.gateRef != 0))
+        throw std::invalid_argument(
+            "isa: nonzero operand bits in a gate-less instruction");
+    if ((in.op == Opcode::Barrier || in.op == Opcode::Halt) &&
+        in.arg != 0)
+        throw std::invalid_argument(
+            "isa: nonzero argument word in BARRIER/HALT");
+    if (has_gate && in.channel > 1)
+        throw std::invalid_argument(
+            "isa: channel operand out of range (I=0, Q=1)");
+    return in;
+}
+
+std::uint16_t
+InstructionProgram::internGate(const waveform::GateId &id)
+{
+    if (id.q0 < 0 ||
+        static_cast<std::uint32_t>(id.q0) > kQubitMask ||
+        id.q1 >= static_cast<int>(kNoQubit))
+        throw std::invalid_argument(
+            "isa: qubit index exceeds the 12-bit gate-table operand"
+            " field: " +
+            waveform::toString(id));
+    const auto it = index_.find(id);
+    if (it != index_.end())
+        return it->second;
+    if (table_.size() > 0xFFFFu)
+        throw std::invalid_argument(
+            "isa: gate table full (more than 65536 unique gates in"
+            " one shard program)");
+    const auto ref = static_cast<std::uint16_t>(table_.size());
+    table_.push_back(id);
+    index_.emplace(id, ref);
+    return ref;
+}
+
+void
+InstructionProgram::emit(const Instruction &in)
+{
+    const EncodedInstruction e = encode(in);
+    code_.push_back(e.word0);
+    code_.push_back(e.word1);
+}
+
+Instruction
+InstructionProgram::at(std::size_t i) const
+{
+    return decode(code_[i * kWordsPerInstruction],
+                  code_[i * kWordsPerInstruction + 1]);
+}
+
+const waveform::GateId &
+InstructionProgram::gate(std::uint16_t ref) const
+{
+    return table_[ref];
+}
+
+std::vector<std::uint32_t>
+InstructionProgram::toWords() const
+{
+    std::vector<std::uint32_t> words;
+    words.reserve(memoryWords());
+    words.push_back(static_cast<std::uint32_t>(table_.size()));
+    words.push_back(static_cast<std::uint32_t>(code_.size()));
+    for (const auto &id : table_)
+        words.push_back(encodeGateWord(id));
+    words.insert(words.end(), code_.begin(), code_.end());
+    return words;
+}
+
+InstructionProgram
+InstructionProgram::fromWords(std::span<const std::uint32_t> words)
+{
+    if (words.size() < kHeaderWords)
+        throw std::invalid_argument(
+            "isa: program stream shorter than its header");
+    const std::size_t table_size = words[0];
+    const std::size_t code_size = words[1];
+    if (code_size % kWordsPerInstruction != 0)
+        throw std::invalid_argument(
+            "isa: program code size is not a whole number of"
+            " instructions");
+    if (words.size() != kHeaderWords + table_size + code_size)
+        throw std::invalid_argument(
+            "isa: program stream size does not match its header");
+    InstructionProgram prog;
+    prog.table_.reserve(table_size);
+    for (std::size_t i = 0; i < table_size; ++i) {
+        prog.table_.push_back(decodeGateWord(words[kHeaderWords + i]));
+        prog.index_.emplace(prog.table_.back(),
+                            static_cast<std::uint16_t>(i));
+    }
+    const auto code = words.subspan(kHeaderWords + table_size);
+    prog.code_.assign(code.begin(), code.end());
+    // Validate every instruction up front: a program that decodes at
+    // load time cannot trap mid-playback.
+    for (std::size_t i = 0; i < prog.numInstructions(); ++i) {
+        const Instruction in = prog.at(i);
+        if ((in.op == Opcode::Play || in.op == Opcode::Prefetch) &&
+            in.gateRef >= prog.table_.size())
+            throw std::invalid_argument(
+                "isa: gate reference past the end of the gate table");
+    }
+    return prog;
+}
+
+} // namespace compaqt::isa

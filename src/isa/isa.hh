@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The per-shard control instruction set: the compile target the
+ * runtime lowers circuits::ScheduledCircuit objects to, the way
+ * instruction-driven synthesis microarchitectures sequence playback
+ * (Khammassi et al., arXiv:2205.06851) instead of re-walking schedule
+ * objects at execution time.
+ *
+ * Five opcodes cover the sequencer's job:
+ *
+ *   PLAY     {gate, channel, window range}  stream decoded windows
+ *   WAIT     {cycles}                       advance the timeline
+ *   PREFETCH {gate, channel, window}        warm the decoded cache
+ *   BARRIER  {}                             drain outstanding plays
+ *   HALT     {}                             end of program
+ *
+ * Encoding is fixed-width — two 32-bit words per instruction — so a
+ * program's footprint is measured in instruction-memory words exactly
+ * the way the paper bounds waveform memory in compressed-memory
+ * words. Gate operands are references into a program-local gate
+ * table (one word per unique gate), which is what dedupes repeated
+ * gate fetches: the thousandth play of a hot CX pulse costs two code
+ * words, not another descriptor fetch.
+ */
+
+#ifndef COMPAQT_ISA_ISA_HH
+#define COMPAQT_ISA_ISA_HH
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "waveform/library.hh"
+
+namespace compaqt::isa
+{
+
+/** Instruction opcodes (8-bit field). */
+enum class Opcode : std::uint8_t
+{
+    Play = 0,
+    Wait = 1,
+    Prefetch = 2,
+    Barrier = 3,
+    Halt = 4,
+};
+
+/** Printable opcode mnemonic, e.g. "PLAY". */
+const char *opcodeName(Opcode op);
+
+/**
+ * One decoded instruction. Field use by opcode:
+ *
+ *   PLAY      channel (0 = I, 1 = Q), gateRef, arg = first<<16|count
+ *   WAIT      arg = cycles to idle
+ *   PREFETCH  channel, gateRef, arg = window index
+ *   BARRIER   (no operands)
+ *   HALT      (no operands)
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+    /** PLAY/PREFETCH: 0 = I channel, 1 = Q channel. */
+    std::uint8_t channel = 0;
+    /** PLAY/PREFETCH: index into the program's gate table. */
+    std::uint16_t gateRef = 0;
+    /** Opcode-specific operand word (see above). */
+    std::uint32_t arg = 0;
+
+    /** @pre count fits the 16-bit window-count field */
+    static Instruction play(std::uint16_t gate_ref,
+                            std::uint8_t channel,
+                            std::uint16_t first_window,
+                            std::uint16_t window_count);
+    static Instruction wait(std::uint32_t cycles);
+    static Instruction prefetch(std::uint16_t gate_ref,
+                                std::uint8_t channel,
+                                std::uint32_t window);
+    static Instruction barrier();
+    static Instruction halt();
+
+    /** PLAY: first window of the range. */
+    std::uint16_t
+    playFirst() const
+    {
+        return static_cast<std::uint16_t>(arg >> 16);
+    }
+
+    /** PLAY: number of windows in the range. */
+    std::uint16_t
+    playCount() const
+    {
+        return static_cast<std::uint16_t>(arg & 0xFFFFu);
+    }
+
+    auto operator<=>(const Instruction &) const = default;
+};
+
+/** Fixed-width encoding: two 32-bit words per instruction. */
+struct EncodedInstruction
+{
+    std::uint32_t word0 = 0;
+    std::uint32_t word1 = 0;
+};
+
+/** Pack an instruction into its two-word encoding. */
+EncodedInstruction encode(const Instruction &in);
+
+/**
+ * Decode a two-word instruction.
+ * @throws std::invalid_argument on an unknown opcode or nonzero bits
+ *         in fields the opcode does not define (corrupt streams fail
+ *         loudly instead of playing garbage)
+ */
+Instruction decode(std::uint32_t word0, std::uint32_t word1);
+
+/**
+ * One shard's compiled program: a fixed-width code stream plus the
+ * deduplicated gate table PLAY/PREFETCH operands reference. The whole
+ * object serializes to (and reloads from) a flat word stream, so its
+ * instruction-memory footprint is exact, not estimated.
+ */
+class InstructionProgram
+{
+  public:
+    static constexpr std::size_t kWordsPerInstruction = 2;
+    /** Serialized header: gate-table size word + code size word. */
+    static constexpr std::size_t kHeaderWords = 2;
+
+    /**
+     * Intern a gate in the table, returning its reference; repeated
+     * gates return the existing slot (fetch dedupe).
+     * @throws std::invalid_argument when the table is full (> 65535
+     *         unique gates) or a qubit index exceeds the 12-bit
+     *         operand field
+     */
+    std::uint16_t internGate(const waveform::GateId &id);
+
+    /** Append one instruction to the code stream. */
+    void emit(const Instruction &in);
+
+    std::size_t
+    numInstructions() const
+    {
+        return code_.size() / kWordsPerInstruction;
+    }
+
+    /**
+     * Instruction-memory footprint in 32-bit words: header + one
+     * word per gate-table entry + two words per instruction. This is
+     * the figure the compiler bounds per shard.
+     */
+    std::size_t
+    memoryWords() const
+    {
+        return kHeaderWords + table_.size() + code_.size();
+    }
+
+    /** Decoded instruction at index `i`. @pre i < numInstructions() */
+    Instruction at(std::size_t i) const;
+
+    /** Gate-table entry. @pre ref < gateTable().size() */
+    const waveform::GateId &gate(std::uint16_t ref) const;
+
+    const std::vector<waveform::GateId> &
+    gateTable() const
+    {
+        return table_;
+    }
+
+    /** Raw code stream (two words per instruction). */
+    const std::vector<std::uint32_t> &code() const { return code_; }
+
+    /**
+     * Serialize to a flat word stream (header, gate table, code);
+     * exactly memoryWords() words.
+     */
+    std::vector<std::uint32_t> toWords() const;
+
+    /**
+     * Rebuild a program from toWords() output.
+     * @throws std::invalid_argument on a malformed stream
+     */
+    static InstructionProgram
+    fromWords(std::span<const std::uint32_t> words);
+
+  private:
+    std::vector<std::uint32_t> code_;
+    std::vector<waveform::GateId> table_;
+    /** Builder-side index over table_ so interning a hot gate is a
+     *  lookup, not a scan; rebuilt by fromWords(). */
+    std::map<waveform::GateId, std::uint16_t> index_;
+};
+
+} // namespace compaqt::isa
+
+#endif // COMPAQT_ISA_ISA_HH

@@ -31,12 +31,29 @@ DecodedWindowCache::probe(const DecodedWindowKey &key)
             lru_.splice(lru_.begin(), lru_, it->second);
             ++stats_.hits;
             Slot *slot = it->second->slot;
+            if (slot->prefetched) {
+                // First demand touch of a prefetched window: the
+                // prefetch paid off.
+                slot->prefetched = false;
+                ++stats_.prefetchHits;
+            }
             slot->refs.fetch_add(1, std::memory_order_relaxed);
             return Handle(this, slot);
         }
     }
     ++stats_.misses;
     return {};
+}
+
+bool
+DecodedWindowCache::touchResident(const DecodedWindowKey &key)
+{
+    std::lock_guard lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end())
+        return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
 }
 
 DecodedWindowCache::Slot *
@@ -61,6 +78,7 @@ DecodedWindowCache::acquireSlot(std::size_t window_size)
                 slot->pooled = false;
                 slot->detached = true;
                 slot->size = 0;
+                slot->prefetched = false;
                 // The in-flight decode holds a reference from here
                 // on, so a stale releaseSlot (one that decremented
                 // to zero before an evictor pooled this slot) can
@@ -102,7 +120,8 @@ DecodedWindowCache::acquireSlot(std::size_t window_size)
 }
 
 DecodedWindowCache::Handle
-DecodedWindowCache::insert(const DecodedWindowKey &key, Slot *slot)
+DecodedWindowCache::insert(const DecodedWindowKey &key, Slot *slot,
+                           bool prefetched)
 {
     // The slot arrives holding one reference (taken in acquireSlot),
     // which becomes the returned Handle's reference.
@@ -123,6 +142,10 @@ DecodedWindowCache::insert(const DecodedWindowKey &key, Slot *slot)
         return Handle(this, resident);
     }
     slot->detached = false;
+    if (prefetched) {
+        slot->prefetched = true;
+        ++stats_.prefetches;
+    }
     if (!spares_.empty()) {
         spares_.front() = Entry{key, slot};
         lru_.splice(lru_.begin(), spares_, spares_.begin());
@@ -158,6 +181,12 @@ DecodedWindowCache::evictToCapacity()
 void
 DecodedWindowCache::detachLocked(Slot *slot)
 {
+    if (slot->prefetched) {
+        // Evicted (or cleared) before any demand get() claimed it:
+        // the prefetch was wasted work.
+        slot->prefetched = false;
+        ++stats_.prefetchWasted;
+    }
     slot->detached = true;
     if (slot->refs.load(std::memory_order_acquire) == 0)
         recycleLocked(slot);

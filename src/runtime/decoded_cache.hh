@@ -62,6 +62,21 @@ struct DecodedCacheStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /**
+     * Prefetch-aware counters (filled by the instruction-stream
+     * backend's PREFETCH path): `prefetches` counts cold prefetches
+     * that decoded and inserted a window; a prefetch finding its key
+     * resident is a no-op and counts nothing. `prefetchHits` counts
+     * prefetched windows later claimed by a demand get() — each
+     * prefetched window at most once, so prefetchHits/prefetches is
+     * the fraction of prefetch work that paid off. `prefetchWasted`
+     * counts prefetched windows evicted (or cleared) before any
+     * demand touched them. Windows prefetched but still resident and
+     * unclaimed sit in none of the latter two until they resolve.
+     */
+    std::uint64_t prefetches = 0;
+    std::uint64_t prefetchHits = 0;
+    std::uint64_t prefetchWasted = 0;
     /** Windows currently resident. */
     std::size_t entries = 0;
     /** Sample slots ever carved from slabs (pool footprint). */
@@ -106,6 +121,9 @@ class DecodedWindowCache
         /** True while resting in the free list (guards the recycle
          *  race between an evictor and the last Handle release). */
         bool pooled = false;
+        /** True for a resident window inserted by prefetch() that no
+         *  demand get() has claimed yet (prefetch accounting). */
+        bool prefetched = false;
     };
 
   public:
@@ -232,6 +250,35 @@ class DecodedWindowCache
         return insert(key, slot);
     }
 
+    /**
+     * Warm the cache ahead of demand: decode `key`'s window into a
+     * pooled slot and insert it flagged as prefetched, returning a
+     * Handle that pins it (the instruction-stream interpreter holds
+     * the pin until the consuming PLAY retires, so an LRU burst
+     * cannot evict a window between its PREFETCH and its use).
+     *
+     * Unlike get(), this never touches the demand hit/miss counters:
+     * a cold prefetch counts one `prefetches`, a resident key only
+     * refreshes recency, and a disabled cache makes it a no-op — the
+     * last two return a null Handle and skip the decode entirely.
+     */
+    template <typename Decode>
+    Handle
+    prefetch(const DecodedWindowKey &key, std::size_t window_size,
+             Decode &&decode)
+    {
+        if (capacity_ == 0 || touchResident(key))
+            return {};
+        Slot *slot = acquireSlot(window_size);
+        try {
+            slot->size = decode(SampleSpan(slot->data, window_size));
+        } catch (...) {
+            releaseSlot(slot);
+            throw;
+        }
+        return insert(key, slot, /*prefetched=*/true);
+    }
+
     DecodedCacheStats stats() const;
 
     /** Drop all entries (counters are kept; pinned slots are
@@ -249,11 +296,17 @@ class DecodedWindowCache
      *  the hit). Miss: count it and return a null handle. */
     Handle probe(const DecodedWindowKey &key);
 
+    /** Prefetch-side probe: refresh recency if resident, mutating no
+     *  counters. */
+    bool touchResident(const DecodedWindowKey &key);
+
     /** Insert a freshly decoded slot, evicting to capacity; if the
      *  key became resident meanwhile (lost decode race) the resident
      *  slot wins and ours returns to the pool. Pass-through (no
-     *  insertion) when caching is disabled. */
-    Handle insert(const DecodedWindowKey &key, Slot *slot);
+     *  insertion) when caching is disabled. `prefetched` flags the
+     *  entry for the prefetch-accounting counters. */
+    Handle insert(const DecodedWindowKey &key, Slot *slot,
+                  bool prefetched = false);
 
     /** Carve or recycle a slot with room for `window_size` samples
      *  (its slab bucket). */

@@ -1,0 +1,92 @@
+#include "runtime/playback.hh"
+
+#include <algorithm>
+
+namespace compaqt::runtime
+{
+
+void
+WindowPlayer::playWindows(const waveform::GateId &id,
+                          const core::CompressedEntry &entry,
+                          std::uint8_t ch, std::uint32_t first,
+                          std::uint32_t count, PlaybackCounters &c)
+{
+    const auto &cw = entry.cw;
+    const core::CompressedChannel &channel = ch == 0 ? cw.i : cw.q;
+    const std::size_t ws = channel.windowSize;
+    // One codec-instance resolution per channel range; the window
+    // loop below dispatches straight to the span primitive.
+    const core::ICodec &codec = dec_.resolve(cw.codec, ws);
+    const bool adaptive = channel.isAdaptive();
+    if ((!cached_ || adaptive) && scratch_.size() < ws)
+        scratch_.resize(ws);
+    DecodedWindowCache &cache = rack_.cache();
+    for (std::uint32_t w = first; w < first + count; ++w) {
+        // Flat windows of an adaptive channel are served as
+        // constant-fill spans straight from the repeat codeword: no
+        // IDCT, and no cache slot burned on a value the codeword
+        // already encodes in one word.
+        const core::CompressedChannel *winChannel = &channel;
+        std::size_t winIndex = w;
+        if (adaptive) {
+            std::size_t local = 0;
+            const core::AdaptiveSegment &seg =
+                channel.segmentForWindow(w, local);
+            if (seg.isFlat) {
+                const std::size_t len = channel.windowSamples(w);
+                std::fill_n(scratch_.begin(), len, seg.value);
+                c.samples += len;
+                c.bypassed += len;
+                ++c.windows;
+                continue;
+            }
+            winChannel = &seg.windows;
+            winIndex = local;
+        }
+        if (cached_) {
+            const DecodedWindowKey key{id, ch, w};
+            const auto handle =
+                cache.get(key, ws, [&](SampleSpan out) {
+                    return codec.decompressWindowInto(*winChannel,
+                                                      winIndex, out);
+                });
+            c.samples += handle.size();
+        } else {
+            c.samples += codec.decompressWindowInto(
+                *winChannel, winIndex,
+                SampleSpan(scratch_.data(), ws));
+        }
+        ++c.windows;
+    }
+}
+
+DecodedWindowCache::Handle
+WindowPlayer::prefetchWindow(const waveform::GateId &id,
+                             const core::CompressedEntry &entry,
+                             std::uint8_t ch, std::uint32_t window)
+{
+    if (!decode_ || !cached_)
+        return {};
+    const auto &cw = entry.cw;
+    const core::CompressedChannel &channel = ch == 0 ? cw.i : cw.q;
+    const core::CompressedChannel *winChannel = &channel;
+    std::size_t winIndex = window;
+    if (channel.isAdaptive()) {
+        std::size_t local = 0;
+        const core::AdaptiveSegment &seg =
+            channel.segmentForWindow(window, local);
+        if (seg.isFlat)
+            return {};
+        winChannel = &seg.windows;
+        winIndex = local;
+    }
+    const std::size_t ws = channel.windowSize;
+    const core::ICodec &codec = dec_.resolve(cw.codec, ws);
+    return rack_.cache().prefetch(
+        DecodedWindowKey{id, ch, window}, ws, [&](SampleSpan out) {
+            return codec.decompressWindowInto(*winChannel, winIndex,
+                                              out);
+        });
+}
+
+} // namespace compaqt::runtime

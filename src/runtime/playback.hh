@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The one window-playback loop both execution back ends share:
+ * decode a range of windows of one gate channel through the rack's
+ * DecodedWindowCache (or straight into reused scratch on an uncached
+ * rack), with adaptive flat windows served as constant fills through
+ * the IDCT bypass.
+ *
+ * RuntimeService's direct schedule-walking path and the
+ * instruction-stream interpreter (isa::Interpreter) both play
+ * through this helper, which is what makes their RackStats
+ * bit-identical by construction rather than by parallel maintenance
+ * of two copies of the loop.
+ */
+
+#ifndef COMPAQT_RUNTIME_PLAYBACK_HH
+#define COMPAQT_RUNTIME_PLAYBACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decompressor.hh"
+#include "runtime/rack.hh"
+
+namespace compaqt::runtime
+{
+
+/** Playback-side tallies of one execution cell (the fields of
+ *  ShardStats the decode loop owns). */
+struct PlaybackCounters
+{
+    std::uint64_t gates = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t bypassed = 0;
+};
+
+/**
+ * Per-cell playback state: one Decompressor, the cached/uncached
+ * mode decision, and the reused scratch buffer. Not thread-safe —
+ * build one per worker cell, like the codec instances it resolves.
+ */
+class WindowPlayer
+{
+  public:
+    explicit WindowPlayer(const Rack &rack)
+        : rack_(rack),
+          decode_(rack.config().controller.compressed),
+          // An uncached rack decodes straight into reused scratch —
+          // no lock, no refcount — so the cached/uncached comparison
+          // measures the cache, not overhead of a disabled cache
+          // object.
+          cached_(rack.cache().capacity() > 0)
+    {
+    }
+
+    /** False for uncompressed baseline racks: playback streams raw
+     *  samples and never touches payloads or the cache. */
+    bool decodes() const { return decode_; }
+
+    /**
+     * Play windows [first, first + count) of channel `ch` (0 = I,
+     * 1 = Q) of `entry`, accumulating windows/samples/bypassed into
+     * `c`. @pre the range is within the channel's window grid
+     */
+    void playWindows(const waveform::GateId &id,
+                     const core::CompressedEntry &entry,
+                     std::uint8_t ch, std::uint32_t first,
+                     std::uint32_t count, PlaybackCounters &c);
+
+    /**
+     * Warm one window of a channel into the rack cache (the PREFETCH
+     * op's body). Returns the pinning Handle for a cold prefetch
+     * that decoded and inserted, or a null Handle when nothing was
+     * done: cache disabled, key already resident, or a flat bypass
+     * window (which never occupies a cache slot).
+     */
+    DecodedWindowCache::Handle
+    prefetchWindow(const waveform::GateId &id,
+                   const core::CompressedEntry &entry, std::uint8_t ch,
+                   std::uint32_t window);
+
+  private:
+    const Rack &rack_;
+    bool decode_;
+    bool cached_;
+    core::Decompressor dec_;
+    std::vector<double> scratch_;
+};
+
+} // namespace compaqt::runtime
+
+#endif // COMPAQT_RUNTIME_PLAYBACK_HH

@@ -221,6 +221,12 @@ Server::dispatchLoop()
                         single.total.cache.misses;
                     exec.total.cache.evictions +=
                         single.total.cache.evictions;
+                    exec.total.cache.prefetches +=
+                        single.total.cache.prefetches;
+                    exec.total.cache.prefetchHits +=
+                        single.total.cache.prefetchHits;
+                    exec.total.cache.prefetchWasted +=
+                        single.total.cache.prefetchWasted;
                     exec.total.cache.entries =
                         single.total.cache.entries;
                 } catch (const std::exception &e) {
@@ -258,6 +264,11 @@ Server::dispatchLoop()
             cacheAccum_.hits += exec.total.cache.hits;
             cacheAccum_.misses += exec.total.cache.misses;
             cacheAccum_.evictions += exec.total.cache.evictions;
+            cacheAccum_.prefetches += exec.total.cache.prefetches;
+            cacheAccum_.prefetchHits +=
+                exec.total.cache.prefetchHits;
+            cacheAccum_.prefetchWasted +=
+                exec.total.cache.prefetchWasted;
             if (exec.total.cache.entries != 0)
                 cacheAccum_.entries = exec.total.cache.entries;
             for (const JobResult &r : results) {

@@ -4,7 +4,8 @@
 #include <chrono>
 
 #include "common/logging.hh"
-#include "core/decompressor.hh"
+#include "isa/interpreter.hh"
+#include "runtime/playback.hh"
 
 namespace compaqt::runtime
 {
@@ -16,16 +17,16 @@ namespace
 struct CellResult
 {
     uarch::ExecutionStats demand;
-    std::uint64_t gates = 0;
-    std::uint64_t windows = 0;
-    std::uint64_t samples = 0;
-    std::uint64_t bypassed = 0;
+    PlaybackCounters play;
+    /** Compiled back end only: PREFETCH ops that warmed a window. */
+    std::uint64_t prefetchesIssued = 0;
 };
 
 /**
  * Play one shard's slice of one circuit: stats-only demand accounting
  * on the shard's controller plus window-by-window decode of every
- * gate pulse through the rack cache.
+ * gate pulse through the rack cache (the direct, schedule-walking
+ * back end).
  */
 CellResult
 playShard(const Rack &rack, int shard, const circuits::Schedule &part)
@@ -33,17 +34,7 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
     CellResult cell;
     cell.demand = rack.controller(shard).execute(part);
 
-    // Baseline (uncompressed) controllers stream raw samples with no
-    // decompression pipeline, so playback touches neither the
-    // compressed payload nor the cache.
-    const bool decode = rack.config().controller.compressed;
-    // An uncached rack decodes straight into a reused span — no
-    // lock, no refcount — so the bench's cached/uncached ratio
-    // measures the cache, not overhead of a disabled cache object.
-    const bool cached = rack.cache().capacity() > 0;
-    const core::Decompressor dec;
-    DecodedWindowCache &cache = rack.cache();
-    std::vector<double> scratch;
+    WindowPlayer player(rack);
     for (const auto &e : part.events) {
         const auto id = uarch::gateIdFor(e.gate);
         if (!id)
@@ -51,65 +42,45 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
         const core::CompressedEntry *entry = rack.library().find(*id);
         if (!entry)
             continue; // counted in demand.missingGates
-        const auto &cw = entry->cw;
-        ++cell.gates;
-        if (!decode) {
-            cell.samples += cw.stats().originalSamples;
+        ++cell.play.gates;
+        // Baseline (uncompressed) controllers stream raw samples with
+        // no decompression pipeline, so playback touches neither the
+        // compressed payload nor the cache.
+        if (!player.decodes()) {
+            cell.play.samples += entry->cw.stats().originalSamples;
             continue;
         }
-        const core::CompressedChannel *channels[2] = {&cw.i, &cw.q};
         for (std::uint8_t ch = 0; ch < 2; ++ch) {
-            const auto &channel = *channels[ch];
-            const std::size_t ws = channel.windowSize;
-            // One codec-instance resolution per channel; the window
-            // loop below dispatches straight to the span primitive.
-            const core::ICodec &codec =
-                dec.resolve(cw.codec, ws);
+            const auto &channel =
+                ch == 0 ? entry->cw.i : entry->cw.q;
             const auto nwin =
                 static_cast<std::uint32_t>(channel.numWindows());
-            const bool adaptive = channel.isAdaptive();
-            if ((!cached || adaptive) && scratch.size() < ws)
-                scratch.resize(ws);
-            for (std::uint32_t w = 0; w < nwin; ++w) {
-                // Flat windows of an adaptive channel are served as
-                // constant-fill spans straight from the repeat
-                // codeword: no IDCT, and no cache slot burned on a
-                // value the codeword already encodes in one word.
-                const core::CompressedChannel *winChannel = &channel;
-                std::size_t winIndex = w;
-                if (adaptive) {
-                    std::size_t local = 0;
-                    const core::AdaptiveSegment &seg =
-                        channel.segmentForWindow(w, local);
-                    if (seg.isFlat) {
-                        const std::size_t len =
-                            channel.windowSamples(w);
-                        std::fill_n(scratch.begin(), len, seg.value);
-                        cell.samples += len;
-                        cell.bypassed += len;
-                        ++cell.windows;
-                        continue;
-                    }
-                    winChannel = &seg.windows;
-                    winIndex = local;
-                }
-                if (cached) {
-                    const DecodedWindowKey key{*id, ch, w};
-                    const auto handle = cache.get(
-                        key, ws, [&](SampleSpan out) {
-                            return codec.decompressWindowInto(
-                                *winChannel, winIndex, out);
-                        });
-                    cell.samples += handle.size();
-                } else {
-                    cell.samples += codec.decompressWindowInto(
-                        *winChannel, winIndex,
-                        SampleSpan(scratch.data(), ws));
-                }
-                ++cell.windows;
-            }
+            if (nwin > 0)
+                player.playWindows(*id, *entry, ch, 0, nwin,
+                                   cell.play);
         }
     }
+    return cell;
+}
+
+/**
+ * The instruction-stream back end's cell: identical demand
+ * accounting, but playback is lowered to a per-shard program first
+ * and driven by the interpreter — through the same WindowPlayer, so
+ * the playback tallies are bit-identical to playShard's.
+ */
+CellResult
+playShardCompiled(const Rack &rack, int shard,
+                  const circuits::Schedule &part,
+                  const isa::Compiler &compiler)
+{
+    CellResult cell;
+    cell.demand = rack.controller(shard).execute(part);
+    const isa::InstructionProgram prog = compiler.compileShard(part);
+    isa::Interpreter interp(rack);
+    const isa::InterpreterResult run = interp.run(prog);
+    cell.play = run.play;
+    cell.prefetchesIssued = run.stats.prefetchesIssued;
     return cell;
 }
 
@@ -130,10 +101,11 @@ accumulateCell(ShardStats &sh, const CellResult &cell)
     sh.demand.totalWordsRead += cell.demand.totalWordsRead;
     sh.demand.missingGates += cell.demand.missingGates;
     sh.demand.bypassSamples += cell.demand.bypassSamples;
-    sh.gatesPlayed += cell.gates;
-    sh.windowsDecoded += cell.windows;
-    sh.samplesDecoded += cell.samples;
-    sh.samplesBypassed += cell.bypassed;
+    sh.gatesPlayed += cell.play.gates;
+    sh.windowsDecoded += cell.play.windows;
+    sh.samplesDecoded += cell.play.samples;
+    sh.samplesBypassed += cell.play.bypassed;
+    sh.prefetchesIssued += cell.prefetchesIssued;
 }
 
 /** Sum per-shard rollups into the fleet-level fields. */
@@ -151,35 +123,22 @@ finalizeFleet(RackStats &stats)
         stats.totalSamples += sh.samplesDecoded;
         stats.totalBypassSamples += sh.samplesBypassed;
         stats.missingGates += sh.demand.missingGates;
+        stats.prefetchesIssued += sh.prefetchesIssued;
     }
 }
 
-} // namespace
-
-RuntimeService::RuntimeService(const Rack &rack,
-                               const ServiceConfig &cfg)
-    : rack_(rack), exec_(cfg.workers)
-{
-}
-
-RackStats
-RuntimeService::execute(const circuits::Schedule &sched)
-{
-    return executeBatch({sched});
-}
-
-RackStats
-RuntimeService::executeBatch(
-    const std::vector<circuits::Schedule> &batch)
-{
-    return executeBatchPerJob(batch).total;
-}
-
+/**
+ * The shared batch skeleton both back ends run: partition every
+ * schedule, execute the (circuit, shard) grid concurrently through
+ * `cellFn`, and reduce serially in a fixed order so no rolled-up
+ * number depends on worker interleaving.
+ */
+template <typename CellFn>
 BatchExecution
-RuntimeService::executeBatchPerJob(
-    const std::vector<circuits::Schedule> &batch)
+runGrid(const Rack &rack, Executor &exec,
+        const std::vector<circuits::Schedule> &batch, CellFn &&cellFn)
 {
-    const int n_shards = rack_.numShards();
+    const int n_shards = rack.numShards();
     const auto n_cells =
         batch.size() * static_cast<std::size_t>(n_shards);
 
@@ -189,25 +148,25 @@ RuntimeService::executeBatchPerJob(
     parts.reserve(batch.size());
     for (std::size_t c = 0; c < batch.size(); ++c) {
         parts.push_back(circuits::partitionByOwner(
-            batch[c], rack_.plan().owner, n_shards));
+            batch[c], rack.plan().owner, n_shards));
         std::uint64_t kept = 0;
         for (const auto &part : parts.back())
             kept += part.events.size();
         unowned[c] = batch[c].events.size() - kept;
     }
 
-    const auto cache_before = rack_.cache().stats();
+    const auto cache_before = rack.cache().stats();
     std::vector<CellResult> cells(n_cells);
     const auto t0 = std::chrono::steady_clock::now();
-    exec_.forEach(n_cells, [&](std::size_t i) {
+    exec.forEach(n_cells, [&](std::size_t i) {
         const std::size_t c = i / static_cast<std::size_t>(n_shards);
         const int s = static_cast<int>(
             i % static_cast<std::size_t>(n_shards));
-        cells[i] = playShard(rack_, s, parts[c][static_cast<
-                                           std::size_t>(s)]);
+        cells[i] =
+            cellFn(s, parts[c][static_cast<std::size_t>(s)]);
     });
     const auto t1 = std::chrono::steady_clock::now();
-    const auto cache_after = rack_.cache().stats();
+    const auto cache_after = rack.cache().stats();
 
     // Serial, fixed-order reduction: shard-level peaks are maxima
     // over the batch, totals are sums — independent of how workers
@@ -240,6 +199,12 @@ RuntimeService::executeBatchPerJob(
     stats.cache.misses = cache_after.misses - cache_before.misses;
     stats.cache.evictions =
         cache_after.evictions - cache_before.evictions;
+    stats.cache.prefetches =
+        cache_after.prefetches - cache_before.prefetches;
+    stats.cache.prefetchHits =
+        cache_after.prefetchHits - cache_before.prefetchHits;
+    stats.cache.prefetchWasted =
+        cache_after.prefetchWasted - cache_before.prefetchWasted;
     stats.cache.entries = cache_after.entries;
     stats.cacheHitRate = stats.cache.hitRate();
 
@@ -253,6 +218,67 @@ RuntimeService::executeBatchPerJob(
             stats.wallSeconds;
     }
     return result;
+}
+
+} // namespace
+
+RuntimeService::RuntimeService(const Rack &rack,
+                               const ServiceConfig &cfg)
+    : rack_(rack), exec_(cfg.workers)
+{
+}
+
+RackStats
+RuntimeService::execute(const circuits::Schedule &sched)
+{
+    return executeBatch({sched});
+}
+
+RackStats
+RuntimeService::executeBatch(
+    const std::vector<circuits::Schedule> &batch)
+{
+    return executeBatchPerJob(batch).total;
+}
+
+BatchExecution
+RuntimeService::executeBatchPerJob(
+    const std::vector<circuits::Schedule> &batch)
+{
+    return runGrid(rack_, exec_, batch,
+                   [this](int s, const circuits::Schedule &part) {
+                       return playShard(rack_, s, part);
+                   });
+}
+
+RackStats
+RuntimeService::executeCompiled(const circuits::Schedule &sched,
+                                const isa::CompilerConfig &cfg)
+{
+    return executeBatchCompiled({sched}, cfg);
+}
+
+RackStats
+RuntimeService::executeBatchCompiled(
+    const std::vector<circuits::Schedule> &batch,
+    const isa::CompilerConfig &cfg)
+{
+    return executeBatchCompiledPerJob(batch, cfg).total;
+}
+
+BatchExecution
+RuntimeService::executeBatchCompiledPerJob(
+    const std::vector<circuits::Schedule> &batch,
+    const isa::CompilerConfig &cfg)
+{
+    // One compiler shared by every cell: it is stateless across
+    // compileShard calls, and each worker interprets its own program.
+    const isa::Compiler compiler(rack_, cfg);
+    return runGrid(
+        rack_, exec_, batch,
+        [this, &compiler](int s, const circuits::Schedule &part) {
+            return playShardCompiled(rack_, s, part, compiler);
+        });
 }
 
 } // namespace compaqt::runtime

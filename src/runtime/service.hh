@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "circuits/scheduler.hh"
+#include "isa/compiler.hh"
 #include "runtime/executor.hh"
 #include "runtime/rack.hh"
 
@@ -41,6 +42,11 @@ struct ShardStats
     /** Of samplesDecoded, samples served by the adaptive IDCT
      *  bypass as constant fills (never decoded, never cached). */
     std::uint64_t samplesBypassed = 0;
+    /** PREFETCH ops that warmed a cold window (instruction-stream
+     *  back end only; zero on the direct path). Excluded from the
+     *  two back ends' bit-identity contract, like the cache
+     *  counters. */
+    std::uint64_t prefetchesIssued = 0;
 };
 
 /** Fleet-level rollup of one batch execution. */
@@ -65,6 +71,9 @@ struct RackStats
      *  plan): dropped by partitioning, reported here so a
      *  schedule/device size mismatch is visible, not silent. */
     std::uint64_t unownedEvents = 0;
+    /** Fleet sum of ShardStats::prefetchesIssued (zero on the direct
+     *  path; excluded from back-end bit-identity). */
+    std::uint64_t prefetchesIssued = 0;
 
     /** Cache counters over this batch — deltas of the rack-global
      *  cache counters, so they attribute cleanly only while a single
@@ -130,6 +139,32 @@ class RuntimeService
      *  cells (see BatchExecution). */
     BatchExecution
     executeBatchPerJob(const std::vector<circuits::Schedule> &batch);
+
+    /**
+     * Execute through the instruction-stream back end: each cell is
+     * lowered to a per-shard PLAY/WAIT/PREFETCH program by
+     * isa::Compiler and driven by isa::Interpreter against the same
+     * cache. Every deterministic RackStats field (per-shard demand
+     * and playback tallies, fleet rollups, missingGates,
+     * unownedEvents, feasible) is bit-identical to executeBatch() at
+     * any worker count; the cache counters, wall-clock rates, and
+     * prefetchesIssued differ by design — prefetching is the point.
+     * @throws std::invalid_argument when a shard's mandatory stream
+     *         exceeds cfg.instructionMemoryWords
+     */
+    RackStats
+    executeCompiled(const circuits::Schedule &sched,
+                    const isa::CompilerConfig &cfg = {});
+
+    /** Batch form of executeCompiled(). */
+    RackStats
+    executeBatchCompiled(const std::vector<circuits::Schedule> &batch,
+                         const isa::CompilerConfig &cfg = {});
+
+    /** Compiled back end with per-schedule rollups. */
+    BatchExecution executeBatchCompiledPerJob(
+        const std::vector<circuits::Schedule> &batch,
+        const isa::CompilerConfig &cfg = {});
 
   private:
     const Rack &rack_;

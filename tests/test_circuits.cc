@@ -299,6 +299,75 @@ TEST(Schedule, CxOccupiesBothChannels)
     EXPECT_EQ(prof.peakGates, 1);
 }
 
+TEST(Schedule, ZeroGateCircuitYieldsEmptySchedule)
+{
+    const Schedule s = schedule(Circuit(3), {});
+    EXPECT_TRUE(s.events.empty());
+    EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+    EXPECT_TRUE(eventOrderByStart(s).empty());
+    const auto prof = concurrency(s);
+    EXPECT_EQ(prof.peakChannels, 0);
+    EXPECT_EQ(prof.peakGates, 0);
+}
+
+TEST(Schedule, SingleChannelDeviceSerializesEverything)
+{
+    // One qubit means one drive channel: every event must follow the
+    // previous back to back, with no concurrency anywhere.
+    Circuit c(1);
+    for (int i = 0; i < 6; ++i)
+        c.x(0);
+    const Durations dur;
+    const Schedule s = schedule(c, dur);
+    ASSERT_EQ(s.events.size(), 6u);
+    for (std::size_t i = 1; i < s.events.size(); ++i) {
+        EXPECT_GT(s.events[i].start, s.events[i - 1].start);
+        EXPECT_DOUBLE_EQ(s.events[i].start,
+                         s.events[i - 1].start +
+                             s.events[i - 1].duration);
+    }
+    EXPECT_EQ(concurrency(s).peakChannels, 1);
+}
+
+TEST(Schedule, EventOrderByStartIsStableOnTies)
+{
+    // Hand-built (non-sorted) schedule: ascending start, ties broken
+    // by event-list position — the canonical issue order the
+    // instruction-stream compiler lowers in.
+    Schedule s;
+    const Gate g{Op::X, {0}, 0.0};
+    for (const double start : {5.0, 0.0, 5.0, 3.0})
+        s.events.push_back({g, start, 30e-9, {0}});
+    s.makespan = 5.0 + 30e-9;
+    const auto order = eventOrderByStart(s);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 0u);
+    EXPECT_EQ(order[3], 2u);
+}
+
+TEST(Schedule, PartitionRoutesRepeatedGateToOneOwner)
+{
+    // All gates on the same (gate, channel): the partition must hand
+    // every event to the drive qubit's owner and leave the other
+    // parts empty.
+    Circuit c(4);
+    for (int i = 0; i < 5; ++i)
+        c.x(2);
+    const Schedule s = schedule(c, {});
+    const std::vector<int> owner = {0, 0, 1, 1};
+    const auto parts = partitionByOwner(s, owner, 2);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_TRUE(parts[0].events.empty());
+    ASSERT_EQ(parts[1].events.size(), 5u);
+    // Global start times are preserved in the owning slice.
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(parts[1].events[i].start,
+                         s.events[i].start);
+    EXPECT_DOUBLE_EQ(parts[1].makespan, s.makespan);
+}
+
 TEST(Schedule, BandwidthScalesWithConcurrency)
 {
     Circuit c(10);

@@ -515,7 +515,7 @@ TEST(SerializationHeader, ReadsVersion1EnumCodedLibraries)
     put(double{1e-3});              // threshold
     put(double{0.0});               // mse
     put(std::uint8_t{1});           // converged
-    put(std::uint8_t{3});           // Codec::IntDctW
+    put(std::uint8_t{3});           // v1 enum byte 3 = int-DCT-W
     put(std::uint64_t{16});         // windowSize
     for (int ch = 0; ch < 2; ++ch) {
         put(std::uint64_t{0});  // numSamples
@@ -564,28 +564,6 @@ TEST(SerializationHeader, RejectsTruncatedStream)
     EXPECT_DEATH({ auto l = CompressedLibrary::load(cut); },
                  "truncated");
 }
-
-// ---------------------------------------------- deprecated enum shim
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(LegacyEnumShim, MapsToRegistryKeys)
-{
-    EXPECT_EQ(codecKey(Codec::Delta), "delta");
-    EXPECT_EQ(codecKey(Codec::DctN), "dct-n");
-    EXPECT_EQ(codecKey(Codec::DctW), "dct-w");
-    EXPECT_EQ(codecKey(Codec::IntDctW), "int-dct");
-    EXPECT_STREQ(codecName(Codec::IntDctW), "int-DCT-W");
-    EXPECT_TRUE(codecIsInteger(Codec::IntDctW));
-    EXPECT_FALSE(codecIsInteger(Codec::DctW));
-
-    const auto cfg = legacyConfig(Codec::IntDctW, 16, 1e-3);
-    const Compressor comp(cfg);
-    EXPECT_EQ(comp.codec().name(), "int-dct");
-}
-
-#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace compaqt::core

@@ -1,0 +1,602 @@
+/**
+ * @file
+ * Tests for the instruction-stream backend: ISA encode/decode
+ * round-trips and malformed-stream rejection, program word accounting
+ * and serialization, the cache-aware list-scheduling compiler (WAIT
+ * gaps, gate-table dedupe, prefetch lead/budget discipline,
+ * instruction-memory bounds), and the headline acceptance contract —
+ * executeBatchCompiled produces bit-identical deterministic RackStats
+ * to the direct path on the full test device suite at 1 and N
+ * workers, while prefetching raises the cold cache hit rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/scheduler.hh"
+#include "circuits/surface_code.hh"
+#include "core/pipeline.hh"
+#include "isa/compiler.hh"
+#include "isa/interpreter.hh"
+#include "isa/isa.hh"
+#include "runtime/rack.hh"
+#include "runtime/service.hh"
+#include "waveform/device.hh"
+#include "waveform/library.hh"
+
+namespace compaqt::isa
+{
+namespace
+{
+
+core::CompressedLibrary
+buildCompressed(const waveform::PulseLibrary &lib)
+{
+    return core::CompressionPipeline::with("int-dct")
+        .window(16)
+        .mseTarget(1e-5)
+        .build()
+        .compressLibrary(lib);
+}
+
+uarch::ControllerConfig
+controllerConfig(const core::CompressedLibrary &clib)
+{
+    uarch::ControllerConfig cc;
+    cc.compressed = true;
+    cc.windowSize = 16;
+    cc.memoryWidth = clib.worstCaseWindowWords();
+    return cc;
+}
+
+runtime::RackConfig
+rackConfig(const core::CompressedLibrary &clib, int shards,
+           std::size_t cache_windows)
+{
+    runtime::RackConfig rc;
+    rc.numShards = shards;
+    rc.policy = runtime::ShardPolicy::LocalityAware;
+    rc.controller = controllerConfig(clib);
+    rc.cacheWindows = cache_windows;
+    return rc;
+}
+
+/** A coupling-walking workload (CX over every edge, X on every
+ *  qubit, full measurement) — every library gate gets played. */
+circuits::Schedule
+deviceWorkload(const waveform::DeviceModel &dev)
+{
+    circuits::Circuit c(static_cast<std::size_t>(dev.numQubits()));
+    for (const auto &[a, b] : dev.coupling())
+        c.cx(a, b);
+    for (int q = 0; q < static_cast<int>(dev.numQubits()); ++q)
+        c.x(q);
+    c.measureAll();
+    return circuits::schedule(c, {});
+}
+
+// ------------------------------------------------- instruction encoding
+
+TEST(IsaEncoding, RoundTripsEveryOpcode)
+{
+    const Instruction cases[] = {
+        Instruction::play(7, 1, 3, 42),
+        Instruction::play(0, 0, 0, 0xFFFF),
+        Instruction::wait(0xFFFFFFFFu),
+        Instruction::wait(1),
+        Instruction::prefetch(65535, 1, 0xDEADBEEFu),
+        Instruction::barrier(),
+        Instruction::halt(),
+    };
+    for (const auto &in : cases) {
+        const auto enc = encode(in);
+        const auto out = decode(enc.word0, enc.word1);
+        EXPECT_EQ(out, in) << opcodeName(in.op);
+    }
+    const auto p = Instruction::play(7, 1, 3, 42);
+    EXPECT_EQ(p.playFirst(), 3u);
+    EXPECT_EQ(p.playCount(), 42u);
+}
+
+TEST(IsaEncoding, RejectsMalformedWords)
+{
+    // Unknown opcode.
+    EXPECT_THROW(decode(99u << 24, 0), std::invalid_argument);
+    // WAIT with a nonzero gate-ref field.
+    EXPECT_THROW(decode((1u << 24) | 5u, 10), std::invalid_argument);
+    // BARRIER/HALT with a nonzero operand word.
+    EXPECT_THROW(decode(3u << 24, 7), std::invalid_argument);
+    EXPECT_THROW(decode(4u << 24, 1), std::invalid_argument);
+    // PLAY on a channel other than I/Q.
+    EXPECT_THROW(decode((0u << 24) | (2u << 16), 0),
+                 std::invalid_argument);
+    // The valid shape decodes fine.
+    EXPECT_NO_THROW(decode((1u << 24), 10));
+}
+
+TEST(IsaProgram, GateTableDedupesInterning)
+{
+    InstructionProgram prog;
+    const waveform::GateId x0{waveform::GateType::X, 0, -1};
+    const waveform::GateId x1{waveform::GateType::X, 1, -1};
+    EXPECT_EQ(prog.internGate(x0), 0);
+    EXPECT_EQ(prog.internGate(x1), 1);
+    EXPECT_EQ(prog.internGate(x0), 0); // deduped
+    ASSERT_EQ(prog.gateTable().size(), 2u);
+    EXPECT_EQ(prog.gate(0), x0);
+    EXPECT_EQ(prog.gate(1), x1);
+}
+
+TEST(IsaProgram, MemoryWordAccountingIsExact)
+{
+    InstructionProgram prog;
+    const auto ref =
+        prog.internGate({waveform::GateType::CX, 1, 2});
+    prog.emit(Instruction::prefetch(ref, 0, 0));
+    prog.emit(Instruction::play(ref, 0, 0, 4));
+    prog.emit(Instruction::halt());
+    // 2 header + 1 gate-table + 3 instructions x 2 words.
+    EXPECT_EQ(prog.numInstructions(), 3u);
+    EXPECT_EQ(prog.memoryWords(), 2u + 1u + 6u);
+
+    const auto words = prog.toWords();
+    ASSERT_EQ(words.size(), prog.memoryWords());
+    auto back = InstructionProgram::fromWords(words);
+    ASSERT_EQ(back.numInstructions(), prog.numInstructions());
+    ASSERT_EQ(back.gateTable(), prog.gateTable());
+    for (std::size_t i = 0; i < prog.numInstructions(); ++i)
+        EXPECT_EQ(back.at(i), prog.at(i)) << "instruction " << i;
+    // The reloaded program re-interns into the same table slot.
+    EXPECT_EQ(back.internGate({waveform::GateType::CX, 1, 2}), ref);
+}
+
+TEST(IsaProgram, FromWordsRejectsCorruptStreams)
+{
+    InstructionProgram prog;
+    prog.emit(Instruction::wait(3));
+    prog.emit(Instruction::halt());
+    const auto words = prog.toWords();
+
+    // Truncated streams.
+    EXPECT_THROW(InstructionProgram::fromWords(
+                     std::span(words.data(), words.size() - 1)),
+                 std::invalid_argument);
+    EXPECT_THROW(InstructionProgram::fromWords(
+                     std::span(words.data(), std::size_t{1})),
+                 std::invalid_argument);
+
+    // A PLAY referencing a gate the table does not hold.
+    const auto bad = encode(Instruction::play(5, 0, 0, 1));
+    const std::vector<std::uint32_t> stream = {0, 2, bad.word0,
+                                               bad.word1};
+    EXPECT_THROW(InstructionProgram::fromWords(stream),
+                 std::invalid_argument);
+}
+
+// ----------------------------------------------------------- compiler
+
+/** Small bogota fixture shared by the compiler tests. */
+class IsaCompilerTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        dev_ = new waveform::DeviceModel(
+            waveform::DeviceModel::ibm("bogota"));
+        lib_ = new waveform::PulseLibrary(
+            waveform::PulseLibrary::build(*dev_));
+        clib_ = new core::CompressedLibrary(buildCompressed(*lib_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete clib_;
+        delete lib_;
+        delete dev_;
+        clib_ = nullptr;
+        lib_ = nullptr;
+        dev_ = nullptr;
+    }
+
+    runtime::Rack
+    makeRack(int shards, std::size_t cache_windows) const
+    {
+        return runtime::Rack(
+            *dev_, *clib_, rackConfig(*clib_, shards, cache_windows));
+    }
+
+    static waveform::DeviceModel *dev_;
+    static waveform::PulseLibrary *lib_;
+    static core::CompressedLibrary *clib_;
+};
+
+waveform::DeviceModel *IsaCompilerTest::dev_ = nullptr;
+waveform::PulseLibrary *IsaCompilerTest::lib_ = nullptr;
+core::CompressedLibrary *IsaCompilerTest::clib_ = nullptr;
+
+TEST_F(IsaCompilerTest, WaitCyclesBridgeScheduleGaps)
+{
+    // Two sequential X pulses on one qubit: the lowered stream is
+    // PLAY pair, WAIT for the first pulse's cycles, PLAY pair.
+    const auto rack = makeRack(1, 4096);
+    circuits::Circuit c(5);
+    c.x(0);
+    c.x(0);
+    const auto sched = circuits::schedule(c, {});
+    const Compiler comp(rack, {.emitPrefetch = false});
+    ProgramStats st;
+    const auto prog = comp.compileShard(sched, &st);
+
+    ASSERT_EQ(prog.numInstructions(), 7u);
+    EXPECT_EQ(prog.at(0).op, Opcode::Play);
+    EXPECT_EQ(prog.at(1).op, Opcode::Play);
+    EXPECT_EQ(prog.at(2).op, Opcode::Wait);
+    EXPECT_EQ(prog.at(3).op, Opcode::Play);
+    EXPECT_EQ(prog.at(4).op, Opcode::Play);
+    EXPECT_EQ(prog.at(5).op, Opcode::Barrier);
+    EXPECT_EQ(prog.at(6).op, Opcode::Halt);
+
+    const double hz = rack.config().controller.fabricClockHz;
+    const auto gap = static_cast<std::uint32_t>(
+        std::llround(sched.events[1].start * hz));
+    EXPECT_EQ(prog.at(2).arg, gap);
+    EXPECT_GT(gap, 0u);
+
+    // Both X(0) plays fetch one gate-table entry: max dedupe.
+    EXPECT_EQ(prog.gateTable().size(), 1u);
+    EXPECT_EQ(st.playedEvents, 2u);
+    EXPECT_EQ(st.uniqueGates, 1u);
+    EXPECT_EQ(st.dedupedFetches, 1u);
+    EXPECT_EQ(st.waitInstructions, 1u);
+    EXPECT_EQ(st.playInstructions, 4u);
+    EXPECT_EQ(st.programCycles,
+              static_cast<std::uint64_t>(gap) +
+                  std::max<std::uint64_t>(
+                      1, static_cast<std::uint64_t>(std::llround(
+                             sched.events[1].duration * hz))));
+}
+
+TEST_F(IsaCompilerTest, ZeroGateScheduleCompilesToBarrierHalt)
+{
+    const auto rack = makeRack(1, 4096);
+    const Compiler comp(rack);
+    ProgramStats st;
+    const auto prog = comp.compileShard(circuits::Schedule{}, &st);
+    ASSERT_EQ(prog.numInstructions(), 2u);
+    EXPECT_EQ(prog.at(0).op, Opcode::Barrier);
+    EXPECT_EQ(prog.at(1).op, Opcode::Halt);
+    EXPECT_EQ(prog.memoryWords(), 6u);
+    EXPECT_EQ(st.playedEvents, 0u);
+    EXPECT_EQ(st.programCycles, 0u);
+    EXPECT_TRUE(st.fitsMemoryBound);
+}
+
+TEST_F(IsaCompilerTest, MaxDedupeCollapsesGateTableToOneEntry)
+{
+    // The all-gates-same-(gate, channel) worst case: N plays of X(0)
+    // intern one table entry; dedupedFetches counts the other N-1.
+    const auto rack = makeRack(1, 1 << 16);
+    circuits::Circuit c(5);
+    for (int i = 0; i < 40; ++i)
+        c.x(0);
+    const Compiler comp(rack);
+    ProgramStats st;
+    const auto prog =
+        comp.compileShard(circuits::schedule(c, {}), &st);
+    EXPECT_EQ(prog.gateTable().size(), 1u);
+    EXPECT_EQ(st.playedEvents, 40u);
+    EXPECT_EQ(st.uniqueGates, 1u);
+    EXPECT_EQ(st.dedupedFetches, 39u);
+}
+
+TEST_F(IsaCompilerTest, PrefetchRequiresLeadSlack)
+{
+    const auto rack = makeRack(1, 4096);
+    circuits::Circuit c(5);
+    c.x(0);
+    c.sx(0); // first use with a gap ahead of it
+    c.x(0);
+    const auto sched = circuits::schedule(c, {});
+
+    // With an achievable lead, the SX first-use windows are hoisted
+    // into the gap left by the X pulse.
+    ProgramStats hoisted;
+    Compiler(rack, {.prefetchLeadCycles = 1})
+        .compileShard(sched, &hoisted);
+    EXPECT_GT(hoisted.prefetchInstructions, 0u);
+
+    // With an impossible lead, every candidate is skipped for slack.
+    ProgramStats skipped;
+    Compiler(rack, {.prefetchLeadCycles = 0xFFFFFFFFu})
+        .compileShard(sched, &skipped);
+    EXPECT_EQ(skipped.prefetchInstructions, 0u);
+    EXPECT_GT(skipped.prefetchSkippedNoSlack, 0u);
+
+    // Prefetch never fires when the master switch is off or the
+    // cache is disabled.
+    ProgramStats off;
+    Compiler(rack, {.emitPrefetch = false}).compileShard(sched, &off);
+    EXPECT_EQ(off.prefetchInstructions, 0u);
+    const auto uncached = makeRack(1, 0);
+    ProgramStats nocache;
+    Compiler(uncached, {}).compileShard(sched, &nocache);
+    EXPECT_EQ(nocache.prefetchInstructions, 0u);
+}
+
+TEST_F(IsaCompilerTest, InstructionMemoryBoundIsEnforced)
+{
+    const auto rack = makeRack(1, 4096);
+    // A bound too small for even an empty program is rejected up
+    // front.
+    EXPECT_THROW(Compiler(rack, {.instructionMemoryWords = 4}),
+                 std::invalid_argument);
+
+    circuits::Circuit c(5);
+    c.x(0);
+    c.sx(0);
+    c.x(0);
+    const auto sched = circuits::schedule(c, {});
+
+    // The mandatory stream of a real shard cannot fit 8 words.
+    EXPECT_THROW(Compiler(rack, {.instructionMemoryWords = 8})
+                     .compileShard(sched),
+                 std::invalid_argument);
+
+    // Exactly the mandatory footprint: compiles, but every prefetch
+    // hint is dropped for budget, and the program fits its bound.
+    ProgramStats bare;
+    Compiler(rack, {.emitPrefetch = false})
+        .compileShard(sched, &bare);
+    ProgramStats squeezed;
+    const auto prog =
+        Compiler(rack, {.instructionMemoryWords = bare.memoryWords})
+            .compileShard(sched, &squeezed);
+    EXPECT_EQ(squeezed.prefetchInstructions, 0u);
+    EXPECT_GT(squeezed.prefetchDroppedBudget, 0u);
+    EXPECT_TRUE(squeezed.fitsMemoryBound);
+    EXPECT_EQ(prog.memoryWords(), bare.memoryWords);
+    EXPECT_EQ(squeezed.memoryBoundWords, bare.memoryWords);
+}
+
+TEST_F(IsaCompilerTest, CompileCoversEveryShardAndReportsUnowned)
+{
+    const auto rack = makeRack(2, 4096);
+    // 8-qubit circuit on the 5-qubit rack: 3 events are unowned.
+    circuits::Circuit c(8);
+    for (int q = 0; q < 8; ++q)
+        c.x(q);
+    const Compiler comp(rack);
+    const auto compiled = comp.compile(circuits::schedule(c, {}));
+    ASSERT_EQ(compiled.programs.size(), 2u);
+    ASSERT_EQ(compiled.stats.size(), 2u);
+    EXPECT_EQ(compiled.unownedEvents, 3u);
+    std::uint64_t played = 0;
+    for (std::size_t s = 0; s < compiled.programs.size(); ++s) {
+        const auto &prog = compiled.programs[s];
+        ASSERT_GE(prog.numInstructions(), 2u);
+        EXPECT_EQ(prog.at(prog.numInstructions() - 1).op,
+                  Opcode::Halt);
+        played += compiled.stats[s].playedEvents;
+        EXPECT_TRUE(compiled.stats[s].fitsMemoryBound);
+    }
+    EXPECT_EQ(played, 5u);
+}
+
+// ------------------------------------------- compiled-vs-direct identity
+
+/** The deterministic-field identity contract between the two back
+ *  ends: everything except cache counters, wall-clock rates, and
+ *  prefetchesIssued. */
+void
+expectIdenticalStats(const runtime::RackStats &a,
+                     const runtime::RackStats &b, const char *tag)
+{
+    ASSERT_EQ(a.shards.size(), b.shards.size()) << tag;
+    for (std::size_t s = 0; s < a.shards.size(); ++s) {
+        const auto &x = a.shards[s];
+        const auto &y = b.shards[s];
+        EXPECT_EQ(x.demand.peakBanks, y.demand.peakBanks)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.peakChannels, y.demand.peakChannels)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.peakBandwidthBytesPerSec,
+                  y.demand.peakBandwidthBytesPerSec)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.feasible, y.demand.feasible)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.totalSamples, y.demand.totalSamples)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.totalWordsRead, y.demand.totalWordsRead)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.missingGates, y.demand.missingGates)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.demand.bypassSamples, y.demand.bypassSamples)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.gatesPlayed, y.gatesPlayed)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.windowsDecoded, y.windowsDecoded)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.samplesDecoded, y.samplesDecoded)
+            << tag << " shard " << s;
+        EXPECT_EQ(x.samplesBypassed, y.samplesBypassed)
+            << tag << " shard " << s;
+    }
+    EXPECT_EQ(a.fleetPeakBanks, b.fleetPeakBanks) << tag;
+    EXPECT_EQ(a.fleetPeakChannels, b.fleetPeakChannels) << tag;
+    EXPECT_EQ(a.fleetPeakBandwidthBytesPerSec,
+              b.fleetPeakBandwidthBytesPerSec)
+        << tag;
+    EXPECT_EQ(a.feasible, b.feasible) << tag;
+    EXPECT_EQ(a.totalGates, b.totalGates) << tag;
+    EXPECT_EQ(a.totalWindows, b.totalWindows) << tag;
+    EXPECT_EQ(a.totalSamples, b.totalSamples) << tag;
+    EXPECT_EQ(a.totalBypassSamples, b.totalBypassSamples) << tag;
+    EXPECT_EQ(a.missingGates, b.missingGates) << tag;
+    EXPECT_EQ(a.unownedEvents, b.unownedEvents) << tag;
+}
+
+TEST(IsaExecution, CompiledMatchesDirectAcrossDeviceSuite)
+{
+    struct Case
+    {
+        const char *name;
+        waveform::DeviceModel dev;
+        circuits::Schedule sched;
+        int shards;
+    };
+    const auto sc = circuits::surface17();
+    const auto scDev = waveform::DeviceModel::synthetic(
+        "surface17-device", sc.totalQubits(),
+        sc.nativeCoupling().edges());
+    const auto bogota = waveform::DeviceModel::ibm("bogota");
+    const auto guadalupe = waveform::DeviceModel::ibm("guadalupe");
+    const Case cases[] = {
+        {"bogota", bogota, deviceWorkload(bogota), 2},
+        {"guadalupe", guadalupe, deviceWorkload(guadalupe), 4},
+        {"surface17", scDev, circuits::schedule(sc.circuit, {}), 3},
+    };
+
+    for (const auto &tc : cases) {
+        const auto lib = waveform::PulseLibrary::build(tc.dev);
+        const auto clib = buildCompressed(lib);
+        const std::vector<circuits::Schedule> batch = {tc.sched,
+                                                       tc.sched};
+
+        const runtime::Rack direct(
+            tc.dev, clib, rackConfig(clib, tc.shards, 4096));
+        runtime::RuntimeService dsvc(direct, {.workers = 1});
+        const auto base = dsvc.executeBatch(batch);
+        EXPECT_GT(base.totalGates, 0u) << tc.name;
+        EXPECT_EQ(base.missingGates, 0u) << tc.name;
+
+        for (const int workers : {1, 4}) {
+            const runtime::Rack rack(
+                tc.dev, clib, rackConfig(clib, tc.shards, 4096));
+            runtime::RuntimeService svc(rack, {.workers = workers});
+            const auto compiled = svc.executeBatchCompiled(batch);
+            expectIdenticalStats(base, compiled, tc.name);
+            EXPECT_GT(compiled.prefetchesIssued, 0u)
+                << tc.name << " workers " << workers;
+        }
+    }
+}
+
+TEST(IsaExecution, UncompressedBaselineRunsIdenticallyCompiled)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    runtime::RackConfig rc;
+    rc.numShards = 2;
+    rc.controller.compressed = false;
+    const runtime::Rack rack(dev, clib, rc);
+    runtime::RuntimeService svc(rack, {.workers = 2});
+    const auto sched = deviceWorkload(dev);
+    const auto a = svc.executeBatch({sched});
+    const auto b = svc.executeBatchCompiled({sched});
+    expectIdenticalStats(a, b, "uncompressed");
+    EXPECT_EQ(b.totalWindows, 0u);
+    EXPECT_EQ(b.prefetchesIssued, 0u);
+    EXPECT_EQ(b.cache.prefetches, 0u);
+}
+
+TEST(IsaExecution, UnownedEventsReportedIdentically)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const runtime::Rack rack(dev, clib, rackConfig(clib, 2, 4096));
+    runtime::RuntimeService svc(rack);
+    circuits::Circuit c(8);
+    for (int q = 0; q < 8; ++q)
+        c.x(q);
+    const auto sched = circuits::schedule(c, {});
+    const auto a = svc.executeBatch({sched});
+    const auto b = svc.executeBatchCompiled({sched});
+    expectIdenticalStats(a, b, "unowned");
+    EXPECT_EQ(b.unownedEvents, 3u);
+    EXPECT_EQ(b.totalGates, 5u);
+}
+
+TEST(IsaExecution, PrefetchRaisesColdCacheHitRate)
+{
+    // The tentpole claim: on a cold cache, PREFETCH hoisting turns
+    // first-use demand misses into hits, so the compiled back end's
+    // hit rate strictly beats the direct path on the same workload.
+    const auto sc = circuits::surface17();
+    const auto dev = waveform::DeviceModel::synthetic(
+        "surface17-device", sc.totalQubits(),
+        sc.nativeCoupling().edges());
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const auto sched = circuits::schedule(sc.circuit, {});
+
+    const runtime::Rack directRack(dev, clib,
+                                   rackConfig(clib, 1, 1 << 15));
+    runtime::RuntimeService direct(directRack, {.workers = 1});
+    const auto cold = direct.execute(sched);
+
+    const runtime::Rack compiledRack(dev, clib,
+                                     rackConfig(clib, 1, 1 << 15));
+    runtime::RuntimeService compiled(compiledRack, {.workers = 1});
+    const auto warm = compiled.executeCompiled(sched);
+
+    expectIdenticalStats(cold, warm, "qec");
+    EXPECT_GT(warm.prefetchesIssued, 0u);
+    EXPECT_EQ(warm.cache.prefetches, warm.prefetchesIssued);
+    EXPECT_GT(warm.cache.prefetchHits, 0u);
+    EXPECT_GT(warm.cacheHitRate, cold.cacheHitRate);
+    // Demand traffic is conserved: the prefetched windows moved from
+    // the miss column to the hit column, nothing else changed.
+    EXPECT_EQ(warm.cache.hits + warm.cache.misses,
+              cold.cache.hits + cold.cache.misses);
+}
+
+TEST(IsaExecution, InterpreterCountsMatchProgramStats)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const runtime::Rack rack(dev, clib, rackConfig(clib, 1, 4096));
+    const auto sched = deviceWorkload(dev);
+    const Compiler comp(rack);
+    ProgramStats st;
+    const auto prog = comp.compileShard(sched, &st);
+
+    Interpreter interp(rack);
+    const auto run = interp.run(prog);
+    EXPECT_EQ(run.stats.instructions, st.instructions);
+    EXPECT_EQ(run.stats.plays, st.playInstructions);
+    EXPECT_EQ(run.stats.waits, st.waitInstructions);
+    EXPECT_EQ(run.stats.prefetchesIssued +
+                  run.stats.prefetchesSkipped,
+              st.prefetchInstructions);
+    EXPECT_EQ(run.stats.barriers, 1u);
+    EXPECT_EQ(run.play.gates, st.playedEvents);
+    EXPECT_GT(run.play.samples, 0u);
+}
+
+TEST(IsaExecution, InterpreterRejectsForeignPrograms)
+{
+    // A program whose gate table references gates the rack's library
+    // does not hold is a corrupt or misrouted stream.
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const runtime::Rack rack(dev, clib, rackConfig(clib, 1, 4096));
+    InstructionProgram prog;
+    const auto ref =
+        prog.internGate({waveform::GateType::X, 99, -1});
+    prog.emit(Instruction::play(ref, 0, 0, 1));
+    prog.emit(Instruction::halt());
+    Interpreter interp(rack);
+    EXPECT_THROW(interp.run(prog), std::invalid_argument);
+}
+
+} // namespace
+} // namespace compaqt::isa

@@ -285,6 +285,91 @@ TEST(DecodedCache, DecodeExceptionReturnsSlotToPool)
     EXPECT_EQ(s.entries, 0u);
 }
 
+TEST(DecodedCache, PrefetchCountersTrackClaims)
+{
+    DecodedWindowCache cache(2);
+    int decodes = 0;
+    auto fill = [&](SampleSpan out) -> std::size_t {
+        ++decodes;
+        out[0] = 3.0;
+        return 1;
+    };
+    // Cold prefetch: decodes, inserts, pins — and touches neither
+    // demand counter.
+    const auto pin = cache.prefetch(key(0, 0), 1, fill);
+    ASSERT_TRUE(pin);
+    EXPECT_EQ(decodes, 1);
+    auto s = cache.stats();
+    EXPECT_EQ(s.prefetches, 1u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+
+    // First demand get claims it: a hit (no decode) plus exactly one
+    // prefetchHit; later gets are plain hits.
+    const auto v = cache.get(key(0, 0), 1, fill);
+    EXPECT_EQ(decodes, 1);
+    EXPECT_EQ(v.samples()[0], 3.0);
+    cache.get(key(0, 0), 1, fill);
+    s = cache.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.prefetchHits, 1u);
+    EXPECT_EQ(s.prefetchWasted, 0u);
+}
+
+TEST(DecodedCache, UnclaimedPrefetchCountsWasted)
+{
+    DecodedWindowCache cache(1);
+    auto fill = [](SampleSpan out) -> std::size_t {
+        out[0] = 1.0;
+        return 1;
+    };
+    cache.prefetch(key(0, 0), 1, fill);
+    // Evicted by demand traffic before any get() touched it.
+    cache.get(key(1, 0), 1, fill);
+    auto s = cache.stats();
+    EXPECT_EQ(s.prefetches, 1u);
+    EXPECT_EQ(s.prefetchHits, 0u);
+    EXPECT_EQ(s.prefetchWasted, 1u);
+
+    // clear() resolves still-unclaimed prefetches as wasted too.
+    cache.prefetch(key(2, 0), 1, fill);
+    cache.clear();
+    s = cache.stats();
+    EXPECT_EQ(s.prefetches, 2u);
+    EXPECT_EQ(s.prefetchWasted, 2u);
+}
+
+TEST(DecodedCache, PrefetchIsANoOpWhenDisabledOrResident)
+{
+    int decodes = 0;
+    auto fill = [&](SampleSpan out) -> std::size_t {
+        ++decodes;
+        out[0] = 1.0;
+        return 1;
+    };
+    // Disabled cache: null handle, no decode, no counters.
+    DecodedWindowCache off(0);
+    EXPECT_FALSE(off.prefetch(key(0, 0), 1, fill));
+    EXPECT_EQ(decodes, 0);
+    EXPECT_EQ(off.stats().prefetches, 0u);
+
+    // Resident key: recency refresh only — no decode, no counters,
+    // but the entry becomes MRU and survives the next eviction.
+    DecodedWindowCache cache(2);
+    cache.get(key(0, 0), 1, fill); // [k0]
+    cache.get(key(1, 0), 1, fill); // [k1 k0]
+    EXPECT_EQ(decodes, 2);
+    EXPECT_FALSE(cache.prefetch(key(0, 0), 1, fill)); // [k0 k1]
+    EXPECT_EQ(decodes, 2);
+    EXPECT_EQ(cache.stats().prefetches, 0u);
+    cache.get(key(2, 0), 1, fill); // evicts k1, not k0
+    cache.get(key(0, 0), 1, fill);
+    const auto s = cache.stats();
+    EXPECT_EQ(decodes, 3);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.evictions, 1u);
+}
+
 TEST(DecodedCache, BitExactVsGoldenDecoder)
 {
     const auto dev = waveform::DeviceModel::ibm("bogota");
