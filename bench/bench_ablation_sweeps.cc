@@ -27,6 +27,8 @@ int
 main()
 {
     bench::JsonReport report("ablation_sweeps");
+    // Serial sweeps: record the worker count explicitly.
+    report.setWorkers(1);
     const auto dev = waveform::DeviceModel::ibm("guadalupe");
     const auto lib = waveform::PulseLibrary::build(dev);
     const auto x3 = lib.waveform({waveform::GateType::X, 3, -1});

@@ -164,6 +164,9 @@ main(int argc, char **argv)
     const int reps = tiny ? 3 : 5;
 
     bench::JsonReport report("decode_stream");
+    // Single-threaded decode loop: say so explicitly rather than
+    // leaning on the header default.
+    report.setWorkers(1);
 
     // A flat-top pulse long enough to hold many windows, trimmed to
     // an odd length so every config exercises a clamped tail window.

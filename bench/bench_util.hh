@@ -9,8 +9,11 @@
 #ifndef COMPAQT_BENCH_BENCH_UTIL_HH
 #define COMPAQT_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -80,16 +83,24 @@ qft4GateSet(const waveform::DeviceModel &dev)
  *     report.metric("ratio", 8.0);   // scalar series
  *
  * Every report carries an "env" header with the machine's hardware
- * concurrency and the worker count the bench ran with (setWorkers(),
- * default 1), so BENCH trajectories are comparable across machines —
- * a scaling number measured on a 1-core CI box is meaningless
- * without it.
+ * concurrency, the worker count the bench ran with (setWorkers(),
+ * default 1), and the wall-clock start time (captured at
+ * construction, as epoch milliseconds and UTC ISO 8601), so BENCH
+ * trajectories are comparable across machines — a scaling number
+ * measured on a 1-core CI box is meaningless without the worker
+ * count, and a regression is attributable only if the report says
+ * when it ran. CI strict-parses these header fields.
  */
 class JsonReport
 {
   public:
     explicit JsonReport(std::string name)
-        : name_(std::move(name))
+        : name_(std::move(name)),
+          startUnixMs_(std::chrono::duration_cast<
+                           std::chrono::milliseconds>(
+                           std::chrono::system_clock::now()
+                               .time_since_epoch())
+                           .count())
     {
     }
 
@@ -159,7 +170,11 @@ class JsonReport
            // to >= 1 — the standard permits a raw 0, which would
            // poison every scaling trajectory reading this header.
            << common::Executor::defaultWorkerCount()
-           << ", \"workers\": " << workers_ << "},\n \"metrics\": {";
+           << ", \"workers\": " << workers_
+           << ", \"start_unix_ms\": " << startUnixMs_
+           << ", \"start_iso8601\": ";
+        jsonQuote(os, startIso8601());
+        os << "},\n \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i)
             os << (i ? ", " : "") << metrics_[i];
         os << "},\n \"tables\": [";
@@ -183,8 +198,23 @@ class JsonReport
         }
     }
 
+    /** The construction timestamp as UTC ISO 8601 (second
+     *  resolution; the millisecond twin carries the precision). */
+    std::string
+    startIso8601() const
+    {
+        const auto secs =
+            static_cast<std::time_t>(startUnixMs_ / 1000);
+        std::tm tm{};
+        gmtime_r(&secs, &tm);
+        char buf[32];
+        std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+        return buf;
+    }
+
     std::string name_;
     int workers_ = 1;
+    std::int64_t startUnixMs_ = 0;
     std::vector<std::string> tables_;
     std::vector<std::string> metrics_;
 };

@@ -4,11 +4,16 @@
  *
  * panic()  — an internal invariant was violated (a COMPAQT bug); aborts.
  * fatal()  — the caller/user supplied an impossible configuration; exits.
+ *
+ * The _F variants take a printf format so call sites report the
+ * offending value directly instead of pre-formatting a message into
+ * a temporary (and the compiler type-checks the format string).
  */
 
 #ifndef COMPAQT_COMMON_LOGGING_HH
 #define COMPAQT_COMMON_LOGGING_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -29,6 +34,40 @@ fatalImpl(const char *file, int line, const char *msg)
     std::exit(1);
 }
 
+namespace detail
+{
+
+inline void
+vreportImpl(const char *kind, const char *file, int line,
+            const char *fmt, std::va_list args)
+{
+    std::fprintf(stderr, "%s: ", kind);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, " (%s:%d)\n", file, line);
+}
+
+} // namespace detail
+
+[[noreturn]] [[gnu::format(printf, 3, 4)]] inline void
+panicImplF(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::vreportImpl("panic", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+[[noreturn]] [[gnu::format(printf, 3, 4)]] inline void
+fatalImplF(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    detail::vreportImpl("fatal", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
 } // namespace compaqt
 
 /** Abort on a violated internal invariant. */
@@ -36,6 +75,14 @@ fatalImpl(const char *file, int line, const char *msg)
 
 /** Exit on an invalid user-supplied configuration. */
 #define COMPAQT_FATAL(msg) ::compaqt::fatalImpl(__FILE__, __LINE__, msg)
+
+/** printf-style COMPAQT_PANIC: PANIC_F("bad shard %d", shard). */
+#define COMPAQT_PANIC_F(...) \
+    ::compaqt::panicImplF(__FILE__, __LINE__, __VA_ARGS__)
+
+/** printf-style COMPAQT_FATAL. */
+#define COMPAQT_FATAL_F(...) \
+    ::compaqt::fatalImplF(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Cheap always-on invariant check (unlike NDEBUG-stripped assert). */
 #define COMPAQT_REQUIRE(cond, msg) \

@@ -74,6 +74,7 @@ percentiles(std::span<const double> xs)
     p.p50 = percentileSorted(sorted, 50.0);
     p.p95 = percentileSorted(sorted, 95.0);
     p.p99 = percentileSorted(sorted, 99.0);
+    p.p999 = percentileSorted(sorted, 99.9);
     return p;
 }
 

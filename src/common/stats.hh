@@ -29,12 +29,16 @@ struct Summary
 /** Compute min/max/mean/stddev of a sample. Empty input yields zeros. */
 Summary summarize(std::span<const double> xs);
 
-/** Latency-distribution rollup used by the serving plane. */
+/** Latency-distribution rollup used by the serving plane. Filled
+ *  either exactly (percentiles(), one sort) or from the telemetry
+ *  plane's log-bucketed histograms
+ *  (telemetry::HistogramSnapshot::toPercentiles(), no sort). */
 struct Percentiles
 {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
@@ -47,7 +51,8 @@ struct Percentiles
  */
 double percentile(std::span<const double> xs, double q);
 
-/** p50/p95/p99 plus min/max/mean of an unsorted sample. */
+/** p50/p95/p99/p999 plus min/max/mean of an unsorted sample. Sorts
+ *  once and ranks every quantile from the same sorted copy. */
 Percentiles percentiles(std::span<const double> xs);
 
 /** Arithmetic mean; 0 for empty input. */

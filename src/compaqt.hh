@@ -30,6 +30,8 @@
 #include "runtime/rack.hh"
 #include "runtime/server.hh"
 #include "runtime/service.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
 #include "waveform/shapes.hh"
@@ -101,6 +103,13 @@ using runtime::ScheduledCircuit;
 using runtime::Server;
 using runtime::ServerConfig;
 using runtime::ServerStats;
+
+// Telemetry plane (metrics registry + Chrome-trace collector; see
+// COMPAQT_TRACE_SPAN / COMPAQT_TRACE_INSTANT in telemetry/trace.hh)
+using MetricsRegistry = telemetry::Registry;
+using telemetry::LatencyHistogram;
+using telemetry::SpanScope;
+using telemetry::Trace;
 
 } // namespace compaqt
 

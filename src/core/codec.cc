@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "common/logging.hh"
 #include "core/codecs/builtin.hh"
@@ -299,12 +299,12 @@ CodecRegistry::create(std::string_view name,
         name = alias->second;
     auto it = factories_.find(name);
     if (it == factories_.end()) {
-        std::ostringstream msg;
-        msg << "unknown codec \"" << name << "\" (registered:";
+        std::string registered;
         for (const auto &n : names())
-            msg << ' ' << n;
-        msg << ')';
-        COMPAQT_FATAL(msg.str().c_str());
+            registered += ' ' + n;
+        COMPAQT_FATAL_F("unknown codec \"%.*s\" (registered:%s)",
+                        static_cast<int>(name.size()), name.data(),
+                        registered.c_str());
     }
     auto codec = it->second(window_size);
     COMPAQT_REQUIRE(codec != nullptr, "codec factory returned null");

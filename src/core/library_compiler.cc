@@ -12,6 +12,8 @@
 #include "core/adaptive.hh"
 #include "core/decompressor.hh"
 #include "dsp/metrics.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace compaqt::core
 {
@@ -87,6 +89,9 @@ LibraryCompiler::LibraryCompiler(LibraryCompilerConfig cfg)
 LibraryCompileResult
 LibraryCompiler::compile(const waveform::PulseLibrary &lib) const
 {
+    COMPAQT_TRACE_SPAN("compile", "library.compile", "gates",
+                       lib.size(), "workers",
+                       static_cast<std::uint64_t>(cfg_.workers));
     struct Job
     {
         const waveform::GateId *id;
@@ -130,6 +135,8 @@ LibraryCompiler::compile(const waveform::PulseLibrary &lib) const
         }
         const Job &job = jobs[i];
         GateResult &cell = cells[i];
+        COMPAQT_TRACE_SPAN("compile", "library.compile_gate", "gate",
+                           i, "samples", job.wf->i.size());
 
         FidelityAwareResult r = compressFidelityAware(
             *state->codec, *job.wf, cfg_.fidelity);
@@ -213,6 +220,21 @@ LibraryCompiler::compile(const waveform::PulseLibrary &lib) const
             static_cast<std::uint64_t>(cell.iterations);
         out.library.insert(*jobs[i].id, std::move(cell.entry));
     }
+
+    // Compile-plane metrics: one batch of striped adds per compile.
+    auto &reg = telemetry::Registry::global();
+    static telemetry::Counter &compiles =
+        reg.counter("library.compiles");
+    static telemetry::Counter &gates_compiled =
+        reg.counter("library.gates_compiled");
+    static telemetry::Counter &adaptive_channels =
+        reg.counter("library.adaptive_channels");
+    static telemetry::LatencyHistogram &wall =
+        reg.histogram("library.compile_wall");
+    compiles.add();
+    gates_compiled.add(out.stats.gates);
+    adaptive_channels.add(out.stats.adaptiveChannels);
+    wall.record(out.stats.wallSeconds);
     return out;
 }
 

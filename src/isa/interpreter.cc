@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "runtime/decoded_cache.hh"
+#include "telemetry/trace.hh"
 
 namespace compaqt::isa
 {
@@ -35,10 +36,20 @@ Interpreter::run(const InstructionProgram &prog)
     // at consumption returns the slot to normal LRU life.
     std::map<runtime::DecodedWindowKey, runtime::DecodedWindowCache::Handle>
         pins;
+    // Per-op dwell tracing: the enable flag is read once per run (a
+    // mid-run toggle catches the next program), so the disabled-path
+    // cost inside the dispatch loop is one register test. The
+    // enabled path pays ONE clock read per retired instruction, not
+    // two: each op's end timestamp is the next op's start, so the
+    // dwell spans tile the run with no gaps.
+    auto &trace = telemetry::Trace::global();
+    const bool tracing = trace.enabled();
+    std::uint64_t op_start = tracing ? trace.nowNs() : 0;
     const std::size_t n = prog.numInstructions();
     for (std::size_t i = 0; i < n; ++i) {
         const Instruction in = prog.at(i);
         ++res.stats.instructions;
+        bool halted = false;
         switch (in.op) {
         case Opcode::Play: {
             ++res.stats.plays;
@@ -93,8 +104,26 @@ Interpreter::run(const InstructionProgram &prog)
             break;
         case Opcode::Halt:
             pins.clear();
-            return res;
+            halted = true;
+            break;
         }
+        if (tracing) {
+            const std::uint64_t op_end = trace.nowNs();
+            telemetry::TraceEvent e;
+            e.startNs = op_start;
+            e.durNs = op_end - op_start;
+            op_start = op_end;
+            e.name = opcodeName(in.op);
+            e.cat = "isa";
+            e.arg0Name = "pc";
+            e.arg0 = i;
+            e.arg1Name = "arg";
+            e.arg1 = in.arg;
+            e.kind = telemetry::EventKind::Complete;
+            trace.record(e);
+        }
+        if (halted)
+            return res;
     }
     return res;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace compaqt::runtime
 {
@@ -36,12 +37,32 @@ DecodedWindowCache::probe(const DecodedWindowKey &key)
                 // prefetch paid off.
                 slot->prefetched = false;
                 ++stats_.prefetchHits;
+                COMPAQT_TRACE_INSTANT("cache",
+                                      "cache.prefetch_claimed",
+                                      "window", key.window,
+                                      "channel", key.channel);
             }
             slot->refs.fetch_add(1, std::memory_order_relaxed);
+            // Hits are the per-window hot path: unsampled they
+            // dominate both the trace and its overhead budget
+            // (observed >5x the cost of every other event combined),
+            // so the trace carries 1-in-64 of them as activity
+            // markers. Exact hit rates come from stats().hits, which
+            // counts every hit.
+            if (auto &trace = telemetry::Trace::global();
+                trace.enabled()) {
+                thread_local std::uint32_t hit_tick = 0;
+                if ((hit_tick++ & 63u) == 0)
+                    trace.instant("cache", "cache.hit", "window",
+                                  key.window, "channel",
+                                  key.channel);
+            }
             return Handle(this, slot);
         }
     }
     ++stats_.misses;
+    COMPAQT_TRACE_INSTANT("cache", "cache.miss", "window", key.window,
+                          "channel", key.channel);
     return {};
 }
 
@@ -170,6 +191,9 @@ DecodedWindowCache::evictToCapacity()
 {
     while (lru_.size() > capacity_) {
         Entry &victim = lru_.back();
+        COMPAQT_TRACE_INSTANT("cache", "cache.evict", "window",
+                              victim.key.window, "channel",
+                              victim.key.channel);
         spareNodes_.push_back(index_.extract(victim.key));
         detachLocked(victim.slot);
         spares_.splice(spares_.begin(), lru_,
@@ -186,6 +210,9 @@ DecodedWindowCache::detachLocked(Slot *slot)
         // the prefetch was wasted work.
         slot->prefetched = false;
         ++stats_.prefetchWasted;
+        COMPAQT_TRACE_INSTANT("cache", "cache.prefetch_wasted",
+                              "slot_bytes",
+                              slot->bucket * sizeof(double));
     }
     slot->detached = true;
     if (slot->refs.load(std::memory_order_acquire) == 0)

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/executor.hh"
+#include "telemetry/trace.hh"
 
 namespace compaqt::runtime
 {
@@ -16,6 +17,66 @@ double
 seconds(std::chrono::steady_clock::duration d)
 {
     return std::chrono::duration<double>(d).count();
+}
+
+/** Serving-plane counters, registered once. The references stay
+ *  valid for process lifetime; add() is a relaxed striped increment
+ *  (no lock, no lookup) on the hot path. */
+struct ServerMetrics
+{
+    telemetry::Counter &submitted;
+    telemetry::Counter &rejected;
+    telemetry::Counter &completed;
+    telemetry::Counter &failed;
+    telemetry::Counter &cancelled;
+    telemetry::Counter &batches;
+    telemetry::Gauge &queuedNow;
+
+    static ServerMetrics &
+    instance()
+    {
+        static ServerMetrics m = [] {
+            auto &reg = telemetry::Registry::global();
+            return ServerMetrics{
+                reg.counter("server.jobs.submitted"),
+                reg.counter("server.jobs.rejected"),
+                reg.counter("server.jobs.completed"),
+                reg.counter("server.jobs.failed"),
+                reg.counter("server.jobs.cancelled"),
+                reg.counter("server.batches.dispatched"),
+                reg.gauge("server.queue.depth"),
+            };
+        }();
+        return m;
+    }
+};
+
+/** Emit the queue/execute spans of one completed (or failed) job
+ *  from its stored timestamps. Trace time is steady-clock relative
+ *  to the collector's epoch, so the enqueue timestamp taken in
+ *  submit() converts directly. */
+void
+traceJobSpans(telemetry::Trace &trace, std::uint64_t batch_seq,
+              std::chrono::steady_clock::time_point enqueued,
+              std::chrono::steady_clock::time_point dispatched,
+              std::chrono::steady_clock::time_point completed)
+{
+    const std::uint64_t enq = trace.sinceEpochNs(enqueued);
+    const std::uint64_t dis = trace.sinceEpochNs(dispatched);
+    const std::uint64_t fin = trace.sinceEpochNs(completed);
+    telemetry::TraceEvent e;
+    e.cat = "job";
+    e.kind = telemetry::EventKind::Complete;
+    e.arg0Name = "batch";
+    e.arg0 = batch_seq;
+    e.name = "job.queue";
+    e.startNs = enq;
+    e.durNs = dis > enq ? dis - enq : 0;
+    trace.record(e);
+    e.name = "job.execute";
+    e.startNs = dis;
+    e.durNs = fin > dis ? fin - dis : 0;
+    trace.record(e);
 }
 
 } // namespace
@@ -69,10 +130,15 @@ Server::readyResult(JobStatus status, std::string tenant,
 std::future<JobResult>
 Server::submit(ScheduledCircuit job)
 {
+    auto &metrics = ServerMetrics::instance();
+    metrics.submitted.add();
     std::lock_guard lock(mu_);
     ++submitted_;
     if (stop_ || queue_.size() >= cfg_.queueDepth) {
         ++rejected_;
+        metrics.rejected.add();
+        COMPAQT_TRACE_INSTANT("job", "job.reject", "queued",
+                              queue_.size());
         // Attribute the rejection to tenants we already know, but a
         // rejected submission must not grow the tenant map: a retry
         // storm of never-admitted names (request-scoped ids hammering
@@ -94,6 +160,9 @@ Server::submit(ScheduledCircuit job)
     p.enqueued = Clock::now();
     auto fut = p.promise.get_future();
     queue_.push_back(std::move(p));
+    metrics.queuedNow.set(static_cast<double>(queue_.size()));
+    COMPAQT_TRACE_INSTANT("job", "job.submit", "queued",
+                          queue_.size());
     work_.notify_one();
     return fut;
 }
@@ -189,6 +258,8 @@ Server::dispatchLoop()
         // submitting (and hitting admission control) while the rack
         // runs. The executor inside RuntimeService provides all the
         // execution parallelism — this thread only marshals.
+        COMPAQT_TRACE_SPAN("batch", "batch.dispatch", "jobs",
+                           taken.size());
         const auto dispatched = Clock::now();
         std::vector<circuits::Schedule> scheds;
         scheds.reserve(taken.size());
@@ -256,11 +327,17 @@ Server::dispatchLoop()
             }
         }
 
+        auto &metrics = ServerMetrics::instance();
+        auto &trace = telemetry::Trace::global();
+        std::uint64_t batch_seq = 0;
         {
             std::lock_guard lock(mu_);
             busy_ = false;
-            ++batches_;
+            batch_seq = ++batches_;
             batchJobs_ += taken.size();
+            metrics.batches.add();
+            metrics.queuedNow.set(
+                static_cast<double>(queue_.size()));
             cacheAccum_.hits += exec.total.cache.hits;
             cacheAccum_.misses += exec.total.cache.misses;
             cacheAccum_.evictions += exec.total.cache.evictions;
@@ -281,20 +358,27 @@ Server::dispatchLoop()
                     tenant.counters.gatesPlayed += r.stats.totalGates;
                     tenant.counters.samplesDecoded +=
                         r.stats.totalSamples;
-                    queueLat_.add(r.timing.queueSeconds,
-                                  kFleetLatencyWindow);
-                    execLat_.add(r.timing.executeSeconds,
-                                 kFleetLatencyWindow);
-                    totalLat_.add(r.timing.totalSeconds,
-                                  kFleetLatencyWindow);
-                    tenant.totalLat.add(r.timing.totalSeconds,
-                                        kTenantLatencyWindow);
+                    metrics.completed.add();
+                    queueLat_.record(r.timing.queueSeconds);
+                    execLat_.record(r.timing.executeSeconds);
+                    totalLat_.record(r.timing.totalSeconds);
+                    tenant.totalLat.record(r.timing.totalSeconds);
                 } else {
                     ++failed_;
                     ++tenant.counters.failed;
+                    metrics.failed.add();
                 }
             }
             idle_.notify_all();
+        }
+
+        // Per-job queue/execute spans, reconstructed from the stored
+        // timestamps once the batch retires (tracing the live path
+        // would cost clock reads per job even when disabled).
+        if (trace.enabled()) {
+            for (const auto &p : taken)
+                traceJobSpans(trace, batch_seq, p.enqueued,
+                              dispatched, completed);
         }
 
         // Resolve futures outside the lock so a waiter continuing
@@ -307,6 +391,10 @@ Server::dispatchLoop()
     // above; everything still queued fails deterministically, in
     // FIFO order.
     auto doomed = cancelQueued();
+    ServerMetrics::instance().cancelled.add(doomed.size());
+    if (!doomed.empty())
+        COMPAQT_TRACE_INSTANT("job", "job.cancel", "jobs",
+                              doomed.size());
     const auto now = Clock::now();
     for (auto &p : doomed) {
         JobResult r;
@@ -322,13 +410,14 @@ Server::dispatchLoop()
 ServerStats
 Server::stats() const
 {
-    // Copy the (bounded) sample rings under the lock; sort/rank
-    // outside it so a stats() poll never stalls submitters or the
-    // dispatcher on O(n log n) work.
+    // Counters and the tenant map are copied under the lock; the
+    // latency rollups come from the histograms' atomic shards, so a
+    // stats() poll does O(buckets) loads per rollup — no sample
+    // copy, no sort, and the tenant snapshots ride pointers to the
+    // stable map nodes so the lock is held only for the copy.
     ServerStats s;
-    std::vector<double> queue_lat, exec_lat, total_lat;
-    std::vector<std::pair<std::string, std::vector<double>>>
-        tenant_lat;
+    std::vector<std::pair<std::string, const TenantAccum *>>
+        tenant_accums;
     {
         std::lock_guard lock(mu_);
         s.submitted = submitted_;
@@ -346,20 +435,18 @@ Server::stats() const
         s.samplesDecoded = samples_;
         s.cache = cacheAccum_;
         s.cacheHitRate = cacheAccum_.hitRate();
-        queue_lat = queueLat_.data;
-        exec_lat = execLat_.data;
-        total_lat = totalLat_.data;
-        tenant_lat.reserve(tenants_.size());
+        tenant_accums.reserve(tenants_.size());
         for (const auto &[name, accum] : tenants_) {
             s.tenants.emplace(name, accum.counters);
-            tenant_lat.emplace_back(name, accum.totalLat.data);
+            tenant_accums.emplace_back(name, &accum);
         }
     }
-    s.queueLatency = percentiles(queue_lat);
-    s.executeLatency = percentiles(exec_lat);
-    s.totalLatency = percentiles(total_lat);
-    for (const auto &[name, lat] : tenant_lat)
-        s.tenants.at(name).totalLatency = percentiles(lat);
+    s.queueLatency = queueLat_.snapshot().toPercentiles();
+    s.executeLatency = execLat_.snapshot().toPercentiles();
+    s.totalLatency = totalLat_.snapshot().toPercentiles();
+    for (const auto &[name, accum] : tenant_accums)
+        s.tenants.at(name).totalLatency =
+            accum->totalLat.snapshot().toPercentiles();
     return s;
 }
 

@@ -18,8 +18,15 @@
  * second pool.
  *
  * Every job carries enqueue -> dispatch -> complete timestamps;
- * ServerStats rolls queue/execute/total latency into p50/p95/p99 both
- * fleet-wide and per tenant. Because RuntimeService attributes each
+ * ServerStats rolls queue/execute/total latency into
+ * p50/p95/p99/p999 both fleet-wide and per tenant through the
+ * telemetry plane's log-bucketed latency histograms — a stats() poll
+ * walks fixed bucket arrays instead of sorting a sample window, so
+ * rollups are O(1) in server lifetime and never stall the
+ * dispatcher. When telemetry tracing is enabled (telemetry::Trace),
+ * every job additionally emits queue/execute spans and
+ * submit/reject/cancel instants, so a serving run can be opened in
+ * Perfetto. Because RuntimeService attributes each
  * job its own cells of the execution grid (BatchExecution), a job's
  * RackStats is a pure function of (rack, schedule): identical for any
  * worker count, any submission interleaving, and any batch
@@ -48,6 +55,7 @@
 #include "circuits/scheduler.hh"
 #include "common/stats.hh"
 #include "runtime/service.hh"
+#include "telemetry/metrics.hh"
 
 namespace compaqt::runtime
 {
@@ -138,8 +146,8 @@ struct TenantStats
     /** Totals over the tenant's completed jobs. */
     std::uint64_t gatesPlayed = 0;
     std::uint64_t samplesDecoded = 0;
-    /** enqueue -> complete latency over the tenant's most recent
-     *  completed jobs (bounded window; see ServerStats). */
+    /** enqueue -> complete latency over all the tenant's completed
+     *  jobs (log-bucketed histogram; see ServerStats). */
     Percentiles totalLatency;
 };
 
@@ -160,10 +168,11 @@ struct ServerStats
     /** Totals over completed jobs. */
     std::uint64_t gatesPlayed = 0;
     std::uint64_t samplesDecoded = 0;
-    /** Latency rollups over the most recent completed jobs (a
-     *  bounded ring of samples, so a long-lived server's stats stay
-     *  O(1) in memory; `count` reports the window's fill, not the
-     *  lifetime completion count — that is `completed`). */
+    /** Latency rollups over every completed job, computed from
+     *  telemetry::LatencyHistogram (log-linear buckets, ~6% value
+     *  resolution; min/max/mean/count exact), so a long-lived
+     *  server's stats stay O(1) in memory with no sample window to
+     *  age out. `count` equals `completed`. */
     Percentiles queueLatency;
     Percentiles executeLatency;
     Percentiles totalLatency;
@@ -246,39 +255,13 @@ class Server
         Clock::time_point enqueued;
     };
 
-    /**
-     * Bounded latency-sample ring: keeps the most recent `cap`
-     * observations so percentile state never grows with server
-     * lifetime. Order inside the ring is irrelevant — percentiles()
-     * sorts a copy.
-     */
-    struct LatencyRing
-    {
-        std::vector<double> data;
-        std::size_t next = 0;
-
-        void
-        add(double v, std::size_t cap)
-        {
-            if (data.size() < cap) {
-                data.push_back(v);
-            } else {
-                data[next] = v;
-                next = (next + 1) % cap;
-            }
-        }
-    };
-
-    /** Fleet-wide latency window (3 rings of this many doubles). */
-    static constexpr std::size_t kFleetLatencyWindow = 1u << 14;
-    /** Per-tenant latency window. */
-    static constexpr std::size_t kTenantLatencyWindow = 1u << 12;
-
-    /** Mutable per-tenant accumulator behind TenantStats. */
+    /** Mutable per-tenant accumulator behind TenantStats. The
+     *  histogram lives in the node (std::map nodes are stable), so
+     *  the reference stays valid for the server's lifetime. */
     struct TenantAccum
     {
         TenantStats counters;
-        LatencyRing totalLat;
+        telemetry::LatencyHistogram totalLat;
     };
 
     void dispatchLoop();
@@ -311,9 +294,11 @@ class Server
     std::uint64_t batchJobs_ = 0;
     std::uint64_t gates_ = 0;
     std::uint64_t samples_ = 0;
-    LatencyRing queueLat_;
-    LatencyRing execLat_;
-    LatencyRing totalLat_;
+    /** Lock-free latency rollups (written under mu_ today, but a
+     *  snapshot never needs the lock). */
+    telemetry::LatencyHistogram queueLat_;
+    telemetry::LatencyHistogram execLat_;
+    telemetry::LatencyHistogram totalLat_;
     DecodedCacheStats cacheAccum_;
     std::map<std::string, TenantAccum> tenants_;
 

@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "isa/interpreter.hh"
 #include "runtime/playback.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace compaqt::runtime
 {
@@ -31,6 +33,9 @@ struct CellResult
 CellResult
 playShard(const Rack &rack, int shard, const circuits::Schedule &part)
 {
+    COMPAQT_TRACE_SPAN("shard", "shard.play", "shard",
+                       static_cast<std::uint64_t>(shard), "events",
+                       part.events.size());
     CellResult cell;
     cell.demand = rack.controller(shard).execute(part);
 
@@ -74,9 +79,17 @@ playShardCompiled(const Rack &rack, int shard,
                   const circuits::Schedule &part,
                   const isa::Compiler &compiler)
 {
+    COMPAQT_TRACE_SPAN("shard", "shard.play_compiled", "shard",
+                       static_cast<std::uint64_t>(shard), "events",
+                       part.events.size());
     CellResult cell;
     cell.demand = rack.controller(shard).execute(part);
-    const isa::InstructionProgram prog = compiler.compileShard(part);
+    isa::InstructionProgram prog;
+    {
+        COMPAQT_TRACE_SPAN("compile", "isa.compile_shard", "shard",
+                           static_cast<std::uint64_t>(shard));
+        prog = compiler.compileShard(part);
+    }
     isa::Interpreter interp(rack);
     const isa::InterpreterResult run = interp.run(prog);
     cell.play = run.play;
@@ -107,6 +120,34 @@ accumulateCell(ShardStats &sh, const CellResult &cell)
     sh.samplesBypassed += cell.play.bypassed;
     sh.prefetchesIssued += cell.prefetchesIssued;
 }
+
+/** Batch-grain service metrics: registered once, bumped once per
+ *  executed batch (never per cell or per gate, so the always-on cost
+ *  is a handful of relaxed adds per batch). */
+struct ServiceMetrics
+{
+    telemetry::Counter &batches;
+    telemetry::Counter &gates;
+    telemetry::Counter &windows;
+    telemetry::Counter &samples;
+    telemetry::LatencyHistogram &batchWall;
+
+    static ServiceMetrics &
+    instance()
+    {
+        static ServiceMetrics m = [] {
+            auto &reg = telemetry::Registry::global();
+            return ServiceMetrics{
+                reg.counter("service.batches"),
+                reg.counter("service.gates_played"),
+                reg.counter("service.windows_decoded"),
+                reg.counter("service.samples_decoded"),
+                reg.histogram("service.batch_wall"),
+            };
+        }();
+        return m;
+    }
+};
 
 /** Sum per-shard rollups into the fleet-level fields. */
 void
@@ -141,6 +182,8 @@ runGrid(const Rack &rack, Executor &exec,
     const int n_shards = rack.numShards();
     const auto n_cells =
         batch.size() * static_cast<std::size_t>(n_shards);
+    COMPAQT_TRACE_SPAN("batch", "service.batch", "circuits",
+                       batch.size(), "cells", n_cells);
 
     // Partition every circuit up front (cheap, serial, deterministic).
     std::vector<std::uint64_t> unowned(batch.size(), 0);
@@ -217,6 +260,13 @@ runGrid(const Rack &rack, Executor &exec,
             static_cast<double>(stats.totalSamples) /
             stats.wallSeconds;
     }
+
+    auto &metrics = ServiceMetrics::instance();
+    metrics.batches.add();
+    metrics.gates.add(stats.totalGates);
+    metrics.windows.add(stats.totalWindows);
+    metrics.samples.add(stats.totalSamples);
+    metrics.batchWall.record(stats.wallSeconds);
     return result;
 }
 

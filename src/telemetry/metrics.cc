@@ -1,0 +1,234 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace compaqt::telemetry
+{
+
+std::size_t
+stripeIndex() noexcept
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return idx;
+}
+
+std::uint64_t
+LatencyHistogram::representativeNs(std::size_t bucket) noexcept
+{
+    constexpr auto kSub = HistogramSnapshot::kSub;
+    if (bucket < 2 * kSub)
+        return static_cast<std::uint64_t>(bucket);
+    const std::size_t exp = bucket / kSub - 1;
+    const std::size_t sub = bucket % kSub;
+    const std::uint64_t lower = static_cast<std::uint64_t>(kSub + sub)
+                                << exp;
+    const std::uint64_t width = static_cast<std::uint64_t>(1) << exp;
+    return lower + width / 2;
+}
+
+void
+LatencyHistogram::recordNanos(std::uint64_t ns) noexcept
+{
+    Shard &s = shards_[stripeIndex() % kHistStripes];
+    s.counts[bucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sumNs.fetch_add(ns, std::memory_order_relaxed);
+    // Relaxed CAS min/max: contention is rare (same-shard extremes
+    // only), and the merge tolerates torn ordering — each shard's
+    // extreme is exact once its CAS lands.
+    std::uint64_t cur = s.minNs.load(std::memory_order_relaxed);
+    while (ns < cur &&
+           !s.minNs.compare_exchange_weak(cur, ns,
+                                          std::memory_order_relaxed)) {
+    }
+    cur = s.maxNs.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !s.maxNs.compare_exchange_weak(cur, ns,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    std::uint64_t min_ns = ~static_cast<std::uint64_t>(0);
+    for (const Shard &s : shards_) {
+        for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b)
+            snap.counts[b] +=
+                s.counts[b].load(std::memory_order_relaxed);
+        snap.count += s.count.load(std::memory_order_relaxed);
+        snap.sumNs += s.sumNs.load(std::memory_order_relaxed);
+        min_ns = std::min(min_ns,
+                          s.minNs.load(std::memory_order_relaxed));
+        snap.maxNs = std::max(
+            snap.maxNs, s.maxNs.load(std::memory_order_relaxed));
+    }
+    snap.minNs = snap.count == 0 ? 0 : min_ns;
+    return snap;
+}
+
+std::uint64_t
+HistogramSnapshot::percentileNs(double q) const
+{
+    if (count == 0)
+        return 0;
+    const double rank_d =
+        std::ceil(q / 100.0 * static_cast<double>(count));
+    const auto rank = static_cast<std::uint64_t>(
+        std::clamp(rank_d, 1.0, static_cast<double>(count)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += counts[b];
+        if (seen >= rank) {
+            const std::uint64_t rep =
+                LatencyHistogram::representativeNs(b);
+            // The representative is a bucket midpoint; the exact
+            // extremes are tracked, so never report past them.
+            return std::clamp(rep, minNs, maxNs);
+        }
+    }
+    return maxNs;
+}
+
+Percentiles
+HistogramSnapshot::toPercentiles() const
+{
+    Percentiles p;
+    if (count == 0)
+        return p;
+    p.count = count;
+    p.min = static_cast<double>(minNs) * 1e-9;
+    p.max = static_cast<double>(maxNs) * 1e-9;
+    p.mean = meanNs() * 1e-9;
+    p.p50 = static_cast<double>(percentileNs(50.0)) * 1e-9;
+    p.p95 = static_cast<double>(percentileNs(95.0)) * 1e-9;
+    p.p99 = static_cast<double>(percentileNs(99.0)) * 1e-9;
+    p.p999 = static_cast<double>(percentileNs(99.9)) * 1e-9;
+    return p;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Registry::Metric &
+Registry::find(std::string_view name, Kind kind)
+{
+    std::lock_guard lock(mu_);
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        Metric m;
+        m.kind = kind;
+        switch (kind) {
+          case Kind::Counter:
+            m.counter = std::make_unique<Counter>();
+            break;
+          case Kind::Gauge:
+            m.gauge = std::make_unique<Gauge>();
+            break;
+          case Kind::Histogram:
+            m.histogram = std::make_unique<LatencyHistogram>();
+            break;
+        }
+        it = metrics_.emplace(std::string(name), std::move(m)).first;
+    }
+    if (it->second.kind != kind)
+        COMPAQT_PANIC_F("telemetry metric \"%.*s\" requested as two"
+                        " different kinds",
+                        static_cast<int>(name.size()), name.data());
+    return it->second;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    return *find(name, Kind::Counter).counter;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    return *find(name, Kind::Gauge).gauge;
+}
+
+LatencyHistogram &
+Registry::histogram(std::string_view name)
+{
+    return *find(name, Kind::Histogram).histogram;
+}
+
+Registry::Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    std::lock_guard lock(mu_);
+    for (const auto &[name, m] : metrics_) {
+        switch (m.kind) {
+          case Kind::Counter:
+            snap.counters.emplace(name, m.counter->value());
+            break;
+          case Kind::Gauge:
+            snap.gauges.emplace(name, m.gauge->value());
+            break;
+          case Kind::Histogram:
+            snap.histograms.emplace(name, m.histogram->snapshot());
+            break;
+        }
+    }
+    return snap;
+}
+
+void
+Registry::writeJson(std::ostream &os) const
+{
+    const Snapshot snap = snapshot();
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, v] : snap.counters) {
+        os << (first ? "" : ", ");
+        jsonQuote(os, name);
+        os << ": " << v;
+        first = false;
+    }
+    os << "}, \"gauges\": {";
+    first = true;
+    for (const auto &[name, v] : snap.gauges) {
+        os << (first ? "" : ", ");
+        jsonQuote(os, name);
+        // Gauges are doubles; JSON numbers must be finite.
+        if (std::isfinite(v))
+            os << ": " << v;
+        else
+            os << ": null";
+        first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        os << (first ? "" : ", ");
+        jsonQuote(os, name);
+        os << ": {\"count\": " << h.count
+           << ", \"mean_ns\": " << h.meanNs()
+           << ", \"min_ns\": " << h.minNs
+           << ", \"max_ns\": " << h.maxNs
+           << ", \"p50_ns\": " << h.percentileNs(50.0)
+           << ", \"p95_ns\": " << h.percentileNs(95.0)
+           << ", \"p99_ns\": " << h.percentileNs(99.0)
+           << ", \"p999_ns\": " << h.percentileNs(99.9) << "}";
+        first = false;
+    }
+    os << "}}";
+}
+
+} // namespace compaqt::telemetry

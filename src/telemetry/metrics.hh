@@ -1,0 +1,272 @@
+/**
+ * @file
+ * The always-on metrics half of the telemetry plane: named counters,
+ * gauges, and log-bucketed latency histograms behind a string-keyed
+ * Registry. Metrics are written from any thread without a lock —
+ * every counter and histogram is striped across thread-indexed,
+ * cacheline-aligned shards that a writer touches with one relaxed
+ * atomic add, and the shards are merged only when a snapshot is
+ * taken. Creation (registry lookup by name) takes a mutex; call
+ * sites are expected to look a metric up once and keep the returned
+ * reference, which stays valid for the registry's lifetime.
+ *
+ * The LatencyHistogram replaces the sort-every-snapshot
+ * common::Percentiles path in the serving plane: it buckets
+ * nanosecond latencies log-linearly (8 sub-buckets per power of two,
+ * so a bucket's representative value is within ~6% of any sample it
+ * holds) and computes p50/p95/p99/p999 by walking the merged bucket
+ * counts — O(buckets) per snapshot, no per-sample storage, no sort,
+ * O(1) memory for any lifetime.
+ */
+
+#ifndef COMPAQT_TELEMETRY_METRICS_HH
+#define COMPAQT_TELEMETRY_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hh"
+
+namespace compaqt::telemetry
+{
+
+/** Shards per writable metric. Writers pick a shard by a sticky
+ *  per-thread index, so two threads share a shard (and a cacheline)
+ *  only when more than kStripes threads write the same metric. */
+constexpr std::size_t kStripes = 16;
+
+/** Sticky stripe index of the calling thread (assigned round-robin
+ *  on first use, constant for the thread's lifetime). */
+std::size_t stripeIndex() noexcept;
+
+/**
+ * Monotonic counter. add() is one relaxed fetch_add on the calling
+ * thread's stripe; value() sums the stripes (a racing reader may
+ * miss in-flight adds, never double-count).
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    add(std::uint64_t n = 1) noexcept
+    {
+        cells_[stripeIndex()].v.fetch_add(n,
+                                          std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const noexcept
+    {
+        std::uint64_t sum = 0;
+        for (const auto &c : cells_)
+            sum += c.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    struct alignas(64) Cell
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Cell, kStripes> cells_;
+};
+
+/** Last-write-wins instantaneous value (queue depth, cache
+ *  residency). One relaxed atomic store/load. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(double v) noexcept
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const noexcept
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/** Merged view of one histogram at one instant. */
+struct HistogramSnapshot
+{
+    /** Sub-buckets per power of two (see LatencyHistogram). */
+    static constexpr std::size_t kSubBits = 3;
+    static constexpr std::size_t kSub = 1u << kSubBits;
+    /** Index space: 2*kSub exact small-value buckets, then kSub per
+     *  remaining octave of a 64-bit value. */
+    static constexpr std::size_t kBuckets = 62 * kSub;
+
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;
+    std::uint64_t sumNs = 0;
+    std::uint64_t minNs = 0;
+    std::uint64_t maxNs = 0;
+
+    /** Nearest-rank percentile in nanoseconds (bucket representative,
+     *  clamped to the exact observed [min, max]); q in [0, 100].
+     *  Empty snapshot yields 0. */
+    std::uint64_t percentileNs(double q) const;
+
+    double
+    meanNs() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sumNs) /
+                                static_cast<double>(count);
+    }
+
+    /** The serving plane's rollup shape, in seconds:
+     *  p50/p95/p99/p999 from the buckets, min/max/mean exact. */
+    Percentiles toPercentiles() const;
+};
+
+/**
+ * Log-linear latency histogram over nanoseconds. record() is one
+ * relaxed bucket increment (plus count/sum/min/max updates) on the
+ * calling thread's shard; snapshot() merges the shards.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram() = default;
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    /** Bucket index of a nanosecond value: exact for ns < 2*kSub,
+     *  log-linear (kSub sub-buckets per octave) above. */
+    static std::size_t
+    bucketFor(std::uint64_t ns) noexcept
+    {
+        constexpr auto kSubBits = HistogramSnapshot::kSubBits;
+        constexpr auto kSub = HistogramSnapshot::kSub;
+        if (ns < 2 * kSub)
+            return static_cast<std::size_t>(ns);
+        const auto msb = static_cast<std::size_t>(
+            std::bit_width(ns) - 1); // >= kSubBits + 1
+        const std::size_t shift = msb - kSubBits;
+        const auto sub = static_cast<std::size_t>(
+            (ns >> shift) & (kSub - 1));
+        return (msb - kSubBits + 1) * kSub + sub;
+    }
+
+    /** Midpoint of a bucket's value range (its representative). */
+    static std::uint64_t representativeNs(std::size_t bucket) noexcept;
+
+    void recordNanos(std::uint64_t ns) noexcept;
+
+    /** Record a latency in seconds (negative clamps to 0). */
+    void
+    record(double seconds) noexcept
+    {
+        recordNanos(seconds <= 0.0
+                        ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9));
+    }
+
+    HistogramSnapshot snapshot() const;
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::array<std::atomic<std::uint64_t>,
+                   HistogramSnapshot::kBuckets>
+            counts{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sumNs{0};
+        std::atomic<std::uint64_t> minNs{
+            ~static_cast<std::uint64_t>(0)};
+        std::atomic<std::uint64_t> maxNs{0};
+    };
+    /** Histograms stripe less aggressively than counters: a shard is
+     *  ~4 KB, and same-bucket contention is already rare. */
+    static constexpr std::size_t kHistStripes = 4;
+    std::array<Shard, kHistStripes> shards_;
+};
+
+/**
+ * String-keyed home of the process's metrics. counter()/gauge()/
+ * histogram() create on first use (mutex-guarded) and return a
+ * reference that stays valid for the registry's lifetime — cache it;
+ * the hot path must never pay the map lookup. One name maps to one
+ * kind: asking for an existing name as a different kind panics (it
+ * is a naming bug, not a recoverable condition).
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** The process-wide registry the instrumented subsystems use. */
+    static Registry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    LatencyHistogram &histogram(std::string_view name);
+
+    /** Point-in-time merge of every metric. */
+    struct Snapshot
+    {
+        std::map<std::string, std::uint64_t> counters;
+        std::map<std::string, double> gauges;
+        std::map<std::string, HistogramSnapshot> histograms;
+    };
+
+    Snapshot snapshot() const;
+
+    /**
+     * Emit the snapshot as one strict-JSON object (RFC 8259 escaping
+     * via common/json.hh): counters and gauges by name, histograms
+     * as {count, mean_ns, min_ns, max_ns, p50_ns, p95_ns, p99_ns,
+     * p999_ns}.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    struct Metric
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LatencyHistogram> histogram;
+    };
+
+    Metric &find(std::string_view name, Kind kind);
+
+    mutable std::mutex mu_;
+    std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+} // namespace compaqt::telemetry
+
+#endif // COMPAQT_TELEMETRY_METRICS_HH

@@ -1,0 +1,253 @@
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace compaqt::telemetry
+{
+
+namespace
+{
+
+std::uint64_t
+nextInstanceId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+Trace::Trace(const TraceConfig &cfg)
+    : cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now()),
+      instanceId_(nextInstanceId())
+{
+    cfg_.eventsPerThread =
+        std::max<std::size_t>(1, cfg_.eventsPerThread);
+}
+
+Trace &
+Trace::global()
+{
+    static Trace instance;
+    return instance;
+}
+
+Trace::ThreadRing &
+Trace::registerThread()
+{
+    std::lock_guard lock(mu_);
+    const auto id = std::this_thread::get_id();
+    if (auto it = byThread_.find(id); it != byThread_.end())
+        return *it->second;
+    rings_.push_back(
+        std::make_unique<ThreadRing>(cfg_.eventsPerThread));
+    ThreadRing &ring = *rings_.back();
+    ring.tid = static_cast<std::uint32_t>(rings_.size());
+    byThread_.emplace(id, &ring);
+    return ring;
+}
+
+Trace::ThreadRing &
+Trace::localRing()
+{
+    // Sticky per-(thread, Trace) cache keyed by the collector's
+    // unique instance id, so the mutex-guarded registration runs
+    // once per thread in steady state and a destroyed collector's
+    // address being reused can never alias a stale ring.
+    struct Cache
+    {
+        std::uint64_t owner = 0;
+        ThreadRing *ring = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.owner != instanceId_) {
+        cache.ring = &registerThread();
+        cache.owner = instanceId_;
+    }
+    return *cache.ring;
+}
+
+void
+Trace::record(const TraceEvent &e)
+{
+    ThreadRing &r = localRing();
+    std::lock_guard lock(r.mu);
+    if (r.ring.size() < cfg_.eventsPerThread) {
+        r.ring.push_back(e);
+    } else {
+        // Full: overwrite the oldest so the buffer always holds the
+        // most recent eventsPerThread events.
+        r.ring[r.next] = e;
+        r.next = (r.next + 1) % cfg_.eventsPerThread;
+    }
+    ++r.total;
+}
+
+void
+Trace::clear()
+{
+    std::lock_guard lock(mu_);
+    for (auto &r : rings_) {
+        std::lock_guard ring_lock(r->mu);
+        r->ring.clear();
+        r->next = 0;
+        r->total = 0;
+    }
+}
+
+std::uint64_t
+Trace::droppedEvents() const
+{
+    std::lock_guard lock(mu_);
+    std::uint64_t dropped = 0;
+    for (const auto &r : rings_) {
+        std::lock_guard ring_lock(r->mu);
+        dropped += r->total - r->ring.size();
+    }
+    return dropped;
+}
+
+std::size_t
+Trace::bufferedEvents() const
+{
+    std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto &r : rings_) {
+        std::lock_guard ring_lock(r->mu);
+        n += r->ring.size();
+    }
+    return n;
+}
+
+std::vector<TraceEvent>
+Trace::snapshot() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard lock(mu_);
+        for (const auto &r : rings_) {
+            std::lock_guard ring_lock(r->mu);
+            // Oldest-first: the segment after the overwrite cursor
+            // precedes the segment before it.
+            for (std::size_t i = 0; i < r->ring.size(); ++i)
+                events.push_back(
+                    r->ring[(r->next + i) % r->ring.size()]);
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.startNs < b.startNs;
+                     });
+    return events;
+}
+
+namespace
+{
+
+/** Emit one trace event as a Chrome-trace JSON object. */
+void
+writeEvent(std::ostream &os, const TraceEvent &e, std::uint32_t tid)
+{
+    os << "{\"name\": ";
+    jsonQuote(os, e.name ? e.name : "");
+    os << ", \"cat\": ";
+    jsonQuote(os, e.cat ? e.cat : "");
+    if (e.kind == EventKind::Complete) {
+        os << ", \"ph\": \"X\", \"dur\": "
+           << static_cast<double>(e.durNs) / 1e3;
+    } else {
+        // Thread-scoped instant.
+        os << ", \"ph\": \"i\", \"s\": \"t\"";
+    }
+    os << ", \"ts\": " << static_cast<double>(e.startNs) / 1e3
+       << ", \"pid\": 1, \"tid\": " << tid;
+    if (e.arg0Name != nullptr || e.arg1Name != nullptr) {
+        os << ", \"args\": {";
+        if (e.arg0Name != nullptr) {
+            jsonQuote(os, e.arg0Name);
+            os << ": " << e.arg0;
+        }
+        if (e.arg1Name != nullptr) {
+            if (e.arg0Name != nullptr)
+                os << ", ";
+            jsonQuote(os, e.arg1Name);
+            os << ": " << e.arg1;
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+Trace::writeChromeTrace(std::ostream &os) const
+{
+    // Per-ring export keeps each event with its recording thread's
+    // tid (the sort in snapshot() would lose that), so the trace
+    // viewer shows one track per worker.
+    struct Tagged
+    {
+        TraceEvent event;
+        std::uint32_t tid;
+    };
+    std::vector<Tagged> events;
+    {
+        std::lock_guard lock(mu_);
+        for (const auto &r : rings_) {
+            std::lock_guard ring_lock(r->mu);
+            for (std::size_t i = 0; i < r->ring.size(); ++i)
+                events.push_back(
+                    {r->ring[(r->next + i) % r->ring.size()],
+                     r->tid});
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Tagged &a, const Tagged &b) {
+                         return a.event.startNs < b.event.startNs;
+                     });
+    os << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        os << (i == 0 ? "\n " : ",\n ");
+        writeEvent(os, events[i].event, events[i].tid);
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+bool
+Trace::writeChromeTrace(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    std::ofstream os(tmp);
+    if (!os) {
+        std::cerr << "warning: cannot write " << tmp << '\n';
+        return false;
+    }
+    writeChromeTrace(os);
+    os.flush();
+    if (!os.good()) {
+        std::cerr << "warning: failed writing " << tmp
+                  << " (disk full?); keeping any previous " << path
+                  << '\n';
+        os.close();
+        std::remove(tmp.c_str());
+        return false;
+    }
+    os.close();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::cerr << "warning: cannot rename " << tmp << " to "
+                  << path << '\n';
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace compaqt::telemetry

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * The tracing half of the telemetry plane: typed spans and instant
+ * events collected into bounded per-thread ring buffers and exported
+ * as Chrome-trace JSON (chrome://tracing / Perfetto "traceEvents"
+ * format), so "where does a p99 syndrome job spend its time?" is a
+ * question answered by loading a file, not by adding printf.
+ *
+ * The contract that keeps this safe to leave compiled into every hot
+ * path: when tracing is disabled — the default — recording costs one
+ * relaxed atomic load and nothing else (no timestamp, no ring touch,
+ * no allocation). When enabled, an event costs two steady_clock
+ * reads (span) or one (instant) plus a push into the calling
+ * thread's ring under that ring's own uncontended mutex; rings
+ * overwrite their oldest events when full, so a trace is always the
+ * most recent window of activity and memory stays bounded for any
+ * run length.
+ *
+ * Event names and categories are `const char *` and MUST point at
+ * storage that outlives the Trace (string literals at every
+ * instrumentation site); events carry up to two named integer args
+ * (job id, shard, window...) instead of strings so recording never
+ * formats or copies.
+ */
+
+#ifndef COMPAQT_TELEMETRY_TRACE_HH
+#define COMPAQT_TELEMETRY_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace compaqt::telemetry
+{
+
+/** Chrome-trace phase of one event. */
+enum class EventKind : std::uint8_t
+{
+    /** A span with a duration ("ph": "X"). */
+    Complete,
+    /** A point in time ("ph": "i"). */
+    Instant,
+};
+
+/** One recorded event (fixed-size, no owned storage). */
+struct TraceEvent
+{
+    /** Nanoseconds since the trace epoch. */
+    std::uint64_t startNs = 0;
+    /** Span length; 0 for instants. */
+    std::uint64_t durNs = 0;
+    /** Event name (static storage, e.g. "execute"). */
+    const char *name = nullptr;
+    /** Category (static storage): "job", "batch", "shard", "cache",
+     *  "isa", "compile". */
+    const char *cat = nullptr;
+    /** Optional named integer args (nullptr key = absent). */
+    const char *arg0Name = nullptr;
+    const char *arg1Name = nullptr;
+    std::uint64_t arg0 = 0;
+    std::uint64_t arg1 = 0;
+    EventKind kind = EventKind::Instant;
+};
+
+/** Trace-collector sizing. */
+struct TraceConfig
+{
+    /** Ring capacity per recording thread, in events. Clamped to
+     *  >= 1. At the default, a thread's ring is ~1.2 MB. */
+    std::size_t eventsPerThread = 1u << 14;
+};
+
+/**
+ * The trace collector. All members are thread-safe; recording
+ * threads never block each other (each writes its own ring).
+ * Construction does not allocate rings — a thread's ring appears the
+ * first time it records.
+ */
+class Trace
+{
+  public:
+    explicit Trace(const TraceConfig &cfg = {});
+
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+    /** The process-wide collector the instrumented subsystems use. */
+    static Trace &global();
+
+    /** The hot-path gate: one relaxed atomic load. */
+    bool
+    enabled() const noexcept
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setEnabled(bool on) noexcept
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Nanoseconds since the trace epoch (steady clock). */
+    std::uint64_t
+    nowNs() const noexcept
+    {
+        return sinceEpochNs(std::chrono::steady_clock::now());
+    }
+
+    /** Convert a caller-held steady_clock timestamp (e.g. a job's
+     *  enqueue time) into trace time. Times before the epoch clamp
+     *  to 0. */
+    std::uint64_t
+    sinceEpochNs(std::chrono::steady_clock::time_point t)
+        const noexcept
+    {
+        const auto d = t - epoch_;
+        return d.count() <= 0
+                   ? 0
+                   : static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<
+                             std::chrono::nanoseconds>(d)
+                             .count());
+    }
+
+    /** Append one event to the calling thread's ring. The caller has
+     *  already checked enabled(); record() does not re-check, so an
+     *  in-flight span started before a disable still lands. */
+    void record(const TraceEvent &e);
+
+    /** Record an instant event now (no-op when disabled). */
+    void
+    instant(const char *cat, const char *name,
+            const char *a0_name = nullptr, std::uint64_t a0 = 0,
+            const char *a1_name = nullptr, std::uint64_t a1 = 0)
+    {
+        if (!enabled())
+            return;
+        TraceEvent e;
+        e.startNs = nowNs();
+        e.name = name;
+        e.cat = cat;
+        e.arg0Name = a0_name;
+        e.arg0 = a0;
+        e.arg1Name = a1_name;
+        e.arg1 = a1;
+        e.kind = EventKind::Instant;
+        record(e);
+    }
+
+    /** Drop every buffered event (rings and their threads stay
+     *  registered; the overwrite counter resets). */
+    void clear();
+
+    /** Events overwritten because a ring was full — nonzero means
+     *  the exported trace is a suffix of what happened. */
+    std::uint64_t droppedEvents() const;
+
+    /** Buffered events across all rings right now. */
+    std::size_t bufferedEvents() const;
+
+    /** All buffered events merged across rings, ascending startNs. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /**
+     * Emit every buffered event as strict Chrome-trace JSON:
+     * {"traceEvents": [...], "displayTimeUnit": "ms"}. Loadable by
+     * chrome://tracing and Perfetto; timestamps in microseconds.
+     * Safe to call while other threads record (they keep appending;
+     * the export is a consistent per-ring cut).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Atomic file variant (tmp + rename, like bench reports).
+     *  Returns false (leaving any previous file intact) on I/O
+     *  failure. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    struct ThreadRing
+    {
+        explicit ThreadRing(std::size_t cap) { ring.reserve(cap); }
+
+        /** Guards ring/next/total against a concurrent exporter;
+         *  uncontended on the recording fast path. */
+        mutable std::mutex mu;
+        std::vector<TraceEvent> ring;
+        std::size_t next = 0;     //< overwrite cursor once full
+        std::uint64_t total = 0;  //< events ever recorded
+        std::uint32_t tid = 0;    //< stable small id for export
+    };
+
+    ThreadRing &localRing();
+    ThreadRing &registerThread();
+
+    TraceConfig cfg_;
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_;
+    /** Distinguishes this Trace from a destroyed one reusing the
+     *  same address in a thread's cached ring pointer. */
+    std::uint64_t instanceId_;
+
+    mutable std::mutex mu_; //< ring registration / enumeration
+    std::deque<std::unique_ptr<ThreadRing>> rings_;
+    std::map<std::thread::id, ThreadRing *> byThread_;
+};
+
+/**
+ * RAII span: captures the start timestamp if (and only if) tracing
+ * is enabled at construction, and records one Complete event at
+ * destruction. Cost when disabled: the one relaxed load.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(Trace &trace, const char *cat, const char *name,
+              const char *a0_name = nullptr, std::uint64_t a0 = 0,
+              const char *a1_name = nullptr, std::uint64_t a1 = 0)
+        : trace_(trace.enabled() ? &trace : nullptr)
+    {
+        if (!trace_)
+            return;
+        event_.startNs = trace.nowNs();
+        event_.name = name;
+        event_.cat = cat;
+        event_.arg0Name = a0_name;
+        event_.arg0 = a0;
+        event_.arg1Name = a1_name;
+        event_.arg1 = a1;
+        event_.kind = EventKind::Complete;
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** Update an arg before the span retires (e.g. a result count
+     *  known only at the end). No-op when disabled. */
+    void
+    setArg0(std::uint64_t v) noexcept
+    {
+        event_.arg0 = v;
+    }
+
+    void
+    setArg1(std::uint64_t v) noexcept
+    {
+        event_.arg1 = v;
+    }
+
+    ~SpanScope()
+    {
+        if (!trace_)
+            return;
+        event_.durNs = trace_->nowNs() - event_.startNs;
+        trace_->record(event_);
+    }
+
+  private:
+    Trace *trace_;
+    TraceEvent event_;
+};
+
+} // namespace compaqt::telemetry
+
+// Span/instant macros against the global collector. The span binds a
+// scoped RAII object, so it measures to the end of the enclosing
+// block; args are (category, name [, argName, argValue]...).
+#define COMPAQT_TELEM_CONCAT2(a, b) a##b
+#define COMPAQT_TELEM_CONCAT(a, b) COMPAQT_TELEM_CONCAT2(a, b)
+#define COMPAQT_TRACE_SPAN(...)                                       \
+    ::compaqt::telemetry::SpanScope COMPAQT_TELEM_CONCAT(             \
+        compaqtTelemSpan_, __LINE__)(                                 \
+        ::compaqt::telemetry::Trace::global(), __VA_ARGS__)
+#define COMPAQT_TRACE_INSTANT(...)                                    \
+    ::compaqt::telemetry::Trace::global().instant(__VA_ARGS__)
+
+#endif // COMPAQT_TELEMETRY_TRACE_HH

@@ -66,7 +66,7 @@ DeviceModel::ibm(const std::string &name)
         return synthetic(name, 65, heavyHexCoupling(65));
     if (name == "washington")
         return synthetic(name, 127, heavyHexCoupling(127));
-    COMPAQT_FATAL("unknown IBM machine name");
+    COMPAQT_FATAL_F("unknown IBM machine name \"%s\"", name.c_str());
 }
 
 DeviceModel
