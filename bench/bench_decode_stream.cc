@@ -42,6 +42,9 @@
 #include "core/decompressor.hh"
 #include "core/pipeline.hh"
 #include "dsp/int_dct.hh"
+#include "dsp/simd.hh"
+#include "runtime/playback.hh"
+#include "uarch/pipeline.hh"
 #include "waveform/shapes.hh"
 
 // ------------------------------------------------ allocation counter
@@ -168,6 +171,29 @@ main(int argc, char **argv)
     // leaning on the header default.
     report.setWorkers(1);
 
+    // SIMD decode-plane dispatch decision and geometry, so a BENCH
+    // trajectory is attributable to the backend that produced it.
+    const auto ambient = dsp::simd::activeBackend();
+    const auto detected = dsp::simd::detectedBackend();
+    report.setEnv("simd_backend",
+                  std::string(dsp::simd::backendName(ambient)));
+    report.setEnv("simd_backend_detected",
+                  std::string(dsp::simd::backendName(detected)));
+    report.setEnv("simd_int32_lanes",
+                  static_cast<std::int64_t>(
+                      dsp::simd::int32Lanes(ambient)));
+    report.setEnv("simd_double_lanes",
+                  static_cast<std::int64_t>(
+                      dsp::simd::doubleLanes(ambient)));
+    report.setEnv("playback_batch_windows",
+                  static_cast<std::int64_t>(
+                      runtime::WindowPlayer::kBatchWindows));
+    report.setEnv(
+        "pipeline_fused_batch_windows",
+        static_cast<std::int64_t>(
+            uarch::DecompressionPipeline::kFusedBatchWindows));
+    report.setEnv("bench_batch_sizes", "1,2,4,8");
+
     // A flat-top pulse long enough to hold many windows, trimmed to
     // an odd length so every config exercises a clamped tail window.
     const auto wf = waveform::gaussianSquare(1360, 200, 0.12, 0.15);
@@ -191,8 +217,22 @@ main(int argc, char **argv)
     t.header({"codec", "ws", "windows", "vec Msamp/s", "span Msamp/s",
               "speedup", "span allocs"});
 
+    // Batch-of-windows sweep: decodeWindowsInto at K windows per
+    // dispatch, per SIMD backend (scalar always; the detected
+    // backend when the host has one).
+    Table bt("batch window decode x SIMD backend (Msamples/s)");
+    bt.header({"codec", "ws", "backend", "k=1", "k=2", "k=4", "k=8"});
+    std::vector<dsp::simd::Backend> backends = {
+        dsp::simd::Backend::Scalar};
+    if (detected != dsp::simd::Backend::Scalar)
+        backends.push_back(detected);
+    const std::size_t batch_sizes[] = {1, 2, 4, 8};
+
     double int_dct16_speedup = 0.0;
+    double simd16_scalar_k1 = 0.0, simd16_best = 0.0;
+    double simd32_scalar_k1 = 0.0, simd32_best = 0.0;
     std::uint64_t worst_span_allocs = 0;
+    std::uint64_t worst_batch_allocs = 0;
     for (const auto &cfg : configs) {
         const auto pipe = core::CompressionPipeline::with(cfg.codec)
                               .window(cfg.ws)
@@ -297,8 +337,59 @@ main(int argc, char **argv)
         report.metric(prefix + "_span_samples_per_sec",
                       span.samplesPerSec);
         report.metric(prefix + "_speedup", speedup);
+
+        // Batch sweep: same channel, K windows per dispatch, per
+        // backend. The forced backend is restored before the next
+        // config's (ambient-backend) measurements.
+        const SampleSpan batch_out = arena.samples(cfg.ws * 8);
+        for (const auto backend : backends) {
+            dsp::simd::setBackend(backend);
+            const std::string bname(dsp::simd::backendName(backend));
+            std::vector<std::string> cells = {
+                cfg.codec, std::to_string(cfg.ws), bname};
+            for (const std::size_t k : batch_sizes) {
+                const auto batch = measure(reps, passes, [&] {
+                    std::uint64_t n = 0;
+                    for (std::size_t w = 0; w < nwin;) {
+                        const std::size_t run =
+                            std::min(k, nwin - w);
+                        n += codec.decodeWindowsInto(channel, w, run,
+                                                     batch_out);
+                        w += run;
+                    }
+                    return n;
+                });
+                worst_batch_allocs = std::max(worst_batch_allocs,
+                                              batch.allocations);
+                cells.push_back(
+                    Table::num(batch.samplesPerSec / 1e6, 2));
+                report.metric(prefix + "_k" + std::to_string(k) +
+                                  "_" + bname + "_samples_per_sec",
+                              batch.samplesPerSec);
+                if (is_int && backend ==
+                                  dsp::simd::Backend::Scalar &&
+                    k == 1) {
+                    if (cfg.ws == 16)
+                        simd16_scalar_k1 = batch.samplesPerSec;
+                    if (cfg.ws == 32)
+                        simd32_scalar_k1 = batch.samplesPerSec;
+                }
+                if (is_int && k == 8) {
+                    if (cfg.ws == 16)
+                        simd16_best = std::max(simd16_best,
+                                               batch.samplesPerSec);
+                    if (cfg.ws == 32)
+                        simd32_best = std::max(simd32_best,
+                                               batch.samplesPerSec);
+                }
+            }
+            bt.row(cells);
+        }
+        dsp::simd::setBackend(ambient);
     }
     report.print(t);
+    std::cout << '\n';
+    report.print(bt);
 
     std::cout << "\nint-dct ws=16 span-path speedup: "
               << Table::num(int_dct16_speedup, 2)
@@ -308,6 +399,25 @@ main(int argc, char **argv)
     report.metric("int_dct_span_speedup", int_dct16_speedup);
     report.metric("span_loop_heap_allocations",
                   static_cast<double>(worst_span_allocs));
+
+    // Headline SIMD speedups: active-backend k=8 batch decode over
+    // scalar k=1 (the pre-SIMD, per-window dispatch shape).
+    const double simd16_speedup =
+        simd16_scalar_k1 > 0.0 ? simd16_best / simd16_scalar_k1 : 0.0;
+    const double simd32_speedup =
+        simd32_scalar_k1 > 0.0 ? simd32_best / simd32_scalar_k1 : 0.0;
+    std::cout << "int-dct simd batch speedup (k=8 "
+              << dsp::simd::backendName(detected)
+              << " vs k=1 scalar): ws16 "
+              << Table::num(simd16_speedup, 2) << "x, ws32 "
+              << Table::num(simd32_speedup, 2)
+              << "x; steady-state heap allocations in the batch "
+                 "decode loop: "
+              << worst_batch_allocs << "\n";
+    report.metric("int_dct_ws16_simd_speedup", simd16_speedup);
+    report.metric("int_dct_ws32_simd_speedup", simd32_speedup);
+    report.metric("batch_loop_heap_allocations",
+                  static_cast<double>(worst_batch_allocs));
     report.metric("arena_block_allocations",
                   static_cast<double>(
                       ScratchArena::forThread().blockAllocations()));

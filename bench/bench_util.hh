@@ -107,6 +107,33 @@ class JsonReport
     /** Record the worker count this bench ran with (JSON header). */
     void setWorkers(int workers) { workers_ = workers; }
 
+    /**
+     * Record an extra string-valued env-header entry (e.g. the SIMD
+     * backend the decode plane dispatched to). The four standard
+     * fields CI strict-parses are always present; extras append
+     * after them. Re-recording a key appends again — callers record
+     * each key once.
+     */
+    void
+    setEnv(const std::string &key, const std::string &value)
+    {
+        std::ostringstream ss;
+        jsonQuote(ss, key);
+        ss << ": ";
+        jsonQuote(ss, value);
+        envExtras_.push_back(ss.str());
+    }
+
+    /** Record an extra integer-valued env-header entry. */
+    void
+    setEnv(const std::string &key, std::int64_t value)
+    {
+        std::ostringstream ss;
+        jsonQuote(ss, key);
+        ss << ": " << value;
+        envExtras_.push_back(ss.str());
+    }
+
     JsonReport(const JsonReport &) = delete;
     JsonReport &operator=(const JsonReport &) = delete;
 
@@ -174,6 +201,8 @@ class JsonReport
            << ", \"start_unix_ms\": " << startUnixMs_
            << ", \"start_iso8601\": ";
         jsonQuote(os, startIso8601());
+        for (const std::string &kv : envExtras_)
+            os << ", " << kv;
         os << "},\n \"metrics\": {";
         for (std::size_t i = 0; i < metrics_.size(); ++i)
             os << (i ? ", " : "") << metrics_[i];
@@ -217,6 +246,8 @@ class JsonReport
     std::int64_t startUnixMs_ = 0;
     std::vector<std::string> tables_;
     std::vector<std::string> metrics_;
+    /** Pre-rendered `"key": value` extras for the env header. */
+    std::vector<std::string> envExtras_;
 };
 
 } // namespace compaqt::bench

@@ -24,6 +24,7 @@
 #include "core/fidelity_aware.hh"
 #include "core/library_compiler.hh"
 #include "core/pipeline.hh"
+#include "dsp/simd.hh"
 #include "isa/compiler.hh"
 #include "isa/interpreter.hh"
 #include "isa/isa.hh"

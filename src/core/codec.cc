@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "core/codecs/builtin.hh"
+#include "telemetry/trace.hh"
 
 namespace compaqt::core
 {
@@ -228,7 +229,14 @@ ICodec::decompressWindowInto(const CompressedChannel &ch,
 
     // Decode-and-slice fallback, staged through the per-thread arena
     // so codecs without an O(windowSize) override still allocate
-    // nothing in steady state.
+    // nothing in steady state. Allocation-free is NOT cheap, though:
+    // each call decodes the ENTIRE channel and keeps one window, so a
+    // caller streaming all w windows of an n-sample channel through
+    // this path does O(n * w) decode work where an overriding codec
+    // does O(n). The trace instant makes those silent quadratic
+    // replays visible in the Chrome-trace timeline.
+    COMPAQT_TRACE_INSTANT("decode", "codec.window_fallback", "window",
+                          window, "channel_samples", ch.numSamples);
     auto &arena = ScratchArena::forThread();
     const ScratchArena::Frame frame(arena);
     SampleSpan full = arena.samples(ch.numSamples);
@@ -237,6 +245,25 @@ ICodec::decompressWindowInto(const CompressedChannel &ch,
     std::copy_n(full.begin() + static_cast<std::ptrdiff_t>(begin),
                 len, out.begin());
     return len;
+}
+
+std::size_t
+ICodec::decodeWindowsInto(const CompressedChannel &ch,
+                          std::size_t first_window,
+                          std::size_t window_count,
+                          SampleSpan out) const
+{
+    COMPAQT_REQUIRE(first_window + window_count <= ch.numWindows(),
+                    "window batch out of range");
+    // Reference semantics of the batch primitive: the per-window
+    // decode at the running offset. Overrides must match this output
+    // exactly (bit-exactly, for integer codecs).
+    std::size_t written = 0;
+    for (std::size_t w = first_window;
+         w < first_window + window_count; ++w)
+        written +=
+            decompressWindowInto(ch, w, out.subspan(written));
+    return written;
 }
 
 // ---------------------------------------------------------- codec registry

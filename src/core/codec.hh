@@ -313,6 +313,32 @@ class ICodec
     decompressWindowInto(const CompressedChannel &ch,
                          std::size_t window, SampleSpan out) const;
 
+    /**
+     * Batch-of-windows decode primitive — the unit the SIMD decode
+     * plane is organized around. Reconstructs `window_count`
+     * consecutive windows starting at `first_window`, tightly packed
+     * into `out` (only the channel-final window can be short, so
+     * window j of the batch starts at offset j * windowSize for every
+     * j but possibly ends early on the last). Returns the total
+     * samples written.
+     *
+     * Equivalent to calling decompressWindowInto once per window at
+     * the running output offset — that loop IS the default
+     * implementation — but codecs override it to amortize per-call
+     * overhead (one scratch frame, one checkpoint lookup, longer SIMD
+     * runs) across the batch. Callers that decode K windows at a time
+     * (the decoded-window cache fill, WindowPlayer streaming, the
+     * fused decompression pipeline) go through this primitive.
+     *
+     * @pre first_window + window_count <= ch.numWindows()
+     * @pre out.size() >= sum of the batch's window lengths
+     * @throws std::logic_error when ch has no window structure
+     */
+    virtual std::size_t
+    decodeWindowsInto(const CompressedChannel &ch,
+                      std::size_t first_window,
+                      std::size_t window_count, SampleSpan out) const;
+
     // ------------------------- vector shims over the span path
 
     /** Shim: encodeInto with a std::span input. */

@@ -135,20 +135,68 @@ class FloatDctCodec final : public ICodec
         return len;
     }
 
+    std::size_t
+    decodeWindowsInto(const CompressedChannel &ch,
+                      std::size_t first_window,
+                      std::size_t window_count,
+                      SampleSpan out) const override
+    {
+        // DCT-N: one whole-waveform window; the base-class loop (and
+        // through it the decode-and-slice fallback) handles it.
+        if (whole_)
+            return ICodec::decodeWindowsInto(ch, first_window,
+                                             window_count, out);
+        const std::size_t ws = ch.windowSize;
+        COMPAQT_REQUIRE(ws > 0,
+                        "compressed channel has no window size");
+        COMPAQT_REQUIRE(first_window + window_count <=
+                            ch.windows.size(),
+                        "window batch out of range");
+        ensurePlan(ws);
+        std::size_t written = 0;
+        for (std::size_t j = 0; j < window_count; ++j) {
+            const std::size_t len =
+                ch.windowSamples(first_window + j);
+            if (len == 0)
+                continue;
+            COMPAQT_REQUIRE(out.size() >= written + len,
+                            "window batch output span too small");
+            if (len == ws) {
+                // Full window: the prefix inverse writes the caller's
+                // span directly, skipping the scratch bounce.
+                COMPAQT_REQUIRE(
+                    ch.windows[first_window + j].fcoeffs.size() +
+                            ch.windows[first_window + j].zeros ==
+                        plan_->size(),
+                    "compressed window has wrong size");
+                plan_->inversePrefix(
+                    ch.windows[first_window + j].fcoeffs,
+                    out.subspan(written, ws));
+            } else {
+                inverseToScratch(ch.windows[first_window + j]);
+                std::copy_n(xbuf_.begin(), len,
+                            out.begin() +
+                                static_cast<std::ptrdiff_t>(written));
+            }
+            written += len;
+        }
+        return written;
+    }
+
   private:
-    /** Expand one packed window and inverse-transform it into xbuf_ —
-     *  shared by the channel and per-window decode paths.
+    /** Inverse-transform one packed window into xbuf_ — shared by
+     *  the channel and per-window decode paths. The trailing-zero
+     *  run is never expanded: the prefix-sparse inverse consumes the
+     *  packed coefficients directly (zero coefficients contribute
+     *  +-0.0 to every accumulator, so the result matches the dense
+     *  product on the zero-extended window).
      *  @pre ensurePlan(window size) was called */
     void
     inverseToScratch(const CompressedWindow &w) const
     {
         COMPAQT_REQUIRE(w.fcoeffs.size() + w.zeros == plan_->size(),
                         "compressed window has wrong size");
-        std::copy(w.fcoeffs.begin(), w.fcoeffs.end(), ybuf_.begin());
-        std::fill(ybuf_.begin() + static_cast<std::ptrdiff_t>(
-                                      w.fcoeffs.size()),
-                  ybuf_.end(), 0.0);
-        plan_->inverse(ybuf_, xbuf_);
+        plan_->inversePrefix(w.fcoeffs, xbuf_);
     }
 
     void

@@ -77,6 +77,28 @@ class DeltaCodec final : public ICodec
         return dsp::deltaDecodeWindowInto(ch.delta, window, out);
     }
 
+    std::size_t
+    decodeWindowsInto(const CompressedChannel &ch,
+                      std::size_t first_window,
+                      std::size_t window_count,
+                      SampleSpan out) const override
+    {
+        if (ch.windowSize == 0 ||
+            ch.delta.checkpointStride != ch.windowSize)
+            return ICodec::decodeWindowsInto(ch, first_window,
+                                             window_count, out);
+        COMPAQT_REQUIRE(first_window + window_count <=
+                            ch.numWindows(),
+                        "window batch out of range");
+        if (window_count == 0)
+            return 0;
+        // A batch needs one checkpoint seek instead of one per
+        // window, and the sign-magnitude conversion vectorizes over
+        // the whole run.
+        return dsp::deltaDecodeWindowsInto(ch.delta, first_window,
+                                           window_count, out);
+    }
+
   private:
     std::size_t ws_;
 };

@@ -21,6 +21,7 @@
 #include "core/codec.hh"
 #include "core/codecs/builtin.hh"
 #include "dsp/int_dct.hh"
+#include "dsp/simd.hh"
 
 namespace compaqt::core::codecs
 {
@@ -86,9 +87,8 @@ class IntDctCodec final : public ICodec
             if (len == 0)
                 break;
             inverseToScratch(ch.windows[w]);
-            const std::size_t begin = w * ws;
-            for (std::size_t k = 0; k < len; ++k)
-                out[begin + k] = dsp::IntDct::dequantize(xbuf_[k]);
+            dsp::simd::dequantizeQ15Into(xbuf_.data(), len,
+                                         out.data() + w * ws);
         }
     }
 
@@ -110,9 +110,41 @@ class IntDctCodec final : public ICodec
         COMPAQT_REQUIRE(out.size() >= len,
                         "window output span too small");
         inverseToScratch(ch.windows[window]);
-        for (std::size_t k = 0; k < len; ++k)
-            out[k] = dsp::IntDct::dequantize(xbuf_[k]);
+        dsp::simd::dequantizeQ15Into(xbuf_.data(), len, out.data());
         return len;
+    }
+
+    std::size_t
+    decodeWindowsInto(const CompressedChannel &ch,
+                      std::size_t first_window,
+                      std::size_t window_count,
+                      SampleSpan out) const override
+    {
+        const std::size_t ws = xform_.size();
+        COMPAQT_REQUIRE(ch.windowSize == ws,
+                        "channel window size does not match codec");
+        COMPAQT_REQUIRE(first_window + window_count <=
+                            ch.windows.size(),
+                        "window batch out of range");
+        // One virtual call amortized over the run: each window's
+        // prefix-sparse inverse and dequantize both dispatch into the
+        // dsp::simd kernels, and the batch keeps their working set
+        // (the transform matrix, the scratch window) hot across
+        // iterations.
+        std::size_t written = 0;
+        for (std::size_t j = 0; j < window_count; ++j) {
+            const std::size_t len =
+                ch.windowSamples(first_window + j);
+            if (len == 0)
+                continue;
+            COMPAQT_REQUIRE(out.size() >= written + len,
+                            "window batch output span too small");
+            inverseToScratch(ch.windows[first_window + j]);
+            dsp::simd::dequantizeQ15Into(xbuf_.data(), len,
+                                         out.data() + written);
+            written += len;
+        }
+        return written;
     }
 
   private:

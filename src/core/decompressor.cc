@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "dsp/metrics.hh"
+#include "dsp/simd.hh"
+#include "telemetry/metrics.hh"
 
 namespace compaqt::core
 {
@@ -15,9 +17,7 @@ Decompressor::expandWindowIntInto(const CompressedWindow &w,
     COMPAQT_REQUIRE(w.icoeffs.size() + w.zeros == out.size(),
                     "expanded window has wrong size");
     std::copy(w.icoeffs.begin(), w.icoeffs.end(), out.begin());
-    std::fill(out.begin() +
-                  static_cast<std::ptrdiff_t>(w.icoeffs.size()),
-              out.end(), 0);
+    dsp::simd::zeroRunInt32(out.data() + w.icoeffs.size(), w.zeros);
 }
 
 void
@@ -27,9 +27,7 @@ Decompressor::expandWindowFloatInto(const CompressedWindow &w,
     COMPAQT_REQUIRE(w.fcoeffs.size() + w.zeros == out.size(),
                     "expanded window has wrong size");
     std::copy(w.fcoeffs.begin(), w.fcoeffs.end(), out.begin());
-    std::fill(out.begin() +
-                  static_cast<std::ptrdiff_t>(w.fcoeffs.size()),
-              out.end(), 0.0);
+    dsp::simd::zeroRunDouble(out.data() + w.fcoeffs.size(), w.zeros);
 }
 
 std::vector<std::int32_t>
@@ -187,6 +185,69 @@ Decompressor::decompressWindowInto(const CompressedChannel &ch,
     }
     return codec(codec_name, ch.windowSize)
         .decompressWindowInto(seg.windows, local, out);
+}
+
+std::size_t
+Decompressor::decodeWindowsInto(const CompressedChannel &ch,
+                                std::string_view codec_name,
+                                std::size_t first_window,
+                                std::size_t window_count,
+                                SampleSpan out) const
+{
+    if (window_count == 0)
+        return 0;
+    // The decode.kernel counters make batching observable: windows /
+    // batches is the achieved batch factor, the lever behind the
+    // SIMD decode plane's throughput.
+    static telemetry::Counter &batches =
+        telemetry::Registry::global().counter("decode.kernel.batches");
+    static telemetry::Counter &windows =
+        telemetry::Registry::global().counter("decode.kernel.windows");
+    batches.add(1);
+    windows.add(window_count);
+
+    if (!ch.isAdaptive()) {
+        return codec(codec_name, ch.windowSize)
+            .decodeWindowsInto(ch, first_window, window_count, out);
+    }
+
+    // Adaptive channel: segment boundaries are window-aligned, so
+    // the batch splits into maximal runs of windows sharing one
+    // segment. Flat runs collapse to a single constant fill; ramp
+    // runs forward to the codec's batch primitive on the segment's
+    // sub-channel (local indices stay consecutive within a segment).
+    COMPAQT_REQUIRE(first_window + window_count <= ch.numWindows(),
+                    "window batch out of range");
+    const ICodec &c = codec(codec_name, ch.windowSize);
+    const std::size_t end = first_window + window_count;
+    std::size_t written = 0;
+    std::size_t w = first_window;
+    while (w < end) {
+        std::size_t local = 0;
+        const AdaptiveSegment &seg = ch.segmentForWindow(w, local);
+        std::size_t run = 1;
+        std::size_t run_len = ch.windowSamples(w);
+        while (w + run < end) {
+            std::size_t next_local = 0;
+            if (&ch.segmentForWindow(w + run, next_local) != &seg)
+                break;
+            run_len += ch.windowSamples(w + run);
+            ++run;
+        }
+        COMPAQT_REQUIRE(out.size() >= written + run_len,
+                        "window batch output span too small");
+        if (seg.isFlat) {
+            std::fill_n(out.begin() +
+                            static_cast<std::ptrdiff_t>(written),
+                        run_len, seg.value);
+            written += run_len;
+        } else {
+            written += c.decodeWindowsInto(seg.windows, local, run,
+                                           out.subspan(written));
+        }
+        w += run;
+    }
+    return written;
 }
 
 void

@@ -90,6 +90,25 @@ class Decompressor
                           std::vector<double> &out) const;
 
     /**
+     * Batch-of-windows decode — the registry-dispatched face of
+     * ICodec::decodeWindowsInto, and the entry every batching caller
+     * (decoded-window cache fill, WindowPlayer streaming) uses.
+     * Output is bit-identical to decompressWindowInto() called per
+     * window at the running offset. Adaptive channels split the batch
+     * at segment boundaries: a run of flat windows becomes one
+     * constant fill (IDCT bypass), a run of ramp windows becomes one
+     * codec batch on the segment's sub-channel. Each call bumps the
+     * decode.kernel.batches / decode.kernel.windows counters.
+     * @pre first_window + window_count <= ch.numWindows()
+     * @pre out.size() >= total samples in the batch
+     */
+    std::size_t decodeWindowsInto(const CompressedChannel &ch,
+                                  std::string_view codec,
+                                  std::size_t first_window,
+                                  std::size_t window_count,
+                                  SampleSpan out) const;
+
+    /**
      * Resolve the calling thread's codec instance for (name, window
      * size) once, so a per-window hot loop dispatches straight to
      * the span primitives instead of re-probing the instance cache

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "dsp/simd.hh"
 
 namespace compaqt::dsp
 {
@@ -43,14 +44,18 @@ DctPlan::inverse(std::span<const double> y, std::span<double> x) const
     COMPAQT_REQUIRE(x.size() == n_ && y.size() == n_,
                     "DctPlan::inverse size mismatch");
     // The basis is orthogonal, so the inverse is the transpose product.
-    for (std::size_t i = 0; i < n_; ++i)
-        x[i] = 0.0;
-    for (std::size_t k = 0; k < n_; ++k) {
-        const double *row = &basis_[k * n_];
-        const double yk = y[k];
-        for (std::size_t i = 0; i < n_; ++i)
-            x[i] += row[i] * yk;
-    }
+    simd::floatIdctPrefixInto(basis_.data(), n_, y.data(), n_,
+                              x.data());
+}
+
+void
+DctPlan::inversePrefix(std::span<const double> prefix,
+                       std::span<double> x) const
+{
+    COMPAQT_REQUIRE(prefix.size() <= n_ && x.size() == n_,
+                    "DctPlan::inversePrefix size mismatch");
+    simd::floatIdctPrefixInto(basis_.data(), n_, prefix.data(),
+                              prefix.size(), x.data());
 }
 
 std::vector<double>

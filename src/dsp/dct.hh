@@ -50,8 +50,22 @@ class DctPlan
     /** Forward transform. @pre x.size() == size() == y.size() */
     void forward(std::span<const double> x, std::span<double> y) const;
 
-    /** Inverse transform. @pre y.size() == size() == x.size() */
+    /** Inverse transform (dispatched through the dsp::simd float
+     *  IDCT kernels). @pre y.size() == size() == x.size() */
     void inverse(std::span<const double> y, std::span<double> x) const;
+
+    /**
+     * Inverse transform of a coefficient prefix: the remaining
+     * size() - prefix.size() coefficients are an implied zero run,
+     * whose terms contribute +-0.0 to every accumulator, so the
+     * result equals inverse() on the zero-extended window (to the
+     * last bit, up to the sign of exact zeros) while doing only
+     * prefix.size() x size() multiplies — the float twin of
+     * IntDct::inversePrefix. @pre prefix.size() <= size(),
+     * x.size() == size()
+     */
+    void inversePrefix(std::span<const double> prefix,
+                       std::span<double> x) const;
 
   private:
     std::size_t n_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "dsp/simd.hh"
 
 namespace compaqt::dsp
 {
@@ -19,13 +20,6 @@ toSignMagnitude(double x)
     const auto m =
         static_cast<std::uint16_t>(std::lround(mag * 32767.0));
     return x < 0.0 ? static_cast<std::uint16_t>(m | 0x8000u) : m;
-}
-
-double
-fromSignMagnitude(std::uint16_t p)
-{
-    const double mag = static_cast<double>(p & 0x7fffu) / 32767.0;
-    return (p & 0x8000u) ? -mag : mag;
 }
 
 int
@@ -49,6 +43,31 @@ windowBasePattern(const DeltaEncoded &enc, std::size_t window)
     COMPAQT_REQUIRE(window - 1 < enc.checkpoints.size(),
                     "delta window index past last checkpoint");
     return enc.checkpoints[window - 1];
+}
+
+/**
+ * Replay `len` samples starting at absolute index `begin` given the
+ * running pattern at that sample, then convert the whole run to
+ * doubles in one dsp::simd pass. The pattern accumulation is a
+ * serial dependence chain, so it stays scalar; splitting it from the
+ * conversion lets the (dominant) divide/negate work vectorize.
+ */
+void
+replayRange(const DeltaEncoded &enc, std::size_t begin,
+            std::size_t len, std::int32_t pattern, SampleSpan out)
+{
+    auto &arena = ScratchArena::forThread();
+    ScratchArena::Frame frame(arena);
+    std::span<std::int32_t> patterns = arena.coeffs(len);
+    patterns[0] = pattern;
+    for (std::size_t k = 1; k < len; ++k) {
+        // deltas[i] carries pattern(i) -> pattern(i+1).
+        pattern += enc.deltas[begin + k - 1];
+        COMPAQT_REQUIRE(pattern >= 0 && pattern <= 0xffff,
+                        "delta decode pattern out of range");
+        patterns[k] = pattern;
+    }
+    simd::signMagnitudeToDoubles(patterns.data(), len, out.data());
 }
 
 } // namespace
@@ -110,45 +129,44 @@ deltaDecodeInto(const DeltaEncoded &enc, SampleSpan out)
     // count must fail loudly, not emit garbage or read out of range.
     COMPAQT_REQUIRE(enc.deltas.size() + 1 == enc.originalCount,
                     "delta stream length disagrees with sample count");
-    std::int32_t pattern = enc.base;
-    out[0] = fromSignMagnitude(static_cast<std::uint16_t>(pattern));
-    for (std::size_t i = 0; i < enc.deltas.size(); ++i) {
-        pattern += enc.deltas[i];
-        COMPAQT_REQUIRE(pattern >= 0 && pattern <= 0xffff,
-                        "delta decode pattern out of range");
-        out[i + 1] =
-            fromSignMagnitude(static_cast<std::uint16_t>(pattern));
-    }
+    replayRange(enc, 0, enc.originalCount, enc.base, out);
 }
 
 std::size_t
 deltaDecodeWindowInto(const DeltaEncoded &enc, std::size_t window,
                       SampleSpan out)
 {
+    return deltaDecodeWindowsInto(enc, window, 1, out);
+}
+
+std::size_t
+deltaDecodeWindowsInto(const DeltaEncoded &enc,
+                       std::size_t first_window,
+                       std::size_t window_count, SampleSpan out)
+{
     const std::size_t stride = enc.checkpointStride;
     COMPAQT_REQUIRE(stride > 0,
                     "delta stream was encoded without checkpoints");
+    if (window_count == 0)
+        return 0;
     COMPAQT_REQUIRE(enc.originalCount == 0 ||
                         enc.deltas.size() + 1 == enc.originalCount,
                     "delta stream length disagrees with sample count");
-    const std::size_t begin = window * stride;
+    const std::size_t begin = first_window * stride;
     COMPAQT_REQUIRE(begin < enc.originalCount,
                     "delta window index out of range");
-    const std::size_t len =
-        std::min(stride, enc.originalCount - begin);
+    // Only the channel-final window may be short, so the run is the
+    // contiguous sample range [begin, end) with no interior gaps.
+    COMPAQT_REQUIRE((first_window + window_count - 1) * stride <
+                        enc.originalCount,
+                    "delta window range past end of channel");
+    const std::size_t end = std::min(
+        (first_window + window_count) * stride, enc.originalCount);
+    const std::size_t len = end - begin;
     COMPAQT_REQUIRE(out.size() >= len,
                     "delta window output span too small");
-
-    std::int32_t pattern = windowBasePattern(enc, window);
-    out[0] = fromSignMagnitude(static_cast<std::uint16_t>(pattern));
-    for (std::size_t k = 1; k < len; ++k) {
-        // deltas[i] carries pattern(i) -> pattern(i+1).
-        pattern += enc.deltas[begin + k - 1];
-        COMPAQT_REQUIRE(pattern >= 0 && pattern <= 0xffff,
-                        "delta decode pattern out of range");
-        out[k] =
-            fromSignMagnitude(static_cast<std::uint16_t>(pattern));
-    }
+    replayRange(enc, begin, len,
+                windowBasePattern(enc, first_window), out);
     return len;
 }
 

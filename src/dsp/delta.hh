@@ -78,6 +78,23 @@ void deltaDecodeInto(const DeltaEncoded &enc, SampleSpan out);
 std::size_t deltaDecodeWindowInto(const DeltaEncoded &enc,
                                   std::size_t window, SampleSpan out);
 
+/**
+ * Decode `window_count` consecutive windows starting at
+ * `first_window` into one tightly packed span — the batch decode
+ * primitive behind core::ICodec::decodeWindowsInto. One checkpoint
+ * lookup seeds the run; the delta replay is inherently serial
+ * (every pattern depends on the previous one), but the
+ * sign-magnitude-to-double conversion runs over the whole batch
+ * through the dsp::simd kernels, which is where the cycles go.
+ * @pre enc.checkpointStride > 0; every requested window exists;
+ *      out.size() >= total samples in the run
+ * @return samples written
+ */
+std::size_t deltaDecodeWindowsInto(const DeltaEncoded &enc,
+                                   std::size_t first_window,
+                                   std::size_t window_count,
+                                   SampleSpan out);
+
 /** Size of the encoding in bits (base + width field + deltas +
  *  checkpoints). */
 std::size_t deltaCompressedBits(const DeltaEncoded &enc);

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "dsp/simd.hh"
 
 namespace compaqt::dsp
 {
@@ -153,13 +154,8 @@ IntDct::inverse(std::span<const std::int32_t> y,
 {
     COMPAQT_REQUIRE(x.size() == n_ && y.size() == n_,
                     "IntDct::inverse size mismatch");
-    const std::int64_t round = std::int64_t{1} << (ishift_ - 1);
-    for (std::size_t i = 0; i < n_; ++i) {
-        std::int64_t acc = 0;
-        for (std::size_t k = 0; k < n_; ++k)
-            acc += std::int64_t{m_[k * n_ + i]} * y[k];
-        x[i] = static_cast<std::int32_t>((acc + round) >> ishift_);
-    }
+    simd::idctPrefixInto(m_.data(), n_, y.data(), n_, ishift_,
+                         x.data());
 }
 
 void
@@ -168,16 +164,10 @@ IntDct::inversePrefix(std::span<const std::int32_t> prefix,
 {
     COMPAQT_REQUIRE(prefix.size() <= n_ && x.size() == n_,
                     "IntDct::inversePrefix size mismatch");
-    const std::size_t p = prefix.size();
-    const std::int64_t round = std::int64_t{1} << (ishift_ - 1);
-    for (std::size_t i = 0; i < n_; ++i) {
-        std::int64_t acc = 0;
-        // Column-major walk of the same terms inverse() accumulates;
-        // the k >= p terms are zero and drop out exactly.
-        for (std::size_t k = 0; k < p; ++k)
-            acc += std::int64_t{m_[k * n_ + i]} * prefix[k];
-        x[i] = static_cast<std::int32_t>((acc + round) >> ishift_);
-    }
+    // Column-major walk of the same terms inverse() accumulates; the
+    // k >= prefix.size() terms are zero and drop out exactly.
+    simd::idctPrefixInto(m_.data(), n_, prefix.data(), prefix.size(),
+                         ishift_, x.data());
 }
 
 void

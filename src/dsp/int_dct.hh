@@ -76,7 +76,9 @@ class IntDct
                  std::span<std::int32_t> y) const;
 
     /**
-     * Inverse transform via the full matrix product (reference model).
+     * Inverse transform via the full matrix product (reference
+     * model), dispatched through the dsp::simd kernels — every
+     * backend is bit-exact with the scalar integer accumulation.
      * @pre sizes == size()
      */
     void inverse(std::span<const std::int32_t> y,
@@ -127,8 +129,9 @@ class IntDct
     std::size_t n_;
     int fshift_;
     int ishift_;
-    /** Row-major n_ x n_ transform matrix. */
-    std::vector<int> m_;
+    /** Row-major n_ x n_ transform matrix (int32 lanes, the layout
+     *  the dsp::simd IDCT kernels consume directly). */
+    std::vector<std::int32_t> m_;
 };
 
 } // namespace compaqt::dsp

@@ -48,6 +48,7 @@ Interpreter::run(const InstructionProgram &prog)
     const std::size_t n = prog.numInstructions();
     for (std::size_t i = 0; i < n; ++i) {
         const Instruction in = prog.at(i);
+        const std::size_t pc = i;
         ++res.stats.instructions;
         bool halted = false;
         switch (in.op) {
@@ -57,7 +58,7 @@ Interpreter::run(const InstructionProgram &prog)
             const core::CompressedEntry &entry =
                 resolveGate(rack_, prog, in.gateRef);
             const std::uint32_t first = in.playFirst();
-            const std::uint32_t count = in.playCount();
+            std::uint32_t count = in.playCount();
             // The event's I-channel PLAY (first chunk) carries the
             // per-gate accounting, mirroring the direct path's one
             // tally per schedule event.
@@ -66,6 +67,47 @@ Interpreter::run(const InstructionProgram &prog)
                 if (!player_.decodes())
                     res.play.samples +=
                         entry.cw.stats().originalSamples;
+            }
+            // Coalesce the chunked PLAY streak the compiler emits
+            // for one long range: consecutive PLAYs of the same
+            // (gate, channel) whose windows continue exactly where
+            // the accumulated range ends fold into ONE playWindows
+            // call, so the decode side sees the full range and can
+            // batch it (longer miss runs, fewer dispatches). Every
+            // folded instruction still retires individually in the
+            // counters and the trace (zero dwell — the head's span
+            // covers the fused work), so instruction-level
+            // accounting is unchanged.
+            while (i + 1 < n) {
+                const Instruction nx = prog.at(i + 1);
+                if (nx.op != Opcode::Play ||
+                    nx.gateRef != in.gateRef ||
+                    nx.channel != in.channel ||
+                    nx.playFirst() != first + count)
+                    break;
+                ++i;
+                ++res.stats.instructions;
+                ++res.stats.plays;
+                if (nx.channel == 0 && nx.playFirst() == 0) {
+                    ++res.play.gates;
+                    if (!player_.decodes())
+                        res.play.samples +=
+                            entry.cw.stats().originalSamples;
+                }
+                count += nx.playCount();
+                if (tracing) {
+                    telemetry::TraceEvent e;
+                    e.startNs = op_start;
+                    e.durNs = 0;
+                    e.name = opcodeName(nx.op);
+                    e.cat = "isa";
+                    e.arg0Name = "pc";
+                    e.arg0 = i;
+                    e.arg1Name = "arg";
+                    e.arg1 = nx.arg;
+                    e.kind = telemetry::EventKind::Complete;
+                    trace.record(e);
+                }
             }
             if (player_.decodes() && count > 0)
                 player_.playWindows(id, entry, in.channel, first,
@@ -116,7 +158,7 @@ Interpreter::run(const InstructionProgram &prog)
             e.name = opcodeName(in.op);
             e.cat = "isa";
             e.arg0Name = "pc";
-            e.arg0 = i;
+            e.arg0 = pc;
             e.arg1Name = "arg";
             e.arg1 = in.arg;
             e.kind = telemetry::EventKind::Complete;

@@ -186,6 +186,19 @@ DecodedWindowCache::insert(const DecodedWindowKey &key, Slot *slot,
     return Handle(this, slot);
 }
 
+DecodedWindowCache::Handle
+DecodedWindowCache::put(const DecodedWindowKey &key,
+                        ConstSampleSpan samples,
+                        std::size_t window_size)
+{
+    COMPAQT_REQUIRE(samples.size() <= window_size,
+                    "decoded window larger than its slot");
+    Slot *slot = acquireSlot(window_size);
+    std::copy(samples.begin(), samples.end(), slot->data);
+    slot->size = samples.size();
+    return insert(key, slot);
+}
+
 void
 DecodedWindowCache::evictToCapacity()
 {

@@ -279,6 +279,31 @@ class DecodedWindowCache
         return insert(key, slot, /*prefetched=*/true);
     }
 
+    /**
+     * Demand-side probe without a decode callback — one leg of the
+     * batched fill protocol (lookup each window; batch-decode the
+     * miss run; put() each decoded slice). A hit pins the slot and
+     * counts a hit exactly as get() would; a miss counts a miss and
+     * returns a null Handle, leaving the fill to a later put().
+     */
+    Handle
+    lookup(const DecodedWindowKey &key)
+    {
+        return probe(key);
+    }
+
+    /**
+     * Insert an already-decoded window — the other leg of the batched
+     * fill protocol. Copies `samples` into a pooled slot of
+     * `window_size` capacity and inserts under `key` (the usual
+     * lost-race rule applies: a key that became resident meanwhile
+     * wins and the new slot returns to the pool). Counts nothing:
+     * the miss was already counted by the lookup() that preceded it.
+     * @pre samples.size() <= window_size
+     */
+    Handle put(const DecodedWindowKey &key, ConstSampleSpan samples,
+               std::size_t window_size);
+
     DecodedCacheStats stats() const;
 
     /** Drop all entries (counters are kept; pinned slots are

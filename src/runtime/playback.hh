@@ -43,6 +43,17 @@ struct PlaybackCounters
 class WindowPlayer
 {
   public:
+    /**
+     * Windows decoded per batch on the non-adaptive paths: an
+     * uncached range decodes in kBatch-window chunks, and a cached
+     * range batch-decodes runs of consecutive misses up to this
+     * long. 8 windows keeps the scratch footprint at a few KB while
+     * amortizing the per-batch dispatch (codec resolution, counter
+     * bumps, virtual call) well past the point of diminishing
+     * returns — the bench's K sweep quantifies exactly that curve.
+     */
+    static constexpr std::uint32_t kBatchWindows = 8;
+
     explicit WindowPlayer(const Rack &rack)
         : rack_(rack),
           decode_(rack.config().controller.compressed),

@@ -27,11 +27,18 @@ IdctEngine::transformInto(std::span<const std::int32_t> coeffs,
     COMPAQT_REQUIRE(out.size() == ws_,
                     "IDCT engine output span has wrong size");
     if (kind_ == EngineKind::IntDctW) {
-        // Count the datapath once; it is instantiated, not re-built,
-        // per window.
-        xform_.inverseButterfly(coeffs, out,
-                                opsCounted_ ? nullptr : &ops_);
-        opsCounted_ = true;
+        // First window: run the shift-add butterfly and tally the
+        // datapath it instantiates (counted once — hardware is
+        // instantiated, not re-built, per window). Steady state runs
+        // the simd-dispatched matrix inverse, bit-exact with the
+        // butterfly by the IntDct contract, so nothing downstream
+        // can tell which path produced a window.
+        if (!opsCounted_) {
+            xform_.inverseButterfly(coeffs, out, &ops_);
+            opsCounted_ = true;
+        } else {
+            xform_.inverse(coeffs, out);
+        }
     } else {
         if (!opsCounted_) {
             xform_.countMultiplierIdct(ops_);
@@ -40,6 +47,19 @@ IdctEngine::transformInto(std::span<const std::int32_t> coeffs,
         xform_.inverse(coeffs, out);
     }
     ++invocations_;
+}
+
+void
+IdctEngine::transformBatchInto(std::span<const std::int32_t> coeffs,
+                               std::span<std::int32_t> out,
+                               std::size_t nwin)
+{
+    COMPAQT_REQUIRE(coeffs.size() == nwin * ws_ &&
+                        out.size() == nwin * ws_,
+                    "IDCT engine batch spans have wrong size");
+    for (std::size_t w = 0; w < nwin; ++w)
+        transformInto(coeffs.subspan(w * ws_, ws_),
+                      out.subspan(w * ws_, ws_));
 }
 
 std::vector<std::int32_t>

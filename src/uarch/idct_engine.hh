@@ -46,9 +46,27 @@ class IdctEngine
      * Transform one expanded coefficient window into caller-owned
      * memory — the zero-allocation primitive the streaming pipeline
      * drives. @pre coeffs.size() == out.size() == windowSize()
+     *
+     * The first int-DCT-W invocation runs the shift-add butterfly
+     * (which tallies the Table IV datapath into ops()); steady-state
+     * invocations run the dsp::simd-dispatched matrix inverse, which
+     * is bit-exact with the butterfly, so the functional model keeps
+     * hardware fidelity while decoding at SIMD speed.
      */
     void transformInto(std::span<const std::int32_t> coeffs,
                        std::span<std::int32_t> out);
+
+    /**
+     * Transform `nwin` consecutive expanded windows — coeffs packed
+     * at windowSize() stride, outputs likewise. Equivalent to nwin
+     * transformInto() calls (cycle/op accounting included); the
+     * batch form exists so the fused decompression pipeline drives
+     * one engine call per miss run.
+     * @pre coeffs.size() == out.size() == nwin * windowSize()
+     */
+    void transformBatchInto(std::span<const std::int32_t> coeffs,
+                            std::span<std::int32_t> out,
+                            std::size_t nwin);
 
     /** Allocating shim over transformInto(). */
     std::vector<std::int32_t>

@@ -28,7 +28,7 @@ DecompressionPipeline::DecompressionPipeline(EngineKind kind,
                                              std::size_t memory_width)
     : ws_(window_size), memWidth_(memory_width), rle_(window_size),
       engine_(kind, window_size), memory_(memory_width),
-      wbuf_(memory_width), cbuf_(window_size)
+      wbuf_(memory_width), cbuf_(window_size * kFusedBatchWindows)
 {
 }
 
@@ -55,14 +55,29 @@ DecompressionPipeline::streamInto(std::span<std::int32_t> out)
     StreamStats stats;
     const std::uint64_t reads_before = memory_.accesses();
 
-    for (std::size_t w = 0; w < memory_.numWindows(); ++w) {
+    const std::size_t nwin = memory_.numWindows();
+    for (std::size_t w = 0; w < nwin;) {
         // cycle: fetch -> cycle: expand -> cycle: IDCT, each stage
         // writing the next stage's register (reused scratch), the
         // last one landing directly in the caller's DAC buffer.
-        const std::size_t nwords =
-            memory_.fetchWindowInto(w, wbuf_);
-        rle_.decodeInto({wbuf_.data(), nwords}, cbuf_);
-        engine_.transformInto(cbuf_, out.subspan(w * ws_, ws_));
+        // Fetch and RLE stay per-window (their access and cycle
+        // accounting is per-window), but the expanded coefficients
+        // accumulate into a kFusedBatchWindows run that one engine
+        // batch call transforms — fewer dispatches, longer SIMD
+        // runs, bit-identical samples.
+        const std::size_t run =
+            std::min(kFusedBatchWindows, nwin - w);
+        for (std::size_t j = 0; j < run; ++j) {
+            const std::size_t nwords =
+                memory_.fetchWindowInto(w + j, wbuf_);
+            rle_.decodeInto(
+                {wbuf_.data(), nwords},
+                std::span(cbuf_).subspan(j * ws_, ws_));
+        }
+        engine_.transformBatchInto(
+            std::span<const std::int32_t>(cbuf_.data(), run * ws_),
+            out.subspan(w * ws_, run * ws_), run);
+        w += run;
     }
 
     // Pipelined stages: one window per cycle in steady state, plus

@@ -118,6 +118,14 @@ class DecompressionPipeline
 
     const IdctEngine &engine() const { return engine_; }
 
+    /** Windows fused per decode batch: streamInto expands up to this
+     *  many RLE windows into one scratch run, then transforms the
+     *  run with a single engine batch call writing straight into the
+     *  caller's DAC buffer. Purely a software-throughput batching of
+     *  the functional model — per-window fetch/RLE accounting and
+     *  the cycle formula are unchanged. */
+    static constexpr std::size_t kFusedBatchWindows = 8;
+
   private:
     std::size_t ws_;
     std::size_t memWidth_;
@@ -125,8 +133,9 @@ class DecompressionPipeline
     IdctEngine engine_;
     BankedWaveform memory_;
     std::size_t loadedSamples_ = 0;
-    /** Reused per-window scratch: fetched words and expanded
-     *  coefficients (the Fig 10 inter-stage registers). */
+    /** Reused scratch: fetched words (one window) and expanded
+     *  coefficients (one kFusedBatchWindows run) — the Fig 10
+     *  inter-stage registers, widened to the fused batch. */
     std::vector<Word> wbuf_;
     std::vector<std::int32_t> cbuf_;
 };

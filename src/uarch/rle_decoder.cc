@@ -1,6 +1,7 @@
 #include "uarch/rle_decoder.hh"
 
 #include "common/logging.hh"
+#include "dsp/simd.hh"
 
 namespace compaqt::uarch
 {
@@ -25,8 +26,11 @@ RleDecoder::decodeInto(std::span<const Word> words,
             COMPAQT_REQUIRE(n + w.count <= windowSize_,
                             "RLE decode produced wrong coefficient "
                             "count");
-            for (std::uint32_t i = 0; i < w.count; ++i)
-                out[n++] = 0;
+            // Zero-run expansion through the shared dsp::simd kernel
+            // (a memset under the hood), the same fast path the
+            // software codecs' RLE expansion uses.
+            dsp::simd::zeroRunInt32(out.data() + n, w.count);
+            n += w.count;
         } else {
             COMPAQT_REQUIRE(n < windowSize_,
                             "RLE decode produced wrong coefficient "

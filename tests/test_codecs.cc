@@ -17,6 +17,7 @@
 
 #include "compaqt.hh"
 #include "dsp/int_dct.hh"
+#include "dsp/simd.hh"
 #include "dsp/metrics.hh"
 #include "waveform/complex_gates.hh"
 
@@ -299,6 +300,162 @@ INSTANTIATE_TEST_SUITE_P(
         std::replace(name.begin(), name.end(), '-', '_');
         return name + "_ws" + std::to_string(std::get<1>(info.param));
     });
+
+// ------------------------- batch-of-windows decode vs window path
+
+/** Forces a dsp::simd dispatch backend for one scope. */
+class BackendGuard
+{
+  public:
+    explicit BackendGuard(dsp::simd::Backend b)
+        : prev_(dsp::simd::activeBackend())
+    {
+        dsp::simd::setBackend(b);
+    }
+    ~BackendGuard() { dsp::simd::setBackend(prev_); }
+    BackendGuard(const BackendGuard &) = delete;
+    BackendGuard &operator=(const BackendGuard &) = delete;
+
+  private:
+    dsp::simd::Backend prev_;
+};
+
+std::vector<dsp::simd::Backend>
+supportedBackends()
+{
+    std::vector<dsp::simd::Backend> v;
+    for (dsp::simd::Backend b :
+         {dsp::simd::Backend::Scalar, dsp::simd::Backend::Avx2,
+          dsp::simd::Backend::Neon})
+        if (dsp::simd::backendSupported(b))
+            v.push_back(b);
+    return v;
+}
+
+class BatchDecodeEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::size_t>>
+{
+};
+
+/**
+ * Registry-driven property test for the batch decode plane: for
+ * every registered codec x window size x pulse shape (odd-trimmed so
+ * the tail window is clamped), decodeWindowsInto at every batch size
+ * must be bit-identical to decompressWindowInto assembled per window
+ * — and the result must be backend-independent: exact across every
+ * supported SIMD backend for the integer codec paths, epsilon-equal
+ * for the float-DCT codecs (their documented contract).
+ */
+TEST_P(BatchDecodeEquivalence, BatchMatchesPerWindowAcrossBackends)
+{
+    const auto [codec_name, ws] = GetParam();
+    if (codec_name == "int-dct" && !dsp::intDctSupported(ws))
+        GTEST_SKIP() << "unsupported int-dct window";
+    const auto codec =
+        CodecRegistry::instance().create(codec_name, ws);
+    // Float-DCT codecs ("dct-*") carry the epsilon contract; every
+    // other registered codec decodes through integer kernels and
+    // must be bit-exact across backends.
+    const bool float_codec = codec_name.rfind("dct", 0) == 0;
+
+    for (const auto &shape : testShapes()) {
+        waveform::IqWaveform wf = shape.wf;
+        ASSERT_GT(wf.i.size(), 1u);
+        wf.i.resize(wf.i.size() - (wf.i.size() % 2 ? 2 : 1));
+        wf.q.resize(wf.i.size());
+        CompressedWaveform cw;
+        codec->compress(wf, 1e-3, cw);
+
+        for (const CompressedChannel *ch : {&cw.i, &cw.q}) {
+            if (ch->windowSize == 0)
+                continue;
+            const std::size_t nwin = ch->numWindows();
+
+            // Per-window golden assembly (ambient backend).
+            std::vector<double> golden;
+            std::vector<double> win(ch->windowSize, -7.0);
+            for (std::size_t w = 0; w < nwin; ++w) {
+                const std::size_t n =
+                    codec->decompressWindowInto(*ch, w, win);
+                golden.insert(golden.end(), win.begin(),
+                              win.begin() +
+                                  static_cast<std::ptrdiff_t>(n));
+            }
+
+            // Every batch size, including ragged final chunks, must
+            // reassemble the channel bit-identically.
+            for (const std::size_t k : {1u, 2u, 3u, 5u, 8u}) {
+                std::vector<double> assembled(golden.size(), -7.0);
+                std::size_t written = 0;
+                for (std::size_t w = 0; w < nwin;) {
+                    const std::size_t run = std::min(k, nwin - w);
+                    written += codec->decodeWindowsInto(
+                        *ch, w, run,
+                        SampleSpan(assembled).subspan(written));
+                    w += run;
+                }
+                ASSERT_EQ(written, golden.size());
+                ASSERT_EQ(assembled, golden)
+                    << codec_name << " ws=" << ws << " k=" << k
+                    << " " << shape.name;
+            }
+
+            // Backend sweep on the whole-channel batch.
+            std::vector<double> scalar_out(golden.size(), -7.0);
+            {
+                BackendGuard g(dsp::simd::Backend::Scalar);
+                codec->decodeWindowsInto(*ch, 0, nwin,
+                                         SampleSpan(scalar_out));
+            }
+            for (dsp::simd::Backend b : supportedBackends()) {
+                BackendGuard g(b);
+                std::vector<double> out(golden.size(), -7.0);
+                codec->decodeWindowsInto(*ch, 0, nwin,
+                                         SampleSpan(out));
+                if (float_codec) {
+                    for (std::size_t i = 0; i < out.size(); ++i)
+                        ASSERT_NEAR(out[i], scalar_out[i], 1e-12)
+                            << codec_name << " ws=" << ws << " i="
+                            << i << " backend "
+                            << dsp::simd::backendName(b);
+                } else {
+                    ASSERT_EQ(out, scalar_out)
+                        << codec_name << " ws=" << ws << " backend "
+                        << dsp::simd::backendName(b);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredCodecs, BatchDecodeEquivalence,
+    ::testing::Combine(
+        ::testing::ValuesIn(CodecRegistry::instance().names()),
+        ::testing::Values(std::size_t{4}, std::size_t{8},
+                          std::size_t{16}, std::size_t{32})),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name + "_ws" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BatchDecode, RejectsOutOfRangeWindows)
+{
+    const auto codec = CodecRegistry::instance().create("int-dct", 16);
+    const auto wf = waveform::drag(144, 36.0, 0.2, 1.2);
+    CompressedWaveform cw;
+    codec->compress(wf, 1e-3, cw);
+    const std::size_t nwin = cw.i.numWindows();
+    std::vector<double> out(cw.i.numSamples);
+    EXPECT_DEATH(codec->decodeWindowsInto(cw.i, nwin, 1,
+                                          SampleSpan(out)),
+                 "window");
+    EXPECT_DEATH(codec->decodeWindowsInto(cw.i, 0, nwin + 1,
+                                          SampleSpan(out)),
+                 "window");
+}
 
 TEST(SpanPath, NonWindowedChannelThrowsLogicErrorNamingTheCodec)
 {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -18,6 +19,8 @@
 #include "core/fidelity_aware.hh"
 #include "core/library_compiler.hh"
 #include "dsp/metrics.hh"
+#include "dsp/simd.hh"
+#include "telemetry/metrics.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
 #include "waveform/shapes.hh"
@@ -283,6 +286,73 @@ TEST(Adaptive, WindowDecodeMatchesChannelDecode)
                              static_cast<std::ptrdiff_t>(n));
     }
     EXPECT_EQ(assembled, golden);
+}
+
+TEST(Adaptive, BatchDecodeMatchesWindowDecodeAcrossBackends)
+{
+    // The Decompressor batch face must split an adaptive channel at
+    // segment boundaries (flat runs -> constant fill, ramp runs ->
+    // one codec batch) and still reassemble bit-identically to the
+    // per-window path, at every batch size and on every supported
+    // SIMD backend (the adaptive channel is integer-codec backed, so
+    // backend identity is exact). Each batch call must also tick the
+    // decode.kernel telemetry counters.
+    CompressorConfig cfg{"int-dct", 16, 1e-3};
+    const AdaptiveCompressor comp(cfg);
+    const auto ac = comp.compress(testFlatTop());
+    ASSERT_TRUE(ac.i.isAdaptive());
+    const Decompressor dec;
+    const std::size_t nwin = ac.i.numWindows();
+
+    std::vector<double> golden;
+    std::vector<double> window(16);
+    for (std::size_t w = 0; w < nwin; ++w) {
+        const auto n =
+            dec.decompressWindowInto(ac.i, ac.codec, w, window);
+        golden.insert(golden.end(), window.begin(),
+                      window.begin() +
+                          static_cast<std::ptrdiff_t>(n));
+    }
+
+    auto &batches =
+        telemetry::Registry::global().counter("decode.kernel.batches");
+    auto &windows =
+        telemetry::Registry::global().counter("decode.kernel.windows");
+    const auto batches0 = batches.value();
+    const auto windows0 = windows.value();
+
+    for (const std::size_t k : {std::size_t{1}, std::size_t{3},
+                                std::size_t{8}, nwin}) {
+        std::vector<double> assembled(golden.size(), -7.0);
+        std::size_t written = 0;
+        for (std::size_t w = 0; w < nwin;) {
+            const std::size_t run = std::min(k, nwin - w);
+            written += dec.decodeWindowsInto(
+                ac.i, ac.codec, w, run,
+                SampleSpan(assembled).subspan(written));
+            w += run;
+        }
+        ASSERT_EQ(written, golden.size());
+        ASSERT_EQ(assembled, golden) << "k=" << k;
+    }
+    EXPECT_GT(batches.value(), batches0);
+    EXPECT_GE(windows.value(), windows0 + 4 * nwin);
+
+    // Backend sweep: integer adaptive decode is bit-exact.
+    const auto ambient = dsp::simd::activeBackend();
+    for (dsp::simd::Backend b :
+         {dsp::simd::Backend::Scalar, dsp::simd::Backend::Avx2,
+          dsp::simd::Backend::Neon}) {
+        if (!dsp::simd::backendSupported(b))
+            continue;
+        dsp::simd::setBackend(b);
+        std::vector<double> out(golden.size(), -7.0);
+        dec.decodeWindowsInto(ac.i, ac.codec, 0, nwin,
+                              SampleSpan(out));
+        EXPECT_EQ(out, golden)
+            << "backend " << dsp::simd::backendName(b);
+    }
+    dsp::simd::setBackend(ambient);
 }
 
 TEST(Adaptive, BypassCoversTheFlatRegion)

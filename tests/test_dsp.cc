@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "dsp/metrics.hh"
 #include "dsp/rle.hh"
 #include "dsp/shift_add.hh"
+#include "dsp/simd.hh"
 #include "waveform/shapes.hh"
 
 namespace compaqt::dsp
@@ -505,6 +507,224 @@ TEST(Delta, SpanDecodeMatchesVectorDecode)
     // The checkpoint side index is charged to the compressed size.
     EXPECT_GT(deltaCompressedBits(enc),
               deltaCompressedBits(deltaEncode(x)));
+}
+
+// ----------------------------------------------------- simd kernels
+
+/** Forces a dispatch backend for one scope, restoring the ambient
+ *  backend on destruction — property tests sweep backends without
+ *  leaking the override into later tests. */
+class BackendGuard
+{
+  public:
+    explicit BackendGuard(simd::Backend b)
+        : prev_(simd::activeBackend())
+    {
+        simd::setBackend(b);
+    }
+    ~BackendGuard() { simd::setBackend(prev_); }
+    BackendGuard(const BackendGuard &) = delete;
+    BackendGuard &operator=(const BackendGuard &) = delete;
+
+  private:
+    simd::Backend prev_;
+};
+
+/** Every backend this build AND this host can actually run. */
+std::vector<simd::Backend>
+supportedBackends()
+{
+    std::vector<simd::Backend> v;
+    for (simd::Backend b :
+         {simd::Backend::Scalar, simd::Backend::Avx2,
+          simd::Backend::Neon})
+        if (simd::backendSupported(b))
+            v.push_back(b);
+    return v;
+}
+
+TEST(Simd, DispatchReportingAndUnsupportedClamp)
+{
+    using simd::Backend;
+    EXPECT_TRUE(simd::backendSupported(Backend::Scalar));
+    EXPECT_TRUE(simd::backendSupported(simd::detectedBackend()));
+    EXPECT_TRUE(simd::backendSupported(simd::activeBackend()));
+    EXPECT_STREQ(simd::kBackendEnvVar, "COMPAQT_SIMD");
+    for (Backend b : {Backend::Scalar, Backend::Avx2, Backend::Neon}) {
+        EXPECT_FALSE(simd::backendName(b).empty());
+        EXPECT_GE(simd::int32Lanes(b), std::size_t{1});
+        EXPECT_GE(simd::doubleLanes(b), std::size_t{1});
+    }
+    // Forcing a backend the host cannot run clamps to scalar rather
+    // than faulting, and the guard restores the ambient choice.
+    const Backend ambient = simd::activeBackend();
+    for (Backend b : {Backend::Avx2, Backend::Neon}) {
+        if (simd::backendSupported(b))
+            continue;
+        BackendGuard guard(b);
+        EXPECT_EQ(simd::activeBackend(), Backend::Scalar);
+    }
+    EXPECT_EQ(simd::activeBackend(), ambient);
+}
+
+TEST(Simd, IdctPrefixBitIdenticalAcrossBackends)
+{
+    // The integer-IDCT kernel contract: bit-exact across backends at
+    // every transform size and every prefix count 0..n, on the real
+    // HEVC matrices with full-range Q15-scaled coefficients.
+    for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+        Rng rng(900 + n);
+        IntDct xform(n);
+        std::vector<std::int32_t> m(n * n);
+        for (std::size_t k = 0; k < n; ++k)
+            for (std::size_t i = 0; i < n; ++i)
+                m[k * n + i] = xform.coeff(k, i);
+        std::vector<std::int32_t> y(n);
+        for (auto &v : y)
+            v = static_cast<std::int32_t>(rng.uniformInt(65536)) -
+                32768;
+        std::vector<std::int32_t> golden(n), out(n);
+        for (std::size_t p = 0; p <= n; ++p) {
+            {
+                BackendGuard g(simd::Backend::Scalar);
+                simd::idctPrefixInto(m.data(), n, y.data(), p,
+                                     xform.inverseShift(),
+                                     golden.data());
+            }
+            for (simd::Backend b : supportedBackends()) {
+                BackendGuard g(b);
+                std::fill(out.begin(), out.end(), -1);
+                simd::idctPrefixInto(m.data(), n, y.data(), p,
+                                     xform.inverseShift(),
+                                     out.data());
+                EXPECT_EQ(out, golden)
+                    << "n=" << n << " p=" << p << " backend "
+                    << simd::backendName(b);
+            }
+        }
+    }
+}
+
+TEST(Simd, IntDctClassPathBitIdenticalAcrossBackends)
+{
+    // Same contract through the public IntDct entry points (what the
+    // codecs actually call): dense inverse and prefix inverse under
+    // each backend match the scalar-forced result exactly.
+    for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+        Rng rng(910 + n);
+        IntDct xform(n);
+        std::vector<std::int32_t> y(n);
+        for (auto &v : y)
+            v = static_cast<std::int32_t>(rng.uniformInt(65536)) -
+                32768;
+        for (std::size_t p = 0; p <= n; ++p) {
+            const auto prefix =
+                std::span<const std::int32_t>(y).first(p);
+            std::vector<std::int32_t> golden(n), out(n);
+            {
+                BackendGuard g(simd::Backend::Scalar);
+                xform.inversePrefix(prefix, golden);
+            }
+            for (simd::Backend b : supportedBackends()) {
+                BackendGuard g(b);
+                xform.inversePrefix(prefix, out);
+                EXPECT_EQ(out, golden)
+                    << "n=" << n << " p=" << p << " backend "
+                    << simd::backendName(b);
+            }
+        }
+    }
+}
+
+TEST(Simd, PointwiseConversionsBitIdenticalAcrossBackends)
+{
+    // Q15 dequantize and sign-magnitude expansion are bit-exact on
+    // any length, including the odd tails the vector paths peel.
+    Rng rng(920);
+    for (const std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 15u, 33u,
+                                128u}) {
+        std::vector<std::int32_t> q(n), sm(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            q[i] = static_cast<std::int32_t>(rng.uniformInt(65536)) -
+                   32768;
+            sm[i] =
+                static_cast<std::int32_t>(rng.uniformInt(0x10000));
+        }
+        std::vector<double> gq(n), gs(n), oq(n), os(n);
+        {
+            BackendGuard g(simd::Backend::Scalar);
+            simd::dequantizeQ15Into(q.data(), n, gq.data());
+            simd::signMagnitudeToDoubles(sm.data(), n, gs.data());
+        }
+        for (simd::Backend b : supportedBackends()) {
+            BackendGuard g(b);
+            simd::dequantizeQ15Into(q.data(), n, oq.data());
+            simd::signMagnitudeToDoubles(sm.data(), n, os.data());
+            EXPECT_EQ(oq, gq)
+                << "n=" << n << " backend " << simd::backendName(b);
+            EXPECT_EQ(os, gs)
+                << "n=" << n << " backend " << simd::backendName(b);
+        }
+    }
+}
+
+TEST(Simd, FloatIdctPrefixWithinEpsilonOfScalar)
+{
+    // The float-kernel contract is epsilon-bounded equality against
+    // the scalar reference (in practice bit-exact — the kernels keep
+    // the scalar accumulation order and use no FMA contraction).
+    for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+        Rng rng(930 + n);
+        std::vector<double> basis(n * n), y(n);
+        for (auto &v : basis)
+            v = rng.uniform(-1.0, 1.0);
+        for (auto &v : y)
+            v = rng.uniform(-1.0, 1.0);
+        for (const std::size_t p : {std::size_t{0}, std::size_t{1},
+                                    n / 2, n}) {
+            std::vector<double> golden(n), out(n);
+            {
+                BackendGuard g(simd::Backend::Scalar);
+                simd::floatIdctPrefixInto(basis.data(), n, y.data(),
+                                          p, golden.data());
+            }
+            for (simd::Backend b : supportedBackends()) {
+                BackendGuard g(b);
+                simd::floatIdctPrefixInto(basis.data(), n, y.data(),
+                                          p, out.data());
+                for (std::size_t i = 0; i < n; ++i)
+                    EXPECT_NEAR(out[i], golden[i], 1e-12)
+                        << "n=" << n << " p=" << p << " i=" << i
+                        << " backend " << simd::backendName(b);
+            }
+        }
+    }
+}
+
+TEST(Simd, ZeroRunsClearExactlyTheRequestedRange)
+{
+    // The RLE fast paths must clear the run and nothing else, and the
+    // double variant must produce +0.0 (the all-zero bit pattern).
+    for (simd::Backend b : supportedBackends()) {
+        BackendGuard g(b);
+        for (const std::size_t n : {0u, 1u, 3u, 8u, 64u}) {
+            std::vector<std::int32_t> vi(n + 8, 123);
+            simd::zeroRunInt32(vi.data() + 4, n);
+            std::vector<double> vd(n + 8, -7.5);
+            simd::zeroRunDouble(vd.data() + 4, n);
+            for (std::size_t i = 0; i < vi.size(); ++i) {
+                const bool inside = i >= 4 && i < 4 + n;
+                EXPECT_EQ(vi[i], inside ? 0 : 123)
+                    << "n=" << n << " i=" << i;
+                EXPECT_EQ(vd[i], inside ? 0.0 : -7.5)
+                    << "n=" << n << " i=" << i;
+                if (inside) {
+                    EXPECT_FALSE(std::signbit(vd[i]))
+                        << "n=" << n << " i=" << i;
+                }
+            }
+        }
+    }
 }
 
 // -------------------------------------------------------------- metrics

@@ -16,9 +16,12 @@
 #include <stdexcept>
 #include <vector>
 
+#include <string>
+
 #include "circuits/scheduler.hh"
 #include "circuits/surface_code.hh"
 #include "core/pipeline.hh"
+#include "dsp/simd.hh"
 #include "isa/compiler.hh"
 #include "isa/interpreter.hh"
 #include "isa/isa.hh"
@@ -521,6 +524,61 @@ TEST(IsaExecution, UnownedEventsReportedIdentically)
     expectIdenticalStats(a, b, "unowned");
     EXPECT_EQ(b.unownedEvents, 3u);
     EXPECT_EQ(b.totalGates, 5u);
+}
+
+TEST(IsaExecution, SimdBackendsBitIdenticalThroughCompiledBatch)
+{
+    // The decode plane's backend choice must be invisible end to
+    // end: executeBatchCompiled (batch cache fills, coalesced PLAY
+    // ranges, prefetch pins) under a forced-scalar dispatch and
+    // under every SIMD backend the host supports must produce
+    // identical RackStats AND bit-identical decoded samples in the
+    // fleet cache — the integer codec path guarantees exactness.
+    namespace simd = dsp::simd;
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const auto sched = deviceWorkload(dev);
+
+    const auto runWith = [&](simd::Backend b) {
+        simd::setBackend(b);
+        const runtime::Rack rack(dev, clib,
+                                 rackConfig(clib, 2, 1 << 14));
+        runtime::RuntimeService svc(rack, {.workers = 1});
+        const auto stats = svc.executeBatchCompiled({sched});
+        // Harvest every decoded window still resident in the fleet
+        // cache (deterministic: same workload, same capacity).
+        std::vector<std::vector<double>> decoded;
+        for (const auto &[id, e] : clib.entries()) {
+            const core::CompressedChannel *chs[2] = {&e.cw.i,
+                                                     &e.cw.q};
+            for (std::uint8_t ch = 0; ch < 2; ++ch)
+                for (std::uint32_t w = 0;
+                     w < chs[ch]->numWindows(); ++w)
+                    if (const auto h =
+                            rack.cache().lookup({id, ch, w})) {
+                        const auto s = h.samples();
+                        decoded.emplace_back(s.begin(), s.end());
+                    }
+        }
+        return std::pair(stats, decoded);
+    };
+
+    const simd::Backend ambient = simd::activeBackend();
+    const auto [sstats, sdecoded] = runWith(simd::Backend::Scalar);
+    ASSERT_FALSE(sdecoded.empty());
+    for (simd::Backend b : {simd::Backend::Avx2, simd::Backend::Neon}) {
+        if (!simd::backendSupported(b))
+            continue;
+        const auto [vstats, vdecoded] = runWith(b);
+        const std::string tag =
+            "backend " + std::string(simd::backendName(b));
+        expectIdenticalStats(sstats, vstats, tag.c_str());
+        ASSERT_EQ(vdecoded.size(), sdecoded.size());
+        ASSERT_EQ(vdecoded, sdecoded)
+            << "backend " << simd::backendName(b);
+    }
+    simd::setBackend(ambient);
 }
 
 TEST(IsaExecution, PrefetchRaisesColdCacheHitRate)
