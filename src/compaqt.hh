@@ -86,6 +86,15 @@ using runtime::RackStats;
 using runtime::RuntimeService;
 using runtime::ShardPolicy;
 
+// Hierarchical waveform memory (two-tier decoded-window store with
+// pluggable admission; DecodedWindowCache aliases TieredWindowStore)
+using runtime::AdmissionPolicy;
+using runtime::admissionPolicyName;
+using runtime::TierConfig;
+using runtime::TieredStoreConfig;
+using runtime::TieredStoreStats;
+using runtime::TieredWindowStore;
+
 // Instruction-stream backend (compile schedules to per-shard
 // PLAY/WAIT/PREFETCH programs; executeBatchCompiled drives them)
 using IsaCompiler = isa::Compiler;

@@ -41,8 +41,13 @@ struct PrefetchItem
     std::uint16_t ref = 0;
     std::uint8_t channel = 0;
     std::uint32_t window = 0;
+    /** Store-tier target (0 = fast BRAM, 1 = slow staging). */
+    std::uint8_t tier = 0;
     bool prefetched = false;
 };
+
+/** Reuse distance of a gate that never replays. */
+constexpr std::uint64_t kNoReuse = ~std::uint64_t{0};
 
 /** WAIT instructions needed to bridge `gap` cycles. */
 std::size_t
@@ -197,20 +202,49 @@ Compiler::compileShard(const circuits::Schedule &part,
     // worth warming.
     const bool prefetchable = cfg_.emitPrefetch && cc.compressed &&
                               rack_.cache().capacity() > 0;
+    const bool tiered = rack_.cache().tiered();
     std::vector<PrefetchItem> items;
     if (prefetchable) {
+        // Schedule lookahead for tier targeting: walk the issue
+        // order once and compute each event's reuse distance — the
+        // windows played between an event's end and the next play of
+        // the same gate. A first use whose gate comes back within
+        // roughly a fast-tier's worth of windows belongs in tier 0;
+        // anything farther (or never replayed) stages in tier 1.
+        std::vector<std::uint64_t> reuse;
+        if (tiered) {
+            const std::size_t m = issued.size();
+            std::vector<std::uint64_t> cum(m + 1, 0);
+            for (std::size_t i = 0; i < m; ++i)
+                cum[i + 1] =
+                    cum[i] + issued[i].nwin[0] + issued[i].nwin[1];
+            reuse.assign(m, kNoReuse);
+            std::map<waveform::GateId, std::size_t> next;
+            for (std::size_t i = m; i-- > 0;) {
+                const auto it = next.find(issued[i].id);
+                if (it != next.end())
+                    reuse[i] = cum[it->second] - cum[i + 1];
+                next[issued[i].id] = i;
+            }
+        }
+        const std::uint64_t tier0_distance =
+            cfg_.tier0ReuseDistance != 0
+                ? cfg_.tier0ReuseDistance
+                : rack_.cache().config().tier0.windows;
         std::map<waveform::GateId, bool> seen;
         for (std::size_t i = 0; i < issued.size(); ++i) {
             const Issued &e = issued[i];
             if (!seen.emplace(e.id, true).second)
                 continue;
+            const std::uint8_t tier =
+                tiered && reuse[i] > tier0_distance ? 1 : 0;
             for (std::uint8_t ch = 0; ch < 2; ++ch) {
                 const auto &channel =
                     ch == 0 ? e.entry->cw.i : e.entry->cw.q;
                 for (std::uint32_t w = 0; w < e.nwin[ch]; ++w)
                     if (windowIsCacheable(channel, w))
                         items.push_back(
-                            {i, e.issue, e.ref, ch, w, false});
+                            {i, e.issue, e.ref, ch, w, tier, false});
             }
         }
     }
@@ -272,9 +306,13 @@ Compiler::compileShard(const circuits::Schedule &part,
             if (outstanding >= cfg_.maxOutstandingPrefetches)
                 break; // pin cap: retry after some plays retire
             prog.emit(Instruction::prefetch(item.ref, item.channel,
-                                            item.window));
+                                            item.window, item.tier));
             item.prefetched = true;
             ++st.prefetchInstructions;
+            if (item.tier == 0)
+                ++st.prefetchTier0;
+            else
+                ++st.prefetchTier1;
             --prefetchBudget;
             ++outstanding;
             ++cursor;

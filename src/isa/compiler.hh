@@ -53,6 +53,15 @@ struct CompilerConfig
     std::size_t maxOutstandingPrefetches = 256;
     /** Master switch for PREFETCH emission. */
     bool emitPrefetch = true;
+    /**
+     * Tier targeting (hierarchical store only): a first-use window
+     * whose gate replays within this many played windows gets a
+     * tier-0 (fast BRAM) PREFETCH; longer reuse distances — and
+     * gates never replayed — stage in tier 1 so one-shot pulses do
+     * not flush the hot set. 0 = auto: the rack store's tier-0
+     * window budget.
+     */
+    std::uint64_t tier0ReuseDistance = 0;
 };
 
 /** Per-shard compile outcome. */
@@ -82,6 +91,11 @@ struct ProgramStats
     /** First-use windows not hoisted because the stream had no gap
      *  of at least prefetchLeadCycles ahead of their PLAY. */
     std::uint64_t prefetchSkippedNoSlack = 0;
+    /** Emitted PREFETCH hints targeting the fast tier (short reuse
+     *  distance; every hint on a single-tier rack). */
+    std::uint64_t prefetchTier0 = 0;
+    /** Emitted PREFETCH hints staging into the slow tier. */
+    std::uint64_t prefetchTier1 = 0;
     /** Modeled end-of-program fabric cycle. */
     std::uint64_t programCycles = 0;
 };

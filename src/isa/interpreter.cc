@@ -129,14 +129,18 @@ Interpreter::run(const InstructionProgram &prog)
             const waveform::GateId &id = prog.gate(in.gateRef);
             const core::CompressedEntry &entry =
                 resolveGate(rack_, prog, in.gateRef);
-            auto handle =
-                player_.prefetchWindow(id, entry, in.channel, in.arg);
+            const std::uint32_t win = in.prefetchWindow();
+            auto handle = player_.prefetchWindow(
+                id, entry, in.channel, win, in.prefetchTier());
             if (handle) {
                 ++res.stats.prefetchesIssued;
                 pins.insert_or_assign(
-                    runtime::DecodedWindowKey{id, in.channel, in.arg},
+                    runtime::DecodedWindowKey{id, in.channel, win},
                     std::move(handle));
             } else {
+                // Nothing decoded: already resident/in flight (a
+                // tier-0 hint may still have promoted it) or not
+                // cacheable.
                 ++res.stats.prefetchesSkipped;
             }
             break;

@@ -72,9 +72,10 @@ Instruction::wait(std::uint32_t cycles)
 
 Instruction
 Instruction::prefetch(std::uint16_t gate_ref, std::uint8_t channel,
-                      std::uint32_t window)
+                      std::uint32_t window, std::uint8_t tier)
 {
-    return {Opcode::Prefetch, channel, gate_ref, window};
+    return {Opcode::Prefetch, channel, gate_ref,
+            window | static_cast<std::uint32_t>(tier & 1) << 31};
 }
 
 Instruction

@@ -54,9 +54,14 @@ const char *opcodeName(Opcode op);
  *
  *   PLAY      channel (0 = I, 1 = Q), gateRef, arg = first<<16|count
  *   WAIT      arg = cycles to idle
- *   PREFETCH  channel, gateRef, arg = window index
+ *   PREFETCH  channel, gateRef, arg = tier<<31 | window index
  *   BARRIER   (no operands)
  *   HALT      (no operands)
+ *
+ * The PREFETCH tier bit targets the hierarchical window store: 0 =
+ * promote into the fast tier (short reuse distance), 1 = stage into
+ * the slow tier. Pre-hierarchy streams carried a bare window index,
+ * which decodes as tier 0 — exactly the old behavior.
  */
 struct Instruction
 {
@@ -74,9 +79,11 @@ struct Instruction
                             std::uint16_t first_window,
                             std::uint16_t window_count);
     static Instruction wait(std::uint32_t cycles);
+    /** @pre window fits the 31-bit index field; tier is 0 or 1 */
     static Instruction prefetch(std::uint16_t gate_ref,
                                 std::uint8_t channel,
-                                std::uint32_t window);
+                                std::uint32_t window,
+                                std::uint8_t tier = 0);
     static Instruction barrier();
     static Instruction halt();
 
@@ -92,6 +99,20 @@ struct Instruction
     playCount() const
     {
         return static_cast<std::uint16_t>(arg & 0xFFFFu);
+    }
+
+    /** PREFETCH: window index (tier bit masked off). */
+    std::uint32_t
+    prefetchWindow() const
+    {
+        return arg & 0x7FFFFFFFu;
+    }
+
+    /** PREFETCH: target tier of the hierarchical store. */
+    std::uint8_t
+    prefetchTier() const
+    {
+        return static_cast<std::uint8_t>(arg >> 31);
     }
 
     auto operator<=>(const Instruction &) const = default;

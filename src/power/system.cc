@@ -50,6 +50,53 @@ adaptivePower(std::size_t ws, double avg_words_per_window,
     return b;
 }
 
+PowerBreakdown
+hierarchicalPower(std::size_t ws, double avg_words_per_window,
+                  const std::vector<double> &tier_serve_fractions,
+                  const SystemParams &p)
+{
+    COMPAQT_REQUIRE(avg_words_per_window > 0.0,
+                    "need positive words per window");
+    COMPAQT_REQUIRE(tier_serve_fractions.size() == p.tiers.size(),
+                    "one serve fraction per provisioned tier");
+    double served = 0.0;
+    for (const double f : tier_serve_fractions) {
+        COMPAQT_REQUIRE(f >= 0.0 && f <= 1.0,
+                        "tier serve fraction out of range");
+        served += f;
+    }
+    COMPAQT_REQUIRE(served <= 1.0 + 1e-9,
+                    "tier serve fractions exceed 1");
+    const double miss = served < 1.0 ? 1.0 - served : 0.0;
+
+    PowerBreakdown b;
+    b.dacW = p.dacW;
+    const double windows_per_sec =
+        p.sampleRateHz / static_cast<double>(ws) * p.channels;
+
+    // Miss path: compressed-word fetches from the backing waveform
+    // SRAM plus one IDCT pass per missed window. The backing macro's
+    // leakage is charged regardless of the miss rate.
+    const SramModel backing(p.sramBytes, p.sram);
+    b.memoryW = backing.powerW(windows_per_sec * miss *
+                               avg_words_per_window);
+    b.idctW = idctPowerW(uarch::EngineKind::IntDctW, ws,
+                         windows_per_sec * miss, p.idct);
+
+    // Hit path: decoded samples stream one access per sample from
+    // the serving tier's macro (same accounting as the uncompressed
+    // baseline, but against a much smaller array).
+    b.memoryTierW.reserve(p.tiers.size());
+    for (std::size_t t = 0; t < p.tiers.size(); ++t) {
+        const SramModel tier(p.tiers[t].bytes, p.tiers[t].sram);
+        const double w = tier.powerW(p.sampleRateHz * p.channels *
+                                     tier_serve_fractions[t]);
+        b.memoryTierW.push_back(w);
+        b.memoryW += w;
+    }
+    return b;
+}
+
 double
 idctFraction(const core::CompressedChannel &ch)
 {

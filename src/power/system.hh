@@ -9,6 +9,7 @@
 #define COMPAQT_POWER_SYSTEM_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/codec.hh"
 #include "power/idct_power.hh"
@@ -16,6 +17,16 @@
 
 namespace compaqt::power
 {
+
+/** One decoded-window cache tier's SRAM macro. */
+struct MemoryTierParams
+{
+    /** Provisioned capacity of this tier, bytes. */
+    double bytes = 0.0;
+    /** Per-tier SRAM calibration (a small BRAM tier and a large
+     *  staging tier usually differ in energy per access). */
+    SramParams sram;
+};
 
 /** System-level calibration. */
 struct SystemParams
@@ -30,6 +41,13 @@ struct SystemParams
     int channels = 2;
     /** Provisioned waveform SRAM per qubit, bytes (Section III). */
     double sramBytes = 18 * 1024.0;
+    /**
+     * Decoded-window cache hierarchy (hierarchicalPower only):
+     * tiers[0] is the small fast tier, tiers[1] the larger staging
+     * tier. Empty = no decoded cache — hierarchicalPower degenerates
+     * to compressedPower.
+     */
+    std::vector<MemoryTierParams> tiers;
 };
 
 /** Power split of one qubit's control path, watts. */
@@ -38,6 +56,9 @@ struct PowerBreakdown
     double dacW = 0.0;
     double memoryW = 0.0;
     double idctW = 0.0;
+    /** hierarchicalPower only: per-tier share of memoryW, aligned
+     *  with SystemParams::tiers (empty otherwise). */
+    std::vector<double> memoryTierW;
 
     double total() const { return dacW + memoryW + idctW; }
 };
@@ -68,6 +89,28 @@ PowerBreakdown adaptivePower(std::size_t ws,
                              double avg_words_per_window,
                              double idct_fraction,
                              const SystemParams &p = {});
+
+/**
+ * Hierarchical decoded-window memory (runtime::TieredWindowStore):
+ * the fraction of window fetches each cache tier serves streams
+ * decoded samples straight from that tier's SRAM macro — no
+ * compressed-memory fetch, no IDCT — while the residual miss
+ * fraction pays the full compressed path (word fetches from the
+ * backing waveform SRAM plus one IDCT pass per window). Every
+ * provisioned tier's leakage is charged even at zero serve fraction.
+ *
+ * @param ws window size
+ * @param avg_words_per_window mean compressed words per window
+ * @param tier_serve_fractions fraction of window fetches served by
+ *        each tier, aligned with `p.tiers` (same size; each in
+ *        [0, 1]; sum at most 1). Feed it per-tier hit rates from
+ *        TieredStoreStats.
+ * @throws std::invalid_argument on size mismatch or bad fractions
+ */
+PowerBreakdown
+hierarchicalPower(std::size_t ws, double avg_words_per_window,
+                  const std::vector<double> &tier_serve_fractions,
+                  const SystemParams &p = {});
 
 /** Fraction of samples a (possibly adaptive) compressed channel
  *  pushes through the IDCT: 1.0 for a plain channel, the ramp share

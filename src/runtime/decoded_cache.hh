@@ -1,387 +1,15 @@
 /**
  * @file
- * The rack-shared decoded-window cache: an LRU over
- * (gate, channel, window)-keyed decode results that sits between
- * core::Decompressor and the per-shard playback loops, so a hot gate
- * pulse is expanded once per rack instead of once per play. Real
- * control stacks hit the same few waveforms millions of times per
- * second (every syndrome round replays the same CX/measure pulses),
- * which makes this the rack's highest-leverage cache.
- *
- * Storage is pooled: decoded samples live in fixed-size slots carved
- * from slabs the cache allocates once per window size and never
- * frees, handed out to readers as ConstSampleSpan views through a
- * ref-counted Handle. A hit therefore touches no allocator at all,
- * and a miss after warm-up recycles a slot (plus LRU/index nodes)
- * from free lists — the steady state of a warm rack allocates
- * nothing.
- *
- * Thread-safe: lookups and insertions take an internal mutex; decode
- * work for a miss runs outside the lock, so concurrent workers never
- * serialize on the transform. Two workers racing on the same cold key
- * may both decode it — the loser's slot returns to the pool — which
- * trades a little duplicate work for zero lock-held decode time. A
- * slot evicted mid-use stays pinned by its Handle's reference and is
- * recycled only when the last reader releases it.
+ * Compatibility shim: the single-level DecodedWindowCache grew into
+ * the two-tier runtime::TieredWindowStore (see tiered_store.hh).
+ * `DecodedWindowCache` and `DecodedCacheStats` remain as aliases —
+ * constructing one with a window count gives exactly the old
+ * single-tier LRU behavior, counter for counter.
  */
 
 #ifndef COMPAQT_RUNTIME_DECODED_CACHE_HH
 #define COMPAQT_RUNTIME_DECODED_CACHE_HH
 
-#include <atomic>
-#include <cstdint>
-#include <deque>
-#include <list>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <utility>
-#include <vector>
-
-#include "common/arena.hh"
-#include "waveform/library.hh"
-
-namespace compaqt::runtime
-{
-
-/** Identifies one decoded window of one channel of one gate pulse. */
-struct DecodedWindowKey
-{
-    waveform::GateId gate;
-    /** 0 = I, 1 = Q. */
-    std::uint8_t channel = 0;
-    /** Window index within the channel. */
-    std::uint32_t window = 0;
-
-    auto operator<=>(const DecodedWindowKey &) const = default;
-};
-
-/** Counter snapshot of cache behavior. */
-struct DecodedCacheStats
-{
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
-    /**
-     * Prefetch-aware counters (filled by the instruction-stream
-     * backend's PREFETCH path): `prefetches` counts cold prefetches
-     * that decoded and inserted a window; a prefetch finding its key
-     * resident is a no-op and counts nothing. `prefetchHits` counts
-     * prefetched windows later claimed by a demand get() — each
-     * prefetched window at most once, so prefetchHits/prefetches is
-     * the fraction of prefetch work that paid off. `prefetchWasted`
-     * counts prefetched windows evicted (or cleared) before any
-     * demand touched them. Windows prefetched but still resident and
-     * unclaimed sit in none of the latter two until they resolve.
-     */
-    std::uint64_t prefetches = 0;
-    std::uint64_t prefetchHits = 0;
-    std::uint64_t prefetchWasted = 0;
-    /** Windows currently resident. */
-    std::size_t entries = 0;
-    /** Sample slots ever carved from slabs (pool footprint). */
-    std::size_t slotsAllocated = 0;
-
-    double
-    hitRate() const
-    {
-        const auto total = hits + misses;
-        return total == 0
-                   ? 0.0
-                   : static_cast<double>(hits) /
-                         static_cast<double>(total);
-    }
-};
-
-/**
- * Bounded LRU cache of decoded windows, shared by every shard of a
- * Rack.
- */
-class DecodedWindowCache
-{
-  private:
-    /**
-     * One pooled window buffer. `data` points into a slab owned by
-     * the cache (never freed before the cache), so spans handed out
-     * through Handles stay valid for the cache's lifetime; `refs`
-     * pins the slot against recycling while readers hold it.
-     */
-    struct Slot
-    {
-        double *data = nullptr;
-        /** Slab bucket (capacity in samples) this slot recycles
-         *  into. */
-        std::size_t bucket = 0;
-        /** Decoded sample count (<= bucket). */
-        std::size_t size = 0;
-        std::atomic<std::uint32_t> refs{0};
-        /** True once removed from the index (evicted/cleared); a
-         *  detached slot with refs == 0 belongs to the free list. */
-        bool detached = true;
-        /** True while resting in the free list (guards the recycle
-         *  race between an evictor and the last Handle release). */
-        bool pooled = false;
-        /** True for a resident window inserted by prefetch() that no
-         *  demand get() has claimed yet (prefetch accounting). */
-        bool prefetched = false;
-    };
-
-  public:
-    /**
-     * @param capacity_windows maximum resident windows; 0 disables
-     *        caching (a get() on a disabled cache always decodes and
-     *        counts a miss). Note the runtime playback loop never
-     *        calls get() on a disabled cache — it decodes into a
-     *        reused buffer with no locking, so the bench's uncached
-     *        baseline measures a real uncached decode loop and the
-     *        disabled cache's counters stay at zero there.
-     */
-    explicit DecodedWindowCache(std::size_t capacity_windows);
-
-    std::size_t capacity() const { return capacity_; }
-
-    /**
-     * A ref-counted, read-only view of one cached window. Copyable;
-     * the underlying slot cannot be recycled while any Handle to it
-     * exists. Must not outlive the cache.
-     */
-    class Handle
-    {
-      public:
-        Handle() = default;
-
-        Handle(const Handle &o)
-            : cache_(o.cache_), slot_(o.slot_)
-        {
-            if (slot_)
-                slot_->refs.fetch_add(1, std::memory_order_relaxed);
-        }
-
-        Handle &
-        operator=(const Handle &o)
-        {
-            Handle copy(o);
-            swap(copy);
-            return *this;
-        }
-
-        Handle(Handle &&o) noexcept
-            : cache_(o.cache_), slot_(o.slot_)
-        {
-            o.cache_ = nullptr;
-            o.slot_ = nullptr;
-        }
-
-        Handle &
-        operator=(Handle &&o) noexcept
-        {
-            Handle moved(std::move(o));
-            swap(moved);
-            return *this;
-        }
-
-        ~Handle() { release(); }
-
-        /** The decoded samples (empty for a null handle). */
-        ConstSampleSpan
-        samples() const
-        {
-            return slot_ ? ConstSampleSpan(slot_->data, slot_->size)
-                         : ConstSampleSpan{};
-        }
-
-        std::size_t size() const { return slot_ ? slot_->size : 0; }
-
-        explicit operator bool() const { return slot_ != nullptr; }
-
-      private:
-        friend class DecodedWindowCache;
-
-        /** @pre slot's refcount already counts this handle */
-        Handle(DecodedWindowCache *cache, Slot *slot)
-            : cache_(cache), slot_(slot)
-        {
-        }
-
-        void
-        swap(Handle &o)
-        {
-            std::swap(cache_, o.cache_);
-            std::swap(slot_, o.slot_);
-        }
-
-        void release();
-
-        DecodedWindowCache *cache_ = nullptr;
-        Slot *slot_ = nullptr;
-    };
-
-    /**
-     * Return the decoded window for `key`, invoking
-     * `decode(SampleSpan) -> std::size_t` to fill a pooled slot of
-     * `window_size` samples on a miss (the callable writes the
-     * decoded samples and returns the count, which may be shorter
-     * for a tail window). Templated on the callable so the hit path
-     * — the steady state of a warm rack — never materializes a
-     * std::function. The returned Handle's samples are immutable and
-     * stay valid across subsequent evictions for as long as the
-     * Handle (and the cache) live.
-     */
-    template <typename Decode>
-    Handle
-    get(const DecodedWindowKey &key, std::size_t window_size,
-        Decode &&decode)
-    {
-        if (Handle hit = probe(key))
-            return hit;
-        // Decode outside the lock: a cold window costs one
-        // transform, not one transform per waiting worker held under
-        // the mutex. The acquired slot carries a reference for the
-        // in-flight decode; if the decode throws (corrupt channel,
-        // non-windowed codec) the slot goes back to the pool before
-        // the exception escapes.
-        Slot *slot = acquireSlot(window_size);
-        try {
-            slot->size = decode(SampleSpan(slot->data, window_size));
-        } catch (...) {
-            releaseSlot(slot);
-            throw;
-        }
-        return insert(key, slot);
-    }
-
-    /**
-     * Warm the cache ahead of demand: decode `key`'s window into a
-     * pooled slot and insert it flagged as prefetched, returning a
-     * Handle that pins it (the instruction-stream interpreter holds
-     * the pin until the consuming PLAY retires, so an LRU burst
-     * cannot evict a window between its PREFETCH and its use).
-     *
-     * Unlike get(), this never touches the demand hit/miss counters:
-     * a cold prefetch counts one `prefetches`, a resident key only
-     * refreshes recency, and a disabled cache makes it a no-op — the
-     * last two return a null Handle and skip the decode entirely.
-     */
-    template <typename Decode>
-    Handle
-    prefetch(const DecodedWindowKey &key, std::size_t window_size,
-             Decode &&decode)
-    {
-        if (capacity_ == 0 || touchResident(key))
-            return {};
-        Slot *slot = acquireSlot(window_size);
-        try {
-            slot->size = decode(SampleSpan(slot->data, window_size));
-        } catch (...) {
-            releaseSlot(slot);
-            throw;
-        }
-        return insert(key, slot, /*prefetched=*/true);
-    }
-
-    /**
-     * Demand-side probe without a decode callback — one leg of the
-     * batched fill protocol (lookup each window; batch-decode the
-     * miss run; put() each decoded slice). A hit pins the slot and
-     * counts a hit exactly as get() would; a miss counts a miss and
-     * returns a null Handle, leaving the fill to a later put().
-     */
-    Handle
-    lookup(const DecodedWindowKey &key)
-    {
-        return probe(key);
-    }
-
-    /**
-     * Insert an already-decoded window — the other leg of the batched
-     * fill protocol. Copies `samples` into a pooled slot of
-     * `window_size` capacity and inserts under `key` (the usual
-     * lost-race rule applies: a key that became resident meanwhile
-     * wins and the new slot returns to the pool). Counts nothing:
-     * the miss was already counted by the lookup() that preceded it.
-     * @pre samples.size() <= window_size
-     */
-    Handle put(const DecodedWindowKey &key, ConstSampleSpan samples,
-               std::size_t window_size);
-
-    DecodedCacheStats stats() const;
-
-    /** Drop all entries (counters are kept; pinned slots are
-     *  recycled when their last Handle releases). */
-    void clear();
-
-  private:
-    struct Entry
-    {
-        DecodedWindowKey key;
-        Slot *slot = nullptr;
-    };
-
-    /** Hit: refresh recency, pin the slot, return a handle (counting
-     *  the hit). Miss: count it and return a null handle. */
-    Handle probe(const DecodedWindowKey &key);
-
-    /** Prefetch-side probe: refresh recency if resident, mutating no
-     *  counters. */
-    bool touchResident(const DecodedWindowKey &key);
-
-    /** Insert a freshly decoded slot, evicting to capacity; if the
-     *  key became resident meanwhile (lost decode race) the resident
-     *  slot wins and ours returns to the pool. Pass-through (no
-     *  insertion) when caching is disabled. `prefetched` flags the
-     *  entry for the prefetch-accounting counters. */
-    Handle insert(const DecodedWindowKey &key, Slot *slot,
-                  bool prefetched = false);
-
-    /** Carve or recycle a slot with room for `window_size` samples
-     *  (its slab bucket). */
-    Slot *acquireSlot(std::size_t window_size);
-
-    /** Called by Handle: unpin; recycles a detached slot whose last
-     *  reference this was. */
-    void releaseSlot(Slot *slot);
-
-    /** @pre mu_ held */
-    void evictToCapacity();
-
-    /** @pre mu_ held; slot already detached with refs == 0 */
-    void recycleLocked(Slot *slot);
-
-    /** Detach an entry's slot from the index side (@pre mu_ held). */
-    void detachLocked(Slot *slot);
-
-    std::size_t capacity_;
-    mutable std::mutex mu_;
-    /** MRU at the front. Spare nodes are recycled through spares_ /
-     *  spareNodes_ so a warm evict/insert cycle allocates no list or
-     *  map nodes. */
-    std::list<Entry> lru_;
-    std::list<Entry> spares_;
-    using Index =
-        std::map<DecodedWindowKey, std::list<Entry>::iterator>;
-    Index index_;
-    std::vector<Index::node_type> spareNodes_;
-    /** Per-window-size slab pool: free slots plus unfinished slab
-     *  regions to carve new slots from (back = active). Slab sizes
-     *  grow from a few windows to kWindowsPerSlab so buckets that
-     *  only ever hold one window (whole-waveform channels) do not
-     *  over-reserve. */
-    struct Bucket
-    {
-        std::vector<Slot *> freeSlots;
-        std::vector<std::pair<double *, double *>> regions;
-        std::size_t nextSlabWindows = kFirstSlabWindows;
-    };
-
-    static constexpr std::size_t kFirstSlabWindows = 8;
-
-    /** Slot records (deque: stable addresses) + slab ownership. */
-    std::deque<Slot> slots_;
-    std::vector<std::unique_ptr<double[]>> slabs_;
-    std::map<std::size_t, Bucket> buckets_;
-    DecodedCacheStats stats_;
-};
-
-} // namespace compaqt::runtime
+#include "runtime/tiered_store.hh"
 
 #endif // COMPAQT_RUNTIME_DECODED_CACHE_HH

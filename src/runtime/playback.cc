@@ -125,7 +125,8 @@ WindowPlayer::playWindows(const waveform::GateId &id,
 DecodedWindowCache::Handle
 WindowPlayer::prefetchWindow(const waveform::GateId &id,
                              const core::CompressedEntry &entry,
-                             std::uint8_t ch, std::uint32_t window)
+                             std::uint8_t ch, std::uint32_t window,
+                             std::uint8_t tier)
 {
     if (!decode_ || !cached_)
         return {};
@@ -145,7 +146,8 @@ WindowPlayer::prefetchWindow(const waveform::GateId &id,
     const std::size_t ws = channel.windowSize;
     const core::ICodec &codec = dec_.resolve(cw.codec, ws);
     return rack_.cache().prefetch(
-        DecodedWindowKey{id, ch, window}, ws, [&](SampleSpan out) {
+        DecodedWindowKey{id, ch, window}, ws, tier,
+        [&](SampleSpan out) {
             return codec.decompressWindowInto(*winChannel, winIndex,
                                               out);
         });

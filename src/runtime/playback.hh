@@ -80,16 +80,19 @@ class WindowPlayer
                      std::uint32_t count, PlaybackCounters &c);
 
     /**
-     * Warm one window of a channel into the rack cache (the PREFETCH
-     * op's body). Returns the pinning Handle for a cold prefetch
-     * that decoded and inserted, or a null Handle when nothing was
-     * done: cache disabled, key already resident, or a flat bypass
+     * Warm one window of a channel into the rack store (the PREFETCH
+     * op's body). `tier` is the compiler's placement hint: 0 targets
+     * the fast tier (promoting an already-staged tier-1 entry), 1
+     * stages into the slow tier. Returns the pinning Handle for a
+     * cold prefetch that decoded and inserted, or a null Handle when
+     * nothing was decoded: cache disabled, key already resident or
+     * in flight (a tier-0 hint still promotes it), or a flat bypass
      * window (which never occupies a cache slot).
      */
     DecodedWindowCache::Handle
     prefetchWindow(const waveform::GateId &id,
                    const core::CompressedEntry &entry, std::uint8_t ch,
-                   std::uint32_t window);
+                   std::uint32_t window, std::uint8_t tier = 0);
 
   private:
     const Rack &rack_;

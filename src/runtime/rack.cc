@@ -111,7 +111,7 @@ Rack::Rack(const waveform::DeviceModel &dev,
            const core::CompressedLibrary &lib, const RackConfig &cfg)
     : cfg_(cfg), lib_(lib),
       plan_(makeShardPlan(dev, cfg.numShards, cfg.policy)),
-      cache_(cfg.cacheWindows)
+      cache_(cfg.storeConfig())
 {
     // One construction runs the full library-contract validation;
     // the remaining shards are copies of the validated controller.

@@ -62,8 +62,33 @@ struct RackConfig
     ShardPolicy policy = ShardPolicy::LocalityAware;
     /** Per-shard controller configuration (every RFSoC identical). */
     uarch::ControllerConfig controller;
-    /** Decoded-window cache capacity in windows; 0 = uncached. */
+    /** Fast-tier (BRAM) decoded-window capacity in windows;
+     *  0 = uncached. */
     std::size_t cacheWindows = 4096;
+    /** Fast-tier sample budget; 0 = bounded by cacheWindows alone
+     *  (see TierConfig::sampleBudget). */
+    std::size_t cacheSampleBudget = 0;
+    /** Slow-tier window capacity; 0 = single-tier store (the
+     *  pre-hierarchy default). */
+    std::size_t tier1Windows = 0;
+    /** Slow-tier sample budget; 0 = bounded by tier1Windows alone. */
+    std::size_t tier1SampleBudget = 0;
+    /** Fast-tier admission policy. */
+    AdmissionPolicy admission = AdmissionPolicy::AdmitAlways;
+    /** Modeled cycles per slow-tier access, charged into
+     *  RackStats::cache.penaltyCycles. */
+    std::uint64_t tier1PenaltyCycles = 8;
+
+    /** The decoded-window store shape these knobs describe. */
+    TieredStoreConfig
+    storeConfig() const
+    {
+        return {{cacheWindows, cacheSampleBudget},
+                {tier1Windows, tier1SampleBudget},
+                admission,
+                tier1PenaltyCycles,
+                0};
+    }
 };
 
 /**

@@ -286,20 +286,7 @@ Server::dispatchLoop()
                     auto single = svc_.executeBatchPerJob(
                         {scheds[i]});
                     exec.jobs[i] = std::move(single.jobs[0]);
-                    exec.total.cache.hits +=
-                        single.total.cache.hits;
-                    exec.total.cache.misses +=
-                        single.total.cache.misses;
-                    exec.total.cache.evictions +=
-                        single.total.cache.evictions;
-                    exec.total.cache.prefetches +=
-                        single.total.cache.prefetches;
-                    exec.total.cache.prefetchHits +=
-                        single.total.cache.prefetchHits;
-                    exec.total.cache.prefetchWasted +=
-                        single.total.cache.prefetchWasted;
-                    exec.total.cache.entries =
-                        single.total.cache.entries;
+                    exec.total.cache.accumulate(single.total.cache);
                 } catch (const std::exception &e) {
                     errors[i] = e.what();
                 } catch (...) {
@@ -338,16 +325,7 @@ Server::dispatchLoop()
             metrics.batches.add();
             metrics.queuedNow.set(
                 static_cast<double>(queue_.size()));
-            cacheAccum_.hits += exec.total.cache.hits;
-            cacheAccum_.misses += exec.total.cache.misses;
-            cacheAccum_.evictions += exec.total.cache.evictions;
-            cacheAccum_.prefetches += exec.total.cache.prefetches;
-            cacheAccum_.prefetchHits +=
-                exec.total.cache.prefetchHits;
-            cacheAccum_.prefetchWasted +=
-                exec.total.cache.prefetchWasted;
-            if (exec.total.cache.entries != 0)
-                cacheAccum_.entries = exec.total.cache.entries;
+            cacheAccum_.accumulate(exec.total.cache);
             for (const JobResult &r : results) {
                 auto &tenant = tenants_[r.tenant];
                 if (r.status == JobStatus::Completed) {

@@ -238,17 +238,8 @@ runGrid(const Rack &rack, Executor &exec,
     }
     finalizeFleet(stats);
 
-    stats.cache.hits = cache_after.hits - cache_before.hits;
-    stats.cache.misses = cache_after.misses - cache_before.misses;
-    stats.cache.evictions =
-        cache_after.evictions - cache_before.evictions;
-    stats.cache.prefetches =
-        cache_after.prefetches - cache_before.prefetches;
-    stats.cache.prefetchHits =
-        cache_after.prefetchHits - cache_before.prefetchHits;
-    stats.cache.prefetchWasted =
-        cache_after.prefetchWasted - cache_before.prefetchWasted;
-    stats.cache.entries = cache_after.entries;
+    stats.cache =
+        DecodedCacheStats::delta(cache_before, cache_after);
     stats.cacheHitRate = stats.cache.hitRate();
 
     stats.wallSeconds =

@@ -104,6 +104,28 @@ TEST(IsaEncoding, RoundTripsEveryOpcode)
     EXPECT_EQ(p.playCount(), 42u);
 }
 
+TEST(IsaEncoding, PrefetchTierBitRoundTrips)
+{
+    // The tier target rides in bit 31 of the operand word; the
+    // window index keeps the low 31 bits.
+    const auto slow = Instruction::prefetch(12, 1, 5, 1);
+    EXPECT_EQ(slow.prefetchWindow(), 5u);
+    EXPECT_EQ(slow.prefetchTier(), 1);
+    const auto enc = encode(slow);
+    EXPECT_EQ(decode(enc.word0, enc.word1), slow);
+
+    // The largest encodable index survives with either target.
+    const auto wide = Instruction::prefetch(12, 0, 0x7FFFFFFFu, 1);
+    EXPECT_EQ(wide.prefetchWindow(), 0x7FFFFFFFu);
+    EXPECT_EQ(wide.prefetchTier(), 1);
+
+    // A pre-hierarchy encoding (tier bit never set) decodes as a
+    // fast-tier hint: old programs keep their exact meaning.
+    const auto legacy = Instruction::prefetch(12, 1, 42);
+    EXPECT_EQ(legacy.prefetchWindow(), 42u);
+    EXPECT_EQ(legacy.prefetchTier(), 0);
+}
+
 TEST(IsaEncoding, RejectsMalformedWords)
 {
     // Unknown opcode.
@@ -331,6 +353,54 @@ TEST_F(IsaCompilerTest, PrefetchRequiresLeadSlack)
     EXPECT_EQ(nocache.prefetchInstructions, 0u);
 }
 
+TEST_F(IsaCompilerTest, PrefetchHintsTargetTiersByReuseDistance)
+{
+    // Two prefetchable first uses behind the gap a long measurement
+    // pulse leaves: SX(0) replays almost immediately (short reuse
+    // distance), SX(1) never replays (infinite reuse distance).
+    circuits::Circuit c(2);
+    c.measureAll();
+    c.sx(0);
+    c.sx(1);
+    c.sx(0);
+    const auto sched = circuits::schedule(c, {});
+
+    // On a flat rack every hint targets tier 0: there is nowhere
+    // else to stage a window.
+    const auto flat = makeRack(1, 4096);
+    ProgramStats fst;
+    Compiler(flat, {.prefetchLeadCycles = 1})
+        .compileShard(sched, &fst);
+    EXPECT_GT(fst.prefetchInstructions, 0u);
+    EXPECT_EQ(fst.prefetchTier0, fst.prefetchInstructions);
+    EXPECT_EQ(fst.prefetchTier1, 0u);
+
+    // On a tiered rack the lookahead splits them: near-reuse windows
+    // go to the fast tier, single-use windows are staged in the slow
+    // tier so they cannot wash the hot set out.
+    runtime::RackConfig rc = rackConfig(*clib_, 1, 64);
+    rc.tier1Windows = 4096;
+    const runtime::Rack tiered(*dev_, *clib_, rc);
+    ProgramStats tst;
+    Compiler(tiered, {.prefetchLeadCycles = 1})
+        .compileShard(sched, &tst);
+    EXPECT_GT(tst.prefetchTier0, 0u);
+    EXPECT_GT(tst.prefetchTier1, 0u);
+    EXPECT_EQ(tst.prefetchTier0 + tst.prefetchTier1,
+              tst.prefetchInstructions);
+
+    // Shrinking the tier-0 reuse horizon below SX(0)'s replay
+    // distance pushes even the near-reuse windows into the slow
+    // tier; gates that never replay stay there at any horizon.
+    ProgramStats narrow;
+    Compiler(tiered,
+             {.prefetchLeadCycles = 1, .tier0ReuseDistance = 1})
+        .compileShard(sched, &narrow);
+    EXPECT_GT(narrow.prefetchInstructions, 0u);
+    EXPECT_EQ(narrow.prefetchTier0, 0u);
+    EXPECT_EQ(narrow.prefetchTier1, narrow.prefetchInstructions);
+}
+
 TEST_F(IsaCompilerTest, InstructionMemoryBoundIsEnforced)
 {
     const auto rack = makeRack(1, 4096);
@@ -485,6 +555,47 @@ TEST(IsaExecution, CompiledMatchesDirectAcrossDeviceSuite)
             expectIdenticalStats(base, compiled, tc.name);
             EXPECT_GT(compiled.prefetchesIssued, 0u)
                 << tc.name << " workers " << workers;
+        }
+    }
+}
+
+TEST(IsaExecution, CompiledMatchesDirectOnTieredRacks)
+{
+    // The hierarchy acceptance contract through the compiled back
+    // end: a tiered rack under every admission policy produces the
+    // same deterministic RackStats as a flat single-tier rack on the
+    // direct path, at 1 and N workers, while the tiers actually
+    // engage (windows staged or demoted into tier 1).
+    const auto dev = waveform::DeviceModel::ibm("guadalupe");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const auto sched = deviceWorkload(dev);
+    const std::vector<circuits::Schedule> batch = {sched, sched};
+
+    const runtime::Rack flat(dev, clib, rackConfig(clib, 2, 4096));
+    runtime::RuntimeService ref(flat, {.workers = 1});
+    const auto base = ref.executeBatch(batch);
+    ASSERT_GT(base.totalGates, 0u);
+
+    using runtime::AdmissionPolicy;
+    for (const auto policy :
+         {AdmissionPolicy::AdmitAlways, AdmissionPolicy::SecondTouch,
+          AdmissionPolicy::TinyLfu}) {
+        for (const int workers : {1, 4}) {
+            runtime::RackConfig rc = rackConfig(clib, 2, 48);
+            rc.tier1Windows = 4096;
+            rc.admission = policy;
+            const runtime::Rack rack(dev, clib, rc);
+            runtime::RuntimeService svc(rack, {.workers = workers});
+            const auto got = svc.executeBatchCompiled(batch);
+            const std::string tag =
+                std::string(runtime::admissionPolicyName(policy)) +
+                " workers " + std::to_string(workers);
+            expectIdenticalStats(base, got, tag.c_str());
+            EXPECT_GT(got.cache.tier[1].admitted +
+                          got.cache.demotions,
+                      0u)
+                << tag;
         }
     }
 }

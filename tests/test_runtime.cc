@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "circuits/scheduler.hh"
@@ -23,6 +26,8 @@
 #include "runtime/executor.hh"
 #include "runtime/rack.hh"
 #include "runtime/service.hh"
+#include "runtime/tiered_store.hh"
+#include "telemetry/metrics.hh"
 #include "waveform/device.hh"
 #include "waveform/library.hh"
 
@@ -438,6 +443,453 @@ TEST(DecodedCache, DefaultWindowHookMatchesChannelSlice)
     EXPECT_EQ(window, dec.decompressChannel(cwn.i, cwn.codec));
 }
 
+// ----------------------------------------------- hierarchical store
+
+/** An 8-sample decode hook stamping a per-key fingerprint, plus a
+ *  decode counter — enough to watch admission decisions. */
+struct CountingDecoder
+{
+    int decodes = 0;
+
+    auto
+    fill(const DecodedWindowKey &k)
+    {
+        return [this, k](SampleSpan out) -> std::size_t {
+            ++decodes;
+            for (std::size_t i = 0; i < out.size(); ++i)
+                out[i] = static_cast<double>(k.gate.q0 * 1000 +
+                                             k.window * 10 + i);
+            return out.size();
+        };
+    }
+};
+
+TEST(TieredStore, SampleBudgetBoundsResidency)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {100, 16}; // window cap slack; budget binds at 16
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    store.get(key(1, 0), 8, dec.fill(key(1, 0)));
+    auto s = store.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.residentSamples, 16u);
+    EXPECT_EQ(s.tier[0].residentSamples, 16u);
+
+    // A third window overflows the sample budget: the LRU entry
+    // (qubit 0) is evicted even though the window cap has room.
+    store.get(key(2, 0), 8, dec.fill(key(2, 0)));
+    s = store.stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.residentSamples, 16u);
+    EXPECT_EQ(s.evictions, 1u);
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    EXPECT_EQ(dec.decodes, 4); // qubit 0 really was dropped
+
+    // One oversized window may exceed the whole budget on its own:
+    // the budget never evicts the sole resident entry.
+    TieredStoreConfig tiny;
+    tiny.tier0 = {100, 4};
+    TieredWindowStore wide(tiny);
+    CountingDecoder wdec;
+    wide.get(key(7, 0), 32, wdec.fill(key(7, 0)));
+    s = wide.stats();
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.residentSamples, 32u);
+    EXPECT_EQ(s.evictions, 0u);
+    wide.get(key(8, 0), 32, wdec.fill(key(8, 0)));
+    s = wide.stats();
+    EXPECT_EQ(s.entries, 1u); // over budget: back down to one
+    EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(TieredStore, AdmitAlwaysDemotesAndPromotesAcrossTiers)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {1, 0};
+    cfg.tier1 = {2, 0};
+    cfg.tier1PenaltyCycles = 8;
+    TieredWindowStore store(cfg);
+    ASSERT_TRUE(store.tiered());
+    CountingDecoder dec;
+
+    store.get(key(0, 0), 8, dec.fill(key(0, 0))); // A -> tier 0
+    store.get(key(1, 0), 8, dec.fill(key(1, 0))); // B -> t0, A -> t1
+    auto s = store.stats();
+    EXPECT_EQ(s.demotions, 1u);
+    EXPECT_EQ(s.tier[0].entries, 1u);
+    EXPECT_EQ(s.tier[1].entries, 1u);
+
+    // A is served from tier 1 (penalty charged, tier-0 miss + tier-1
+    // hit recorded) and — having proven reuse by being demoted —
+    // promotes straight back, demoting B.
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    s = store.stats();
+    EXPECT_EQ(dec.decodes, 2); // no re-decode: the hierarchy served it
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.tier[1].hits, 1u);
+    EXPECT_EQ(s.tier[0].misses, 3u); // 2 cold + 1 tier-1-served
+    EXPECT_EQ(s.promotions, 1u);
+    EXPECT_EQ(s.demotions, 2u);
+    // tier-1 traffic: demote A, hit A, demote B.
+    EXPECT_EQ(s.tier1Accesses, 3u);
+    EXPECT_EQ(s.penaltyCycles, 3u * 8u);
+    EXPECT_NEAR(s.tier0HitRate(), 0.0, 1e-12);
+    EXPECT_NEAR(s.hitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TieredStore, SecondTouchStagesInSlowTierUntilReuse)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {4, 0};
+    cfg.tier1 = {4, 0};
+    cfg.admission = AdmissionPolicy::SecondTouch;
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+
+    // First touch: rejected from tier 0, staged in tier 1.
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    auto s = store.stats();
+    EXPECT_EQ(s.tier[0].admitRejected, 1u);
+    EXPECT_EQ(s.tier[1].admitted, 1u);
+    EXPECT_EQ(s.tier[0].entries, 0u);
+    EXPECT_EQ(s.tier[1].entries, 1u);
+
+    // Second touch hits tier 1; third touch promotes.
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    s = store.stats();
+    EXPECT_EQ(dec.decodes, 1);
+    EXPECT_EQ(s.tier[1].hits, 2u);
+    EXPECT_EQ(s.promotions, 1u);
+    EXPECT_EQ(s.tier[0].entries, 1u);
+    EXPECT_EQ(s.tier[1].entries, 0u);
+}
+
+TEST(TieredStore, SecondTouchGhostAdmitsOnReuseWithoutSlowTier)
+{
+    // With no tier 1 the first touch is served but cached nowhere;
+    // the ghost list remembers it, so the second miss admits.
+    TieredStoreConfig cfg;
+    cfg.tier0 = {4, 0};
+    cfg.admission = AdmissionPolicy::SecondTouch;
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+
+    auto first = store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    EXPECT_EQ(first.size(), 8u); // bypass still serves the decode
+    auto s = store.stats();
+    EXPECT_EQ(s.tier[0].admitRejected, 1u);
+    EXPECT_EQ(s.entries, 0u);
+
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    s = store.stats();
+    EXPECT_EQ(dec.decodes, 2); // the bypass pass was not cached
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.tier[0].admitted, 1u);
+    EXPECT_EQ(s.entries, 1u);
+
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    EXPECT_EQ(dec.decodes, 2);
+    EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(TieredStore, TinyLfuChallengesTheVictimFrequency)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {2, 0};
+    cfg.admission = AdmissionPolicy::TinyLfu;
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+
+    // Warm A and B to frequency 2 each (every probe feeds the
+    // sketch).
+    for (int pass = 0; pass < 2; ++pass) {
+        store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+        store.get(key(1, 0), 8, dec.fill(key(1, 0)));
+    }
+    ASSERT_EQ(dec.decodes, 2);
+
+    // A cold challenger cannot displace a warmer victim: the first
+    // two C touches lose the frequency duel and bypass the cache.
+    store.get(key(2, 0), 8, dec.fill(key(2, 0)));
+    store.get(key(2, 0), 8, dec.fill(key(2, 0)));
+    auto s = store.stats();
+    EXPECT_EQ(s.tier[0].admitRejected, 2u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(dec.decodes, 4); // rejected C decodes every time
+
+    // Third touch: C's estimate (3) now beats the LRU victim's (2),
+    // so it is admitted and the victim is dropped.
+    store.get(key(2, 0), 8, dec.fill(key(2, 0)));
+    s = store.stats();
+    EXPECT_EQ(s.tier[0].admitted, 3u);
+    EXPECT_EQ(s.evictions, 1u);
+    store.get(key(2, 0), 8, dec.fill(key(2, 0)));
+    EXPECT_EQ(dec.decodes, 5);
+    EXPECT_EQ(store.stats().hits, 3u); // warm passes + resident C
+}
+
+TEST(TieredStore, EvictionUnderTierPressureKeepsPinnedWindowAlive)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {1, 0};
+    cfg.tier1 = {1, 0};
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+
+    auto pinned = store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    const std::vector<double> want(pinned.samples().begin(),
+                                   pinned.samples().end());
+
+    // B demotes A; C demotes B, which pushes A out of tier 1
+    // entirely — while the caller still holds its handle.
+    store.get(key(1, 0), 8, dec.fill(key(1, 0)));
+    store.get(key(2, 0), 8, dec.fill(key(2, 0)));
+    auto s = store.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.tier[1].evictions, 1u);
+    EXPECT_EQ(s.demotions, 2u);
+    EXPECT_EQ(s.entries, 2u);
+
+    // The pinned handle still reads the original samples.
+    ASSERT_TRUE(pinned);
+    EXPECT_EQ(std::vector<double>(pinned.samples().begin(),
+                                  pinned.samples().end()),
+              want);
+
+    // Releasing the pin recycles the slot: the next fill reuses it
+    // instead of carving a new one.
+    const auto before = store.stats().slotsAllocated;
+    pinned = {};
+    store.get(key(3, 0), 8, dec.fill(key(3, 0)));
+    EXPECT_EQ(store.stats().slotsAllocated, before);
+}
+
+TEST(TieredStore, LookupPutBatchPathMatchesGetStats)
+{
+    // The batch-fill protocol (lookup, decode outside the lock, put)
+    // must land on exactly the same stats as the blocking get()
+    // path, policy by policy.
+    const DecodedWindowKey trace[] = {key(0, 0), key(1, 0), key(0, 0),
+                                      key(2, 0), key(0, 0), key(1, 0),
+                                      key(2, 0), key(2, 0), key(3, 0)};
+    for (const auto policy :
+         {AdmissionPolicy::AdmitAlways, AdmissionPolicy::SecondTouch,
+          AdmissionPolicy::TinyLfu}) {
+        TieredStoreConfig cfg;
+        cfg.tier0 = {2, 0};
+        cfg.tier1 = {2, 0};
+        cfg.admission = policy;
+        TieredWindowStore viaGet(cfg);
+        TieredWindowStore viaPut(cfg);
+        CountingDecoder gdec, pdec;
+        for (const auto &k : trace) {
+            viaGet.get(k, 8, gdec.fill(k));
+            if (auto h = viaPut.lookup(k); !h) {
+                std::vector<double> buf(8);
+                pdec.fill(k)(SampleSpan(buf.data(), buf.size()));
+                viaPut.put(k, {buf.data(), buf.size()}, 8);
+            }
+        }
+        EXPECT_EQ(gdec.decodes, pdec.decodes) << admissionPolicyName(policy);
+        const auto a = viaGet.stats();
+        const auto b = viaPut.stats();
+        EXPECT_EQ(a.hits, b.hits) << admissionPolicyName(policy);
+        EXPECT_EQ(a.misses, b.misses) << admissionPolicyName(policy);
+        EXPECT_EQ(a.evictions, b.evictions) << admissionPolicyName(policy);
+        EXPECT_EQ(a.promotions, b.promotions) << admissionPolicyName(policy);
+        EXPECT_EQ(a.demotions, b.demotions) << admissionPolicyName(policy);
+        EXPECT_EQ(a.tier1Accesses, b.tier1Accesses)
+            << admissionPolicyName(policy);
+        EXPECT_EQ(a.penaltyCycles, b.penaltyCycles)
+            << admissionPolicyName(policy);
+        EXPECT_EQ(a.entries, b.entries) << admissionPolicyName(policy);
+        EXPECT_EQ(a.residentSamples, b.residentSamples)
+            << admissionPolicyName(policy);
+        for (std::size_t t = 0; t < 2; ++t) {
+            EXPECT_EQ(a.tier[t].hits, b.tier[t].hits)
+                << admissionPolicyName(policy) << " tier " << t;
+            EXPECT_EQ(a.tier[t].misses, b.tier[t].misses)
+                << admissionPolicyName(policy) << " tier " << t;
+            EXPECT_EQ(a.tier[t].admitted, b.tier[t].admitted)
+                << admissionPolicyName(policy) << " tier " << t;
+            EXPECT_EQ(a.tier[t].admitRejected,
+                      b.tier[t].admitRejected)
+                << admissionPolicyName(policy) << " tier " << t;
+            EXPECT_EQ(a.tier[t].entries, b.tier[t].entries)
+                << admissionPolicyName(policy) << " tier " << t;
+        }
+    }
+}
+
+TEST(TieredStore, SingleFlightDecodesColdKeyOnce)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {8, 0};
+    TieredWindowStore store(cfg);
+    constexpr int kThreads = 8;
+    std::atomic<int> decodes{0};
+    std::atomic<int> arrived{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            arrived.fetch_add(1);
+            const auto h =
+                store.get(key(0, 0), 8, [&](SampleSpan out) {
+                    // Give the pack time to pile onto the latch;
+                    // correctness does not depend on the timing.
+                    decodes.fetch_add(1);
+                    while (arrived.load() < kThreads)
+                        std::this_thread::yield();
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                    for (std::size_t i = 0; i < out.size(); ++i)
+                        out[i] = static_cast<double>(i);
+                    return out.size();
+                });
+            ASSERT_TRUE(h);
+            ASSERT_EQ(h.size(), 8u);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(decodes.load(), 1);
+    const auto s = store.stats();
+    // Every thread lands in exactly one column: the leader is a
+    // miss; a waiter probes a miss, then latches and wakes to a
+    // duplicate avoided; a late arrival is a plain hit.
+    EXPECT_EQ(s.hits + s.duplicateDecodesAvoided,
+              static_cast<std::uint64_t>(kThreads - 1));
+    EXPECT_EQ(s.misses, 1u + s.duplicateDecodesAvoided);
+    EXPECT_GT(s.duplicateDecodesAvoided, 0u);
+}
+
+TEST(TieredStore, BitExactVsSingleTierAcrossPolicies)
+{
+    // The hierarchy is a placement policy, not a data path: every
+    // decoded window must be bit-identical to the flat store's, for
+    // every admission policy, even when tiny tiers force constant
+    // demotion and re-decode.
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    const core::Decompressor dec;
+
+    const auto assemble = [&](TieredWindowStore &store) {
+        std::vector<double> all;
+        for (int pass = 0; pass < 2; ++pass)
+            for (const auto &[id, e] : clib.entries()) {
+                const core::CompressedChannel *chs[2] = {&e.cw.i,
+                                                         &e.cw.q};
+                for (std::uint8_t ch = 0; ch < 2; ++ch)
+                    for (std::uint32_t w = 0;
+                         w < chs[ch]->windows.size(); ++w) {
+                        const auto v = store.get(
+                            {id, ch, w}, chs[ch]->windowSize,
+                            [&](SampleSpan out) {
+                                return dec.decompressWindowInto(
+                                    *chs[ch], e.cw.codec, w, out);
+                            });
+                        all.insert(all.end(), v.samples().begin(),
+                                   v.samples().end());
+                    }
+            }
+        return all;
+    };
+
+    TieredWindowStore flat(1 << 14);
+    const auto golden = assemble(flat);
+    ASSERT_FALSE(golden.empty());
+    for (const auto policy :
+         {AdmissionPolicy::AdmitAlways, AdmissionPolicy::SecondTouch,
+          AdmissionPolicy::TinyLfu}) {
+        TieredStoreConfig cfg;
+        cfg.tier0 = {16, 0};
+        cfg.tier1 = {64, 0};
+        cfg.admission = policy;
+        TieredWindowStore tiered(cfg);
+        EXPECT_EQ(assemble(tiered), golden) << admissionPolicyName(policy);
+        const auto s = tiered.stats();
+        EXPECT_GT(s.tier[1].admitted + s.demotions, 0u)
+            << admissionPolicyName(policy) << ": tiers never engaged";
+    }
+}
+
+TEST(TieredStore, RegistryCountersTrackTierTraffic)
+{
+    auto &reg = telemetry::Registry::global();
+    const std::uint64_t hit0 = reg.counter("cache.tier0.hit").value();
+    const std::uint64_t hit1 = reg.counter("cache.tier1.hit").value();
+    const std::uint64_t miss0 =
+        reg.counter("cache.tier0.miss").value();
+    const std::uint64_t promote0 =
+        reg.counter("cache.tier0.promote").value();
+    const std::uint64_t demote0 =
+        reg.counter("cache.tier0.demote").value();
+    const std::uint64_t rejected0 =
+        reg.counter("cache.tier0.admit_rejected").value();
+
+    TieredStoreConfig cfg;
+    cfg.tier0 = {1, 0};
+    cfg.tier1 = {2, 0};
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    store.get(key(1, 0), 8, dec.fill(key(1, 0))); // demotes A
+    store.get(key(0, 0), 8, dec.fill(key(0, 0))); // t1 hit, promotes
+    store.get(key(0, 0), 8, dec.fill(key(0, 0))); // t0 hit
+    const auto s = store.stats();
+
+    EXPECT_EQ(reg.counter("cache.tier0.hit").value() - hit0,
+              s.tier[0].hits);
+    EXPECT_EQ(reg.counter("cache.tier1.hit").value() - hit1,
+              s.tier[1].hits);
+    EXPECT_EQ(reg.counter("cache.tier0.miss").value() - miss0,
+              s.tier[0].misses);
+    EXPECT_EQ(reg.counter("cache.tier0.promote").value() - promote0,
+              s.promotions);
+    EXPECT_EQ(reg.counter("cache.tier0.demote").value() - demote0,
+              s.demotions);
+    EXPECT_EQ(
+        reg.counter("cache.tier0.admit_rejected").value() - rejected0,
+        s.tier[0].admitRejected);
+    EXPECT_GT(s.tier[1].hits, 0u);
+    EXPECT_GT(s.promotions, 0u);
+}
+
+TEST(TieredStore, StatsAccumulateAndDeltaRoundTrip)
+{
+    TieredStoreConfig cfg;
+    cfg.tier0 = {1, 0};
+    cfg.tier1 = {2, 0};
+    TieredWindowStore store(cfg);
+    CountingDecoder dec;
+    const auto before = store.stats();
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    store.get(key(1, 0), 8, dec.fill(key(1, 0)));
+    store.get(key(0, 0), 8, dec.fill(key(0, 0)));
+    const auto after = store.stats();
+
+    const auto d = TieredStoreStats::delta(before, after);
+    EXPECT_EQ(d.hits, after.hits);
+    EXPECT_EQ(d.misses, after.misses);
+    EXPECT_EQ(d.entries, after.entries); // latches take the endpoint
+    EXPECT_EQ(d.residentSamples, after.residentSamples);
+
+    TieredStoreStats sum;
+    sum.accumulate(after);
+    sum.accumulate(after);
+    EXPECT_EQ(sum.hits, 2 * after.hits);
+    EXPECT_EQ(sum.tier[1].hits, 2 * after.tier[1].hits);
+    EXPECT_EQ(sum.penaltyCycles, 2 * after.penaltyCycles);
+    EXPECT_EQ(sum.entries, after.entries);
+    EXPECT_EQ(sum.residentSamples, after.residentSamples);
+}
+
 // --------------------------------------------------------------- executor
 
 TEST(Executor, RunsEveryJobExactlyOnce)
@@ -610,6 +1062,61 @@ TEST_F(RackSurface49, WorkerCountDoesNotChangeDemand)
     EXPECT_EQ(one.fleetPeakBanks, many.fleetPeakBanks);
     EXPECT_EQ(one.totalGates, many.totalGates);
     EXPECT_EQ(one.totalSamples, many.totalSamples);
+}
+
+TEST_F(RackSurface49, TieredRackDemandMatchesFlatAtAnyWorkerCount)
+{
+    // The hierarchy is invisible to the playback contract: a tiered
+    // rack under every admission policy reproduces the flat rack's
+    // per-shard demand and decode totals bit-for-bit, at 1 and 8
+    // workers, while windows really do flow through tier 1.
+    const std::vector<circuits::Schedule> batch = {*sched_, *sched_};
+    const Rack flat(*dev_, *clib_, rackConfig(8, 4096));
+    RuntimeService ref(flat, {.workers = 1});
+    const auto base = ref.executeBatch(batch);
+
+    for (const auto policy :
+         {AdmissionPolicy::AdmitAlways, AdmissionPolicy::SecondTouch,
+          AdmissionPolicy::TinyLfu}) {
+        for (const int workers : {1, 8}) {
+            RackConfig rc = rackConfig(8, 256);
+            rc.tier1Windows = 4096;
+            rc.admission = policy;
+            const Rack rack(*dev_, *clib_, rc);
+            RuntimeService svc(rack, {.workers = workers});
+            const auto got = svc.executeBatch(batch);
+            const std::string tag =
+                std::string(admissionPolicyName(policy)) +
+                " workers " + std::to_string(workers);
+            ASSERT_EQ(base.shards.size(), got.shards.size()) << tag;
+            for (std::size_t s = 0; s < base.shards.size(); ++s) {
+                const auto &a = base.shards[s];
+                const auto &b = got.shards[s];
+                EXPECT_EQ(a.demand.totalSamples,
+                          b.demand.totalSamples)
+                    << tag << " shard " << s;
+                EXPECT_EQ(a.demand.totalWordsRead,
+                          b.demand.totalWordsRead)
+                    << tag << " shard " << s;
+                EXPECT_EQ(a.demand.peakBanks, b.demand.peakBanks)
+                    << tag << " shard " << s;
+                EXPECT_EQ(a.gatesPlayed, b.gatesPlayed)
+                    << tag << " shard " << s;
+                EXPECT_EQ(a.samplesDecoded, b.samplesDecoded)
+                    << tag << " shard " << s;
+                EXPECT_EQ(a.windowsDecoded, b.windowsDecoded)
+                    << tag << " shard " << s;
+            }
+            EXPECT_EQ(base.totalGates, got.totalGates) << tag;
+            EXPECT_EQ(base.totalSamples, got.totalSamples) << tag;
+            EXPECT_EQ(base.totalWindows, got.totalWindows) << tag;
+            // The tiny fast tier forces real tier-1 traffic.
+            EXPECT_GT(got.cache.tier[1].admitted +
+                          got.cache.demotions,
+                      0u)
+                << tag;
+        }
+    }
 }
 
 TEST_F(RackSurface49, HotBatchRunsAlmostEntirelyFromCache)
