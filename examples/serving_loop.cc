@@ -8,11 +8,19 @@
  * — while the fleet-shared decoded-window cache keeps every tenant's
  * hot pulses decoded-once.
  *
+ * Act two is the recalibration: a calibrator recompiles the pulse
+ * library on the compile plane and publishes it with swapLibrary()
+ * while the tenants keep streaming. Nothing drains — jobs already
+ * dispatched finish on the epoch their batch pinned, later jobs pin
+ * the new epoch — and the per-version job counts show the cutover.
+ *
  * Build & run:  ./build/serving_loop
  */
 
+#include <atomic>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,7 +53,9 @@ main()
     rc.policy = runtime::ShardPolicy::LocalityAware;
     rc.controller.compressed = true;
     rc.controller.windowSize = 16;
-    rc.controller.memoryWidth = clib.worstCaseWindowWords();
+    // Provision word-budget headroom so a future recalibration
+    // (possibly fatter windows) still satisfies the swap contract.
+    rc.controller.memoryWidth = clib.worstCaseWindowWords() * 2;
     rc.cacheWindows = 1u << 15;
     const Rack rack(dev, clib, rc);
 
@@ -97,8 +107,61 @@ main()
               << "\nfleet p99 latency: "
               << Table::num(s.totalLatency.p99 * 1e3, 3) << " ms\n";
 
+    // ------------------------------------------------------------
+    // Act two: recalibration under live traffic. The calibrator
+    // recompiles the pulse library on the compile plane (a coarser
+    // MSE target stands in for fresh calibration data) and hot-swaps
+    // it mid-stream. Submission never blocks and no queue drains.
+    // ------------------------------------------------------------
+    core::LibraryCompilerConfig cc;
+    cc.fidelity.base.codec = "int-dct";
+    cc.fidelity.base.windowSize = 16;
+    cc.fidelity.targetMse = 1e-3;
+    cc.workers = 2;
+    const auto recal =
+        std::make_shared<const CompressedLibrary>(
+            core::LibraryCompiler(cc).compile(lib).library);
+
+    std::atomic<int> done{0};
+    std::vector<std::thread> streams;
+    for (int t = 0; t < kTenants; ++t)
+        streams.emplace_back([&, t] {
+            for (int j = 0; j < kJobs; ++j) {
+                server
+                    .submit({"tenant-" + std::to_string(t), sched})
+                    .get();
+                done.fetch_add(1, std::memory_order_release);
+            }
+        });
+
+    // Publish once the fleet is demonstrably mid-stream.
+    while (done.load(std::memory_order_acquire) <
+           kTenants * kJobs / 3)
+        std::this_thread::yield();
+    const auto v2 = server.swapLibrary(recal);
+    std::cout << "\ncalibrator published library v" << v2
+              << " mid-stream\n";
+    for (auto &st : streams)
+        st.join();
+    // One tail job per tenant, submitted after the publish returned,
+    // so the cutover always shows both epochs.
+    for (int t = 0; t < kTenants; ++t)
+        server.submit({"tenant-" + std::to_string(t), sched}).get();
+    server.drain();
+
+    const auto s2 = server.stats();
+    std::cout << "jobs per library epoch:";
+    for (const auto &[version, count] : s2.jobsByLibraryVersion)
+        std::cout << "  v" << version << ": " << count;
+    std::cout << "\nlibrary swaps: " << s2.librarySwaps
+              << ", epochs still live: " << s2.libraryVersionsLive
+              << ", rejected: " << s2.rejected << ", failed: "
+              << s2.failed << '\n';
+
     // Graceful shutdown: in-flight work completes, nothing is
     // silently dropped (the destructor would do the same).
     server.shutdown();
-    return s.completed == kTenants * kJobs ? 0 : 1;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(kTenants) * (2 * kJobs + 1);
+    return s2.completed == expected && s2.failed == 0 ? 0 : 1;
 }

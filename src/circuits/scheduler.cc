@@ -1,6 +1,7 @@
 #include "circuits/scheduler.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "common/logging.hh"
@@ -156,6 +157,44 @@ bandwidth(const Schedule &s, double bytes_per_channel_per_sec)
     const ConcurrencyProfile p = concurrency(s);
     return {p.peakChannels * bytes_per_channel_per_sec,
             p.avgChannels * bytes_per_channel_per_sec};
+}
+
+std::uint64_t
+scheduleFingerprint(const Schedule &s)
+{
+    // FNV-1a over the schedule's content. Doubles are folded by bit
+    // pattern, so the fingerprint is exact, not tolerance-based:
+    // a cache keyed by it can only collapse byte-identical schedules.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    const auto fold = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= v >> (i * 8) & 0xFFu;
+            h *= 0x100000001B3ull;
+        }
+    };
+    const auto foldDouble = [&fold](double d) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof d);
+        std::memcpy(&bits, &d, sizeof bits);
+        fold(bits);
+    };
+    fold(s.events.size());
+    foldDouble(s.makespan);
+    for (const ScheduledEvent &e : s.events) {
+        fold(static_cast<std::uint64_t>(e.gate.op));
+        fold(e.gate.qubits.size());
+        for (const int q : e.gate.qubits)
+            fold(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(q)));
+        foldDouble(e.gate.param);
+        foldDouble(e.start);
+        foldDouble(e.duration);
+        fold(e.channels.size());
+        for (const int c : e.channels)
+            fold(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(c)));
+    }
+    return h;
 }
 
 } // namespace compaqt::circuits

@@ -9,6 +9,7 @@
 #ifndef COMPAQT_CIRCUITS_SCHEDULER_HH
 #define COMPAQT_CIRCUITS_SCHEDULER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "circuits/circuit.hh"
@@ -60,6 +61,17 @@ Schedule schedule(const Circuit &c, const Durations &dur);
  * pure function of the schedule.
  */
 std::vector<std::size_t> eventOrderByStart(const Schedule &s);
+
+/**
+ * 64-bit content hash of a schedule: every event's op, qubits, param,
+ * timing, and channels, plus the makespan, folded in list order. Two
+ * schedules with equal fingerprints compile to the same instruction
+ * program (against the same library/config), which is what lets the
+ * runtime cache compiled programs as persistent artifacts keyed by
+ * (fingerprint, shard, library version) instead of recompiling per
+ * job.
+ */
+std::uint64_t scheduleFingerprint(const Schedule &s);
 
 /** Channel-occupancy statistics of a schedule. */
 struct ConcurrencyProfile

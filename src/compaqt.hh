@@ -28,6 +28,8 @@
 #include "isa/compiler.hh"
 #include "isa/interpreter.hh"
 #include "isa/isa.hh"
+#include "isa/program_cache.hh"
+#include "runtime/library_registry.hh"
 #include "runtime/rack.hh"
 #include "runtime/server.hh"
 #include "runtime/service.hh"
@@ -86,6 +88,13 @@ using runtime::RackStats;
 using runtime::RuntimeService;
 using runtime::ShardPolicy;
 
+// Epoch-managed library ownership (RCU-style hot-swap: publish a
+// recalibrated library without draining; in-flight batches finish on
+// the epoch they pinned)
+using runtime::LibraryRegistry;
+using runtime::LibraryVersionInfo;
+using runtime::VersionedLibrary;
+
 // Hierarchical waveform memory (two-tier decoded-window store with
 // pluggable admission; DecodedWindowCache aliases TieredWindowStore)
 using runtime::AdmissionPolicy;
@@ -104,11 +113,19 @@ using isa::CompilerConfig;
 using isa::Instruction;
 using isa::InstructionProgram;
 using isa::Opcode;
+using isa::ProgramCache;
+using isa::ProgramCacheStats;
+using isa::ProgramKey;
 using isa::ProgramStats;
 
-// Serving plane (async multi-tenant front end)
+// Serving plane (async multi-tenant front end over a fleet of racks
+// sharing one LibraryRegistry)
+using runtime::DispatchBackend;
+using runtime::FleetConfig;
 using runtime::JobResult;
 using runtime::JobStatus;
+using runtime::RackRollup;
+using runtime::RoutingPolicy;
 using runtime::ScheduledCircuit;
 using runtime::Server;
 using runtime::ServerConfig;

@@ -27,7 +27,11 @@ constexpr std::uint32_t kMagic = 0x43505154; // "CPQT"
 //       list (Section V-D): flat segments as (value, count) repeat
 //       codewords, ramp segments as nested plain channel records.
 //       v1-v3 channels load with no segments (plain representation)
-constexpr std::uint32_t kVersion = 4;
+//   5 — a uint64 calibration version stamp follows the format
+//       version, recording which calibration epoch compiled the
+//       library (the runtime's hot-swap registry keys on it).
+//       v1-v4 streams load as version 0 (unstamped)
+constexpr std::uint32_t kVersion = 5;
 
 /** Registry names of the closed v1 codec enum, in enum order. */
 constexpr const char *kV1CodecNames[] = {"delta", "dct-n", "dct-w",
@@ -305,6 +309,7 @@ CompressedLibrary::save(std::ostream &os) const
 {
     writePod(os, kMagic);
     writePod(os, kVersion);
+    writePod<std::uint64_t>(os, version_);
     writePod<std::uint64_t>(os, entries_.size());
     for (const auto &[id, e] : entries_) {
         writePod<std::uint8_t>(os, static_cast<std::uint8_t>(id.type));
@@ -331,6 +336,8 @@ CompressedLibrary::load(std::istream &is)
                     "unsupported compressed library version "
                     "(newer than this build understands)");
     CompressedLibrary out;
+    if (version >= 5)
+        out.version_ = readPod<std::uint64_t>(is);
     const auto count = readPod<std::uint64_t>(is);
     for (std::uint64_t n = 0; n < count; ++n) {
         waveform::GateId id;

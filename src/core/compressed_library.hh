@@ -81,14 +81,26 @@ class CompressedLibrary
     /** Per-gate compression ratios in entry order. */
     std::vector<double> ratios() const;
 
-    /** Serialize to a binary stream (format v4: per-channel adaptive
-     *  segment lists ride along with the windowed payload). */
+    /**
+     * Calibration version stamp. 0 = unstamped (the default; keeps
+     * compile output deterministic). A nonzero stamp identifies the
+     * calibration epoch this library was compiled in; the runtime's
+     * LibraryRegistry honors it on publish when it is newer than
+     * everything published so far.
+     */
+    std::uint64_t version() const { return version_; }
+
+    /** Stamp the calibration version (see version()). */
+    void setVersion(std::uint64_t v) { version_ = v; }
+
+    /** Serialize to a binary stream (format v5: the calibration
+     *  version stamp precedes the v4 per-entry records). */
     void save(std::ostream &os) const;
 
     /** Deserialize; exact inverse of save(). Streams written by
-     *  older builds (v1-v3) load too and migrate in place: legacy
+     *  older builds (v1-v4) load too and migrate in place: legacy
      *  delta trailers move into the channels, pre-adaptive channels
-     *  load as plain. */
+     *  load as plain, pre-stamp libraries load as version 0. */
     static CompressedLibrary load(std::istream &is);
 
     /** Insert or replace an entry (for custom pulses). */
@@ -96,6 +108,7 @@ class CompressedLibrary
 
   private:
     std::map<waveform::GateId, CompressedEntry> entries_;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace compaqt::core

@@ -206,6 +206,7 @@ LibraryCompiler::compile(const waveform::PulseLibrary &lib) const
 
     // Serial, fixed-order reduction into the ordered library map.
     LibraryCompileResult out;
+    out.library.setVersion(cfg_.libraryVersion);
     out.stats.gates = jobs.size();
     out.stats.channels = jobs.size() * 2;
     out.stats.workers = exec.workers();

@@ -43,6 +43,11 @@ struct LibraryCompilerConfig
     /** Minimum window-aligned flat length, in windows, worth a
      *  bypass segment. */
     std::size_t minFlatWindows = 2;
+    /** Calibration version stamped into the compiled library
+     *  (CompressedLibrary::version()). 0 = unstamped, the default —
+     *  stamping is explicit so two compiles of the same input stay
+     *  byte-identical unless the caller names an epoch. */
+    std::uint64_t libraryVersion = 0;
 };
 
 /** What one compile run did, for benches and capacity planning. */

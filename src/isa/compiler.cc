@@ -110,7 +110,14 @@ windowIsCacheable(const core::CompressedChannel &ch, std::uint32_t w)
 } // namespace
 
 Compiler::Compiler(const runtime::Rack &rack, const CompilerConfig &cfg)
-    : rack_(rack), cfg_(cfg)
+    : Compiler(rack, rack.currentLibrary(), cfg)
+{
+}
+
+Compiler::Compiler(const runtime::Rack &rack,
+                   runtime::VersionedLibrary vlib,
+                   const CompilerConfig &cfg)
+    : rack_(rack), vlib_(std::move(vlib)), cfg_(cfg)
 {
     if (cfg_.instructionMemoryWords <
         InstructionProgram::kHeaderWords +
@@ -151,6 +158,7 @@ Compiler::compileShard(const circuits::Schedule &part,
     };
 
     InstructionProgram prog;
+    prog.setLibraryVersion(vlib_.version);
     ProgramStats st;
     st.memoryBoundWords = cfg_.instructionMemoryWords;
 
@@ -165,8 +173,7 @@ Compiler::compileShard(const circuits::Schedule &part,
         const auto id = uarch::gateIdFor(e.gate);
         if (!id)
             continue; // virtual op
-        const core::CompressedEntry *entry =
-            rack_.library().find(*id);
+        const core::CompressedEntry *entry = vlib_.find(*id);
         if (!entry)
             continue; // missing gate: demand accounting reports it
         Issued is;

@@ -112,17 +112,36 @@ struct CompiledSchedule
 };
 
 /**
- * Compiles schedules against one rack's shard plan, library, and
- * controller clock. Stateless between calls; safe to share across
- * threads.
+ * Compiles schedules against one rack's shard plan, controller
+ * clock, and one pinned library epoch. Stateless between calls; safe
+ * to share across threads. Every emitted program is stamped with the
+ * pinned epoch's version, so an interpreter running under a
+ * different calibration rejects it instead of playing stale window
+ * indices (isa::Interpreter::run).
  */
 class Compiler
 {
   public:
+    /** Pin the rack's current library epoch at construction. */
     explicit Compiler(const runtime::Rack &rack,
                       const CompilerConfig &cfg = {});
 
+    /** Compile against an explicitly pinned epoch — the form batch
+     *  execution uses so the compile and the interpretation of one
+     *  batch are guaranteed to see the same calibration even if a
+     *  hot-swap lands between them. */
+    Compiler(const runtime::Rack &rack,
+             runtime::VersionedLibrary vlib,
+             const CompilerConfig &cfg = {});
+
     const CompilerConfig &config() const { return cfg_; }
+
+    /** The pinned library epoch programs are compiled against. */
+    const runtime::VersionedLibrary &
+    pinnedLibrary() const
+    {
+        return vlib_;
+    }
 
     /** Lower a full schedule: partition by qubit ownership, then
      *  compile each shard's slice. */
@@ -141,6 +160,7 @@ class Compiler
 
   private:
     const runtime::Rack &rack_;
+    runtime::VersionedLibrary vlib_;
     CompilerConfig cfg_;
 };
 

@@ -2,8 +2,9 @@
 
 #include <map>
 #include <stdexcept>
+#include <string>
 
-#include "runtime/decoded_cache.hh"
+#include "runtime/tiered_store.hh"
 #include "telemetry/trace.hh"
 
 namespace compaqt::isa
@@ -13,14 +14,14 @@ namespace
 {
 
 const core::CompressedEntry &
-resolveGate(const runtime::Rack &rack, const InstructionProgram &prog,
-            std::uint16_t ref)
+resolveGate(const runtime::VersionedLibrary &vlib,
+            const InstructionProgram &prog, std::uint16_t ref)
 {
     const waveform::GateId &id = prog.gate(ref);
-    const core::CompressedEntry *entry = rack.library().find(id);
+    const core::CompressedEntry *entry = vlib.find(id);
     if (!entry)
         throw std::invalid_argument(
-            "isa: program references a gate the rack library does"
+            "isa: program references a gate the pinned library does"
             " not hold");
     return *entry;
 }
@@ -30,6 +31,19 @@ resolveGate(const runtime::Rack &rack, const InstructionProgram &prog,
 InterpreterResult
 Interpreter::run(const InstructionProgram &prog)
 {
+    // Version gate: a stamped program must match the pinned epoch.
+    // Executing a stale artifact would look plausible (gate table
+    // still resolves) while playing window layouts of a retired
+    // calibration — fail loudly instead. Unstamped programs (version
+    // 0, e.g. pre-stamp streams or hand-built tests) are accepted.
+    if (prog.libraryVersion() != 0 &&
+        prog.libraryVersion() != vlib_.version)
+        throw std::invalid_argument(
+            "isa: program was compiled against library version " +
+            std::to_string(prog.libraryVersion()) +
+            " but the interpreter is pinned to version " +
+            std::to_string(vlib_.version) +
+            " — recompile after the hot-swap");
     InterpreterResult res;
     // Prefetch pins, keyed like the cache: a pinned window cannot be
     // recycled out from under its pending PLAY, and dropping the pin
@@ -56,7 +70,7 @@ Interpreter::run(const InstructionProgram &prog)
             ++res.stats.plays;
             const waveform::GateId &id = prog.gate(in.gateRef);
             const core::CompressedEntry &entry =
-                resolveGate(rack_, prog, in.gateRef);
+                resolveGate(vlib_, prog, in.gateRef);
             const std::uint32_t first = in.playFirst();
             std::uint32_t count = in.playCount();
             // The event's I-channel PLAY (first chunk) carries the
@@ -128,7 +142,7 @@ Interpreter::run(const InstructionProgram &prog)
         case Opcode::Prefetch: {
             const waveform::GateId &id = prog.gate(in.gateRef);
             const core::CompressedEntry &entry =
-                resolveGate(rack_, prog, in.gateRef);
+                resolveGate(vlib_, prog, in.gateRef);
             const std::uint32_t win = in.prefetchWindow();
             auto handle = player_.prefetchWindow(
                 id, entry, in.channel, win, in.prefetchTier());

@@ -50,29 +50,51 @@ struct InterpreterResult
 };
 
 /**
- * Executes per-shard programs against one rack. Holds one
- * WindowPlayer (codec instances + scratch), so like the player it is
- * not thread-safe: build one per worker cell.
+ * Executes per-shard programs against one rack and one pinned
+ * library epoch. Holds one WindowPlayer (codec instances + scratch),
+ * so like the player it is not thread-safe: build one per worker
+ * cell.
  */
 class Interpreter
 {
   public:
+    /** Pin the rack's current library epoch at construction. */
     explicit Interpreter(const runtime::Rack &rack)
-        : rack_(rack), player_(rack)
+        : Interpreter(rack, rack.currentLibrary())
     {
+    }
+
+    /** Execute against an explicitly pinned epoch (the batch path:
+     *  every cell of one batch shares the batch's pin). */
+    Interpreter(const runtime::Rack &rack,
+                runtime::VersionedLibrary vlib)
+        : rack_(rack), vlib_(std::move(vlib)), player_(rack, vlib_)
+    {
+    }
+
+    /** The library epoch this interpreter executes under. */
+    const runtime::VersionedLibrary &
+    pinnedLibrary() const
+    {
+        return vlib_;
     }
 
     /**
      * Run `prog` to its HALT (or the end of the code stream).
-     * @throws std::invalid_argument when a PLAY/PREFETCH references a
-     *         gate the rack's library does not hold — programs are
-     *         compiled against a concrete library, so a mismatch is a
-     *         corrupt or misrouted program, not a soft miss
+     * @throws std::invalid_argument when the program's library-
+     *         version stamp names a calibration other than the
+     *         pinned one (an unstamped program — version 0 — is
+     *         accepted, matching pre-stamp streams), or when a
+     *         PLAY/PREFETCH references a gate the pinned library
+     *         does not hold — programs are compiled against a
+     *         concrete library, so a mismatch is a corrupt, stale,
+     *         or misrouted program, not a soft miss
      */
     InterpreterResult run(const InstructionProgram &prog);
 
   private:
     const runtime::Rack &rack_;
+    runtime::VersionedLibrary vlib_;
     runtime::WindowPlayer player_;
 };
 

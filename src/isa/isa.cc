@@ -178,6 +178,8 @@ InstructionProgram::toWords() const
     words.reserve(memoryWords());
     words.push_back(static_cast<std::uint32_t>(table_.size()));
     words.push_back(static_cast<std::uint32_t>(code_.size()));
+    words.push_back(static_cast<std::uint32_t>(libVersion_));
+    words.push_back(static_cast<std::uint32_t>(libVersion_ >> 32));
     for (const auto &id : table_)
         words.push_back(encodeGateWord(id));
     words.insert(words.end(), code_.begin(), code_.end());
@@ -200,6 +202,8 @@ InstructionProgram::fromWords(std::span<const std::uint32_t> words)
         throw std::invalid_argument(
             "isa: program stream size does not match its header");
     InstructionProgram prog;
+    prog.libVersion_ = static_cast<std::uint64_t>(words[3]) << 32 |
+                       words[2];
     prog.table_.reserve(table_size);
     for (std::size_t i = 0; i < table_size; ++i) {
         prog.table_.push_back(decodeGateWord(words[kHeaderWords + i]));

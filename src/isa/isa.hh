@@ -146,8 +146,9 @@ class InstructionProgram
 {
   public:
     static constexpr std::size_t kWordsPerInstruction = 2;
-    /** Serialized header: gate-table size word + code size word. */
-    static constexpr std::size_t kHeaderWords = 2;
+    /** Serialized header: gate-table size word, code size word, then
+     *  the library-version stamp as two words (low, high). */
+    static constexpr std::size_t kHeaderWords = 4;
 
     /**
      * Intern a gate in the table, returning its reference; repeated
@@ -194,6 +195,20 @@ class InstructionProgram
     const std::vector<std::uint32_t> &code() const { return code_; }
 
     /**
+     * The library version this program was compiled against (0 =
+     * unstamped, accepted by any interpreter). Stamped by
+     * isa::Compiler from its pinned epoch; the interpreter rejects a
+     * program whose stamp names a different calibration than the one
+     * it executes under — a compiled program is a persistent artifact
+     * that must never silently play stale window indices after a
+     * hot-swap.
+     */
+    std::uint64_t libraryVersion() const { return libVersion_; }
+
+    /** Stamp the library version (see libraryVersion()). */
+    void setLibraryVersion(std::uint64_t v) { libVersion_ = v; }
+
+    /**
      * Serialize to a flat word stream (header, gate table, code);
      * exactly memoryWords() words.
      */
@@ -209,6 +224,7 @@ class InstructionProgram
   private:
     std::vector<std::uint32_t> code_;
     std::vector<waveform::GateId> table_;
+    std::uint64_t libVersion_ = 0;
     /** Builder-side index over table_ so interning a hot gate is a
      *  lookup, not a scan; rebuilt by fromWords(). */
     std::map<waveform::GateId, std::uint16_t> index_;

@@ -1,0 +1,76 @@
+#include "isa/program_cache.hh"
+
+namespace compaqt::isa
+{
+
+ProgramCache::ProgramCache(std::size_t capacity)
+    : capacity_(capacity)
+{
+}
+
+std::shared_ptr<const InstructionProgram>
+ProgramCache::get(const ProgramKey &key)
+{
+    if (capacity_ == 0)
+        return nullptr;
+    std::lock_guard lock(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->prog;
+}
+
+std::shared_ptr<const InstructionProgram>
+ProgramCache::put(const ProgramKey &key, InstructionProgram prog)
+{
+    auto artifact = std::make_shared<const InstructionProgram>(
+        std::move(prog));
+    if (capacity_ == 0)
+        return artifact;
+    std::lock_guard lock(mu_);
+    if (const auto it = index_.find(key); it != index_.end())
+        return it->second->prog; // lost the compile race; first wins
+    lru_.push_front({key, artifact});
+    index_.emplace(key, lru_.begin());
+    ++stats_.insertions;
+    if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    stats_.entries = lru_.size();
+    return artifact;
+}
+
+void
+ProgramCache::dropStale(std::uint64_t currentVersion)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->key.libVersion < currentVersion) {
+            index_.erase(it->key);
+            it = lru_.erase(it);
+            ++stats_.staleDropped;
+        } else {
+            ++it;
+        }
+    }
+    stats_.entries = lru_.size();
+}
+
+ProgramCacheStats
+ProgramCache::stats() const
+{
+    std::lock_guard lock(mu_);
+    ProgramCacheStats s = stats_;
+    s.entries = lru_.size();
+    return s;
+}
+
+} // namespace compaqt::isa

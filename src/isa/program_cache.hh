@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Compiled programs as persistent artifacts: a bounded, thread-safe
+ * LRU of InstructionPrograms keyed by (schedule fingerprint, shard,
+ * library version). The serving plane dispatches hot schedules
+ * without recompiling per job, and a library hot-swap invalidates
+ * transparently — post-swap dispatches miss on the new version key,
+ * recompile once, and the stale entries are dropped by dropStale()
+ * or age out by LRU. This is the dispatch-by-handle substrate the
+ * ROADMAP's feedback plane builds on.
+ */
+
+#ifndef COMPAQT_ISA_PROGRAM_CACHE_HH
+#define COMPAQT_ISA_PROGRAM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "isa/isa.hh"
+
+namespace compaqt::isa
+{
+
+/** Identity of one compiled per-shard program. */
+struct ProgramKey
+{
+    /** circuits::scheduleFingerprint of the shard's slice, folded
+     *  with the compiler-config hash. */
+    std::uint64_t fingerprint = 0;
+    int shard = 0;
+    /** Library version the program was compiled against. */
+    std::uint64_t libVersion = 0;
+
+    auto operator<=>(const ProgramKey &) const = default;
+};
+
+/** Cache observability counters (monotonic since construction). */
+struct ProgramCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    /** Capacity evictions (LRU victim dropped for a new entry). */
+    std::uint64_t evictions = 0;
+    /** Entries dropped because their library version retired. */
+    std::uint64_t staleDropped = 0;
+    std::size_t entries = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(total);
+    }
+};
+
+/**
+ * Bounded thread-safe LRU over shared immutable programs. Handing
+ * out shared_ptr<const InstructionProgram> means an interpreter can
+ * keep executing a program that was concurrently evicted — eviction
+ * drops the cache's reference, never the artifact under a runner.
+ */
+class ProgramCache
+{
+  public:
+    /** @param capacity maximum cached programs; 0 disables the cache
+     *  (get() always misses, put() stores nothing). */
+    explicit ProgramCache(std::size_t capacity = 256);
+
+    std::size_t capacity() const { return capacity_; }
+    bool enabled() const { return capacity_ > 0; }
+
+    /** Look up a program; null on miss. A hit refreshes LRU order. */
+    std::shared_ptr<const InstructionProgram>
+    get(const ProgramKey &key);
+
+    /**
+     * Insert a freshly compiled program, returning the cached
+     * artifact. First-wins on a concurrent-compile race: if `key` is
+     * already present, the existing program is returned and `prog`
+     * is discarded (both compiles of one key are bit-identical, so
+     * either is correct — keeping the first preserves LRU age).
+     */
+    std::shared_ptr<const InstructionProgram>
+    put(const ProgramKey &key, InstructionProgram prog);
+
+    /**
+     * Drop every entry compiled against a version older than
+     * `currentVersion` — the post-swap sweep. Cheap when nothing is
+     * stale (one lock, one map walk over live entries).
+     */
+    void dropStale(std::uint64_t currentVersion);
+
+    ProgramCacheStats stats() const;
+
+  private:
+    using Artifact = std::shared_ptr<const InstructionProgram>;
+    struct Entry
+    {
+        ProgramKey key;
+        Artifact prog;
+    };
+    using LruList = std::list<Entry>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    LruList lru_; //< front = most recent
+    std::map<ProgramKey, LruList::iterator> index_;
+    ProgramCacheStats stats_;
+};
+
+} // namespace compaqt::isa
+
+#endif // COMPAQT_ISA_PROGRAM_CACHE_HH

@@ -43,7 +43,7 @@ WindowPlayer::playWindows(const waveform::GateId &id,
                 continue;
             }
             if (cached_) {
-                const DecodedWindowKey key{id, ch, w};
+                const DecodedWindowKey key{id, ch, w, libVersion_};
                 const auto handle =
                     cache.get(key, ws, [&](SampleSpan out) {
                         return codec.decompressWindowInto(
@@ -86,7 +86,7 @@ WindowPlayer::playWindows(const waveform::GateId &id,
     // put() each slice. A hot rack stays all-hits and never decodes;
     // a cold sweep decodes kBatchWindows windows per dispatch.
     for (std::uint32_t w = first; w < end;) {
-        if (const auto hit = cache.lookup({id, ch, w})) {
+        if (const auto hit = cache.lookup({id, ch, w, libVersion_})) {
             c.samples += hit.size();
             ++c.windows;
             ++w;
@@ -98,7 +98,8 @@ WindowPlayer::playWindows(const waveform::GateId &id,
         DecodedWindowCache::Handle stop;
         std::uint32_t run = 1;
         while (run < kBatchWindows && w + run < end &&
-               !(stop = cache.lookup({id, ch, w + run})))
+               !(stop = cache.lookup(
+                     {id, ch, w + run, libVersion_})))
             ++run;
         dec_.decodeWindowsInto(
             channel, cw.codec, w, run,
@@ -106,7 +107,7 @@ WindowPlayer::playWindows(const waveform::GateId &id,
         std::size_t off = 0;
         for (std::uint32_t j = 0; j < run; ++j) {
             const std::size_t len = channel.windowSamples(w + j);
-            cache.put({id, ch, w + j},
+            cache.put({id, ch, w + j, libVersion_},
                       ConstSampleSpan(scratch_.data() + off, len),
                       ws);
             c.samples += len;
@@ -146,7 +147,7 @@ WindowPlayer::prefetchWindow(const waveform::GateId &id,
     const std::size_t ws = channel.windowSize;
     const core::ICodec &codec = dec_.resolve(cw.codec, ws);
     return rack_.cache().prefetch(
-        DecodedWindowKey{id, ch, window}, ws, tier,
+        DecodedWindowKey{id, ch, window, libVersion_}, ws, tier,
         [&](SampleSpan out) {
             return codec.decompressWindowInto(*winChannel, winIndex,
                                               out);

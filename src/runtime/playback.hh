@@ -54,14 +54,27 @@ class WindowPlayer
      */
     static constexpr std::uint32_t kBatchWindows = 8;
 
-    explicit WindowPlayer(const Rack &rack)
+    /**
+     * Play against a pinned library epoch: cache keys carry
+     * `vlib.version`, so windows decoded from different calibrations
+     * can never satisfy each other's lookups. The player keeps only
+     * the version — the caller owns the pin (and passes the entries).
+     */
+    WindowPlayer(const Rack &rack, const VersionedLibrary &vlib)
         : rack_(rack),
           decode_(rack.config().controller.compressed),
           // An uncached rack decodes straight into reused scratch —
           // no lock, no refcount — so the cached/uncached comparison
           // measures the cache, not overhead of a disabled cache
           // object.
-          cached_(rack.cache().capacity() > 0)
+          cached_(rack.cache().capacity() > 0),
+          libVersion_(vlib.version)
+    {
+    }
+
+    /** Pin the rack's current epoch (single-library callers). */
+    explicit WindowPlayer(const Rack &rack)
+        : WindowPlayer(rack, rack.currentLibrary())
     {
     }
 
@@ -94,10 +107,14 @@ class WindowPlayer
                    const core::CompressedEntry &entry, std::uint8_t ch,
                    std::uint32_t window, std::uint8_t tier = 0);
 
+    /** The cache-key library version this player plays under. */
+    std::uint64_t libVersion() const { return libVersion_; }
+
   private:
     const Rack &rack_;
     bool decode_;
     bool cached_;
+    std::uint64_t libVersion_ = 0;
     core::Decompressor dec_;
     std::vector<double> scratch_;
 };

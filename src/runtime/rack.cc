@@ -109,16 +109,62 @@ makeShardPlan(const waveform::DeviceModel &dev, int num_shards,
 
 Rack::Rack(const waveform::DeviceModel &dev,
            const core::CompressedLibrary &lib, const RackConfig &cfg)
-    : cfg_(cfg), lib_(lib),
+    // Non-owning alias epoch: the caller owns the library's lifetime
+    // (documented contract of this constructor).
+    : Rack(dev,
+           std::make_shared<LibraryRegistry>(
+               std::shared_ptr<const core::CompressedLibrary>(
+                   std::shared_ptr<const core::CompressedLibrary>{},
+                   &lib)),
+           cfg)
+{
+}
+
+Rack::Rack(const waveform::DeviceModel &dev,
+           std::shared_ptr<const core::CompressedLibrary> lib,
+           const RackConfig &cfg)
+    : Rack(dev, std::make_shared<LibraryRegistry>(std::move(lib)),
+           cfg)
+{
+}
+
+Rack::Rack(const waveform::DeviceModel &dev,
+           std::shared_ptr<LibraryRegistry> registry,
+           const RackConfig &cfg)
+    : cfg_(cfg), registry_(std::move(registry)),
       plan_(makeShardPlan(dev, cfg.numShards, cfg.policy)),
       cache_(cfg.storeConfig())
 {
-    // One construction runs the full library-contract validation;
-    // the remaining shards are copies of the validated controller.
+    if (!registry_)
+        throw std::invalid_argument(
+            "runtime::Rack: registry must not be null");
+    const VersionedLibrary vlib = registry_->current();
+    if (!vlib)
+        throw std::invalid_argument(
+            "runtime::Rack: registry holds no current library");
+    // One contract validation covers every shard (the controllers
+    // are identical, library-less copies) and re-runs per hot-swap
+    // publish in swapLibrary().
+    uarch::Controller::validateLibrary(cfg_.controller, *vlib);
     controllers_.reserve(static_cast<std::size_t>(plan_.numShards));
-    controllers_.emplace_back(cfg_.controller, lib_);
-    for (int s = 1; s < plan_.numShards; ++s)
-        controllers_.push_back(controllers_.front());
+    for (int s = 0; s < plan_.numShards; ++s)
+        controllers_.emplace_back(cfg_.controller);
+}
+
+void
+Rack::validateLibrary(const core::CompressedLibrary &lib) const
+{
+    uarch::Controller::validateLibrary(cfg_.controller, lib);
+}
+
+std::uint64_t
+Rack::swapLibrary(std::shared_ptr<const core::CompressedLibrary> lib)
+{
+    if (!lib)
+        throw std::invalid_argument(
+            "Rack::swapLibrary: library must not be null");
+    validateLibrary(*lib);
+    return registry_->publish(std::move(lib));
 }
 
 const uarch::Controller &

@@ -12,10 +12,12 @@
 #ifndef COMPAQT_RUNTIME_RACK_HH
 #define COMPAQT_RUNTIME_RACK_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/compressed_library.hh"
-#include "runtime/decoded_cache.hh"
+#include "runtime/library_registry.hh"
+#include "runtime/tiered_store.hh"
 #include "uarch/controller.hh"
 #include "waveform/device.hh"
 
@@ -92,15 +94,26 @@ struct RackConfig
 };
 
 /**
- * The sharded fleet: N identical controllers over one compressed
- * library, plus the shared decoded-window cache. Immutable after
- * construction except for the cache, so shards can execute
- * concurrently.
+ * The sharded fleet: N identical controllers over one epoch-managed
+ * compressed library, plus the shared decoded-window cache. Immutable
+ * after construction except for the cache and the library registry
+ * (hot-swap), so shards can execute concurrently.
+ *
+ * Library ownership is epoch-managed: the rack holds a
+ * LibraryRegistry (possibly shared with other racks of a fleet) and
+ * execution paths pin the current VersionedLibrary per batch — the
+ * controllers themselves are library-less, so a retired calibration
+ * is released the moment its last in-flight batch finishes, never
+ * held for the rack's lifetime.
  */
 class Rack
 {
   public:
     /**
+     * Borrowed-library form (the historical constructor): the caller
+     * must keep `lib` alive for the rack's whole lifetime. Internally
+     * the library is wrapped in a non-owning registry epoch, so
+     * swapLibrary() works on this form too (later epochs are owned).
      * @throws std::invalid_argument when the library violates the
      *         controller contract (propagated from uarch::Controller)
      *         or num_shards < 1
@@ -108,13 +121,67 @@ class Rack
     Rack(const waveform::DeviceModel &dev,
          const core::CompressedLibrary &lib, const RackConfig &cfg);
 
+    /** Shared-ownership form: no lifetime contract on the caller. */
+    Rack(const waveform::DeviceModel &dev,
+         std::shared_ptr<const core::CompressedLibrary> lib,
+         const RackConfig &cfg);
+
+    /**
+     * Fleet form: attach to an existing registry (shared by every
+     * rack of the fleet, so one publish recalibrates all of them).
+     * @throws std::invalid_argument when the registry holds no
+     *         current library or its current library violates the
+     *         controller contract
+     */
+    Rack(const waveform::DeviceModel &dev,
+         std::shared_ptr<LibraryRegistry> registry,
+         const RackConfig &cfg);
+
     const RackConfig &config() const { return cfg_; }
     const ShardPlan &plan() const { return plan_; }
     int numShards() const { return plan_.numShards; }
 
-    const core::CompressedLibrary &library() const { return lib_; }
+    /**
+     * Legacy accessor: the current epoch's library, unpinned. The
+     * reference stays valid only until the next publish — execution
+     * paths must pin with currentLibrary() instead; this form exists
+     * for single-library tools that never swap.
+     */
+    const core::CompressedLibrary &
+    library() const
+    {
+        return *registry_->current();
+    }
 
-    /** The shard's controller. */
+    /** Pin the current library epoch for one batch of work. */
+    VersionedLibrary
+    currentLibrary() const
+    {
+        return registry_->current();
+    }
+
+    /** The (possibly fleet-shared) library registry. */
+    const std::shared_ptr<LibraryRegistry> &
+    registry() const
+    {
+        return registry_;
+    }
+
+    /**
+     * Validate-and-publish a recalibrated library: the hot-swap admin
+     * path. Never drains — in-flight batches finish on the epoch they
+     * pinned. Returns the version assigned to `lib`.
+     * @throws std::invalid_argument when `lib` violates the
+     *         controller contract (the current library stays live)
+     */
+    std::uint64_t
+    swapLibrary(std::shared_ptr<const core::CompressedLibrary> lib);
+
+    /** The controller-contract check swapLibrary() applies. */
+    void validateLibrary(const core::CompressedLibrary &lib) const;
+
+    /** The shard's controller (library-less; pass the pinned epoch
+     *  to execute()). */
     const uarch::Controller &controller(int shard) const;
 
     /** The fleet-shared decoded-window cache. */
@@ -125,7 +192,7 @@ class Rack
 
   private:
     RackConfig cfg_;
-    const core::CompressedLibrary &lib_;
+    std::shared_ptr<LibraryRegistry> registry_;
     ShardPlan plan_;
     std::vector<uarch::Controller> controllers_;
     mutable DecodedWindowCache cache_;

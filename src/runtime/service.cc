@@ -31,20 +31,21 @@ struct CellResult
  * back end).
  */
 CellResult
-playShard(const Rack &rack, int shard, const circuits::Schedule &part)
+playShard(const Rack &rack, const VersionedLibrary &vlib, int shard,
+          const circuits::Schedule &part)
 {
     COMPAQT_TRACE_SPAN("shard", "shard.play", "shard",
                        static_cast<std::uint64_t>(shard), "events",
                        part.events.size());
     CellResult cell;
-    cell.demand = rack.controller(shard).execute(part);
+    cell.demand = rack.controller(shard).execute(part, *vlib);
 
-    WindowPlayer player(rack);
+    WindowPlayer player(rack, vlib);
     for (const auto &e : part.events) {
         const auto id = uarch::gateIdFor(e.gate);
         if (!id)
             continue; // virtual op
-        const core::CompressedEntry *entry = rack.library().find(*id);
+        const core::CompressedEntry *entry = vlib.find(*id);
         if (!entry)
             continue; // counted in demand.missingGates
         ++cell.play.gates;
@@ -75,26 +76,55 @@ playShard(const Rack &rack, int shard, const circuits::Schedule &part)
  * the playback tallies are bit-identical to playShard's.
  */
 CellResult
-playShardCompiled(const Rack &rack, int shard,
-                  const circuits::Schedule &part,
-                  const isa::Compiler &compiler)
+playShardCompiled(const Rack &rack, const VersionedLibrary &vlib,
+                  int shard, const circuits::Schedule &part,
+                  const isa::Compiler &compiler,
+                  isa::ProgramCache &cache, std::uint64_t cfgHash)
 {
     COMPAQT_TRACE_SPAN("shard", "shard.play_compiled", "shard",
                        static_cast<std::uint64_t>(shard), "events",
                        part.events.size());
     CellResult cell;
-    cell.demand = rack.controller(shard).execute(part);
-    isa::InstructionProgram prog;
-    {
+    cell.demand = rack.controller(shard).execute(part, *vlib);
+    // The cache key covers everything the artifact depends on: the
+    // schedule's content fingerprint, the compiler knobs, the shard
+    // (its channel set shapes the stream), and the pinned library
+    // version — so a hot-swap can never serve a stale program.
+    const isa::ProgramKey key{
+        circuits::scheduleFingerprint(part) ^ cfgHash, shard,
+        vlib.version};
+    std::shared_ptr<const isa::InstructionProgram> prog =
+        cache.get(key);
+    if (!prog) {
         COMPAQT_TRACE_SPAN("compile", "isa.compile_shard", "shard",
                            static_cast<std::uint64_t>(shard));
-        prog = compiler.compileShard(part);
+        prog = cache.put(key, compiler.compileShard(part));
     }
-    isa::Interpreter interp(rack);
-    const isa::InterpreterResult run = interp.run(prog);
+    isa::Interpreter interp(rack, vlib);
+    const isa::InterpreterResult run = interp.run(*prog);
     cell.play = run.play;
     cell.prefetchesIssued = run.stats.prefetchesIssued;
     return cell;
+}
+
+/** Fold the compiler knobs that shape the emitted stream into the
+ *  program-cache key, FNV-1a style like scheduleFingerprint. */
+std::uint64_t
+compilerCfgHash(const isa::CompilerConfig &cfg)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    const auto fold = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFFu;
+            h *= 0x100000001B3ull;
+        }
+    };
+    fold(cfg.instructionMemoryWords);
+    fold(cfg.prefetchLeadCycles);
+    fold(cfg.maxOutstandingPrefetches);
+    fold(cfg.emitPrefetch ? 1 : 0);
+    fold(cfg.tier0ReuseDistance);
+    return h;
 }
 
 /** Fold one grid cell into its shard's rollup: peaks are maxima,
@@ -176,7 +206,8 @@ finalizeFleet(RackStats &stats)
  */
 template <typename CellFn>
 BatchExecution
-runGrid(const Rack &rack, Executor &exec,
+runGrid(const Rack &rack, const VersionedLibrary &vlib,
+        common::Executor &exec,
         const std::vector<circuits::Schedule> &batch, CellFn &&cellFn)
 {
     const int n_shards = rack.numShards();
@@ -217,6 +248,7 @@ runGrid(const Rack &rack, Executor &exec,
     // its row of the grid, so a job's numbers do not depend on which
     // other jobs shared its batch.
     BatchExecution result;
+    result.libraryVersion = vlib.version;
     RackStats &stats = result.total;
     stats.shards.resize(static_cast<std::size_t>(n_shards));
     result.jobs.resize(batch.size());
@@ -265,7 +297,8 @@ runGrid(const Rack &rack, Executor &exec,
 
 RuntimeService::RuntimeService(const Rack &rack,
                                const ServiceConfig &cfg)
-    : rack_(rack), exec_(cfg.workers)
+    : rack_(rack), exec_(cfg.workers),
+      progCache_(cfg.programCacheEntries)
 {
 }
 
@@ -286,10 +319,14 @@ BatchExecution
 RuntimeService::executeBatchPerJob(
     const std::vector<circuits::Schedule> &batch)
 {
-    return runGrid(rack_, exec_, batch,
-                   [this](int s, const circuits::Schedule &part) {
-                       return playShard(rack_, s, part);
-                   });
+    // Pin one library epoch for the whole batch: every cell sees the
+    // same calibration even if a hot-swap lands mid-batch.
+    const VersionedLibrary vlib = rack_.currentLibrary();
+    return runGrid(
+        rack_, vlib, exec_, batch,
+        [this, &vlib](int s, const circuits::Schedule &part) {
+            return playShard(rack_, vlib, s, part);
+        });
 }
 
 RackStats
@@ -312,13 +349,23 @@ RuntimeService::executeBatchCompiledPerJob(
     const std::vector<circuits::Schedule> &batch,
     const isa::CompilerConfig &cfg)
 {
+    // Pin one epoch and hand it to both the compiler and the
+    // interpreter, so a swap landing between compile and run cannot
+    // produce a version-mismatch rejection inside the batch.
+    const VersionedLibrary vlib = rack_.currentLibrary();
     // One compiler shared by every cell: it is stateless across
     // compileShard calls, and each worker interprets its own program.
-    const isa::Compiler compiler(rack_, cfg);
+    const isa::Compiler compiler(rack_, vlib, cfg);
+    // Sweep artifacts of retired epochs once per batch — they are
+    // unreachable (the key carries the version) and only waste slots.
+    progCache_.dropStale(vlib.version);
+    const std::uint64_t cfg_hash = compilerCfgHash(cfg);
     return runGrid(
-        rack_, exec_, batch,
-        [this, &compiler](int s, const circuits::Schedule &part) {
-            return playShardCompiled(rack_, s, part, compiler);
+        rack_, vlib, exec_, batch,
+        [this, &vlib, &compiler,
+         cfg_hash](int s, const circuits::Schedule &part) {
+            return playShardCompiled(rack_, vlib, s, part, compiler,
+                                     progCache_, cfg_hash);
         });
 }
 

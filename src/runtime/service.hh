@@ -20,8 +20,9 @@
 #include <vector>
 
 #include "circuits/scheduler.hh"
+#include "common/executor.hh"
 #include "isa/compiler.hh"
-#include "runtime/executor.hh"
+#include "isa/program_cache.hh"
 #include "runtime/rack.hh"
 
 namespace compaqt::runtime
@@ -93,6 +94,13 @@ struct ServiceConfig
 {
     /** Worker threads (including the caller); >= 1. */
     int workers = 1;
+    /**
+     * Capacity of the compiled-program cache (entries, LRU). Keyed by
+     * (schedule fingerprint, shard, library version), so a hot-swap
+     * never serves a stale artifact — the old version's entries are
+     * simply unreachable and get swept. 0 disables caching.
+     */
+    std::size_t programCacheEntries = 256;
 };
 
 /**
@@ -104,6 +112,13 @@ struct BatchExecution
 {
     /** Whole-batch rollup, identical to executeBatch()'s return. */
     RackStats total;
+    /**
+     * The library epoch the whole batch executed under. Batches pin
+     * one epoch up front, so a hot-swap landing mid-batch never
+     * splits a batch across calibrations — the swap takes effect at
+     * the next batch.
+     */
+    std::uint64_t libraryVersion = 0;
     /**
      * Per-schedule rollups: jobs[j] covers only batch[j]'s cells of
      * the execution grid. Every field is a pure function of
@@ -166,9 +181,20 @@ class RuntimeService
         const std::vector<circuits::Schedule> &batch,
         const isa::CompilerConfig &cfg = {});
 
+    /** Compiled-program cache counters (hits/misses/stale sweeps). */
+    isa::ProgramCacheStats
+    programCacheStats() const
+    {
+        return progCache_.stats();
+    }
+
   private:
     const Rack &rack_;
-    Executor exec_;
+    common::Executor exec_;
+    /** Compiled artifacts keyed by (schedule, shard, library
+     *  version); shared across batches so steady-state serving of a
+     *  repeating workload skips the compiler entirely. */
+    mutable isa::ProgramCache progCache_;
 };
 
 } // namespace compaqt::runtime

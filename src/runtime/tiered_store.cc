@@ -71,7 +71,7 @@ hashKey(const DecodedWindowKey &k)
         (static_cast<std::uint32_t>(k.gate.q1) & 0xFFFFFFu);
     const std::uint64_t win =
         static_cast<std::uint64_t>(k.channel) << 32 | k.window;
-    return mix64(mix64(gate) ^ win);
+    return mix64(mix64(gate) ^ win ^ mix64(k.libVersion));
 }
 
 std::size_t

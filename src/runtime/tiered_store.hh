@@ -75,6 +75,12 @@ struct DecodedWindowKey
     std::uint8_t channel = 0;
     /** Window index within the channel. */
     std::uint32_t window = 0;
+    /** Library version the window was decoded from (0 on racks that
+     *  never swap). Hot-swap invalidation works through this field:
+     *  after a publish, old-version keys are simply never looked up
+     *  again, so stale windows age out by normal eviction — no global
+     *  flush, no bit-exactness risk. */
+    std::uint64_t libVersion = 0;
 
     auto operator<=>(const DecodedWindowKey &) const = default;
 };

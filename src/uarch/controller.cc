@@ -24,17 +24,37 @@ rejectLibrary(const std::string &why)
 
 Controller::Controller(const ControllerConfig &cfg,
                        const core::CompressedLibrary &lib)
-    : cfg_(cfg), lib_(lib)
+    // Non-owning alias: an empty control block around the caller's
+    // object. The caller owns the lifetime (documented contract).
+    : cfg_(cfg),
+      lib_(std::shared_ptr<const core::CompressedLibrary>{}, &lib)
 {
-    if (!cfg_.compressed)
+    validateLibrary(cfg_, lib);
+}
+
+Controller::Controller(
+    const ControllerConfig &cfg,
+    std::shared_ptr<const core::CompressedLibrary> lib)
+    : cfg_(cfg), lib_(std::move(lib))
+{
+    if (!lib_)
+        rejectLibrary("bound constructor requires a library");
+    validateLibrary(cfg_, *lib_);
+}
+
+void
+Controller::validateLibrary(const ControllerConfig &cfg,
+                            const core::CompressedLibrary &lib)
+{
+    if (!cfg.compressed)
         return;
-    if (!dsp::intDctSupported(cfg_.windowSize))
+    if (!dsp::intDctSupported(cfg.windowSize))
         rejectLibrary("window size must be 4/8/16/32");
     // A library compressed with the wrong codec or window size would
     // stream garbage through the int-DCT pipeline; fail construction
     // instead.
     const auto &reg = core::CodecRegistry::instance();
-    for (const auto &[id, e] : lib_.entries()) {
+    for (const auto &[id, e] : lib.entries()) {
         const auto canonical = reg.canonicalName(e.cw.codec);
         if (canonical != "int-dct") {
             std::ostringstream ss;
@@ -43,19 +63,19 @@ Controller::Controller(const ControllerConfig &cfg,
                << "'; the hardware pipeline decodes int-dct only";
             rejectLibrary(ss.str());
         }
-        if (e.cw.windowSize != cfg_.windowSize) {
+        if (e.cw.windowSize != cfg.windowSize) {
             std::ostringstream ss;
             ss << waveform::toString(id) << " uses window size "
                << e.cw.windowSize << ", controller is configured for "
-               << cfg_.windowSize;
+               << cfg.windowSize;
             rejectLibrary(ss.str());
         }
     }
-    if (lib_.worstCaseWindowWords() > cfg_.memoryWidth) {
+    if (lib.worstCaseWindowWords() > cfg.memoryWidth) {
         std::ostringstream ss;
-        ss << "library needs " << lib_.worstCaseWindowWords()
+        ss << "library needs " << lib.worstCaseWindowWords()
            << " words/window but the compressed memory width is "
-           << cfg_.memoryWidth;
+           << cfg.memoryWidth;
         rejectLibrary(ss.str());
     }
 }
@@ -96,13 +116,17 @@ StreamStats
 Controller::playGateInto(const waveform::GateId &id,
                          std::span<std::int32_t> out)
 {
-    return playEntryInto(lib_.entry(id), out);
+    COMPAQT_REQUIRE(lib_ != nullptr,
+                    "playGateInto needs a bound library");
+    return playEntryInto(lib_->entry(id), out);
 }
 
 StreamResult
 Controller::playGate(const waveform::GateId &id)
 {
-    const core::CompressedEntry &e = lib_.entry(id);
+    COMPAQT_REQUIRE(lib_ != nullptr,
+                    "playGate needs a bound library");
+    const core::CompressedEntry &e = lib_->entry(id);
     StreamResult r;
     r.samples.resize(e.cw.i.numWindows() * cfg_.windowSize);
     r.stats = playEntryInto(e, r.samples);
@@ -133,6 +157,16 @@ gateIdFor(const circuits::Gate &g)
 ExecutionStats
 Controller::execute(const circuits::Schedule &sched) const
 {
+    COMPAQT_REQUIRE(lib_ != nullptr,
+                    "execute needs a bound library (or pass one"
+                    " explicitly)");
+    return execute(sched, *lib_);
+}
+
+ExecutionStats
+Controller::execute(const circuits::Schedule &sched,
+                    const core::CompressedLibrary &lib) const
+{
     ExecutionStats stats;
     if (sched.events.empty())
         return stats; // zeroed, trivially feasible
@@ -146,7 +180,7 @@ Controller::execute(const circuits::Schedule &sched) const
         const auto id = gateIdFor(e.gate);
         if (!id)
             continue;
-        const core::CompressedEntry *entry = lib_.find(*id);
+        const core::CompressedEntry *entry = lib.find(*id);
         if (!entry) {
             // No waveform to play: skip the event but report it, so a
             // schedule/library mismatch is visible instead of garbage.

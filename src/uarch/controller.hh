@@ -10,6 +10,7 @@
 #define COMPAQT_UARCH_CONTROLLER_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 
@@ -70,12 +71,27 @@ struct ExecutionStats
 };
 
 /**
- * A controller bound to one device's (compressed) pulse library.
+ * A controller, optionally bound to one device's (compressed) pulse
+ * library. The bound forms keep the historical single-library shape;
+ * the unbound form is what a hot-swapping rack uses — it passes the
+ * epoch-pinned library explicitly per execute() so a controller never
+ * extends a retired calibration's lifetime.
  */
 class Controller
 {
   public:
     /**
+     * Library-less controller: capacity/bank accounting work, but
+     * every schedule execution and playback call must pass the
+     * library explicitly. Pair with validateLibrary() to enforce the
+     * library contract up front.
+     */
+    explicit Controller(const ControllerConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Bound to a borrowed library — the caller must keep `lib` alive
+     * for the controller's whole lifetime (the historical form, kept
+     * for single-library tools and tests; lifetime is NOT tracked).
      * @param lib compressed library; must use the integer codec with
      *        the config's window size when compressed mode is on
      * @throws std::invalid_argument when compressed mode is on and
@@ -88,7 +104,27 @@ class Controller
     Controller(const ControllerConfig &cfg,
                const core::CompressedLibrary &lib);
 
+    /** Bound with shared ownership: the controller keeps the library
+     *  alive itself — no lifetime contract on the caller. Validates
+     *  like the borrowed form. */
+    Controller(const ControllerConfig &cfg,
+               std::shared_ptr<const core::CompressedLibrary> lib);
+
+    /**
+     * The library-contract check the bound constructors run, callable
+     * standalone: a rack validates each candidate library against its
+     * controller config once (at construction and at every hot-swap
+     * publish) instead of per controller copy.
+     * @throws std::invalid_argument on a contract violation (see the
+     *         bound constructor)
+     */
+    static void validateLibrary(const ControllerConfig &cfg,
+                                const core::CompressedLibrary &lib);
+
     const ControllerConfig &config() const { return cfg_; }
+
+    /** True when a library is bound (either bound constructor). */
+    bool bound() const { return lib_ != nullptr; }
 
     /** Banks one channel occupies (Section V-C interleaving). */
     std::size_t banksPerChannel() const;
@@ -100,13 +136,14 @@ class Controller
      * Stream one gate's I channel through the decompression pipeline
      * into caller-owned memory (compressed mode). Samples are
      * bit-exact with the software decoder.
+     * @pre a library is bound (bound())
      * @pre out.size() >= numWindows * windowSize of the gate's I
      *      channel (use playGate() when the size is not known)
      */
     StreamStats playGateInto(const waveform::GateId &id,
                              std::span<std::int32_t> out);
 
-    /** Allocating shim over playGateInto(). */
+    /** Allocating shim over playGateInto(). @pre bound() */
     StreamResult playGate(const waveform::GateId &id);
 
     /**
@@ -120,8 +157,14 @@ class Controller
      * gates absent from the library are counted in
      * ExecutionStats::missingGates and skipped, and an exceeded bank
      * budget reports feasible = false with the demand that broke it.
+     * @pre a library is bound (bound())
      */
     ExecutionStats execute(const circuits::Schedule &sched) const;
+
+    /** execute() against an explicit (epoch-pinned) library — the
+     *  hot-swap path's form, valid on unbound controllers. */
+    ExecutionStats execute(const circuits::Schedule &sched,
+                           const core::CompressedLibrary &lib) const;
 
   private:
     /** The shared playback body: one pipeline over the entry's I
@@ -130,7 +173,9 @@ class Controller
                               std::span<std::int32_t> out);
 
     ControllerConfig cfg_;
-    const core::CompressedLibrary &lib_;
+    /** Bound library, or null for the unbound form. The borrowed
+     *  constructor stores a non-owning alias (empty control block). */
+    std::shared_ptr<const core::CompressedLibrary> lib_;
 };
 
 /** Map a scheduled event's gate to the waveform it plays (nullopt for

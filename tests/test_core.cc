@@ -434,12 +434,15 @@ TEST(CompressedLibrary, SerializationRoundTrips)
     FidelityAwareConfig cfg;
     cfg.base.codec = "int-dct";
     cfg.base.windowSize = 16;
-    const auto clib = CompressedLibrary::build(lib, cfg);
+    auto clib = CompressedLibrary::build(lib, cfg);
+    // The calibration-epoch stamp rides the container format (v5+).
+    clib.setVersion(42);
 
     std::stringstream ss;
     clib.save(ss);
     const auto loaded = CompressedLibrary::load(ss);
     ASSERT_EQ(loaded.size(), clib.size());
+    EXPECT_EQ(loaded.version(), 42u);
 
     Decompressor dec;
     for (const auto &[id, e] : clib.entries()) {

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -163,9 +164,10 @@ TEST(IsaProgram, MemoryWordAccountingIsExact)
     prog.emit(Instruction::prefetch(ref, 0, 0));
     prog.emit(Instruction::play(ref, 0, 0, 4));
     prog.emit(Instruction::halt());
-    // 2 header + 1 gate-table + 3 instructions x 2 words.
+    // 4 header (sizes + library-version stamp) + 1 gate-table +
+    // 3 instructions x 2 words.
     EXPECT_EQ(prog.numInstructions(), 3u);
-    EXPECT_EQ(prog.memoryWords(), 2u + 1u + 6u);
+    EXPECT_EQ(prog.memoryWords(), 4u + 1u + 6u);
 
     const auto words = prog.toWords();
     ASSERT_EQ(words.size(), prog.memoryWords());
@@ -295,7 +297,7 @@ TEST_F(IsaCompilerTest, ZeroGateScheduleCompilesToBarrierHalt)
     ASSERT_EQ(prog.numInstructions(), 2u);
     EXPECT_EQ(prog.at(0).op, Opcode::Barrier);
     EXPECT_EQ(prog.at(1).op, Opcode::Halt);
-    EXPECT_EQ(prog.memoryWords(), 6u);
+    EXPECT_EQ(prog.memoryWords(), 8u);
     EXPECT_EQ(st.playedEvents, 0u);
     EXPECT_EQ(st.programCycles, 0u);
     EXPECT_TRUE(st.fitsMemoryBound);
@@ -349,7 +351,7 @@ TEST_F(IsaCompilerTest, PrefetchRequiresLeadSlack)
     EXPECT_EQ(off.prefetchInstructions, 0u);
     const auto uncached = makeRack(1, 0);
     ProgramStats nocache;
-    Compiler(uncached, {}).compileShard(sched, &nocache);
+    Compiler(uncached, CompilerConfig{}).compileShard(sched, &nocache);
     EXPECT_EQ(nocache.prefetchInstructions, 0u);
 }
 
@@ -666,8 +668,9 @@ TEST(IsaExecution, SimdBackendsBitIdenticalThroughCompiledBatch)
             for (std::uint8_t ch = 0; ch < 2; ++ch)
                 for (std::uint32_t w = 0;
                      w < chs[ch]->numWindows(); ++w)
-                    if (const auto h =
-                            rack.cache().lookup({id, ch, w})) {
+                    if (const auto h = rack.cache().lookup(
+                            {id, ch, w,
+                             rack.currentLibrary().version})) {
                         const auto s = h.samples();
                         decoded.emplace_back(s.begin(), s.end());
                     }
@@ -765,6 +768,131 @@ TEST(IsaExecution, InterpreterRejectsForeignPrograms)
     prog.emit(Instruction::halt());
     Interpreter interp(rack);
     EXPECT_THROW(interp.run(prog), std::invalid_argument);
+}
+
+TEST(IsaProgram, WordStreamCarriesLibraryVersionStamp)
+{
+    InstructionProgram prog;
+    const auto ref =
+        prog.internGate({waveform::GateType::X, 0, -1});
+    prog.emit(Instruction::play(ref, 0, 0, 1));
+    prog.emit(Instruction::halt());
+    // A >32-bit version must survive the two-word header split.
+    const std::uint64_t v = (7ull << 40) | 12345ull;
+    prog.setLibraryVersion(v);
+    EXPECT_EQ(prog.libraryVersion(), v);
+    const auto back = InstructionProgram::fromWords(prog.toWords());
+    EXPECT_EQ(back.libraryVersion(), v);
+}
+
+TEST(IsaExecution, InterpreterRejectsStaleProgramsAfterSwap)
+{
+    // The epoch gate: a program compiled before a hot-swap must be
+    // refused by an interpreter pinned after it — silently playing a
+    // retired calibration's window layout is the failure mode the
+    // version stamp exists to catch.
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    auto libA = std::make_shared<core::CompressedLibrary>(clib);
+    auto libB = std::make_shared<core::CompressedLibrary>(clib);
+    runtime::Rack rack(dev, libA, rackConfig(clib, 1, 1 << 12));
+
+    circuits::Circuit c(2);
+    c.x(0);
+    c.x(1);
+    const auto sched = circuits::schedule(c, {});
+    const Compiler comp(rack); // pins the pre-swap epoch
+    const auto stale = comp.compileShard(sched);
+    EXPECT_EQ(stale.libraryVersion(),
+              comp.pinnedLibrary().version);
+
+    rack.swapLibrary(libB);
+    Interpreter fresh(rack); // pins the post-swap epoch
+    EXPECT_THROW(fresh.run(stale), std::invalid_argument);
+    // An interpreter still pinned to the old epoch runs it fine —
+    // that is exactly how in-flight batches survive a swap.
+    Interpreter pinned(rack, comp.pinnedLibrary());
+    const auto res = pinned.run(stale);
+    EXPECT_GT(res.stats.plays, 0u);
+    // Recompiling against the new epoch unblocks the fresh path.
+    const Compiler recomp(rack);
+    const auto res2 = fresh.run(recomp.compileShard(sched));
+    EXPECT_EQ(res2.stats.plays, res.stats.plays);
+}
+
+TEST(ProgramCacheTest, LruFirstWinsAndStaleSweep)
+{
+    ProgramCache cache(2);
+    InstructionProgram p1, p2, p3;
+    p1.emit(Instruction::halt());
+    p2.emit(Instruction::halt());
+    p3.emit(Instruction::halt());
+    const ProgramKey k1{1, 0, 1}, k2{2, 0, 1}, k3{3, 0, 2};
+
+    EXPECT_EQ(cache.get(k1), nullptr);
+    const auto a1 = cache.put(k1, std::move(p1));
+    // First-wins: a racing second put of the same key returns the
+    // incumbent artifact, not a duplicate.
+    InstructionProgram dup;
+    dup.emit(Instruction::halt());
+    EXPECT_EQ(cache.put(k1, std::move(dup)), a1);
+    EXPECT_EQ(cache.get(k1), a1);
+
+    cache.put(k2, std::move(p2));
+    cache.get(k1);                // k1 most-recent; k2 is the victim
+    cache.put(k3, std::move(p3)); // evicts k2
+    EXPECT_EQ(cache.get(k2), nullptr);
+    EXPECT_NE(cache.get(k1), nullptr);
+
+    // The swap sweep: entries of retired versions drop, current stay.
+    cache.dropStale(2);
+    EXPECT_EQ(cache.get(k1), nullptr); // version 1 < 2: swept
+    EXPECT_NE(cache.get(k3), nullptr); // version 2: kept
+    const auto st = cache.stats();
+    EXPECT_EQ(st.staleDropped, 1u);
+    EXPECT_EQ(st.evictions, 1u);
+    EXPECT_EQ(st.entries, 1u);
+
+    // Capacity 0 disables caching but still hands back an artifact.
+    ProgramCache off(0);
+    InstructionProgram p4;
+    p4.emit(Instruction::halt());
+    EXPECT_NE(off.put({9, 0, 1}, std::move(p4)), nullptr);
+    EXPECT_EQ(off.get({9, 0, 1}), nullptr);
+}
+
+TEST(IsaExecution, ServiceProgramCacheServesRepeatBatches)
+{
+    // Steady-state serving of a repeating workload compiles each
+    // (schedule, shard) once; later batches hit the program cache.
+    // Results stay bit-identical, and a hot-swap invalidates the lot
+    // (new version in the key) followed by a sweep.
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    const auto clib = buildCompressed(lib);
+    auto libA = std::make_shared<core::CompressedLibrary>(clib);
+    auto libB = std::make_shared<core::CompressedLibrary>(clib);
+    runtime::Rack rack(dev, libA, rackConfig(clib, 2, 1 << 12));
+    runtime::RuntimeService svc(rack, {.workers = 1});
+    const auto sched = deviceWorkload(dev);
+
+    const auto first = svc.executeBatchCompiled({sched});
+    const auto cold = svc.programCacheStats();
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_GT(cold.insertions, 0u);
+
+    const auto second = svc.executeBatchCompiled({sched});
+    const auto warm = svc.programCacheStats();
+    EXPECT_EQ(warm.insertions, cold.insertions); // nothing recompiled
+    EXPECT_GT(warm.hits, 0u);
+    expectIdenticalStats(first, second, "cached replay");
+
+    rack.swapLibrary(libB);
+    svc.executeBatchCompiled({sched});
+    const auto swapped = svc.programCacheStats();
+    EXPECT_GT(swapped.insertions, warm.insertions); // recompiled
+    EXPECT_GT(swapped.staleDropped, 0u);            // old swept
 }
 
 } // namespace

@@ -22,8 +22,7 @@
 #include "core/decompressor.hh"
 #include "core/pipeline.hh"
 #include "dsp/int_dct.hh"
-#include "runtime/decoded_cache.hh"
-#include "runtime/executor.hh"
+#include "common/executor.hh"
 #include "runtime/rack.hh"
 #include "runtime/service.hh"
 #include "runtime/tiered_store.hh"
@@ -895,7 +894,7 @@ TEST(TieredStore, StatsAccumulateAndDeltaRoundTrip)
 TEST(Executor, RunsEveryJobExactlyOnce)
 {
     for (const int workers : {1, 2, 8}) {
-        Executor exec(workers);
+        common::Executor exec(workers);
         std::vector<int> counts(257, 0);
         exec.forEach(counts.size(), [&](std::size_t i) {
             // Each index is claimed by exactly one worker, so no
@@ -911,7 +910,7 @@ TEST(Executor, RunsEveryJobExactlyOnce)
 TEST(Executor, PropagatesFirstException)
 {
     for (const int workers : {1, 4}) {
-        Executor exec(workers);
+        common::Executor exec(workers);
         EXPECT_THROW(exec.forEach(16,
                                   [](std::size_t i) {
                                       if (i == 5)
@@ -925,7 +924,7 @@ TEST(Executor, PropagatesFirstException)
 
 TEST(Executor, ReusableAcrossBatches)
 {
-    Executor exec(4);
+    common::Executor exec(4);
     for (int round = 0; round < 20; ++round) {
         std::atomic<int> ran{0};
         exec.forEach(32, [&](std::size_t) { ++ran; });
@@ -1389,6 +1388,132 @@ TEST(RackAdaptive, ControllerPlaybackMatchesGoldenDecoder)
                 << waveform::toString(id) << " sample " << k;
     }
     EXPECT_TRUE(sawAdaptive);
+}
+
+// --------------------------------------------------- library registry
+
+TEST(LibraryRegistry, PublishAssignsMonotonicVersionsAndTracksLives)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    auto a = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib));
+    auto b = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib, 32));
+
+    LibraryRegistry reg(a);
+    const std::uint64_t v1 = reg.currentVersion();
+    EXPECT_GT(v1, 0u);
+    EXPECT_EQ(reg.swaps(), 0u);
+    EXPECT_EQ(reg.current().lib.get(), a.get());
+    EXPECT_EQ(reg.current().version, v1);
+
+    const std::uint64_t v2 = reg.publish(b);
+    EXPECT_GT(v2, v1);
+    EXPECT_EQ(reg.swaps(), 1u);
+    EXPECT_EQ(reg.current().lib.get(), b.get());
+
+    // Both epochs are alive: the test still holds `a`.
+    EXPECT_EQ(reg.liveVersions(), 2u);
+    bool saw_current = false;
+    for (const auto &info : reg.versions())
+        if (info.current) {
+            saw_current = true;
+            EXPECT_EQ(info.version, v2);
+        }
+    EXPECT_TRUE(saw_current);
+
+    // Drop the last external pin on the retired epoch: it leaves the
+    // live set (the registry holds retirees only weakly).
+    a.reset();
+    EXPECT_EQ(reg.liveVersions(), 1u);
+}
+
+TEST(LibraryRegistry, PinnedEpochSurvivesLaterPublishes)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    auto a = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib));
+    LibraryRegistry reg(a);
+    a.reset();
+
+    // An in-flight batch pins the epoch it started under; the swap
+    // must not invalidate it (RCU grace period by refcount).
+    const VersionedLibrary pinned = reg.current();
+    reg.publish(std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib, 32)));
+    ASSERT_TRUE(pinned);
+    EXPECT_GT(pinned->entries().size(), 0u);
+    EXPECT_NE(pinned.version, reg.currentVersion());
+    EXPECT_EQ(reg.liveVersions(), 2u); // `pinned` keeps it alive
+}
+
+TEST(RackSwap, SwapRejectsContractViolationsAndKeepsServing)
+{
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    auto good = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib));
+    // Window size 32 violates a windowSize-16 controller contract.
+    auto bad = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib, 32));
+
+    RackConfig rc;
+    rc.numShards = 2;
+    rc.controller = controllerConfig(*good);
+    Rack rack(dev, good, rc);
+    const std::uint64_t v1 = rack.currentLibrary().version;
+    EXPECT_THROW(rack.swapLibrary(nullptr), std::exception);
+    EXPECT_THROW(rack.swapLibrary(bad), std::invalid_argument);
+    // Failed swaps leave the current epoch untouched.
+    EXPECT_EQ(rack.currentLibrary().version, v1);
+
+    auto good2 = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib));
+    const std::uint64_t v2 = rack.swapLibrary(good2);
+    EXPECT_GT(v2, v1);
+    EXPECT_EQ(rack.currentLibrary().version, v2);
+}
+
+TEST(RackSwap, StaleWindowsAgeOutWithoutAFlush)
+{
+    // Decoded-window keys carry the library version: after a swap the
+    // old epoch's windows are unreachable (never served to the new
+    // calibration) but NOT flushed — they age out through normal LRU
+    // replacement while the new epoch's windows fill in beside them.
+    const auto dev = waveform::DeviceModel::ibm("bogota");
+    const auto lib = waveform::PulseLibrary::build(dev);
+    auto a = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib));
+    auto b = std::make_shared<core::CompressedLibrary>(
+        buildCompressed(lib));
+    RackConfig rc;
+    rc.numShards = 2;
+    rc.controller = controllerConfig(*a);
+    rc.cacheWindows = 1 << 14;
+    Rack rack(dev, a, rc);
+    RuntimeService svc(rack, {.workers = 1});
+
+    circuits::Circuit c(5);
+    for (int q = 0; q < 5; ++q)
+        c.x(q);
+    const auto sched = circuits::schedule(c, {});
+
+    svc.execute(sched);                     // cold fill, epoch v1
+    const auto warm = svc.execute(sched);   // all hits
+    EXPECT_EQ(warm.cache.misses, 0u);
+    EXPECT_GT(warm.cache.hits, 0u);
+
+    rack.swapLibrary(b);
+    // Same schedule, new epoch: the old windows are invisible, so
+    // this pass decodes cold again — no flush was needed to keep the
+    // calibrations apart.
+    const auto fresh = svc.execute(sched);
+    EXPECT_GT(fresh.cache.misses, 0u);
+    const auto warm2 = svc.execute(sched);  // new epoch now warm
+    EXPECT_EQ(warm2.cache.misses, 0u);
+    EXPECT_GT(warm2.cache.hits, 0u);
 }
 
 } // namespace

@@ -12,6 +12,8 @@
 
 #include <chrono>
 #include <future>
+#include <map>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -395,6 +397,242 @@ TEST(Server, ConcurrentMixedTenantsKeepCacheLoadBearing)
     // 32 replays of two schedules: overwhelmingly cache hits.
     EXPECT_GT(s.cacheHitRate, 0.9);
     EXPECT_GT(s.cache.hits, s.cache.misses);
+}
+
+/** Fleet fixture: a second calibration of the same gate set (coarser
+ *  MSE target, so its windows and sample tallies genuinely differ)
+ *  and a rack config whose memory width admits both libraries. */
+struct FleetFixture : ServerFixture
+{
+    std::shared_ptr<const core::CompressedLibrary> libA;
+    std::shared_ptr<const core::CompressedLibrary> libB;
+
+    FleetFixture()
+    {
+        libA = std::make_shared<core::CompressedLibrary>(clib);
+        const auto pulses = waveform::PulseLibrary::build(dev);
+        libB = std::make_shared<core::CompressedLibrary>(
+            core::CompressionPipeline::with("int-dct")
+                .window(16)
+                .mseTarget(1e-3)
+                .build()
+                .compressLibrary(pulses));
+    }
+
+    RackConfig
+    fleetRackConfig(std::size_t cache_windows = 4096) const
+    {
+        RackConfig rc = rackConfig(cache_windows);
+        rc.controller.memoryWidth =
+            std::max(libA->worstCaseWindowWords(),
+                     libB->worstCaseWindowWords());
+        return rc;
+    }
+};
+
+TEST(FleetServer, RoutesTenantsAcrossRacksWithPerRackRollups)
+{
+    const FleetFixture fx;
+    FleetConfig fc;
+    fc.racks = 3;
+    fc.rack = fx.fleetRackConfig();
+    fc.workers = 2;
+    fc.queueDepth = 256;
+    fc.maxBatch = 4;
+    fc.routing = RoutingPolicy::ConsistentHash;
+    // Queues never back up in this test; a huge spill threshold
+    // additionally pins every tenant to its hash-home rack so the
+    // affinity contract below is exact.
+    fc.spillQueueDepth = 1u << 20;
+    Server server(fx.dev, fx.libA, fc);
+    ASSERT_EQ(server.numRacks(), 3);
+
+    constexpr int kTenants = 16, kJobs = 4;
+    std::vector<std::future<JobResult>> futs;
+    for (int j = 0; j < kJobs; ++j)
+        for (int t = 0; t < kTenants; ++t)
+            futs.push_back(server.submit(
+                {"tenant-" + std::to_string(t),
+                 t % 2 ? fx.schedA : fx.schedB}));
+    std::map<std::string, int> home;
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+        const auto r = futs[i].get();
+        ASSERT_EQ(r.status, JobStatus::Completed);
+        ASSERT_GE(r.rack, 0);
+        ASSERT_LT(r.rack, 3);
+        // Consistent hash: every job of one tenant lands on the
+        // tenant's home rack (no spill in an unloaded fleet).
+        const auto [it, fresh] = home.emplace(r.tenant, r.rack);
+        if (!fresh) {
+            EXPECT_EQ(it->second, r.rack) << r.tenant;
+        }
+    }
+    server.drain();
+    const auto s = server.stats();
+    ASSERT_EQ(s.racks.size(), 3u);
+    std::uint64_t sum = 0, gates = 0;
+    for (const auto &r : s.racks) {
+        EXPECT_GT(r.completed, 0u); // 16 tenants spread over 3 racks
+        EXPECT_EQ(r.failed, 0u);
+        EXPECT_EQ(r.queuedNow, 0u);
+        sum += r.completed;
+        gates += r.gatesPlayed;
+    }
+    EXPECT_EQ(sum, s.completed);
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(kTenants * kJobs));
+    EXPECT_EQ(gates, s.gatesPlayed);
+}
+
+TEST(FleetServer, LeastLoadedRoutingCompletesEverything)
+{
+    const FleetFixture fx;
+    FleetConfig fc;
+    fc.racks = 2;
+    fc.rack = fx.fleetRackConfig();
+    fc.workers = 1;
+    fc.routing = RoutingPolicy::LeastLoaded;
+    Server server(fx.dev, fx.libA, fc);
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 12; ++i)
+        futs.push_back(server.submit({"t", fx.schedA}));
+    for (auto &f : futs)
+        ASSERT_EQ(f.get().status, JobStatus::Completed);
+    server.drain();
+    EXPECT_EQ(server.stats().completed, 12u);
+}
+
+TEST(FleetServer, HotSwapUnderLoadBitIdenticalPerPinnedVersion)
+{
+    // The headline hot-swap contract: tenant threads hammer submit()
+    // while a calibrator publishes a new library mid-stream. No job
+    // is dropped, none fails, and every job's deterministic rollup is
+    // bit-identical to a synchronous run against the library version
+    // its batch pinned — under both back ends and 1 vs N workers
+    // (run under TSan in CI, this is also the data-race suite).
+    const FleetFixture fx;
+    const RackConfig rc = fx.fleetRackConfig();
+
+    // Per-version synchronous references for both schedules.
+    const Rack rackRefA(fx.dev, fx.libA, rc);
+    const Rack rackRefB(fx.dev, fx.libB, rc);
+    RuntimeService refSvcA(rackRefA, {.workers = 1});
+    RuntimeService refSvcB(rackRefB, {.workers = 1});
+    const auto refAa = refSvcA.executeBatchPerJob({fx.schedA}).jobs[0];
+    const auto refAb = refSvcA.executeBatchPerJob({fx.schedB}).jobs[0];
+    const auto refBa = refSvcB.executeBatchPerJob({fx.schedA}).jobs[0];
+    const auto refBb = refSvcB.executeBatchPerJob({fx.schedB}).jobs[0];
+    // The two calibrations must actually be distinguishable, or the
+    // per-version comparison below proves nothing. Window counts
+    // match (same window size); the words read per window do not
+    // (the coarser MSE target keeps fewer coefficients).
+    const auto wordsRead = [](const RackStats &r) {
+        std::uint64_t words = 0;
+        for (const auto &sh : r.shards)
+            words += sh.demand.totalWordsRead;
+        return words;
+    };
+    ASSERT_NE(wordsRead(refAa), wordsRead(refBa));
+
+    for (const int workers : {1, 4}) {
+        for (const DispatchBackend backend :
+             {DispatchBackend::Direct, DispatchBackend::Compiled}) {
+            FleetConfig fc;
+            fc.racks = 2;
+            fc.rack = rc;
+            fc.workers = workers;
+            fc.queueDepth = 512;
+            fc.maxBatch = 4;
+            fc.backend = backend;
+            Server server(fx.dev, fx.libA, fc);
+            const std::uint64_t v1 = server.stats().libraryVersion;
+
+            constexpr int kThreads = 3, kPerThread = 20;
+            std::vector<std::thread> tenants;
+            std::vector<std::vector<std::future<JobResult>>> futs(
+                kThreads);
+            for (int t = 0; t < kThreads; ++t)
+                tenants.emplace_back([&, t] {
+                    for (int i = 0; i < kPerThread; ++i)
+                        futs[t].push_back(server.submit(
+                            {"tenant-" + std::to_string(t),
+                             i % 2 ? fx.schedA : fx.schedB}));
+                });
+            // Calibrator: publish mid-stream, with submissions in
+            // full flight. Never pauses, never drains.
+            const std::uint64_t v2 = server.swapLibrary(fx.libB);
+            EXPECT_GT(v2, v1);
+            for (auto &t : tenants)
+                t.join();
+
+            for (int t = 0; t < kThreads; ++t)
+                for (int i = 0; i < kPerThread; ++i) {
+                    const auto r = futs[t][static_cast<std::size_t>(i)]
+                                       .get();
+                    ASSERT_EQ(r.status, JobStatus::Completed)
+                        << r.error;
+                    ASSERT_TRUE(r.libraryVersion == v1 ||
+                                r.libraryVersion == v2);
+                    const bool odd = i % 2 != 0;
+                    const RackStats &ref =
+                        r.libraryVersion == v1 ? (odd ? refAa : refAb)
+                                               : (odd ? refBa : refBb);
+                    expectSameDemand(r.stats, ref);
+                }
+            // A job submitted after the swap deterministically pins
+            // the new epoch — both versions are always exercised.
+            const auto post =
+                server.submit({"post-swap", fx.schedA}).get();
+            ASSERT_EQ(post.status, JobStatus::Completed);
+            EXPECT_EQ(post.libraryVersion, v2);
+            expectSameDemand(post.stats, refBa);
+
+            server.drain();
+            const auto s = server.stats();
+            EXPECT_EQ(s.librarySwaps, 1u);
+            EXPECT_EQ(s.libraryVersion, v2);
+            EXPECT_EQ(s.failed, 0u);
+            EXPECT_EQ(s.rejected, 0u);
+            std::uint64_t by_version = 0;
+            for (const auto &[v, n] : s.jobsByLibraryVersion) {
+                EXPECT_TRUE(v == v1 || v == v2);
+                by_version += n;
+            }
+            EXPECT_EQ(by_version, s.completed);
+        }
+    }
+}
+
+TEST(FleetServer, HotSwapReleasesRetiredEpochWithoutDraining)
+{
+    // Epoch lifetime: the fleet holds the old calibration only while
+    // something pins it. Once the swap lands and in-flight work
+    // finishes, the old library's memory is released — no flush, no
+    // drain window, observed through a weak_ptr.
+    const FleetFixture fx;
+    FleetConfig fc;
+    fc.racks = 2;
+    fc.rack = fx.fleetRackConfig();
+    fc.workers = 2;
+    auto libA = std::make_shared<core::CompressedLibrary>(*fx.libA);
+    std::weak_ptr<const core::CompressedLibrary> wA = libA;
+    Server server(fx.dev, libA, fc);
+    libA.reset();
+    ASSERT_FALSE(wA.expired()); // current epoch: registry owns it
+
+    std::vector<std::future<JobResult>> futs;
+    for (int i = 0; i < 8; ++i)
+        futs.push_back(server.submit({"t", fx.schedA}));
+    for (auto &f : futs)
+        ASSERT_EQ(f.get().status, JobStatus::Completed);
+
+    server.swapLibrary(fx.libB);
+    server.drain();
+    // Nothing pins the retired epoch anymore: released, while the
+    // server keeps serving on the new one with no cache flush.
+    EXPECT_TRUE(wA.expired());
+    EXPECT_EQ(server.stats().libraryVersionsLive, 1u);
+    const auto post = server.submit({"t", fx.schedA}).get();
+    ASSERT_EQ(post.status, JobStatus::Completed);
 }
 
 } // namespace
